@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the hot paths of the ParMAC reproduction:
+//! Hamming k-NN search, the per-point Z-step proximal operator, one SGD epoch
+//! of a hash SVM, one simulated W-step tick and the closed-form speedup model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use parmac_cluster::{CostModel, SimCluster};
+use parmac_core::zstep::{solve_alternating, solve_exact, ZStepProblem};
+use parmac_core::SpeedupModel;
+use parmac_data::partition_equal;
+use parmac_hash::{HashFunction, LinearDecoder, LinearHash};
+use parmac_linalg::Mat;
+use parmac_optim::{LinearSvm, SgdConfig, Submodel};
+use parmac_retrieval::hamming_knn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_hamming_search(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let hash = LinearHash::random(64, 128, &mut rng);
+    let database = hash.encode(&Mat::random_normal(5000, 128, &mut rng));
+    let queries = hash.encode(&Mat::random_normal(20, 128, &mut rng));
+    c.bench_function("hamming_knn 20 queries x 5k db x 64 bits", |b| {
+        b.iter(|| hamming_knn(&database, &queries, 100))
+    });
+}
+
+fn bench_zstep(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let decoder = LinearDecoder::new(Mat::random_normal(128, 16, &mut rng), vec![0.0; 128]);
+    let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).sin()).collect();
+    let hx: Vec<f64> = (0..16).map(|i| f64::from(i % 2 == 0)).collect();
+    let problem = ZStepProblem::new(&decoder, 0.5);
+    c.bench_function("z-step alternating bits (L=16, D=128)", |b| {
+        b.iter(|| solve_alternating(&problem, &x, &hx, 5))
+    });
+
+    let small_decoder = LinearDecoder::new(Mat::random_normal(64, 10, &mut rng), vec![0.0; 64]);
+    let small_x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.13).cos()).collect();
+    let small_hx: Vec<f64> = (0..10).map(|i| f64::from(i % 3 == 0)).collect();
+    let small_problem = ZStepProblem::new(&small_decoder, 0.5);
+    c.bench_function("z-step exact enumeration (L=10, D=64)", |b| {
+        b.iter(|| solve_exact(&small_problem, &small_x, &small_hx))
+    });
+}
+
+fn bench_svm_epoch(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let x = Mat::random_normal(2000, 128, &mut rng);
+    let y: Vec<f64> = (0..2000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    c.bench_function("linear SVM, one SGD epoch (N=2000, D=128)", |b| {
+        b.iter_batched(
+            || LinearSvm::new(128, SgdConfig::new().with_eta0(0.01)),
+            |mut svm| {
+                svm.fit_batch(&x, &y, 1);
+                svm.n_parameters()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ring_w_step(c: &mut Criterion) {
+    let shards = partition_equal(4000, 16).into_shards();
+    let cluster = SimCluster::new(shards, CostModel::distributed());
+    c.bench_function("simulated ring W step (M=32, P=16, bookkeeping only)", |b| {
+        b.iter(|| {
+            let mut submodels = vec![0u64; 32];
+            cluster.run_w_step(&mut submodels, 1, 129, |s, _, shard| *s += shard.len() as u64, None)
+        })
+    });
+}
+
+fn bench_speedup_model(c: &mut Criterion) {
+    let model = SpeedupModel::figure4();
+    c.bench_function("speedup model full curve to P=2048", |b| {
+        b.iter(|| model.curve(2048))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hamming_search,
+    bench_zstep,
+    bench_svm_epoch,
+    bench_ring_w_step,
+    bench_speedup_model
+);
+criterion_main!(benches);

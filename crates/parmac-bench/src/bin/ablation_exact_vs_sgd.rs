@@ -1,0 +1,60 @@
+//! Ablation (§6 / §8.2): exact W step vs stochastic (SGD) W step vs
+//! distributed ParMAC.
+//!
+//! The paper argues that using SGD in the W step — the only approximation
+//! ParMAC introduces over MAC — barely changes the result, and that one or two
+//! epochs are enough. This ablation trains the same binary autoencoder with
+//! (a) serial MAC with exact solvers, (b) serial MAC with SGD submodels,
+//! (c) ParMAC on 8 simulated machines with 1 and 2 epochs, and compares the
+//! final objectives and retrieval precision.
+
+use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{MacTrainer, ParMacBackend, ParMacTrainer};
+
+fn main() {
+    let n = 1200;
+    let bits = 16;
+    let iterations = 8;
+    let exp = build_experiment(Suite::Sift10k, n, 31);
+    println!("# Ablation — exact vs SGD W step (SIFT-10K-like, N = {n}, L = {bits})");
+
+    let mut rows = Vec::new();
+
+    let exact_cfg = scaled_ba_config(Suite::Sift10k, bits, iterations, 31).with_exact_w_step(true);
+    let mut exact = MacTrainer::new(exact_cfg, &exp.train);
+    let exact_report = exact.run_with_eval(&exp.train, Some(&exp.eval));
+    rows.push(vec![
+        "serial MAC, exact W step".into(),
+        cell(exact_report.final_ba_error, 1),
+        cell(exp.eval.precision_of(exact.model()), 4),
+    ]);
+
+    let sgd_cfg = scaled_ba_config(Suite::Sift10k, bits, iterations, 31).with_epochs(2);
+    let mut sgd = MacTrainer::new(sgd_cfg, &exp.train);
+    let sgd_report = sgd.run_with_eval(&exp.train, Some(&exp.eval));
+    rows.push(vec![
+        "serial MAC, SGD W step (2 epochs)".into(),
+        cell(sgd_report.final_ba_error, 1),
+        cell(exp.eval.precision_of(sgd.model()), 4),
+    ]);
+
+    for &epochs in &[1usize, 2] {
+        let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 31).with_epochs(epochs);
+        let cfg = scaled_parmac_config(ba, 8);
+        let mut trainer =
+            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+        let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+        rows.push(vec![
+            format!("ParMAC, P = 8, {epochs} epoch(s)"),
+            cell(report.mac.final_ba_error, 1),
+            cell(exp.eval.precision_of(trainer.model()), 4),
+        ]);
+    }
+
+    print_table(
+        "final E_BA and retrieval precision",
+        &["variant", "final E_BA", "precision"],
+        &rows,
+    );
+}

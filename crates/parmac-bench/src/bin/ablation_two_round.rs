@@ -1,0 +1,42 @@
+//! Ablation (§4.2): running `e` epochs with one communication round per epoch
+//! vs the two-round scheme that performs all `e` passes within each machine.
+//!
+//! Expected shape: the two-round scheme sends roughly `(e+1)/2` times fewer
+//! messages per W step with only a small effect on the final objective
+//! (shuffling across machines is reduced, §4.2).
+
+use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{ParMacBackend, ParMacTrainer};
+
+fn main() {
+    let n = 1000;
+    let bits = 16;
+    let iterations = 6;
+    let epochs = 4;
+    let exp = build_experiment(Suite::Sift10k, n, 41);
+    println!("# Ablation — communication rounds per W step (e = {epochs}, P = 8)");
+
+    let mut rows = Vec::new();
+    for &(two_round, label) in &[(false, "one round per epoch"), (true, "two rounds total (§4.2)")] {
+        let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 41).with_epochs(epochs);
+        let cfg = scaled_parmac_config(ba, 8).with_two_round_communication(two_round);
+        let mut trainer =
+            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+        let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+        let messages: usize = report.w_steps.iter().map(|w| w.messages_sent).sum();
+        let comm_time: f64 = report.w_steps.iter().map(|w| w.timings.simulated_comm).sum();
+        rows.push(vec![
+            label.to_string(),
+            messages.to_string(),
+            cell(comm_time, 0),
+            cell(report.mac.final_ba_error, 1),
+            cell(report.mac.curve.best_precision().unwrap_or(0.0), 4),
+        ]);
+    }
+    print_table(
+        "messages, simulated communication time and quality",
+        &["scheme", "messages", "sim comm time", "final E_BA", "best precision"],
+        &rows,
+    );
+}

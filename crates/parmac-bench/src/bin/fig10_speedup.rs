@@ -1,0 +1,95 @@
+//! Figure 10: experimental (simulated-cluster) vs theoretical speedups for
+//! CIFAR, SIFT-1M and SIFT-1B.
+//!
+//! Top row of the paper's figure: strong-scaling speedups measured on the
+//! cluster. Here the "measurement" is the simulated runtime of the full
+//! ParMAC run on the synchronous-tick cluster simulator, which executes the
+//! real updates and charges the distributed cost model. Bottom row: the
+//! closed-form speedup model of §5 with the same parameters.
+//!
+//! Scaling note: the paper's fitted constants are `t_r^W = 1`, `t_c^W = 10⁴`
+//! and `t_r^Z = 200` (CIFAR) / `40` (SIFT-1M) at `N = 50 000` / `10⁶` points.
+//! The speedup is invariant to scaling `N` and `t_c^W` together (eq. 22 /
+//! §5.2 "transformations that keep the speedup invariant"), so when the
+//! dataset is scaled down by a factor `s` the communication constant is scaled
+//! down by the same factor. This keeps the speedup curves directly comparable
+//! with the paper's despite the smaller N.
+
+use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{ParMacBackend, ParMacTrainer, SpeedupModel};
+use parmac_linalg::Mat;
+
+fn simulated_runtime(
+    train: &Mat,
+    suite: Suite,
+    bits: usize,
+    machines: usize,
+    epochs: usize,
+    cost: CostModel,
+) -> f64 {
+    let ba = scaled_ba_config(suite, bits, 3, 17).with_epochs(epochs);
+    let cfg = scaled_parmac_config(ba, machines);
+    let mut trainer = ParMacTrainer::new(cfg, train, ParMacBackend::Simulated(cost));
+    trainer.run(train).total_simulated_time
+}
+
+fn main() {
+    println!("# Figure 10 — experimental (simulated cluster) vs theoretical speedup");
+    let machine_counts = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    // (suite, scaled n, bits, epochs, paper N, paper tZr)
+    for &(suite, n, bits, epochs, paper_n, t_zr) in &[
+        (Suite::Cifar, 1250usize, 16usize, 1usize, 50_000usize, 200.0f64),
+        (Suite::Sift1m, 2500, 16, 1, 1_000_000, 40.0),
+    ] {
+        let exp = build_experiment(suite, n, 17);
+        let n_train = exp.train.rows();
+        // Paper-fitted constants, with t_c^W scaled down with N (see above).
+        let scale = paper_n as f64 / n_train as f64;
+        let cost = CostModel::new(1.0, 1e4 / scale, t_zr);
+        let theory = SpeedupModel::new(
+            n_train,
+            2 * bits,
+            epochs,
+            cost.w_compute_per_point,
+            cost.w_comm_per_submodel,
+            cost.z_compute_per_point,
+        );
+        let t1 = simulated_runtime(&exp.train, suite, bits, 1, epochs, cost);
+        let mut rows = Vec::new();
+        for &p in &machine_counts {
+            if p > n_train {
+                continue;
+            }
+            let tp = simulated_runtime(&exp.train, suite, bits, p, epochs, cost);
+            rows.push(vec![
+                p.to_string(),
+                cell(t1 / tp, 2),
+                cell(theory.speedup(p), 2),
+            ]);
+        }
+        print_table(
+            &format!(
+                "{} (N = {n_train}, M = 2L = {}, e = {epochs}, tWc scaled by 1/{scale:.0})",
+                suite.name(),
+                2 * bits
+            ),
+            &["P", "simulated-cluster speedup", "theoretical speedup"],
+            &rows,
+        );
+    }
+
+    // SIFT-1B: theoretical prediction only (as in the paper, the experimental
+    // single-machine baseline is unaffordable); N and M as in the paper.
+    let theory = SpeedupModel::new(100_000_000, 128, 2, 1.0, 1e4, 40.0);
+    let rows: Vec<Vec<String>> = [1usize, 64, 128, 256, 512, 768, 1024]
+        .iter()
+        .map(|&p| vec![p.to_string(), cell(theory.speedup(p), 1)])
+        .collect();
+    print_table(
+        "SIFT-1B (theory only, N = 1e8, M = 128, e = 2)",
+        &["P", "theoretical speedup"],
+        &rows,
+    );
+}

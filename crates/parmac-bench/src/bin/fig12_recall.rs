@@ -1,0 +1,83 @@
+//! Figure 12: recall@R curves on the SIFT-1B-like suite for truncated PCA
+//! (the initialisation / baseline), the linear-hash BA and the RBF-hash BA.
+//!
+//! The expected shape (paper): BA with a linear hash improves over tPCA, and
+//! the RBF hash improves over the linear one, across the whole range of R.
+
+use parmac_bench::{cell, print_table, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{BaConfig, ParMacBackend, ParMacTrainer};
+use parmac_hash::{HashFunction, TpcaHash};
+use parmac_linalg::Mat;
+use parmac_optim::RbfFeatureMap;
+use parmac_retrieval::{euclidean_knn, recall_curve};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn train_ba(train: &Mat, bits: usize) -> parmac_core::BinaryAutoencoder {
+    let ba = BaConfig::new(bits)
+        .with_mu_schedule(0.005, 2.0, 6)
+        .with_epochs(2)
+        .with_seed(23);
+    let cfg = scaled_parmac_config(ba, 8);
+    let mut trainer =
+        ParMacTrainer::new(cfg, train, ParMacBackend::Simulated(CostModel::distributed()));
+    trainer.run(train);
+    trainer.into_model()
+}
+
+fn main() {
+    let n = 1500;
+    let bits = 32;
+    let data = Suite::Sift1b.generate(n, 23);
+    let train = data.train_features();
+    let queries = data.query_features();
+    let ground_truth = euclidean_knn(&train, &queries, 1);
+    let rs = [1usize, 2, 5, 10, 20, 50, 100, 200, 500, 1000];
+    println!("# Figure 12 — recall@R: tPCA vs linear BA vs RBF BA (N = {n}, L = {bits})");
+
+    // Baseline: truncated PCA.
+    let tpca = TpcaHash::fit(&train, bits).expect("tPCA fit");
+    let tpca_recall = recall_curve(&tpca.encode(&train), &tpca.encode(&queries), &ground_truth, &rs);
+
+    // BA with a linear hash on the raw features.
+    let linear_ba = train_ba(&train, bits);
+    let lin_recall = recall_curve(
+        &linear_ba.encode(&train),
+        &linear_ba.encode(&queries),
+        &ground_truth,
+        &rs,
+    );
+
+    // BA with an RBF hash: train on kernel values.
+    let mut rng = SmallRng::seed_from_u64(23);
+    let bandwidth = RbfFeatureMap::median_bandwidth(&train, 200, &mut rng);
+    let map = RbfFeatureMap::from_data(&train, 200, bandwidth, &mut rng);
+    let train_rbf = map.transform(&train);
+    let queries_rbf = map.transform(&queries);
+    let rbf_ba = train_ba(&train_rbf, bits);
+    let rbf_recall = recall_curve(
+        &rbf_ba.encode(&train_rbf),
+        &rbf_ba.encode(&queries_rbf),
+        &ground_truth,
+        &rs,
+    );
+
+    let rows: Vec<Vec<String>> = rs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            vec![
+                r.to_string(),
+                cell(tpca_recall[i], 4),
+                cell(lin_recall[i], 4),
+                cell(rbf_recall[i], 4),
+            ]
+        })
+        .collect();
+    print_table(
+        "recall@R",
+        &["R", "tPCA", "BA linear", "BA RBF"],
+        &rows,
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 13: time spent on communication vs computation as a function of how
+//! a fixed pool of P = 16 processors is split across nodes.
+//!
+//! The paper allocates 16 MPI processes as 1×16 (one node, pure shared
+//! memory) up to 16×1 (sixteen nodes, pure distributed) and measures that the
+//! computation time stays constant while the communication time grows as more
+//! hops cross the (slow) network. The reproduction models a ring of 16
+//! machines grouped into nodes: a hop inside a node costs the shared-memory
+//! per-submodel communication time, a hop between nodes the network one.
+
+use parmac_bench::{cell, print_table};
+use parmac_cluster::CostModel;
+
+fn main() {
+    let p = 16usize;
+    let n = 20_000usize; // points (paper: 20K subset of SIFT-1B)
+    let m = 128usize; // effective submodels (L = 64 → 2L)
+    let epochs = 2usize;
+    // Per-hop submodel transfer costs: a shared-memory hop is an order of
+    // magnitude cheaper than a network hop (fig. 13's 1×16 vs 16×1 endpoints:
+    // communication below computation within a node, several times above it
+    // across the network).
+    let intra = 50.0;
+    let cross = 500.0;
+    let t_w = CostModel::distributed().w_compute_per_point;
+
+    println!("# Figure 13 — communication vs computation per node layout (P = {p}, N = {n}, M = {m})");
+    let mut rows = Vec::new();
+    for &nodes in &[1usize, 2, 4, 8, 16] {
+        let procs_per_node = p / nodes;
+        // Per epoch, every submodel makes P hops; of those, `nodes` hops cross
+        // a node boundary (one per node), the rest stay inside a node. The
+        // final distribution lap adds P−1 hops with the same mix.
+        let hops_per_submodel = (epochs * p + (p - 1)) as f64;
+        let cross_fraction = if nodes == 1 { 0.0 } else { nodes as f64 / p as f64 };
+        let comm_per_hop = cross_fraction * cross + (1.0 - cross_fraction) * intra;
+        let comm_time = m as f64 * hops_per_submodel * comm_per_hop;
+        // Computation is independent of the layout: every submodel processes
+        // every point e times, spread over P machines working in parallel.
+        let comp_time = m as f64 * epochs as f64 * (n as f64 / p as f64) * t_w
+            * (m as f64 / p as f64).ceil()
+            / (m as f64 / p as f64);
+        rows.push(vec![
+            format!("{nodes}x{procs_per_node}"),
+            cell(comm_time, 0),
+            cell(comp_time, 0),
+            cell(comm_time / (comm_time + comp_time), 3),
+        ]);
+    }
+    print_table(
+        "simulated time units per W step",
+        &["nodes x procs", "communication", "computation", "comm fraction"],
+        &rows,
+    );
+}

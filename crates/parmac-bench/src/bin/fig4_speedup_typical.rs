@@ -1,0 +1,41 @@
+//! Figure 4: the "typical" theoretical speedup curve.
+//!
+//! Parameters straight from the paper's caption: N = 10⁶ points, M = 512
+//! submodels, e = 1 epoch, t_r^W = 1, t_r^Z = 5, t_c^W = 10³. The curve is
+//! near-perfect up to P = M, keeps rising to its maximum at P*₁ > M and
+//! decreases afterwards.
+
+use parmac_bench::{cell, print_table};
+use parmac_core::SpeedupModel;
+
+fn main() {
+    let model = SpeedupModel::figure4();
+    let (rho1, rho2, rho) = model.rho();
+    println!("# Figure 4 — typical theoretical speedup curve");
+    println!("# N=1e6, M=512, e=1, tWr=1, tZr=5, tWc=1e3");
+    println!("# rho1={rho1:.4} rho2={rho2:.4} rho={rho:.4}");
+
+    let ps: Vec<usize> = vec![
+        1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1131,
+        1280, 1536, 1792, 2000,
+    ];
+    let rows: Vec<Vec<String>> = ps
+        .iter()
+        .map(|&p| {
+            vec![
+                p.to_string(),
+                cell(model.speedup(p), 2),
+                cell(p as f64, 0),
+                if model.n_submodels % p == 0 { "yes".into() } else { "no".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        "S(P) vs P",
+        &["P", "S(P)", "perfect", "M divisible by P"],
+        &rows,
+    );
+
+    let (p_opt, s_opt) = model.optimal_machines();
+    println!("maximum speedup S* = {s_opt:.1} at P* = {p_opt:.0} (M = {})", model.n_submodels);
+}

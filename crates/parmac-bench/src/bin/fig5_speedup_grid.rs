@@ -1,0 +1,38 @@
+//! Figure 5: the grid of theoretical speedup curves.
+//!
+//! N = 50 000 points; number of submodels M ∈ {1, 2, …, 512}; epochs
+//! e ∈ {1, 8}; W-step communication time t_c^W ∈ {1, 100, 1000}; Z-step
+//! computation time t_r^Z ∈ {1, 100}; t_r^W = 1 sets the time units. Each
+//! table row is one M; columns sample P ∈ {1, 32, 64, 96, 128} as in the
+//! paper's plots.
+
+use parmac_bench::{cell, print_table};
+use parmac_core::SpeedupModel;
+
+fn main() {
+    let n = 50_000;
+    let ms = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    let ps = [1usize, 32, 64, 96, 128];
+    println!("# Figure 5 — theoretical speedup grid (N = 50 000, tWr = 1)");
+
+    for &epochs in &[1usize, 8] {
+        for &t_wc in &[1.0f64, 100.0, 1000.0] {
+            for &t_zr in &[1.0f64, 100.0] {
+                let rows: Vec<Vec<String>> = ms
+                    .iter()
+                    .map(|&m| {
+                        let model = SpeedupModel::new(n, m, epochs, 1.0, t_wc, t_zr);
+                        let mut row = vec![m.to_string()];
+                        row.extend(ps.iter().map(|&p| cell(model.speedup(p), 1)));
+                        row
+                    })
+                    .collect();
+                print_table(
+                    &format!("e = {epochs}, tWc = {t_wc}, tZr = {t_zr}"),
+                    &["M", "S(1)", "S(32)", "S(64)", "S(96)", "S(128)"],
+                    &rows,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 7: SIFT-10K learning curves — effect of the number of W-step epochs
+//! and of the number of machines.
+//!
+//! Left half of the figure: a single machine (P = 1) with e ∈ {1, 2, 3, 4, 8}
+//! epochs in the W step; right half: fixed e ∈ {1, 8} with
+//! P ∈ {1, 8, 16, 24, 32} machines. Each run reports E_Q, E_BA and retrieval
+//! precision per MAC iteration. Dataset: SIFT-like synthetic features scaled
+//! down from the paper's 10 000 points.
+
+use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{ParMacBackend, ParMacTrainer};
+
+fn main() {
+    let n = 1500;
+    let bits = 16;
+    let iterations = 8;
+    let exp = build_experiment(Suite::Sift10k, n, 7);
+    println!("# Figure 7 — SIFT-10K-like learning curves (N = {n}, L = {bits})");
+
+    // Effect of epochs at P = 1.
+    for &epochs in &[1usize, 2, 4, 8] {
+        let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 7).with_epochs(epochs);
+        let cfg = scaled_parmac_config(ba, 1);
+        let mut trainer =
+            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+        let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+        let rows: Vec<Vec<String>> = report
+            .mac
+            .curve
+            .records()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.iteration.to_string(),
+                    cell(r.quadratic_penalty, 1),
+                    cell(r.ba_error, 1),
+                    cell(r.precision.unwrap_or(0.0), 4),
+                    cell(r.simulated_time, 0),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("P = 1, epochs = {epochs}"),
+            &["iter", "E_Q", "E_BA", "precision", "sim_time"],
+            &rows,
+        );
+    }
+
+    // Effect of the number of machines at fixed epochs.
+    for &epochs in &[1usize, 8] {
+        for &p in &[1usize, 8, 16, 32] {
+            let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 7).with_epochs(epochs);
+            let cfg = scaled_parmac_config(ba, p);
+            let mut trainer = ParMacTrainer::new(
+                cfg,
+                &exp.train,
+                ParMacBackend::Simulated(CostModel::distributed()),
+            );
+            let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+            let last = report.mac.curve.last().unwrap();
+            let best_precision = report.mac.curve.best_precision().unwrap_or(0.0);
+            print_table(
+                &format!("epochs = {epochs}, P = {p} (final iteration summary)"),
+                &["iters", "final E_Q", "final E_BA", "best precision", "total sim_time"],
+                &[vec![
+                    report.mac.iterations_run.to_string(),
+                    cell(last.quadratic_penalty, 1),
+                    cell(last.ba_error, 1),
+                    cell(best_precision, 4),
+                    cell(report.total_simulated_time, 0),
+                ]],
+            );
+        }
+    }
+}

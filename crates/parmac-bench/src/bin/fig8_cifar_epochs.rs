@@ -1,0 +1,64 @@
+//! Figure 8: CIFAR learning curves — effect of epochs and of the number of
+//! machines, on the GIST-like (D = 320) suite.
+//!
+//! Same protocol as fig. 7 but on the CIFAR-like data and with the paper's
+//! machine counts {1, 32, 64, 96, 128} (scaled data, same shapes).
+
+use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_cluster::CostModel;
+use parmac_core::{ParMacBackend, ParMacTrainer};
+
+fn main() {
+    let n = 1200;
+    let bits = 16;
+    let iterations = 8;
+    let exp = build_experiment(Suite::Cifar, n, 11);
+    println!("# Figure 8 — CIFAR-like learning curves (N = {n}, D = 320, L = {bits})");
+
+    for &epochs in &[1usize, 2, 8] {
+        let ba = scaled_ba_config(Suite::Cifar, bits, iterations, 11).with_epochs(epochs);
+        let cfg = scaled_parmac_config(ba, 1);
+        let mut trainer =
+            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+        let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+        let rows: Vec<Vec<String>> = report
+            .mac
+            .curve
+            .records()
+            .iter()
+            .map(|r| {
+                vec![
+                    r.iteration.to_string(),
+                    cell(r.quadratic_penalty, 1),
+                    cell(r.ba_error, 1),
+                    cell(r.precision.unwrap_or(0.0), 4),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("P = 1, epochs = {epochs}"),
+            &["iter", "E_Q", "E_BA", "precision"],
+            &rows,
+        );
+    }
+
+    for &p in &[1usize, 32, 64, 128] {
+        let ba = scaled_ba_config(Suite::Cifar, bits, iterations, 11).with_epochs(2);
+        let cfg = scaled_parmac_config(ba, p.min(1200));
+        let mut trainer =
+            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+        let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
+        let last = report.mac.curve.last().unwrap();
+        print_table(
+            &format!("epochs = 2, P = {p} (final iteration summary)"),
+            &["iters", "final E_Q", "final E_BA", "best precision", "total sim_time"],
+            &[vec![
+                report.mac.iterations_run.to_string(),
+                cell(last.quadratic_penalty, 1),
+                cell(last.ba_error, 1),
+                cell(report.mac.curve.best_precision().unwrap_or(0.0), 4),
+                cell(report.total_simulated_time, 0),
+            ]],
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Cost models and step statistics.
+//!
+//! The simulator charges time per elementary operation exactly as the paper's
+//! runtime model does (§5.1): `t_r^W` per (submodel, point) W-step update,
+//! `t_c^W` per submodel communication hop, and `t_r^Z` per point per submodel
+//! in the Z step. The two presets encode the relative characteristics of the
+//! paper's two systems (table 1): the shared-memory machine has both faster
+//! processors and much faster "communication" than the 10 GbE distributed
+//! cluster (§8.5 reports the distributed system being 3–4× slower overall).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Per-operation costs (in arbitrary time units) used by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// `t_r^W`: time to process one data point for one submodel in the W step.
+    pub w_compute_per_point: f64,
+    /// `t_c^W`: time to send (receive + send) one submodel between machines.
+    pub w_comm_per_submodel: f64,
+    /// `t_r^Z`: time to process one data point for one submodel in the Z step
+    /// (the paper's fig. 5 caption: "Z step computation time (per submodel and
+    /// data point)"), so a machine's Z-step time is `M · N/P · t_r^Z` as in
+    /// eq. (7).
+    pub z_compute_per_point: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model from explicit per-operation times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any time is negative or non-finite.
+    pub fn new(w_compute_per_point: f64, w_comm_per_submodel: f64, z_compute_per_point: f64) -> Self {
+        assert!(
+            w_compute_per_point >= 0.0
+                && w_comm_per_submodel >= 0.0
+                && z_compute_per_point >= 0.0
+                && w_compute_per_point.is_finite()
+                && w_comm_per_submodel.is_finite()
+                && z_compute_per_point.is_finite(),
+            "cost-model times must be non-negative and finite"
+        );
+        CostModel {
+            w_compute_per_point,
+            w_comm_per_submodel,
+            z_compute_per_point,
+        }
+    }
+
+    /// A distributed-memory cluster (10 GbE network): communication is orders
+    /// of magnitude slower than computation. Matches the fudge factors the
+    /// paper fits for fig. 10 (`t_r^W = 1`, `t_c^W = 10⁴`, `t_r^Z = 40`).
+    pub fn distributed() -> Self {
+        CostModel::new(1.0, 1e4, 40.0)
+    }
+
+    /// A shared-memory machine: both computation and communication are faster
+    /// (§8.5 / fig. 13: same protocol, smaller constants; overall 3–4× faster
+    /// than the distributed cluster).
+    pub fn shared_memory() -> Self {
+        CostModel::new(0.3, 1e3, 12.0)
+    }
+
+    /// A hypothetical zero-communication system, useful to study the
+    /// `t_c^W = 0` limit of the speedup model.
+    pub fn no_communication() -> Self {
+        CostModel::new(1.0, 0.0, 40.0)
+    }
+
+    /// The computation/communication ratios ρ₁, ρ₂ and ρ of eq. (13) for a
+    /// given number of W-step epochs `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn rho(&self, epochs: usize) -> (f64, f64, f64) {
+        assert!(epochs > 0, "need at least one epoch");
+        let e = epochs as f64;
+        let denom = (e + 1.0) * self.w_comm_per_submodel;
+        if denom == 0.0 {
+            return (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        }
+        let rho1 = self.z_compute_per_point / denom;
+        let rho2 = e * self.w_compute_per_point / denom;
+        (rho1, rho2, rho1 + rho2)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::distributed()
+    }
+}
+
+/// Accumulated simulated and wall-clock time for one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StepTimings {
+    /// Simulated time charged by the cost model.
+    pub simulated: f64,
+    /// Simulated time spent computing.
+    pub simulated_compute: f64,
+    /// Simulated time spent communicating.
+    pub simulated_comm: f64,
+    /// Real wall-clock time spent executing the step (seconds).
+    pub wall_clock_secs: f64,
+}
+
+impl StepTimings {
+    /// Records the wall-clock duration.
+    pub fn with_wall_clock(mut self, d: Duration) -> Self {
+        self.wall_clock_secs = d.as_secs_f64();
+        self
+    }
+}
+
+/// Statistics of one distributed W step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WStepStats {
+    /// Timing breakdown.
+    pub timings: StepTimings,
+    /// Number of submodel hops over the ring (messages).
+    pub messages_sent: usize,
+    /// Approximate bytes moved over the ring (8 bytes per parameter).
+    pub bytes_sent: usize,
+    /// Number of (submodel, machine) update visits performed.
+    pub update_visits: usize,
+}
+
+/// Statistics of one Z step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ZStepStats {
+    /// Timing breakdown (communication is always zero: the Z step is local).
+    pub timings: StepTimings,
+    /// Number of data points whose coordinates were updated.
+    pub points_updated: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_ordering() {
+        let d = CostModel::distributed();
+        let s = CostModel::shared_memory();
+        assert!(s.w_compute_per_point < d.w_compute_per_point);
+        assert!(s.w_comm_per_submodel < d.w_comm_per_submodel);
+        assert!(s.z_compute_per_point < d.z_compute_per_point);
+    }
+
+    #[test]
+    fn rho_matches_paper_formula() {
+        // Fig. 4 parameters: tWr=1, tZr=5, tWc=1e3, e=1 → ρ1=0.0025, ρ2=0.0005.
+        let c = CostModel::new(1.0, 1e3, 5.0);
+        let (rho1, rho2, rho) = c.rho(1);
+        assert!((rho1 - 0.0025).abs() < 1e-12);
+        assert!((rho2 - 0.0005).abs() < 1e-12);
+        assert!((rho - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_communication_gives_infinite_rho() {
+        let (r1, r2, r) = CostModel::no_communication().rho(2);
+        assert!(r1.is_infinite() && r2.is_infinite() && r.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_costs() {
+        let _ = CostModel::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn rho_rejects_zero_epochs() {
+        let _ = CostModel::distributed().rho(0);
+    }
+
+    #[test]
+    fn step_timings_wall_clock() {
+        let t = StepTimings::default().with_wall_clock(Duration::from_millis(1500));
+        assert!((t.wall_clock_secs - 1.5).abs() < 1e-9);
+    }
+}

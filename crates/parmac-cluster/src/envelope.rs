@@ -1,0 +1,139 @@
+//! Per-submodel protocol metadata.
+//!
+//! In ParMAC's asynchronous W step "each submodel carries a counter that is
+//! initially 1 and increases every time it visits a machine" (§4.1); the more
+//! general fault-tolerant variant tags each submodel "with a list (per epoch)
+//! of machines it has to visit" (§4.3). [`SubmodelEnvelope`] implements both:
+//! the counter drives the normal flow, the visit list supports fault recovery
+//! and arbitrary per-submodel topologies.
+
+use serde::{Deserialize, Serialize};
+
+/// A submodel in transit around the ring, together with its protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmodelEnvelope<S> {
+    /// Which submodel this is (index into the model's submodel list).
+    pub submodel_id: usize,
+    /// The submodel parameters being circulated.
+    pub payload: S,
+    /// Number of machine visits so far (both updating and forwarding visits).
+    pub visits: usize,
+    /// Machines this submodel still has to visit in the current epoch
+    /// (§4.3's more general mechanism; kept in sync by [`record_visit`]).
+    ///
+    /// [`record_visit`]: SubmodelEnvelope::record_visit
+    pub pending_machines: Vec<usize>,
+}
+
+impl<S> SubmodelEnvelope<S> {
+    /// Wraps a submodel about to start its W step on a ring of `machines`.
+    pub fn new(submodel_id: usize, payload: S, machines: &[usize]) -> Self {
+        SubmodelEnvelope {
+            submodel_id,
+            payload,
+            visits: 0,
+            pending_machines: machines.to_vec(),
+        }
+    }
+
+    /// Whether the submodel should still be *updated* when visiting a machine
+    /// (as opposed to merely forwarded in the final communication lap).
+    ///
+    /// With `P` machines and `e` epochs, updates happen on the first `e·P`
+    /// visits.
+    pub fn needs_update(&self, n_machines: usize, epochs: usize) -> bool {
+        self.visits < n_machines * epochs
+    }
+
+    /// Whether the envelope has completed the full W step (all update visits
+    /// plus the final `P−1` forwarding hops), i.e. `visits ≥ P(e+1) − 1`.
+    pub fn is_finished(&self, n_machines: usize, epochs: usize) -> bool {
+        self.visits >= n_machines * (epochs + 1) - 1
+    }
+
+    /// Records a visit to `machine`: increments the counter, removes the
+    /// machine from the pending list (refilling the list with `all_machines`
+    /// when an epoch's list empties), and returns whether the visit performed
+    /// an update.
+    pub fn record_visit(
+        &mut self,
+        machine: usize,
+        all_machines: &[usize],
+        epochs: usize,
+    ) -> bool {
+        let updating = self.needs_update(all_machines.len(), epochs);
+        self.visits += 1;
+        if updating {
+            if let Some(pos) = self.pending_machines.iter().position(|&m| m == machine) {
+                self.pending_machines.remove(pos);
+            }
+            if self.pending_machines.is_empty() && self.needs_update(all_machines.len(), epochs) {
+                // Start of the next epoch: must visit everyone again.
+                self.pending_machines = all_machines.to_vec();
+            }
+        }
+        updating
+    }
+
+    /// Handles the failure of `machine` (§4.3): the machine can no longer be
+    /// visited, so it is dropped from the pending list.
+    pub fn handle_fault(&mut self, machine: usize) {
+        self.pending_machines.retain(|&m| m != machine);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_drives_update_vs_forward_and_finish() {
+        let machines = [0usize, 1, 2];
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        let epochs = 2;
+        // 6 update visits (P*e), then 2 forwarding visits (P-1), then finished.
+        let mut updates = 0;
+        let mut forwards = 0;
+        let mut machine = 0;
+        while !env.is_finished(machines.len(), epochs) {
+            if env.record_visit(machine, &machines, epochs) {
+                updates += 1;
+            } else {
+                forwards += 1;
+            }
+            machine = (machine + 1) % machines.len();
+        }
+        assert_eq!(updates, 6);
+        assert_eq!(forwards, 2);
+        assert_eq!(env.visits, 8); // P(e+1) − 1
+    }
+
+    #[test]
+    fn pending_list_refills_each_epoch() {
+        let machines = [0usize, 1];
+        let mut env = SubmodelEnvelope::new(3, 42u32, &machines);
+        assert_eq!(env.pending_machines, vec![0, 1]);
+        env.record_visit(0, &machines, 2);
+        assert_eq!(env.pending_machines, vec![1]);
+        env.record_visit(1, &machines, 2);
+        // epoch finished but another epoch remains → refilled
+        assert_eq!(env.pending_machines, vec![0, 1]);
+    }
+
+    #[test]
+    fn fault_removes_machine_from_pending() {
+        let machines = [0usize, 1, 2];
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        env.handle_fault(1);
+        assert_eq!(env.pending_machines, vec![0, 2]);
+    }
+
+    #[test]
+    fn single_machine_single_epoch_finishes_immediately_after_update() {
+        let machines = [0usize];
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        assert!(!env.is_finished(1, 1));
+        assert!(env.record_visit(0, &machines, 1));
+        assert!(env.is_finished(1, 1));
+    }
+}

@@ -1,0 +1,42 @@
+//! Distributed-cluster substrate for ParMAC.
+//!
+//! The paper runs ParMAC on a 128-processor MPI cluster and a 64-core
+//! shared-memory machine. This crate replaces that hardware with two
+//! interchangeable backends that implement the same ring protocol of §4.1:
+//!
+//! * [`sim`] — a **deterministic, synchronous-tick simulator**. Machines,
+//!   their data shards and the circulating submodels are explicit; per-tick
+//!   computation and communication times are charged according to a
+//!   [`CostModel`] (the same `t_r^W`, `t_c^W`, `t_r^Z` quantities the paper's
+//!   speedup model uses), so simulated speedup curves can be compared with the
+//!   theoretical prediction (fig. 10). Fault injection (§4.3) is supported.
+//! * [`threaded`] — a **real multi-threaded backend**: one OS thread per
+//!   machine, crossbeam channels as the unidirectional ring network, and the
+//!   asynchronous queue-per-machine protocol described in §4.1 (each submodel
+//!   carries a visit counter; a final communication-only lap distributes the
+//!   finished submodels).
+//!
+//! Supporting modules: [`topology`] (the circular topology, including the
+//!   random re-wiring used for cross-machine shuffling), [`envelope`] (the
+//!   per-submodel protocol metadata: counters and visit lists), [`cost`]
+//!   (cost models and step statistics) and [`streaming`] (adding/removing data
+//!   and machines on the fly).
+//!
+//! The backends are generic over the submodel type `S` and the update
+//! closure, so they contain no knowledge of binary autoencoders; `parmac-core`
+//! supplies the actual W-step work.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod envelope;
+pub mod sim;
+pub mod streaming;
+pub mod threaded;
+pub mod topology;
+
+pub use cost::{CostModel, StepTimings, WStepStats, ZStepStats};
+pub use envelope::SubmodelEnvelope;
+pub use sim::{Fault, SimCluster};
+pub use threaded::run_w_step_threaded;
+pub use topology::RingTopology;

@@ -1,0 +1,519 @@
+//! Deterministic synchronous-tick simulator of the ParMAC cluster.
+//!
+//! The simulator executes the W and Z steps of §4.1 exactly as the
+//! synchronous description does (fig. 3): at every clock tick each machine
+//! updates the group of submodels currently in its queue with its local data
+//! shard and passes the group to its successor; after `e·P` ticks a final
+//! communication-only lap distributes the finished submodels. Computation and
+//! communication are charged to a [`CostModel`], so the simulator reports both
+//! the *result* of the distributed optimisation (bit-for-bit what a real
+//! cluster computing in this order would produce) and the *simulated runtime*
+//! used for the speedup experiments (fig. 10, fig. 13).
+//!
+//! Machine failures (§4.3) can be injected: at a chosen tick a machine dies,
+//! the submodels in its queue lose that tick's update (they revert to the copy
+//! held by the predecessor), the ring is reconnected around it, and its data
+//! shard is no longer visited.
+
+use crate::cost::{CostModel, StepTimings, WStepStats, ZStepStats};
+use crate::topology::RingTopology;
+use rand::Rng;
+use std::time::Instant;
+
+/// A machine failure to inject during a W step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The machine that fails.
+    pub machine: usize,
+    /// The W-step tick (0-based) at whose start the failure happens.
+    pub at_tick: usize,
+}
+
+/// A simulated cluster: machines with data shards, relative speeds, a ring
+/// topology and a cost model.
+///
+/// The simulator is generic over the submodel type and the update work, so it
+/// knows nothing about binary autoencoders; `parmac-core` passes closures that
+/// perform the actual SGD updates and Z-step optimisations.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    shards: Vec<Vec<usize>>,
+    speeds: Vec<f64>,
+    cost: CostModel,
+    topology: RingTopology,
+}
+
+impl SimCluster {
+    /// Creates a cluster with one shard per machine, unit speeds and the given
+    /// cost model. The initial topology is the identity ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty.
+    pub fn new(shards: Vec<Vec<usize>>, cost: CostModel) -> Self {
+        assert!(!shards.is_empty(), "need at least one machine");
+        let speeds = vec![1.0; shards.len()];
+        let topology = RingTopology::new(shards.len());
+        SimCluster {
+            shards,
+            speeds,
+            cost,
+            topology,
+        }
+    }
+
+    /// Sets per-machine relative speeds (see load balancing, §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the number of machines or any speed
+    /// is not positive.
+    pub fn with_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.shards.len(), "one speed per machine");
+        assert!(speeds.iter().all(|&s| s > 0.0), "speeds must be positive");
+        self.speeds = speeds;
+        self
+    }
+
+    /// Number of machines (including any that later fail).
+    pub fn n_machines(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The data shard (point indices) owned by `machine`.
+    pub fn shard(&self, machine: usize) -> &[usize] {
+        &self.shards[machine]
+    }
+
+    /// The current ring topology.
+    pub fn topology(&self) -> &RingTopology {
+        &self.topology
+    }
+
+    /// Replaces the ring topology (e.g. after removing a machine for
+    /// streaming).
+    pub fn set_topology(&mut self, topology: RingTopology) {
+        self.topology = topology;
+    }
+
+    /// Re-randomises the ring (cross-machine shuffling between epochs, §4.3).
+    /// Only machines currently in the topology take part, so previously
+    /// removed machines stay removed and added machines stay in.
+    pub fn shuffle_topology<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        use rand::seq::SliceRandom;
+        let mut order = self.topology.machines().to_vec();
+        order.shuffle(rng);
+        self.topology = RingTopology::from_order(order);
+    }
+
+    /// Adds new data points to an existing machine's shard (within-machine
+    /// streaming, §4.3). The points must not already belong to any shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range or a point is already owned.
+    pub fn add_points_to_shard(&mut self, machine: usize, points: &[usize]) {
+        assert!(machine < self.shards.len(), "machine {machine} out of range");
+        for &p in points {
+            assert!(
+                self.shards.iter().all(|s| !s.contains(&p)),
+                "point {p} is already owned by a machine"
+            );
+        }
+        self.shards[machine].extend_from_slice(points);
+    }
+
+    /// Connects a new machine with its own pre-loaded shard into the ring
+    /// after machine `after` (across-machine streaming, §4.3). Returns the new
+    /// machine's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is not in the ring or the shard overlaps an existing
+    /// one.
+    pub fn add_machine(&mut self, after: usize, shard: Vec<usize>, speed: f64) -> usize {
+        assert!(speed > 0.0, "machine speed must be positive");
+        for &p in &shard {
+            assert!(
+                self.shards.iter().all(|s| !s.contains(&p)),
+                "point {p} is already owned by a machine"
+            );
+        }
+        let id = self.shards.len();
+        self.shards.push(shard);
+        self.speeds.push(speed);
+        self.topology.add_machine_after(id, after);
+        id
+    }
+
+    /// Disconnects a machine from the ring (fault recovery or streaming,
+    /// §4.3). Its shard stays allocated but is no longer visited by either
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not in the ring or is the last one.
+    pub fn remove_machine(&mut self, machine: usize) {
+        self.topology.remove_machine(machine);
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Runs one distributed W step.
+    ///
+    /// * `submodels` — the `M` submodels; updated in place.
+    /// * `epochs` — number of passes `e` over the full (distributed) dataset.
+    /// * `params_per_submodel` — parameter count, used only for the
+    ///   bytes-communicated statistic.
+    /// * `update` — called as `update(&mut submodel, machine, shard)` for every
+    ///   (submodel, machine) visit; it should perform one pass of stochastic
+    ///   updates of that submodel over the shard.
+    /// * `fault` — optional machine failure to inject.
+    ///
+    /// Returns the per-step statistics (simulated time, messages, bytes).
+    pub fn run_w_step<S, F>(
+        &self,
+        submodels: &mut [S],
+        epochs: usize,
+        params_per_submodel: usize,
+        mut update: F,
+        fault: Option<Fault>,
+    ) -> WStepStats
+    where
+        F: FnMut(&mut S, usize, &[usize]),
+    {
+        assert!(epochs > 0, "need at least one epoch");
+        let start = Instant::now();
+        let mut ring: Vec<usize> = self.topology.machines().to_vec();
+        let p_initial = ring.len();
+        let m = submodels.len();
+
+        // Group g initially sits in the queue of ring position g % P.
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); p_initial];
+        for g in 0..m {
+            queues[g % p_initial].push(g);
+        }
+
+        let mut stats = WStepStats::default();
+        let mut timings = StepTimings::default();
+        let total_update_ticks = epochs * p_initial;
+
+        for tick in 0..total_update_ticks {
+            // Inject the fault at the start of its tick: the machine's queue
+            // is handed (un-updated) to its successor and the machine leaves
+            // the ring, so the "previously updated copy" is what survives.
+            if let Some(f) = fault {
+                if f.at_tick == tick && ring.len() > 1 {
+                    if let Some(pos) = ring.iter().position(|&mach| mach == f.machine) {
+                        let orphans = std::mem::take(&mut queues[pos]);
+                        let succ = (pos + 1) % ring.len();
+                        queues[succ].extend(orphans);
+                        ring.remove(pos);
+                        queues.remove(pos);
+                    }
+                }
+            }
+            let p_now = ring.len();
+            // All machines compute on their queued submodels in parallel; the
+            // tick lasts as long as the slowest machine.
+            let mut tick_compute: f64 = 0.0;
+            let mut tick_comm: f64 = 0.0;
+            for (pos, &machine) in ring.iter().enumerate() {
+                let shard = &self.shards[machine];
+                let queue = &queues[pos];
+                for &sub in queue {
+                    update(&mut submodels[sub], machine, shard);
+                    stats.update_visits += 1;
+                }
+                let compute = queue.len() as f64 * shard.len() as f64 * self.cost.w_compute_per_point
+                    / self.speeds[machine];
+                let comm = queue.len() as f64 * self.cost.w_comm_per_submodel;
+                stats.messages_sent += queue.len();
+                stats.bytes_sent += queue.len() * params_per_submodel * std::mem::size_of::<f64>();
+                tick_compute = tick_compute.max(compute);
+                tick_comm = tick_comm.max(comm);
+            }
+            timings.simulated_compute += tick_compute;
+            timings.simulated_comm += tick_comm;
+            // Rotate every queue to its successor position.
+            let mut rotated: Vec<Vec<usize>> = vec![Vec::new(); p_now];
+            for (pos, queue) in queues.drain(..).enumerate() {
+                rotated[(pos + 1) % p_now].extend(queue);
+            }
+            queues = rotated;
+        }
+
+        // Final communication-only lap: P−1 hops so that every machine ends up
+        // with a copy of every submodel (§4.1). No computation is performed.
+        let p_now = ring.len();
+        if p_now > 1 {
+            for _ in 0..p_now - 1 {
+                let mut tick_comm: f64 = 0.0;
+                for queue in &queues {
+                    tick_comm = tick_comm.max(queue.len() as f64 * self.cost.w_comm_per_submodel);
+                    stats.messages_sent += queue.len();
+                    stats.bytes_sent += queue.len() * params_per_submodel * std::mem::size_of::<f64>();
+                }
+                timings.simulated_comm += tick_comm;
+                let mut rotated: Vec<Vec<usize>> = vec![Vec::new(); p_now];
+                for (pos, queue) in queues.drain(..).enumerate() {
+                    rotated[(pos + 1) % p_now].extend(queue);
+                }
+                queues = rotated;
+            }
+        }
+
+        timings.simulated = timings.simulated_compute + timings.simulated_comm;
+        stats.timings = timings.with_wall_clock(start.elapsed());
+        stats
+    }
+
+    /// Runs one Z step: every machine updates the coordinates of its local
+    /// shard, with no communication at all (§4.1).
+    ///
+    /// * `n_submodels` — the `M` used by the cost model (`M · N/P · t_r^Z`).
+    /// * `update` — called as `update(machine, shard)` once per machine that is
+    ///   still in the topology.
+    pub fn run_z_step<F>(&self, n_submodels: usize, mut update: F) -> ZStepStats
+    where
+        F: FnMut(usize, &[usize]),
+    {
+        let start = Instant::now();
+        let mut stats = ZStepStats::default();
+        let mut timings = StepTimings::default();
+        let mut slowest: f64 = 0.0;
+        for &machine in self.topology.machines() {
+            let shard = &self.shards[machine];
+            update(machine, shard);
+            stats.points_updated += shard.len();
+            let t = n_submodels as f64 * shard.len() as f64 * self.cost.z_compute_per_point
+                / self.speeds[machine];
+            slowest = slowest.max(t);
+        }
+        timings.simulated_compute = slowest;
+        timings.simulated = slowest;
+        stats.timings = timings.with_wall_clock(start.elapsed());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(p: usize, n: usize) -> Vec<Vec<usize>> {
+        let base = n / p;
+        (0..p)
+            .map(|i| (i * base..(i + 1) * base).collect())
+            .collect()
+    }
+
+    #[test]
+    fn every_submodel_visits_every_machine_once_per_epoch() {
+        let cluster = SimCluster::new(shards(4, 40), CostModel::distributed());
+        // Track visits as (submodel → machines seen).
+        let m = 6;
+        let mut visits = vec![vec![0usize; 4]; m];
+        let mut submodels: Vec<usize> = (0..m).collect();
+        let epochs = 2;
+        cluster.run_w_step(
+            &mut submodels,
+            epochs,
+            1,
+            |sub, machine, shard| {
+                visits[*sub][machine] += 1;
+                assert_eq!(shard.len(), 10);
+            },
+            None,
+        );
+        for sub_visits in &visits {
+            for &v in sub_visits {
+                assert_eq!(v, epochs, "each machine visited exactly e times");
+            }
+        }
+    }
+
+    #[test]
+    fn update_visit_count_matches_m_times_p_times_e() {
+        let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        let mut submodels = vec![0u8; 7];
+        let stats = cluster.run_w_step(&mut submodels, 2, 4, |_, _, _| {}, None);
+        assert_eq!(stats.update_visits, 7 * 3 * 2);
+        // messages: one per submodel per update tick... plus final lap.
+        assert!(stats.messages_sent >= stats.update_visits);
+        assert_eq!(
+            stats.bytes_sent,
+            stats.messages_sent * 4 * std::mem::size_of::<f64>()
+        );
+    }
+
+    #[test]
+    fn simulated_time_scales_down_with_more_machines() {
+        // Strong scaling: same total data, more machines → smaller W+Z time.
+        let n = 240;
+        let m = 16;
+        let time_for = |p: usize| {
+            let cluster = SimCluster::new(shards(p, n), CostModel::new(1.0, 0.1, 5.0));
+            let mut submodels = vec![0u8; m];
+            let w = cluster.run_w_step(&mut submodels, 1, 1, |_, _, _| {}, None);
+            let z = cluster.run_z_step(m, |_, _| {});
+            w.timings.simulated + z.timings.simulated
+        };
+        let t1 = time_for(1);
+        let t4 = time_for(4);
+        let t8 = time_for(8);
+        assert!(t4 < t1 && t8 < t4, "t1={t1} t4={t4} t8={t8}");
+        // Speedup should be near-perfect for P ≤ M with cheap communication.
+        assert!(t1 / t4 > 3.0, "speedup {}", t1 / t4);
+    }
+
+    #[test]
+    fn z_step_touches_every_point_exactly_once() {
+        let cluster = SimCluster::new(shards(5, 50), CostModel::distributed());
+        let mut seen = vec![0usize; 50];
+        let stats = cluster.run_z_step(8, |_, shard| {
+            for &i in shard {
+                seen[i] += 1;
+            }
+        });
+        assert_eq!(stats.points_updated, 50);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fault_skips_failed_machine_after_the_fault_tick() {
+        let cluster = SimCluster::new(shards(4, 40), CostModel::distributed());
+        let mut submodels = vec![(); 4];
+        let mut visits_to_failed_after = 0usize;
+        let mut tick_counter = vec![0usize; 4]; // visits per submodel to track progress
+        let fault = Fault {
+            machine: 2,
+            at_tick: 1,
+        };
+        cluster.run_w_step(
+            &mut submodels,
+            2,
+            1,
+            |_, machine, _| {
+                // After the fault tick the failed machine must never be used.
+                // We can't see the tick here directly, but we can count: with
+                // the fault at tick 1, machine 2 may appear only in tick 0.
+                if machine == 2 {
+                    visits_to_failed_after += 1;
+                }
+                tick_counter[machine] += 1;
+            },
+            Some(fault),
+        );
+        // Machine 2 hosted exactly one group in tick 0, so it is visited at
+        // most once per submodel in that single tick.
+        assert!(
+            visits_to_failed_after <= 1,
+            "machine 2 used {visits_to_failed_after} times after failing"
+        );
+    }
+
+    #[test]
+    fn fault_does_not_lose_submodels() {
+        let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        let mut submodels = vec![0usize; 6];
+        let fault = Fault {
+            machine: 1,
+            at_tick: 0,
+        };
+        let stats = cluster.run_w_step(
+            &mut submodels,
+            2,
+            1,
+            |s, _, _| {
+                *s += 1;
+            },
+            Some(fault),
+        );
+        // Every submodel still received updates (from the surviving machines).
+        assert!(submodels.iter().all(|&c| c > 0));
+        assert!(stats.update_visits > 0);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_change_simulated_time() {
+        let slow = SimCluster::new(shards(2, 20), CostModel::new(1.0, 0.0, 1.0))
+            .with_speeds(vec![1.0, 1.0]);
+        let fast = SimCluster::new(shards(2, 20), CostModel::new(1.0, 0.0, 1.0))
+            .with_speeds(vec![1.0, 10.0]);
+        let mut sub_a = vec![(); 2];
+        let mut sub_b = vec![(); 2];
+        let ta = slow.run_w_step(&mut sub_a, 1, 1, |_, _, _| {}, None);
+        let tb = fast.run_w_step(&mut sub_b, 1, 1, |_, _, _| {}, None);
+        // The slowest machine dominates: speeding up only one machine cannot
+        // reduce the tick time below the slow machine's, so the totals match.
+        assert!(tb.timings.simulated <= ta.timings.simulated);
+    }
+
+    #[test]
+    fn shuffled_topology_still_visits_all_machines() {
+        let mut cluster = SimCluster::new(shards(4, 16), CostModel::distributed());
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        cluster.shuffle_topology(&mut rng);
+        let mut machines_seen = std::collections::HashSet::new();
+        let mut submodels = vec![(); 3];
+        cluster.run_w_step(
+            &mut submodels,
+            1,
+            1,
+            |_, machine, _| {
+                machines_seen.insert(machine);
+            },
+            None,
+        );
+        assert_eq!(machines_seen.len(), 4);
+    }
+
+    #[test]
+    fn streaming_points_and_machines() {
+        let mut cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        cluster.add_points_to_shard(1, &[30, 31]);
+        assert_eq!(cluster.shard(1).len(), 12);
+
+        let new_id = cluster.add_machine(0, vec![40, 41, 42], 2.0);
+        assert_eq!(new_id, 3);
+        assert_eq!(cluster.topology().n_machines(), 4);
+        assert_eq!(cluster.topology().successor(0), 3);
+
+        cluster.remove_machine(2);
+        assert_eq!(cluster.topology().n_machines(), 3);
+        // The removed machine's shard is no longer visited by the Z step.
+        let mut seen = Vec::new();
+        cluster.run_z_step(4, |machine, _| seen.push(machine));
+        assert!(!seen.contains(&2));
+        assert!(seen.contains(&3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn streaming_rejects_duplicate_points() {
+        let mut cluster = SimCluster::new(shards(2, 10), CostModel::distributed());
+        cluster.add_points_to_shard(0, &[7]);
+    }
+
+    #[test]
+    fn shuffle_topology_preserves_membership_after_removal() {
+        let mut cluster = SimCluster::new(shards(5, 25), CostModel::distributed());
+        cluster.remove_machine(3);
+        let mut rng = rand::rngs::mock::StepRng::new(3, 7);
+        cluster.shuffle_topology(&mut rng);
+        assert_eq!(cluster.topology().n_machines(), 4);
+        assert!(!cluster.topology().contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        let cluster = SimCluster::new(shards(2, 4), CostModel::distributed());
+        let mut submodels = vec![(); 1];
+        cluster.run_w_step(&mut submodels, 0, 1, |_, _, _| {}, None);
+    }
+}

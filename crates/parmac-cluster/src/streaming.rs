@@ -1,0 +1,135 @@
+//! Streaming: adding/removing data and machines between ParMAC steps (§4.3).
+//!
+//! ParMAC supports two forms of streaming. Within a machine, data can simply
+//! be added to or dropped from its local shard (done at the start of a Z
+//! step). Across machines, a whole machine (with its pre-loaded shard) can be
+//! connected into the ring, or an existing machine disconnected. These
+//! operations never move data over the network; they only edit shard index
+//! sets and the ring topology, which is what the functions here do.
+
+use crate::topology::RingTopology;
+
+/// Adds `new_points` (global point indices) to machine `machine`'s shard.
+///
+/// Mirrors §4.3's within-machine streaming: "Adding data means inserting
+/// {(x_n, y_n)} in that machine".
+///
+/// # Panics
+///
+/// Panics if `machine` is out of range or any of the points is already owned
+/// by some machine (shards must stay disjoint).
+pub fn add_data(shards: &mut [Vec<usize>], machine: usize, new_points: &[usize]) {
+    assert!(machine < shards.len(), "machine {machine} out of range");
+    for &p in new_points {
+        assert!(
+            shards.iter().all(|s| !s.contains(&p)),
+            "point {p} is already owned by a machine"
+        );
+    }
+    shards[machine].extend_from_slice(new_points);
+}
+
+/// Removes the given points from machine `machine`'s shard (discarding old
+/// data, §4.3). Points not present are ignored.
+///
+/// # Panics
+///
+/// Panics if `machine` is out of range.
+pub fn remove_data(shards: &mut [Vec<usize>], machine: usize, points: &[usize]) {
+    assert!(machine < shards.len(), "machine {machine} out of range");
+    shards[machine].retain(|p| !points.contains(p));
+}
+
+/// Connects a new machine, with its own pre-loaded shard, into the ring after
+/// machine `after` (§4.3: "Adding it to the circular topology simply requires
+/// connecting it between any two machines"). Returns the new machine's id.
+///
+/// # Panics
+///
+/// Panics if `after` is not in the topology or the new shard overlaps an
+/// existing one.
+pub fn add_machine(
+    shards: &mut Vec<Vec<usize>>,
+    topology: &mut RingTopology,
+    after: usize,
+    new_shard: Vec<usize>,
+) -> usize {
+    for &p in &new_shard {
+        assert!(
+            shards.iter().all(|s| !s.contains(&p)),
+            "point {p} is already owned by a machine"
+        );
+    }
+    let new_id = shards.len();
+    shards.push(new_shard);
+    topology.add_machine_after(new_id, after);
+    new_id
+}
+
+/// Disconnects machine `machine` from the ring (its shard stays allocated but
+/// is no longer visited; §4.3: "Removing a machine is easier ... reconnecting
+/// machine p−1 → machine p+1 and returning machine p to the cluster").
+///
+/// # Panics
+///
+/// Panics if the machine is not in the ring or is the last one.
+pub fn remove_machine(topology: &mut RingTopology, machine: usize) {
+    topology.remove_machine(machine);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<Vec<usize>>, RingTopology) {
+        (vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]], RingTopology::new(3))
+    }
+
+    #[test]
+    fn add_and_remove_data_within_a_machine() {
+        let (mut shards, _) = setup();
+        add_data(&mut shards, 1, &[9, 10]);
+        assert_eq!(shards[1], vec![3, 4, 5, 9, 10]);
+        remove_data(&mut shards, 1, &[4, 10]);
+        assert_eq!(shards[1], vec![3, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn adding_a_point_owned_elsewhere_is_rejected() {
+        let (mut shards, _) = setup();
+        add_data(&mut shards, 0, &[5]);
+    }
+
+    #[test]
+    fn add_machine_extends_ring_and_shards() {
+        let (mut shards, mut topo) = setup();
+        let id = add_machine(&mut shards, &mut topo, 1, vec![9, 10, 11]);
+        assert_eq!(id, 3);
+        assert_eq!(topo.n_machines(), 4);
+        assert_eq!(topo.successor(1), 3);
+        assert_eq!(topo.successor(3), 2);
+        assert_eq!(shards[3], vec![9, 10, 11]);
+    }
+
+    #[test]
+    fn remove_machine_keeps_its_shard_but_drops_it_from_the_ring() {
+        let (mut shards, mut topo) = setup();
+        remove_machine(&mut topo, 1);
+        assert_eq!(topo.n_machines(), 2);
+        assert!(!topo.contains(1));
+        // The shard is untouched (the data simply is not visited any more).
+        assert_eq!(shards[1], vec![3, 4, 5]);
+        // And can later be re-added as a "new" machine's data by reconnecting.
+        let taken = std::mem::take(&mut shards[1]);
+        let id = add_machine(&mut shards, &mut topo, 0, taken);
+        assert!(topo.contains(id));
+    }
+
+    #[test]
+    fn removing_unknown_data_is_a_noop() {
+        let (mut shards, _) = setup();
+        remove_data(&mut shards, 0, &[99]);
+        assert_eq!(shards[0], vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The circular (ring) communication topology of §4.1.
+//!
+//! Machines are connected unidirectionally: machine `p` can send only to its
+//! successor. The ring can be the identity ring `0 → 1 → … → P−1 → 0` or a
+//! random ring (a random cyclic permutation), which is how ParMAC shuffles
+//! data across machines between epochs (§4.3). Machines can also be removed
+//! (fault tolerance, streaming) or added (streaming) on the fly.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional ring over a set of machine ids.
+///
+/// Machine ids are stable labels (they do not change when other machines are
+/// removed), so shards can stay associated with their machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingTopology {
+    /// Machine ids in ring order: `order[i]` sends to `order[(i+1) % len]`.
+    order: Vec<usize>,
+}
+
+impl RingTopology {
+    /// The identity ring `0 → 1 → … → n_machines−1 → 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_machines == 0`.
+    pub fn new(n_machines: usize) -> Self {
+        assert!(n_machines > 0, "a ring needs at least one machine");
+        RingTopology {
+            order: (0..n_machines).collect(),
+        }
+    }
+
+    /// A ring over machines `0..n_machines` in random cyclic order (the
+    /// cross-machine shuffling of §4.3: "reorganise the circular topology
+    /// randomly (while still circular) at the beginning of each new epoch").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_machines == 0`.
+    pub fn shuffled<R: Rng + ?Sized>(n_machines: usize, rng: &mut R) -> Self {
+        let mut ring = RingTopology::new(n_machines);
+        ring.order.shuffle(rng);
+        ring
+    }
+
+    /// Builds a ring from an explicit machine order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or contains duplicates.
+    pub fn from_order(order: Vec<usize>) -> Self {
+        assert!(!order.is_empty(), "a ring needs at least one machine");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), order.len(), "duplicate machine id in ring");
+        RingTopology { order }
+    }
+
+    /// Number of machines currently in the ring.
+    pub fn n_machines(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Machine ids in ring order.
+    pub fn machines(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// `true` if `machine` is part of the ring.
+    pub fn contains(&self, machine: usize) -> bool {
+        self.order.contains(&machine)
+    }
+
+    /// The machine that `machine` sends to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not in the ring.
+    pub fn successor(&self, machine: usize) -> usize {
+        let pos = self.position(machine);
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// The machine that sends to `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not in the ring.
+    pub fn predecessor(&self, machine: usize) -> usize {
+        let pos = self.position(machine);
+        self.order[(pos + self.order.len() - 1) % self.order.len()]
+    }
+
+    /// Removes a machine, reconnecting its predecessor to its successor
+    /// (§4.3: "To remove machine p ... reconnect machine p−1 → machine p+1").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is not in the ring or is the last machine.
+    pub fn remove_machine(&mut self, machine: usize) {
+        assert!(self.order.len() > 1, "cannot remove the last machine");
+        let pos = self.position(machine);
+        self.order.remove(pos);
+    }
+
+    /// Inserts a new machine after `after` (§4.3: "connecting it between any
+    /// two machines").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `after` is not in the ring or `machine` already is.
+    pub fn add_machine_after(&mut self, machine: usize, after: usize) {
+        assert!(!self.contains(machine), "machine {machine} already in ring");
+        let pos = self.position(after);
+        self.order.insert(pos + 1, machine);
+    }
+
+    /// The ring distance (number of hops) from `from` to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either machine is not in the ring.
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        let a = self.position(from);
+        let b = self.position(to);
+        (b + self.order.len() - a) % self.order.len()
+    }
+
+    fn position(&self, machine: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&m| m == machine)
+            .unwrap_or_else(|| panic!("machine {machine} is not in the ring"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_ring_successors() {
+        let r = RingTopology::new(4);
+        assert_eq!(r.successor(0), 1);
+        assert_eq!(r.successor(3), 0);
+        assert_eq!(r.predecessor(0), 3);
+    }
+
+    #[test]
+    fn shuffled_ring_is_a_permutation_and_still_circular() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let r = RingTopology::shuffled(8, &mut rng);
+        let mut ms = r.machines().to_vec();
+        ms.sort_unstable();
+        assert_eq!(ms, (0..8).collect::<Vec<_>>());
+        // Following successors visits every machine exactly once.
+        let mut seen = vec![false; 8];
+        let mut cur = r.machines()[0];
+        for _ in 0..8 {
+            assert!(!seen[cur]);
+            seen[cur] = true;
+            cur = r.successor(cur);
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(cur, r.machines()[0]);
+    }
+
+    #[test]
+    fn remove_machine_reconnects_neighbours() {
+        let mut r = RingTopology::new(4);
+        r.remove_machine(2);
+        assert_eq!(r.n_machines(), 3);
+        assert_eq!(r.successor(1), 3);
+        assert_eq!(r.predecessor(3), 1);
+        assert!(!r.contains(2));
+    }
+
+    #[test]
+    fn add_machine_inserts_after_anchor() {
+        let mut r = RingTopology::new(3);
+        r.add_machine_after(7, 1);
+        assert_eq!(r.successor(1), 7);
+        assert_eq!(r.successor(7), 2);
+        assert_eq!(r.n_machines(), 4);
+    }
+
+    #[test]
+    fn hops_counts_ring_distance() {
+        let r = RingTopology::from_order(vec![3, 1, 0, 2]);
+        assert_eq!(r.hops(3, 1), 1);
+        assert_eq!(r.hops(1, 3), 3);
+        assert_eq!(r.hops(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the ring")]
+    fn successor_of_unknown_machine_panics() {
+        let r = RingTopology::new(2);
+        let _ = r.successor(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate machine id")]
+    fn from_order_rejects_duplicates() {
+        let _ = RingTopology::from_order(vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last machine")]
+    fn cannot_empty_the_ring() {
+        let mut r = RingTopology::new(1);
+        r.remove_machine(0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Configuration types for the MAC and ParMAC trainers.
+
+use crate::mu::MuSchedule;
+use parmac_optim::SgdConfig;
+use serde::{Deserialize, Serialize};
+
+/// How the Z step solves the per-point binary proximal operator (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZStepMethod {
+    /// Exact minimisation by enumerating all `2^L` codes. Only sensible for
+    /// small `L` (the paper uses it for SIFT-10K/SIFT-1M with `L = 16`; we cap
+    /// it lower by default because enumeration cost is `2^L · L`).
+    Enumeration,
+    /// Alternating optimisation over bits, initialised from the truncated
+    /// relaxed solution (the paper's choice for larger `L`).
+    AlternatingBits,
+    /// Truncated relaxed solution only (no bit alternation); the cheapest and
+    /// least accurate option, provided for the Z-step ablation.
+    RelaxedOnly,
+    /// Pick [`Enumeration`](ZStepMethod::Enumeration) when `L ≤ 12` and
+    /// [`AlternatingBits`](ZStepMethod::AlternatingBits) otherwise.
+    Auto,
+}
+
+/// Configuration of a binary-autoencoder MAC/ParMAC run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaConfig {
+    /// Number of code bits `L` (hash functions).
+    pub n_bits: usize,
+    /// The µ schedule (one MAC iteration per µ value).
+    pub mu_schedule: MuSchedule,
+    /// SGD settings for the W-step submodels.
+    pub sgd: SgdConfig,
+    /// Number of SGD epochs per W step (`e` in the paper). Serial MAC treats
+    /// this as the number of passes of its batch solvers where applicable.
+    pub epochs: usize,
+    /// How to solve the Z step.
+    pub z_method: ZStepMethod,
+    /// Maximum rounds of alternating-over-bits per point.
+    pub z_alternations: usize,
+    /// Ridge regularisation used for the exact decoder fit.
+    pub decoder_ridge: f64,
+    /// Use exact solvers (batch SVM epochs + least-squares decoder) in the
+    /// serial W step instead of SGD. ParMAC always uses SGD.
+    pub exact_w_step: bool,
+    /// Stop a MAC run early when validation precision decreases (§3.1's early
+    /// stopping). Only applies when a validation set is supplied.
+    pub early_stopping: bool,
+    /// RNG seed controlling initialisation and shuffling.
+    pub seed: u64,
+}
+
+impl BaConfig {
+    /// A reasonable default configuration for `n_bits` code bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits == 0`.
+    pub fn new(n_bits: usize) -> Self {
+        assert!(n_bits > 0, "need at least one code bit");
+        BaConfig {
+            n_bits,
+            mu_schedule: MuSchedule::multiplicative(0.01, 1.5, 10),
+            sgd: SgdConfig::new().with_eta0(0.05),
+            epochs: 1,
+            z_method: ZStepMethod::Auto,
+            z_alternations: 5,
+            decoder_ridge: 1e-6,
+            exact_w_step: false,
+            early_stopping: false,
+            seed: 0,
+        }
+    }
+
+    /// Sets the µ schedule from `(µ0, factor, steps)`.
+    pub fn with_mu_schedule(mut self, mu0: f64, factor: f64, steps: usize) -> Self {
+        self.mu_schedule = MuSchedule::multiplicative(mu0, factor, steps);
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of W-step epochs `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs == 0`.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        assert!(epochs > 0, "need at least one epoch");
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the Z-step method.
+    pub fn with_z_method(mut self, method: ZStepMethod) -> Self {
+        self.z_method = method;
+        self
+    }
+
+    /// Sets the SGD configuration used by the W-step submodels.
+    pub fn with_sgd(mut self, sgd: SgdConfig) -> Self {
+        self.sgd = sgd;
+        self
+    }
+
+    /// Uses exact solvers in the serial W step (batch SVM + least squares).
+    pub fn with_exact_w_step(mut self, exact: bool) -> Self {
+        self.exact_w_step = exact;
+        self
+    }
+
+    /// Enables early stopping on validation precision.
+    pub fn with_early_stopping(mut self, enabled: bool) -> Self {
+        self.early_stopping = enabled;
+        self
+    }
+
+    /// Resolves [`ZStepMethod::Auto`] for this configuration's `L`.
+    pub fn resolved_z_method(&self) -> ZStepMethod {
+        match self.z_method {
+            ZStepMethod::Auto => {
+                if self.n_bits <= 12 {
+                    ZStepMethod::Enumeration
+                } else {
+                    ZStepMethod::AlternatingBits
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// The effective number of equal-size submodels `M = 2L` used by the
+    /// speedup analysis (§5.4: the `D` decoders are grouped into `L` bundles of
+    /// the same size as one encoder).
+    pub fn effective_submodels(&self) -> usize {
+        2 * self.n_bits
+    }
+}
+
+/// Configuration specific to the distributed (ParMAC) trainer, on top of a
+/// [`BaConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParMacConfig {
+    /// The underlying binary-autoencoder configuration.
+    pub ba: BaConfig,
+    /// Number of machines `P`.
+    pub n_machines: usize,
+    /// Shuffle minibatches within each machine at every visit (§4.3).
+    pub within_machine_shuffling: bool,
+    /// Re-randomise the ring topology at the start of every W step
+    /// (cross-machine shuffling, §4.3).
+    pub cross_machine_shuffling: bool,
+    /// Use the §4.2 scheme: run all `e` epochs within each machine before
+    /// passing a submodel on, so only two communication rounds happen per W
+    /// step regardless of `e`.
+    pub two_round_communication: bool,
+    /// Minibatch size used inside each machine visit.
+    pub minibatch_size: usize,
+}
+
+impl ParMacConfig {
+    /// Wraps a [`BaConfig`] for execution on `n_machines` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_machines == 0`.
+    pub fn new(ba: BaConfig, n_machines: usize) -> Self {
+        assert!(n_machines > 0, "need at least one machine");
+        ParMacConfig {
+            ba,
+            n_machines,
+            within_machine_shuffling: true,
+            cross_machine_shuffling: false,
+            two_round_communication: false,
+            minibatch_size: 32,
+        }
+    }
+
+    /// Enables or disables within-machine minibatch shuffling.
+    pub fn with_within_machine_shuffling(mut self, on: bool) -> Self {
+        self.within_machine_shuffling = on;
+        self
+    }
+
+    /// Enables or disables cross-machine (topology) shuffling.
+    pub fn with_cross_machine_shuffling(mut self, on: bool) -> Self {
+        self.cross_machine_shuffling = on;
+        self
+    }
+
+    /// Enables the two-round communication scheme of §4.2.
+    pub fn with_two_round_communication(mut self, on: bool) -> Self {
+        self.two_round_communication = on;
+        self
+    }
+
+    /// Sets the within-machine minibatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn with_minibatch_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "minibatch size must be positive");
+        self.minibatch_size = size;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_z_method_resolves_by_code_length() {
+        assert_eq!(BaConfig::new(8).resolved_z_method(), ZStepMethod::Enumeration);
+        assert_eq!(
+            BaConfig::new(16).resolved_z_method(),
+            ZStepMethod::AlternatingBits
+        );
+        let explicit = BaConfig::new(16).with_z_method(ZStepMethod::Enumeration);
+        assert_eq!(explicit.resolved_z_method(), ZStepMethod::Enumeration);
+    }
+
+    #[test]
+    fn effective_submodels_is_two_l() {
+        assert_eq!(BaConfig::new(16).effective_submodels(), 32);
+        assert_eq!(BaConfig::new(64).effective_submodels(), 128);
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let cfg = BaConfig::new(4)
+            .with_mu_schedule(0.1, 2.0, 3)
+            .with_epochs(2)
+            .with_seed(9)
+            .with_exact_w_step(true)
+            .with_early_stopping(true);
+        assert_eq!(cfg.mu_schedule.len(), 3);
+        assert_eq!(cfg.epochs, 2);
+        assert_eq!(cfg.seed, 9);
+        assert!(cfg.exact_w_step);
+        assert!(cfg.early_stopping);
+    }
+
+    #[test]
+    fn parmac_config_defaults() {
+        let p = ParMacConfig::new(BaConfig::new(8), 4);
+        assert!(p.within_machine_shuffling);
+        assert!(!p.cross_machine_shuffling);
+        assert!(!p.two_round_communication);
+        assert_eq!(p.n_machines, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn rejects_zero_machines() {
+        let _ = ParMacConfig::new(BaConfig::new(8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one code bit")]
+    fn rejects_zero_bits() {
+        let _ = BaConfig::new(0);
+    }
+}

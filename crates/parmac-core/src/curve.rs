@@ -1,0 +1,149 @@
+//! Learning-curve records.
+//!
+//! The paper's figs. 7–9 and 11 plot `E_Q`, `E_BA` and retrieval precision (or
+//! recall) against MAC iteration and against runtime. [`LearningCurve`]
+//! collects exactly those series so the experiment harness can print them.
+
+use serde::{Deserialize, Serialize};
+
+/// One MAC/ParMAC iteration's worth of measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// MAC iteration index (one per µ value), 1-based; 0 is the initialisation.
+    pub iteration: usize,
+    /// The penalty parameter µ in effect (0 for the initialisation record).
+    pub mu: f64,
+    /// Quadratic-penalty objective `E_Q` (eq. 3).
+    pub quadratic_penalty: f64,
+    /// Nested objective `E_BA` (eq. 1).
+    pub ba_error: f64,
+    /// Retrieval precision on the validation/query set, if one was supplied.
+    pub precision: Option<f64>,
+    /// Cumulative simulated time (cost-model units) since training started.
+    pub simulated_time: f64,
+    /// Cumulative wall-clock seconds since training started.
+    pub wall_clock_secs: f64,
+}
+
+/// The sequence of per-iteration records for a training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurve {
+    records: Vec<IterationRecord>,
+}
+
+impl LearningCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        LearningCurve::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in iteration order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The last record, if any.
+    pub fn last(&self) -> Option<&IterationRecord> {
+        self.records.last()
+    }
+
+    /// The lowest `E_BA` observed across the curve.
+    pub fn best_ba_error(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .map(|r| r.ba_error)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// The highest precision observed across the curve (ignoring records with
+    /// no precision).
+    pub fn best_precision(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.precision)
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Renders the curve as tab-separated rows (one per record), with a header
+    /// — the format the experiment binaries print.
+    pub fn to_tsv(&self) -> String {
+        let mut out =
+            String::from("iteration\tmu\tE_Q\tE_BA\tprecision\tsim_time\twall_secs\n");
+        for r in &self.records {
+            let prec = r
+                .precision
+                .map(|p| format!("{p:.4}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{}\t{:.6}\t{:.3}\t{:.3}\t{}\t{:.1}\t{:.3}\n",
+                r.iteration, r.mu, r.quadratic_penalty, r.ba_error, prec, r.simulated_time, r.wall_clock_secs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(iter: usize, eba: f64, prec: Option<f64>) -> IterationRecord {
+        IterationRecord {
+            iteration: iter,
+            mu: 0.1 * iter as f64,
+            quadratic_penalty: eba + 1.0,
+            ba_error: eba,
+            precision: prec,
+            simulated_time: iter as f64 * 10.0,
+            wall_clock_secs: iter as f64,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut curve = LearningCurve::new();
+        assert!(curve.is_empty());
+        curve.push(record(0, 10.0, None));
+        curve.push(record(1, 7.0, Some(0.3)));
+        curve.push(record(2, 8.0, Some(0.4)));
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve.best_ba_error(), Some(7.0));
+        assert_eq!(curve.best_precision(), Some(0.4));
+        assert_eq!(curve.last().unwrap().iteration, 2);
+    }
+
+    #[test]
+    fn tsv_has_header_and_one_row_per_record() {
+        let mut curve = LearningCurve::new();
+        curve.push(record(0, 1.0, None));
+        curve.push(record(1, 0.5, Some(0.25)));
+        let tsv = curve.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert!(tsv.lines().next().unwrap().starts_with("iteration"));
+        assert!(tsv.contains("0.2500"));
+        assert!(tsv.contains('-'));
+    }
+
+    #[test]
+    fn empty_curve_queries_return_none() {
+        let curve = LearningCurve::new();
+        assert_eq!(curve.best_ba_error(), None);
+        assert_eq!(curve.best_precision(), None);
+        assert!(curve.last().is_none());
+    }
+}

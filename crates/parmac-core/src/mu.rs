@@ -1,0 +1,121 @@
+//! The quadratic-penalty schedule `µ_0 < µ_1 < … `.
+//!
+//! MAC follows the quadratic-penalty path by increasing µ slowly enough that
+//! the binary codes can still change and explore better solutions before the
+//! constraints `z_n = h(x_n)` lock in (§3.1). The paper uses a multiplicative
+//! schedule `µ_i = µ_0 aⁱ` tuned per dataset (§8.1), which is what
+//! [`MuSchedule`] implements.
+
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative penalty-parameter schedule `µ_i = µ_0 · aⁱ`,
+/// `i = 0, …, n_steps − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MuSchedule {
+    mu0: f64,
+    factor: f64,
+    n_steps: usize,
+}
+
+impl MuSchedule {
+    /// Creates the schedule `µ_0 · aⁱ` with `n_steps` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu0 <= 0`, `factor <= 1`, or `n_steps == 0`.
+    pub fn multiplicative(mu0: f64, factor: f64, n_steps: usize) -> Self {
+        assert!(mu0 > 0.0, "µ0 must be positive");
+        assert!(factor > 1.0, "the µ factor must be > 1 so the schedule increases");
+        assert!(n_steps > 0, "need at least one µ value");
+        MuSchedule {
+            mu0,
+            factor,
+            n_steps,
+        }
+    }
+
+    /// The paper's CIFAR schedule: `µ_0 = 0.005`, `a = 1.2`, 26 values (§8.1).
+    pub fn cifar() -> Self {
+        MuSchedule::multiplicative(0.005, 1.2, 26)
+    }
+
+    /// The paper's SIFT-10K / SIFT-1M schedule: `µ_0 = 10⁻⁶`, `a = 2`, 20
+    /// values (§8.1).
+    pub fn sift() -> Self {
+        MuSchedule::multiplicative(1e-6, 2.0, 20)
+    }
+
+    /// The paper's SIFT-1B schedule: `µ_0 = 10⁻⁴`, `a = 2`, 10 values (§8.1).
+    pub fn sift1b() -> Self {
+        MuSchedule::multiplicative(1e-4, 2.0, 10)
+    }
+
+    /// Number of µ values (MAC iterations).
+    pub fn len(&self) -> usize {
+        self.n_steps
+    }
+
+    /// `true` if the schedule is empty (never true for a constructed schedule).
+    pub fn is_empty(&self) -> bool {
+        self.n_steps == 0
+    }
+
+    /// The `i`-th µ value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn value(&self, i: usize) -> f64 {
+        assert!(i < self.n_steps, "µ index {i} out of range");
+        self.mu0 * self.factor.powi(i as i32)
+    }
+
+    /// Iterates over all µ values in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.n_steps).map(move |i| self.value(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_strictly_increasing() {
+        let s = MuSchedule::multiplicative(0.01, 1.5, 10);
+        let values: Vec<f64> = s.iter().collect();
+        assert_eq!(values.len(), 10);
+        for w in values.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn values_match_formula() {
+        let s = MuSchedule::multiplicative(2.0, 3.0, 4);
+        assert_eq!(s.value(0), 2.0);
+        assert_eq!(s.value(1), 6.0);
+        assert_eq!(s.value(3), 54.0);
+    }
+
+    #[test]
+    fn paper_presets_have_documented_lengths() {
+        assert_eq!(MuSchedule::cifar().len(), 26);
+        assert_eq!(MuSchedule::sift().len(), 20);
+        assert_eq!(MuSchedule::sift1b().len(), 10);
+        assert!((MuSchedule::cifar().value(0) - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "µ factor must be > 1")]
+    fn rejects_non_increasing_factor() {
+        let _ = MuSchedule::multiplicative(0.1, 1.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn value_out_of_range_panics() {
+        let s = MuSchedule::multiplicative(0.1, 2.0, 3);
+        let _ = s.value(3);
+    }
+}

@@ -1,0 +1,300 @@
+//! The theoretical parallel-speedup model of §5 (eqs. 7–22).
+//!
+//! For `P` machines, `N` training points, `M` equal-size submodels, `e` W-step
+//! epochs and per-operation times `t_r^W`, `t_c^W`, `t_r^Z`, the model
+//! predicts the runtime of one ParMAC iteration,
+//!
+//! ```text
+//! T(P) = M·(N/P)·t_r^Z + P·⌈M/P⌉·( e·( t_r^W·N/P + t_c^W ) + t_c^W ),   P > 1
+//! T(1) = M·N·t_r^Z + M·N·e·t_r^W,
+//! ```
+//!
+//! the speedup `S(P) = T(1)/T(P)` (eq. 12), the per-interval maxima `P*_k`,
+//! `S*_k` (eq. 17), the global maximum (appendix A.2) and the large-dataset
+//! approximation (eq. 20). These are what figs. 4, 5 and the bottom row of
+//! fig. 10 plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the speedup model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupModel {
+    /// Number of training points `N`.
+    pub n_points: usize,
+    /// Number of equal-size independent submodels `M` (for a BA, `M = 2L`,
+    /// §5.4).
+    pub n_submodels: usize,
+    /// Number of W-step epochs `e`.
+    pub epochs: usize,
+    /// `t_r^W`: W-step computation time per submodel and data point.
+    pub t_w_compute: f64,
+    /// `t_c^W`: W-step communication time per submodel hop.
+    pub t_w_comm: f64,
+    /// `t_r^Z`: Z-step computation time per submodel and data point.
+    pub t_z_compute: f64,
+}
+
+impl SpeedupModel {
+    /// Creates a model; see the field documentation for the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_points`, `n_submodels` or `epochs` is zero, or any time is
+    /// negative.
+    pub fn new(
+        n_points: usize,
+        n_submodels: usize,
+        epochs: usize,
+        t_w_compute: f64,
+        t_w_comm: f64,
+        t_z_compute: f64,
+    ) -> Self {
+        assert!(n_points > 0 && n_submodels > 0 && epochs > 0, "counts must be positive");
+        assert!(
+            t_w_compute >= 0.0 && t_w_comm >= 0.0 && t_z_compute >= 0.0,
+            "times must be non-negative"
+        );
+        SpeedupModel {
+            n_points,
+            n_submodels,
+            epochs,
+            t_w_compute,
+            t_w_comm,
+            t_z_compute,
+        }
+    }
+
+    /// The parameter setting of the paper's fig. 4 "typical" curve:
+    /// `N = 10⁶`, `M = 512`, `e = 1`, `t_r^W = 1`, `t_r^Z = 5`, `t_c^W = 10³`.
+    pub fn figure4() -> Self {
+        SpeedupModel::new(1_000_000, 512, 1, 1.0, 1e3, 5.0)
+    }
+
+    /// The ratios `ρ₁`, `ρ₂`, `ρ = ρ₁ + ρ₂` of eq. (13).
+    pub fn rho(&self) -> (f64, f64, f64) {
+        let e = self.epochs as f64;
+        let denom = (e + 1.0) * self.t_w_comm;
+        if denom == 0.0 {
+            return (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        }
+        let rho1 = self.t_z_compute / denom;
+        let rho2 = e * self.t_w_compute / denom;
+        (rho1, rho2, rho1 + rho2)
+    }
+
+    /// Runtime of one iteration on `p` machines (eq. 9; eq. 10 for `p = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn runtime(&self, p: usize) -> f64 {
+        assert!(p > 0, "need at least one machine");
+        let n = self.n_points as f64;
+        let m = self.n_submodels as f64;
+        let e = self.epochs as f64;
+        if p == 1 {
+            return m * n * self.t_z_compute + m * n * e * self.t_w_compute;
+        }
+        let pf = p as f64;
+        let ceil_mp = self.n_submodels.div_ceil(p) as f64;
+        let z = m * n / pf * self.t_z_compute;
+        let w = pf * ceil_mp * (e * (self.t_w_compute * n / pf + self.t_w_comm) + self.t_w_comm);
+        z + w
+    }
+
+    /// Parallel speedup `S(P) = T(1)/T(P)` (eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    pub fn speedup(&self, p: usize) -> f64 {
+        self.runtime(1) / self.runtime(p)
+    }
+
+    /// The within-interval maximiser `P*_k = sqrt(ρ₁ M N / k)` of eq. (17).
+    pub fn p_star(&self, k: usize) -> f64 {
+        assert!(k >= 1, "interval index starts at 1");
+        let (rho1, _, _) = self.rho();
+        (rho1 * self.n_submodels as f64 * self.n_points as f64 / k as f64).sqrt()
+    }
+
+    /// The within-interval maximum speedup `S*_k` of eq. (17).
+    pub fn s_star(&self, k: usize) -> f64 {
+        assert!(k >= 1, "interval index starts at 1");
+        let (rho1, rho2, rho) = self.rho();
+        let m = self.n_submodels as f64;
+        let kf = k as f64;
+        (rho * m / kf) / (rho2 + 2.0 * (rho1 * m / (self.n_points as f64 * kf)).sqrt())
+    }
+
+    /// The globally optimal (real-valued) number of machines and the speedup
+    /// there (appendix A.2): `P = M` when `M ≥ ρ₁N`, otherwise
+    /// `P*₁ = sqrt(ρ₁ M N) > M`.
+    pub fn optimal_machines(&self) -> (f64, f64) {
+        let (rho1, _, rho) = self.rho();
+        let m = self.n_submodels as f64;
+        let n = self.n_points as f64;
+        if m >= rho1 * n {
+            let s = m / (1.0 + m / (rho * n));
+            (m, s)
+        } else {
+            (self.p_star(1), self.s_star(1))
+        }
+    }
+
+    /// The large-dataset approximation of eq. (20): `S(P) ≈ P` when `M` is
+    /// divisible by `P`, and `S(P) ≈ ρ / (ρ₁/P + ρ₂/M)` when `M > P`.
+    pub fn speedup_large_dataset(&self, p: usize) -> f64 {
+        assert!(p > 0, "need at least one machine");
+        let (rho1, rho2, rho) = self.rho();
+        let m = self.n_submodels as f64;
+        if self.n_submodels % p == 0 {
+            p as f64
+        } else {
+            rho / (rho1 / p as f64 + rho2 / m)
+        }
+    }
+
+    /// Evaluates the speedup curve at every `P` in `1..=max_machines`.
+    pub fn curve(&self, max_machines: usize) -> Vec<(usize, f64)> {
+        (1..=max_machines.max(1)).map(|p| (p, self.speedup(p))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> SpeedupModel {
+        SpeedupModel::figure4()
+    }
+
+    #[test]
+    fn rho_matches_figure4_caption() {
+        let m = typical();
+        let (rho1, rho2, rho) = m.rho();
+        assert!((rho1 - 0.0025).abs() < 1e-12);
+        assert!((rho2 - 0.0005).abs() < 1e-12);
+        assert!((rho - 0.003).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_at_one_machine_is_one() {
+        assert!((typical().speedup(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_perfect_speedup_when_m_divisible_by_p() {
+        // Eq. (14): S(P) = P / (1 + P/(ρN)); with ρN = 3000 and P = 128 the
+        // speedup is within ~5% of perfect.
+        let m = typical();
+        for &p in &[2usize, 4, 8, 16, 32, 64, 128] {
+            assert_eq!(m.n_submodels % p, 0);
+            let s = m.speedup(p);
+            let bound = p as f64 / (1.0 + p as f64 / (0.003 * 1e6));
+            assert!((s - bound).abs() / bound < 1e-9, "P={p}: {s} vs {bound}");
+            assert!(s <= p as f64 + 1e-9);
+            assert!(s > 0.9 * p as f64, "P={p}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn speedup_is_monotone_on_divisor_points() {
+        // Theorem A.1(3): S(M/k) dominates every earlier P.
+        let m = typical();
+        let divisor_points: Vec<usize> = (1..=m.n_submodels)
+            .filter(|&p| m.n_submodels % p == 0)
+            .collect();
+        let mut prev = 0.0;
+        for &p in &divisor_points {
+            let s = m.speedup(p);
+            assert!(s >= prev, "S({p}) = {s} < previous {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn maximum_is_beyond_m_for_large_datasets() {
+        // With N = 10⁶ and M = 512, M < ρ₁N = 2500, so the optimum sits at
+        // P*₁ = sqrt(ρ₁ M N) > M and exceeds S(M).
+        let m = typical();
+        let (p_opt, s_opt) = m.optimal_machines();
+        assert!(p_opt > m.n_submodels as f64);
+        assert!(s_opt > m.speedup(m.n_submodels));
+        assert!((p_opt - (0.0025f64 * 512.0 * 1e6).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speedup_eventually_decreases_past_the_optimum() {
+        let m = typical();
+        let (p_opt, _) = m.optimal_machines();
+        let p_far = (p_opt as usize) * 4;
+        assert!(m.speedup(p_far) < m.speedup(p_opt.round() as usize));
+    }
+
+    #[test]
+    fn s_star_decreases_with_interval_index() {
+        let m = typical();
+        let mut prev = f64::INFINITY;
+        for k in 1..=8 {
+            let s = m.s_star(k);
+            assert!(s < prev, "S*_{k} = {s} not below {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn dominant_z_step_gives_near_perfect_speedup() {
+        // §5.2 "dominant Z step": t_z ≫ t_w, t_c ⇒ S(P) ≈ P even past M.
+        let m = SpeedupModel::new(100_000, 8, 1, 1.0, 1.0, 1e6);
+        for &p in &[4usize, 16, 64, 256] {
+            let s = m.speedup(p);
+            assert!(s > 0.95 * p as f64, "P={p}: {s}");
+        }
+    }
+
+    #[test]
+    fn heavy_communication_caps_the_speedup_near_m() {
+        // When communication dominates and M is small, S saturates around M
+        // instead of growing with P (fig. 5, tWc large rows).
+        let m = SpeedupModel::new(50_000, 8, 8, 1.0, 1000.0, 1.0);
+        let s_big_p = m.speedup(128);
+        assert!(s_big_p < 16.0, "speedup {s_big_p} should saturate near M = 8");
+    }
+
+    #[test]
+    fn large_dataset_approximation_close_to_exact_for_divisible_p() {
+        let m = typical();
+        for &p in &[8usize, 32, 128] {
+            let exact = m.speedup(p);
+            let approx = m.speedup_large_dataset(p);
+            assert!((exact - approx).abs() / approx < 0.06, "P={p}: {exact} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn zero_communication_speedup_is_monotone_increasing() {
+        // Appendix A / §5.2: with t_c^W = 0 the speedup never decreases.
+        let m = SpeedupModel::new(10_000, 16, 2, 1.0, 0.0, 3.0);
+        let mut prev = 0.0;
+        for p in 1..=200 {
+            let s = m.speedup(p);
+            assert!(s >= prev - 1e-9, "P={p}: {s} < {prev}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn curve_has_requested_length() {
+        let c = typical().curve(10);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c[0].0, 1);
+        assert!((c[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must be positive")]
+    fn rejects_zero_counts() {
+        let _ = SpeedupModel::new(0, 1, 1, 1.0, 1.0, 1.0);
+    }
+}

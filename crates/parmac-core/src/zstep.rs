@@ -1,0 +1,409 @@
+//! The Z step: a binary proximal operator per data point.
+//!
+//! For the binary autoencoder the Z step solves, independently for each point,
+//!
+//! ```text
+//! min_{z ∈ {0,1}^L}  ‖x − f(z)‖² + µ ‖z − h(x)‖²
+//! ```
+//!
+//! (§3.1). Because `z` and `h(x)` are binary, the penalty term is µ times the
+//! Hamming distance to the encoder's output. The paper solves this exactly by
+//! enumeration for small `L` and approximately for larger `L` by alternating
+//! optimisation over bits, initialised from the truncated solution of the
+//! relaxed problem over `[0,1]^L` — all three solvers are implemented here.
+
+use crate::config::ZStepMethod;
+use parmac_hash::LinearDecoder;
+use parmac_linalg::cholesky::Cholesky;
+use parmac_linalg::vector::squared_distance;
+use parmac_linalg::Mat;
+
+/// The per-point Z-step problem for a fixed decoder and penalty parameter.
+///
+/// Construction precomputes the `L × L` factorisation used by the relaxed
+/// initialisation, so one `ZStepProblem` should be built per Z step (or per
+/// machine shard) and reused for every point.
+#[derive(Debug, Clone)]
+pub struct ZStepProblem<'a> {
+    decoder: &'a LinearDecoder,
+    mu: f64,
+    /// Cholesky factor of `WᵀW + µI` (`None` if the factorisation failed,
+    /// which only happens for degenerate decoders; the solvers then fall back
+    /// to starting from `h(x)`).
+    relaxed_factor: Option<Cholesky>,
+}
+
+impl<'a> ZStepProblem<'a> {
+    /// Builds the problem for the given decoder and penalty parameter.
+    pub fn new(decoder: &'a LinearDecoder, mu: f64) -> Self {
+        let l = decoder.n_bits();
+        let mut gram = decoder.weights().gram(); // WᵀW, L × L
+        for i in 0..l {
+            gram[(i, i)] += mu.max(1e-9);
+        }
+        let relaxed_factor = Cholesky::new(&gram).ok();
+        ZStepProblem {
+            decoder,
+            mu,
+            relaxed_factor,
+        }
+    }
+
+    /// The decoder `f` in effect.
+    pub fn decoder(&self) -> &LinearDecoder {
+        self.decoder
+    }
+
+    /// The penalty parameter µ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The objective `‖x − f(z)‖² + µ·hamming(z, h(x))` for a candidate code
+    /// `z` given the data point `x` and its encoder output `hx` (both as 0/1
+    /// vectors).
+    pub fn objective(&self, x: &[f64], hx: &[f64], z: &[f64]) -> f64 {
+        let reconstruction = self.decoder.decode_one(z);
+        let hamming: f64 = z
+            .iter()
+            .zip(hx)
+            .map(|(a, b)| if (a > &0.5) == (b > &0.5) { 0.0 } else { 1.0 })
+            .sum();
+        squared_distance(&reconstruction, x) + self.mu * hamming
+    }
+}
+
+/// Solves the per-point Z step exactly by enumerating all `2^L` codes.
+///
+/// # Panics
+///
+/// Panics if `L > 24` (enumeration would be astronomically slow) or if the
+/// input lengths are inconsistent with the decoder.
+pub fn solve_exact(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
+    let l = problem.decoder.n_bits();
+    assert!(l <= 24, "enumeration over 2^{l} codes is not tractable");
+    assert_eq!(hx.len(), l, "encoder output length mismatch");
+    let mut best = vec![0.0; l];
+    let mut best_obj = f64::INFINITY;
+    let mut z = vec![0.0; l];
+    for mask in 0u64..(1u64 << l) {
+        for (bit, zb) in z.iter_mut().enumerate() {
+            *zb = if (mask >> bit) & 1 == 1 { 1.0 } else { 0.0 };
+        }
+        let obj = problem.objective(x, hx, &z);
+        if obj < best_obj {
+            best_obj = obj;
+            best.copy_from_slice(&z);
+        }
+    }
+    best
+}
+
+/// The truncated relaxed solution: minimise the quadratic relaxation
+/// `‖x − f(z)‖² + µ‖z − h(x)‖²` over `z ∈ R^L` by solving
+/// `(WᵀW + µI) z = Wᵀ(x − c) + µ·h(x)`, clamp to `[0, 1]` and round to `{0,1}`
+/// (§3.1: "initialised by solving the relaxed problem to [0, 1] and truncating
+/// its solution").
+pub fn solve_relaxed(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
+    let decoder = problem.decoder;
+    let l = decoder.n_bits();
+    assert_eq!(hx.len(), l, "encoder output length mismatch");
+    let Some(factor) = &problem.relaxed_factor else {
+        return hx.to_vec();
+    };
+    // rhs = Wᵀ(x − c) + µ·hx
+    let shifted: Vec<f64> = x.iter().zip(decoder.biases()).map(|(xi, ci)| xi - ci).collect();
+    let w = decoder.weights(); // D × L
+    let mut rhs = vec![0.0; l];
+    for (bit, r) in rhs.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (out, s) in shifted.iter().enumerate() {
+            acc += w[(out, bit)] * s;
+        }
+        *r = acc + problem.mu * hx[bit];
+    }
+    match factor.solve(&rhs) {
+        Ok(relaxed) => relaxed
+            .into_iter()
+            .map(|v| if v.clamp(0.0, 1.0) >= 0.5 { 1.0 } else { 0.0 })
+            .collect(),
+        Err(_) => hx.to_vec(),
+    }
+}
+
+/// Alternating optimisation over bits, run from both the truncated relaxed
+/// solution and from `h(x)`, keeping the better result (§3.1's approximate
+/// solver for larger `L`). `max_rounds` bounds the sweeps per start.
+pub fn solve_alternating(
+    problem: &ZStepProblem<'_>,
+    x: &[f64],
+    hx: &[f64],
+    max_rounds: usize,
+) -> Vec<f64> {
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for start in [solve_relaxed(problem, x, hx), hx.to_vec()] {
+        let mut z = start;
+        for _ in 0..max_rounds.max(1) {
+            let changed = alternate_bits_once(problem, x, hx, &mut z);
+            if !changed {
+                break;
+            }
+        }
+        let obj = problem.objective(x, hx, &z);
+        if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+            best = Some((obj, z));
+        }
+    }
+    best.expect("at least one start evaluated").1
+}
+
+/// Solves the Z step with the requested method. [`ZStepMethod::Auto`] must be
+/// resolved by the caller (see
+/// [`BaConfig::resolved_z_method`](crate::config::BaConfig::resolved_z_method)).
+///
+/// # Panics
+///
+/// Panics if called with [`ZStepMethod::Auto`].
+pub fn solve(
+    method: ZStepMethod,
+    problem: &ZStepProblem<'_>,
+    x: &[f64],
+    hx: &[f64],
+    max_rounds: usize,
+) -> Vec<f64> {
+    match method {
+        ZStepMethod::Enumeration => solve_exact(problem, x, hx),
+        ZStepMethod::AlternatingBits => solve_alternating(problem, x, hx, max_rounds),
+        ZStepMethod::RelaxedOnly => solve_relaxed(problem, x, hx),
+        ZStepMethod::Auto => panic!("ZStepMethod::Auto must be resolved before calling solve"),
+    }
+}
+
+/// Builds the `hx` (encoder output) vector for one point as 0/1 values; small
+/// helper shared by the trainers.
+pub fn encoder_output_as_f64(bits: &[bool]) -> Vec<f64> {
+    bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+}
+
+/// One sweep of single-bit updates; returns whether any bit changed.
+///
+/// The sweep maintains the residual `r = x − f(z)` so that flipping bit `l`
+/// costs `O(D)` instead of a full decode.
+fn alternate_bits_once(
+    problem: &ZStepProblem<'_>,
+    x: &[f64],
+    hx: &[f64],
+    z: &mut [f64],
+) -> bool {
+    let decoder = problem.decoder;
+    let l = decoder.n_bits();
+    let d = decoder.dim_out();
+    // residual r = x − f(z)
+    let fz = decoder.decode_one(z);
+    let mut residual: Vec<f64> = x.iter().zip(&fz).map(|(a, b)| a - b).collect();
+    let mut changed = false;
+    for bit in 0..l {
+        let current = z[bit];
+        let w_col: Vec<f64> = (0..d).map(|out| decoder.weights()[(out, bit)]).collect();
+        // Objective difference between z_bit = 1 and z_bit = 0, keeping the
+        // other bits fixed. Let r0 be the residual with z_bit = 0.
+        let r0: Vec<f64> = residual
+            .iter()
+            .zip(&w_col)
+            .map(|(r, w)| r + current * w)
+            .collect();
+        let obj0: f64 = r0.iter().map(|v| v * v).sum::<f64>()
+            + problem.mu * if hx[bit] > 0.5 { 1.0 } else { 0.0 };
+        let r1: Vec<f64> = r0.iter().zip(&w_col).map(|(r, w)| r - w).collect();
+        let obj1: f64 = r1.iter().map(|v| v * v).sum::<f64>()
+            + problem.mu * if hx[bit] > 0.5 { 0.0 } else { 1.0 };
+        let new_value = if obj1 < obj0 { 1.0 } else { 0.0 };
+        if (new_value - current).abs() > 0.5 {
+            changed = true;
+        }
+        z[bit] = new_value;
+        residual = if new_value > 0.5 { r1 } else { r0 };
+    }
+    changed
+}
+
+/// Internal helper kept for completeness of the module's API surface: decodes
+/// a relaxed-only problem instance against a dense matrix. Used by tests.
+#[doc(hidden)]
+pub fn decode_matrix(decoder: &LinearDecoder, z: &Mat) -> Mat {
+    let codes = parmac_hash::BinaryCodes::from_matrix(z);
+    decoder.decode(&codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_decoder(l: usize, d: usize, seed: u64) -> LinearDecoder {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        LinearDecoder::new(
+            Mat::random_normal(d, l, &mut rng),
+            (0..d).map(|i| i as f64 * 0.01).collect(),
+        )
+    }
+
+    fn random_point(d: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    fn random_code(l: usize, seed: u64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..l).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn exact_solver_achieves_the_minimum_over_all_codes() {
+        let decoder = random_decoder(6, 4, 0);
+        let problem = ZStepProblem::new(&decoder, 0.5);
+        let x = random_point(4, 1);
+        let hx = random_code(6, 2);
+        let z = solve_exact(&problem, &x, &hx);
+        let best = problem.objective(&x, &hx, &z);
+        // Compare against a brute-force check.
+        for mask in 0u64..64 {
+            let cand: Vec<f64> = (0..6)
+                .map(|b| if (mask >> b) & 1 == 1 { 1.0 } else { 0.0 })
+                .collect();
+            assert!(problem.objective(&x, &hx, &cand) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn alternating_is_never_worse_than_its_initialisations() {
+        let decoder = random_decoder(10, 6, 3);
+        let problem = ZStepProblem::new(&decoder, 0.2);
+        for seed in 0..10 {
+            let x = random_point(6, 100 + seed);
+            let hx = random_code(10, 200 + seed);
+            let relaxed = solve_relaxed(&problem, &x, &hx);
+            let alternating = solve_alternating(&problem, &x, &hx, 10);
+            assert!(
+                problem.objective(&x, &hx, &alternating)
+                    <= problem.objective(&x, &hx, &relaxed) + 1e-12
+            );
+            assert!(
+                problem.objective(&x, &hx, &alternating)
+                    <= problem.objective(&x, &hx, &hx) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn alternating_matches_exact_on_small_problems_most_of_the_time() {
+        // D ≥ L, as in every configuration the paper uses (D = 128 or 320,
+        // L = 16/64); with D < L the decoder is heavily under-determined and
+        // coordinate descent has many equivalent local minima.
+        let decoder = random_decoder(8, 16, 4);
+        let problem = ZStepProblem::new(&decoder, 0.3);
+        let mut matches = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let x = random_point(16, 300 + seed);
+            let hx = random_code(8, 400 + seed);
+            let exact = solve_exact(&problem, &x, &hx);
+            let approx = solve_alternating(&problem, &x, &hx, 20);
+            let gap = problem.objective(&x, &hx, &approx) - problem.objective(&x, &hx, &exact);
+            assert!(gap >= -1e-12);
+            if gap < 1e-9 {
+                matches += 1;
+            }
+        }
+        assert!(matches * 2 >= trials, "only {matches}/{trials} matched the exact solution");
+    }
+
+    #[test]
+    fn relaxed_solution_is_reasonable_on_well_conditioned_decoders() {
+        // When the decoder columns are near-orthogonal the relaxed-then-round
+        // solution should equal the exact one most of the time.
+        let decoder = random_decoder(5, 20, 5);
+        let problem = ZStepProblem::new(&decoder, 0.1);
+        let mut matches = 0;
+        for seed in 0..15 {
+            let x = random_point(20, 500 + seed);
+            let hx = random_code(5, 600 + seed);
+            let exact = solve_exact(&problem, &x, &hx);
+            let relaxed = solve_relaxed(&problem, &x, &hx);
+            if exact == relaxed {
+                matches += 1;
+            }
+        }
+        assert!(matches >= 8, "only {matches}/15 relaxed solutions matched the exact one");
+    }
+
+    #[test]
+    fn huge_mu_forces_z_to_equal_hx() {
+        let decoder = random_decoder(6, 4, 5);
+        let problem = ZStepProblem::new(&decoder, 1e9);
+        let x = random_point(4, 6);
+        let hx = random_code(6, 7);
+        assert_eq!(solve_exact(&problem, &x, &hx), hx);
+        assert_eq!(solve_alternating(&problem, &x, &hx, 10), hx);
+    }
+
+    #[test]
+    fn zero_mu_ignores_the_encoder() {
+        // With µ = 0 the optimal code depends only on the reconstruction term,
+        // so changing h(x) must not change the exact solution.
+        let decoder = random_decoder(5, 3, 8);
+        let problem = ZStepProblem::new(&decoder, 0.0);
+        let x = random_point(3, 9);
+        let z1 = solve_exact(&problem, &x, &random_code(5, 10));
+        let z2 = solve_exact(&problem, &x, &random_code(5, 11));
+        assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn dispatcher_routes_methods() {
+        let decoder = random_decoder(4, 3, 12);
+        let problem = ZStepProblem::new(&decoder, 0.1);
+        let x = random_point(3, 13);
+        let hx = random_code(4, 14);
+        let exact = solve(ZStepMethod::Enumeration, &problem, &x, &hx, 5);
+        let alt = solve(ZStepMethod::AlternatingBits, &problem, &x, &hx, 5);
+        let relaxed = solve(ZStepMethod::RelaxedOnly, &problem, &x, &hx, 5);
+        assert!(problem.objective(&x, &hx, &exact) <= problem.objective(&x, &hx, &alt) + 1e-12);
+        // The relaxed-only solution may be worse but must still be a valid code.
+        assert!(relaxed.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn encoder_output_helper_maps_bools() {
+        assert_eq!(encoder_output_as_f64(&[true, false, true]), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be resolved")]
+    fn dispatcher_rejects_auto() {
+        let decoder = random_decoder(4, 3, 15);
+        let problem = ZStepProblem::new(&decoder, 0.1);
+        let x = random_point(3, 16);
+        let hx = random_code(4, 17);
+        let _ = solve(ZStepMethod::Auto, &problem, &x, &hx, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tractable")]
+    fn exact_rejects_huge_codes() {
+        let decoder = random_decoder(25, 2, 18);
+        let problem = ZStepProblem::new(&decoder, 0.1);
+        let x = random_point(2, 19);
+        let hx = random_code(25, 20);
+        let _ = solve_exact(&problem, &x, &hx);
+    }
+
+    #[test]
+    fn decode_matrix_helper_round_trips_shapes() {
+        let decoder = random_decoder(3, 4, 21);
+        let z = Mat::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 0.0, 0.0]]);
+        let out = decode_matrix(&decoder, &z);
+        assert_eq!(out.shape(), (2, 4));
+    }
+}

@@ -1,0 +1,193 @@
+//! The [`Dataset`] container and train/validation/query splitting.
+
+use parmac_linalg::Mat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Fractions used to split a dataset into train / validation / query parts.
+///
+/// The validation split drives the early-stopping criterion of the MAC/BA
+/// trainer (§3.1: "we stop iterating for a µ value ... when the precision of
+/// the hash function in a validation set decreases"), and the query split is
+/// held out for retrieval evaluation (precision / recall@R).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Fraction of points used for training (0, 1].
+    pub train: f64,
+    /// Fraction of points used for validation [0, 1).
+    pub validation: f64,
+    /// Fraction of points used as retrieval queries [0, 1).
+    pub query: f64,
+}
+
+impl SplitSpec {
+    /// A split with the given fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or if they sum to more than 1 + 1e-9.
+    pub fn new(train: f64, validation: f64, query: f64) -> Self {
+        assert!(train > 0.0 && validation >= 0.0 && query >= 0.0);
+        assert!(
+            train + validation + query <= 1.0 + 1e-9,
+            "split fractions sum to more than 1"
+        );
+        SplitSpec {
+            train,
+            validation,
+            query,
+        }
+    }
+}
+
+impl Default for SplitSpec {
+    /// 80% train, 10% validation, 10% query.
+    fn default() -> Self {
+        SplitSpec::new(0.8, 0.1, 0.1)
+    }
+}
+
+/// A dataset of feature vectors with optional cluster labels and named splits.
+///
+/// Rows of [`features`](Dataset::features) are data points; columns are
+/// features (the paper's `x_n ∈ R^D`). The `labels` are the generating mixture
+/// component for synthetic data — they are never used for training (the BA is
+/// unsupervised) but are handy for sanity checks in tests.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// `N × D` feature matrix.
+    pub features: Mat,
+    /// Generating component of each point (empty when unknown).
+    pub labels: Vec<usize>,
+    /// Row indices of the training split.
+    pub train_idx: Vec<usize>,
+    /// Row indices of the validation split.
+    pub validation_idx: Vec<usize>,
+    /// Row indices of the query split.
+    pub query_idx: Vec<usize>,
+}
+
+impl Dataset {
+    /// Wraps a feature matrix with all points assigned to the training split.
+    pub fn from_features(features: Mat) -> Self {
+        let n = features.rows();
+        Dataset {
+            features,
+            labels: Vec::new(),
+            train_idx: (0..n).collect(),
+            validation_idx: Vec::new(),
+            query_idx: Vec::new(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Returns `true` if the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Re-splits the dataset according to `spec`, shuffling point order with
+    /// `rng` first so the splits are unbiased.
+    pub fn split<R: Rng + ?Sized>(&mut self, spec: SplitSpec, rng: &mut R) {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let n_train = ((n as f64) * spec.train).round() as usize;
+        let n_val = ((n as f64) * spec.validation).round() as usize;
+        let n_query = (((n as f64) * spec.query).round() as usize).min(n - n_train.min(n) - n_val.min(n - n_train.min(n)));
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        self.train_idx = order[..n_train].to_vec();
+        self.validation_idx = order[n_train..n_train + n_val].to_vec();
+        self.query_idx = order[n_train + n_val..(n_train + n_val + n_query).min(n)].to_vec();
+    }
+
+    /// Returns the training features as a new matrix.
+    pub fn train_features(&self) -> Mat {
+        self.features.select_rows(&self.train_idx)
+    }
+
+    /// Returns the validation features as a new matrix.
+    pub fn validation_features(&self) -> Mat {
+        self.features.select_rows(&self.validation_idx)
+    }
+
+    /// Returns the query features as a new matrix.
+    pub fn query_features(&self) -> Mat {
+        self.features.select_rows(&self.query_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (2 * i) as f64]).collect();
+        Dataset::from_features(Mat::from_rows(&rows))
+    }
+
+    #[test]
+    fn from_features_puts_everything_in_train() {
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.train_idx.len(), 5);
+        assert!(d.validation_idx.is_empty());
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let mut d = toy(100);
+        let mut rng = SmallRng::seed_from_u64(0);
+        d.split(SplitSpec::new(0.7, 0.2, 0.1), &mut rng);
+        assert_eq!(d.train_idx.len(), 70);
+        assert_eq!(d.validation_idx.len(), 20);
+        assert_eq!(d.query_idx.len(), 10);
+        let mut all: Vec<usize> = d
+            .train_idx
+            .iter()
+            .chain(&d.validation_idx)
+            .chain(&d.query_idx)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 100, "splits overlap or drop points");
+    }
+
+    #[test]
+    fn split_feature_views_have_right_shapes() {
+        let mut d = toy(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        d.split(SplitSpec::default(), &mut rng);
+        assert_eq!(d.train_features().rows(), d.train_idx.len());
+        assert_eq!(d.validation_features().rows(), d.validation_idx.len());
+        assert_eq!(d.query_features().cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to more than 1")]
+    fn split_spec_rejects_oversubscription() {
+        let _ = SplitSpec::new(0.9, 0.2, 0.1);
+    }
+
+    #[test]
+    fn default_split_spec_is_80_10_10() {
+        let s = SplitSpec::default();
+        assert!((s.train - 0.8).abs() < 1e-12);
+        assert!((s.validation - 0.1).abs() < 1e-12);
+        assert!((s.query - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dataset substrate for the ParMAC reproduction.
+//!
+//! The paper evaluates on four image-retrieval benchmarks (CIFAR with GIST
+//! features, SIFT-10K, SIFT-1M, SIFT-1B). Those datasets are not redistributed
+//! here; instead this crate generates **synthetic feature datasets with the
+//! same dimensionality and clustered structure** (Gaussian mixtures over a
+//! low-rank subspace), which is what binary-hashing quality actually depends
+//! on. It also provides the infrastructure pieces ParMAC needs around the
+//! data:
+//!
+//! * [`Dataset`] — a feature matrix plus named splits (train / validation /
+//!   query) as used for early stopping and retrieval evaluation.
+//! * [`synthetic`] — generators: generic Gaussian mixtures, `sift_like`
+//!   (D=128), `gist_like` (D=320, the CIFAR setting), and a byte-quantised
+//!   variant mirroring SIFT-1B's `u8` storage.
+//! * [`quantized`] — [`QuantizedDataset`](quantized::QuantizedDataset), which
+//!   stores features as single bytes and converts on the fly (§8.4).
+//! * [`partition`] — splitting the points over `P` machines, equally or
+//!   proportionally to per-machine speed (load balancing, §4.3).
+//! * [`minibatch`] — minibatch index iteration with optional shuffling.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod minibatch;
+pub mod partition;
+pub mod quantized;
+pub mod synthetic;
+
+pub use dataset::{Dataset, SplitSpec};
+pub use minibatch::MinibatchIter;
+pub use partition::{partition_equal, partition_proportional, Partition};
+pub use quantized::QuantizedDataset;

@@ -1,0 +1,129 @@
+//! Minibatch iteration with optional shuffling.
+//!
+//! Within a machine, ParMAC processes its local shard in minibatches and may
+//! access them "in random order at each epoch" (within-machine shuffling,
+//! §4.3). [`MinibatchIter`] yields index slices over a shard, optionally
+//! shuffled with a caller-provided RNG so the schedule is reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Iterator over minibatches of indices.
+#[derive(Debug, Clone)]
+pub struct MinibatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl MinibatchIter {
+    /// Creates an iterator over `indices` in their given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(indices: &[usize], batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        MinibatchIter {
+            order: indices.to_vec(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Creates an iterator over a shuffled copy of `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn shuffled<R: Rng + ?Sized>(indices: &[usize], batch_size: usize, rng: &mut R) -> Self {
+        let mut it = MinibatchIter::new(indices, batch_size);
+        it.order.shuffle(rng);
+        it
+    }
+
+    /// Number of minibatches this iterator will yield in total.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Batch size (the final batch may be smaller).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+impl Iterator for MinibatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.order.len() - self.cursor).div_ceil(self.batch_size);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for MinibatchIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_indices_in_order() {
+        let idx: Vec<usize> = (10..25).collect();
+        let batches: Vec<Vec<usize>> = MinibatchIter::new(&idx, 4).collect();
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0], vec![10, 11, 12, 13]);
+        assert_eq!(batches[3], vec![22, 23, 24]);
+        let flat: Vec<usize> = batches.into_iter().flatten().collect();
+        assert_eq!(flat, idx);
+    }
+
+    #[test]
+    fn shuffled_batches_cover_same_indices() {
+        let idx: Vec<usize> = (0..50).collect();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut flat: Vec<usize> = MinibatchIter::shuffled(&idx, 7, &mut rng).flatten().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, idx);
+    }
+
+    #[test]
+    fn shuffling_changes_order_with_high_probability() {
+        let idx: Vec<usize> = (0..100).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let flat: Vec<usize> = MinibatchIter::shuffled(&idx, 100, &mut rng).flatten().collect();
+        assert_ne!(flat, idx);
+    }
+
+    #[test]
+    fn n_batches_and_exact_size() {
+        let idx: Vec<usize> = (0..10).collect();
+        let it = MinibatchIter::new(&idx, 3);
+        assert_eq!(it.n_batches(), 4);
+        assert_eq!(it.len(), 4);
+        let it = MinibatchIter::new(&idx, 10);
+        assert_eq!(it.n_batches(), 1);
+        let it = MinibatchIter::new(&[], 3);
+        assert_eq!(it.n_batches(), 0);
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = MinibatchIter::new(&[1, 2, 3], 0);
+    }
+}

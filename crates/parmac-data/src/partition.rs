@@ -1,0 +1,203 @@
+//! Splitting points across machines (data parallelism and load balancing).
+//!
+//! ParMAC never moves training data or coordinates: each machine `p` owns a
+//! disjoint index set `I_p` with `∪ I_p = {1..N}` (§4.1). Load balancing is
+//! "trivial" per §4.3: with identical machines each gets `N/P` points; with
+//! heterogeneous machines each gets a share proportional to its processing
+//! speed `α_p`.
+
+/// A partition of `0..n_points` into disjoint per-machine index sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    shards: Vec<Vec<usize>>,
+    n_points: usize,
+}
+
+impl Partition {
+    /// Number of machines (shards).
+    pub fn n_machines(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of points across all shards.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// The index set owned by machine `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= n_machines()`.
+    pub fn shard(&self, p: usize) -> &[usize] {
+        &self.shards[p]
+    }
+
+    /// Iterates over all shards in machine order.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        self.shards.iter().map(|s| s.as_slice())
+    }
+
+    /// Consumes the partition and returns the per-machine index sets.
+    pub fn into_shards(self) -> Vec<Vec<usize>> {
+        self.shards
+    }
+
+    /// Size of the largest shard divided by the size of the smallest non-empty
+    /// shard; 1.0 means perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let sizes: Vec<usize> = self.shards.iter().map(|s| s.len()).collect();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let min = sizes.iter().copied().filter(|&s| s > 0).min().unwrap_or(0);
+        if min == 0 {
+            return f64::INFINITY;
+        }
+        max as f64 / min as f64
+    }
+}
+
+/// Partitions `n_points` points into `n_machines` contiguous, (near-)equal
+/// shards: the first `n_points % n_machines` shards get one extra point.
+///
+/// # Panics
+///
+/// Panics if `n_machines == 0`.
+pub fn partition_equal(n_points: usize, n_machines: usize) -> Partition {
+    assert!(n_machines > 0, "need at least one machine");
+    let base = n_points / n_machines;
+    let extra = n_points % n_machines;
+    let mut shards = Vec::with_capacity(n_machines);
+    let mut start = 0;
+    for p in 0..n_machines {
+        let size = base + usize::from(p < extra);
+        shards.push((start..start + size).collect());
+        start += size;
+    }
+    Partition { shards, n_points }
+}
+
+/// Partitions `n_points` points proportionally to the per-machine speeds
+/// `alpha` (§4.3: machine `p` gets `N·α_p / Σα` points). Rounding remainders
+/// are assigned to the fastest machines.
+///
+/// # Panics
+///
+/// Panics if `alpha` is empty or contains a non-positive or non-finite value.
+pub fn partition_proportional(n_points: usize, alpha: &[f64]) -> Partition {
+    assert!(!alpha.is_empty(), "need at least one machine");
+    assert!(
+        alpha.iter().all(|&a| a > 0.0 && a.is_finite()),
+        "machine speeds must be positive and finite"
+    );
+    let total: f64 = alpha.iter().sum();
+    // Largest-remainder apportionment.
+    let exact: Vec<f64> = alpha.iter().map(|a| n_points as f64 * a / total).collect();
+    let mut sizes: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut remaining = n_points - sizes.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..alpha.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = exact[a] - exact[a].floor();
+        let rb = exact[b] - exact[b].floor();
+        rb.partial_cmp(&ra)
+            .unwrap()
+            .then_with(|| alpha[b].partial_cmp(&alpha[a]).unwrap())
+    });
+    for &p in order.iter() {
+        if remaining == 0 {
+            break;
+        }
+        sizes[p] += 1;
+        remaining -= 1;
+    }
+    let mut shards = Vec::with_capacity(alpha.len());
+    let mut start = 0;
+    for &size in &sizes {
+        shards.push((start..start + size).collect());
+        start += size;
+    }
+    Partition { shards, n_points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_disjoint_cover(p: &Partition) {
+        let mut all: Vec<usize> = p.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n, "shards overlap");
+        assert_eq!(all.len(), p.n_points(), "shards do not cover all points");
+        if !all.is_empty() {
+            assert_eq!(*all.last().unwrap(), p.n_points() - 1);
+        }
+    }
+
+    #[test]
+    fn equal_partition_is_balanced_and_covers() {
+        let p = partition_equal(103, 4);
+        assert_disjoint_cover(&p);
+        let sizes: Vec<usize> = p.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![26, 26, 26, 25]);
+        assert!(p.imbalance() <= 26.0 / 25.0 + 1e-12);
+    }
+
+    #[test]
+    fn equal_partition_exact_division() {
+        let p = partition_equal(40, 8);
+        assert!(p.iter().all(|s| s.len() == 5));
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_machines_than_points_leaves_empty_shards() {
+        let p = partition_equal(3, 5);
+        assert_disjoint_cover(&p);
+        assert_eq!(p.n_machines(), 5);
+        assert_eq!(p.shard(4).len(), 0);
+    }
+
+    #[test]
+    fn proportional_partition_respects_speeds() {
+        // Machine 1 is 3x faster than machine 0 → gets ~3x the data.
+        let p = partition_proportional(400, &[1.0, 3.0]);
+        assert_disjoint_cover(&p);
+        assert_eq!(p.shard(0).len(), 100);
+        assert_eq!(p.shard(1).len(), 300);
+    }
+
+    #[test]
+    fn proportional_partition_handles_rounding() {
+        let p = partition_proportional(10, &[1.0, 1.0, 1.0]);
+        assert_disjoint_cover(&p);
+        let sizes: Vec<usize> = p.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn proportional_equal_speeds_matches_equal_partition_sizes() {
+        let pe = partition_equal(57, 4);
+        let pp = partition_proportional(57, &[2.0, 2.0, 2.0, 2.0]);
+        let se: Vec<usize> = pe.iter().map(|s| s.len()).collect();
+        let mut sp: Vec<usize> = pp.iter().map(|s| s.len()).collect();
+        // Sizes multiset should match (order of remainder assignment may differ).
+        let mut se = se;
+        se.sort_unstable();
+        sp.sort_unstable();
+        assert_eq!(se, sp);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn proportional_rejects_nonpositive_speed() {
+        let _ = partition_proportional(10, &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn equal_rejects_zero_machines() {
+        let _ = partition_equal(10, 0);
+    }
+}

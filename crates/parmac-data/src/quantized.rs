@@ -1,0 +1,210 @@
+//! Byte-quantised feature storage (the SIFT-1B path, §8.4).
+//!
+//! The paper notes that each SIFT-1B feature "is stored in a single byte
+//! rather than as double-precision floats" and that the implementation
+//! converts features to `f64` only as needed, one point or minibatch at a
+//! time. [`QuantizedDataset`] reproduces that storage scheme: features live in
+//! a contiguous `u8` buffer (via [`bytes::Bytes`]) together with the affine
+//! dequantisation parameters, and rows are materialised as `f64` on demand.
+
+use bytes::Bytes;
+use parmac_linalg::Mat;
+
+/// A dataset whose features are stored as one byte per value.
+#[derive(Debug, Clone)]
+pub struct QuantizedDataset {
+    data: Bytes,
+    n_points: usize,
+    dim: usize,
+    /// Dequantised value = `offset + scale * byte`.
+    scale: f64,
+    /// Dequantised value = `offset + scale * byte`.
+    offset: f64,
+}
+
+impl QuantizedDataset {
+    /// Quantises an `N × D` matrix of features to bytes using an affine map
+    /// that covers the full observed range.
+    ///
+    /// Values are mapped linearly so that the minimum becomes 0 and the
+    /// maximum becomes 255, then rounded. For constant matrices the scale is 1
+    /// and everything maps to byte 0.
+    pub fn quantize(x: &Mat) -> Self {
+        let (lo, hi) = x
+            .as_slice()
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let (lo, hi) = if x.is_empty() { (0.0, 1.0) } else { (lo, hi) };
+        let range = (hi - lo).max(f64::MIN_POSITIVE);
+        let scale = if hi > lo { range / 255.0 } else { 1.0 };
+        let bytes: Vec<u8> = x
+            .as_slice()
+            .iter()
+            .map(|&v| (((v - lo) / scale).round().clamp(0.0, 255.0)) as u8)
+            .collect();
+        QuantizedDataset {
+            data: Bytes::from(bytes),
+            n_points: x.rows(),
+            dim: x.cols(),
+            scale,
+            offset: lo,
+        }
+    }
+
+    /// Creates a quantised dataset directly from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n_points * dim`.
+    pub fn from_bytes(data: Bytes, n_points: usize, dim: usize, scale: f64, offset: f64) -> Self {
+        assert_eq!(data.len(), n_points * dim, "byte buffer length mismatch");
+        QuantizedDataset {
+            data,
+            n_points,
+            dim,
+            scale,
+            offset,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// Returns `true` if the dataset has no points.
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Memory used by the quantised features, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Memory that the same features would use in `f64`, in bytes.
+    pub fn dense_memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Dequantises row `i` into an `f64` vector (the on-the-fly conversion the
+    /// paper describes for the Z step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.n_points, "row {i} out of bounds");
+        self.data[i * self.dim..(i + 1) * self.dim]
+            .iter()
+            .map(|&b| self.offset + self.scale * b as f64)
+            .collect()
+    }
+
+    /// Dequantises a set of rows into a dense matrix (the per-minibatch
+    /// conversion used in the W step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn rows(&self, indices: &[usize]) -> Mat {
+        let mut out = Mat::zeros(indices.len(), self.dim);
+        for (k, &i) in indices.iter().enumerate() {
+            let row = self.row(i);
+            out.set_row(k, &row);
+        }
+        out
+    }
+
+    /// Dequantises the whole dataset into a dense matrix. Intended for tests
+    /// and small datasets only.
+    pub fn to_dense(&self) -> Mat {
+        self.rows(&(0..self.n_points).collect::<Vec<_>>())
+    }
+
+    /// Maximum absolute dequantisation error for values inside the quantiser's
+    /// range: half of one quantisation step.
+    pub fn quantization_step(&self) -> f64 {
+        self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let x = Mat::random_normal(40, 16, &mut rng).scale(3.0);
+        let q = QuantizedDataset::quantize(&x);
+        let dense = q.to_dense();
+        let max_err = (&dense - &x).max_abs();
+        assert!(
+            max_err <= 0.5 * q.quantization_step() + 1e-12,
+            "max_err {max_err} step {}",
+            q.quantization_step()
+        );
+    }
+
+    #[test]
+    fn memory_is_one_eighth_of_dense() {
+        let x = Mat::zeros(10, 8);
+        let q = QuantizedDataset::quantize(&x);
+        assert_eq!(q.memory_bytes() * 8, q.dense_memory_bytes());
+        assert_eq!(q.memory_bytes(), 80);
+    }
+
+    #[test]
+    fn row_and_rows_agree() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x = Mat::random_uniform(5, 3, 0.0, 255.0, &mut rng);
+        let q = QuantizedDataset::quantize(&x);
+        let m = q.rows(&[2, 4]);
+        assert_eq!(m.row(0), q.row(2).as_slice());
+        assert_eq!(m.row(1), q.row(4).as_slice());
+    }
+
+    #[test]
+    fn constant_matrix_quantises_without_nan() {
+        let x = Mat::filled(4, 4, 7.5);
+        let q = QuantizedDataset::quantize(&x);
+        let d = q.to_dense();
+        assert!(d.as_slice().iter().all(|v| v.is_finite()));
+        assert!((d[(0, 0)] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_bytes_validates_length() {
+        let q = QuantizedDataset::from_bytes(Bytes::from(vec![0u8; 6]), 2, 3, 1.0, 0.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dim(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_bytes_rejects_bad_length() {
+        let _ = QuantizedDataset::from_bytes(Bytes::from(vec![0u8; 5]), 2, 3, 1.0, 0.0);
+    }
+
+    #[test]
+    fn preserves_byte_exact_values() {
+        // Integers 0..=255 in one row quantise exactly when range is [0,255].
+        let vals: Vec<f64> = (0..=255).map(|v| v as f64).collect();
+        let x = Mat::from_vec(1, 256, vals.clone());
+        let q = QuantizedDataset::quantize(&x);
+        let d = q.to_dense();
+        for (a, b) in d.as_slice().iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic feature-vector generators.
+//!
+//! These stand in for the paper's image-feature benchmarks (CIFAR/GIST,
+//! SIFT-10K/1M/1B). Binary-hashing quality and the behaviour of MAC/ParMAC
+//! depend on the *clustered, low-dimensional* structure of the features rather
+//! than on the original images, so a Gaussian mixture embedded in a random
+//! low-rank subspace plus isotropic noise preserves the relevant behaviour:
+//! nearest neighbours are dominated by cluster membership, PCA captures the
+//! informative subspace, and the binary autoencoder can beat truncated PCA by
+//! adapting its code to the cluster layout.
+
+use crate::dataset::{Dataset, SplitSpec};
+use parmac_linalg::Mat;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`gaussian_mixture`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixtureConfig {
+    /// Number of points to generate.
+    pub n_points: usize,
+    /// Ambient feature dimensionality `D`.
+    pub dim: usize,
+    /// Number of mixture components (clusters).
+    pub n_clusters: usize,
+    /// Dimension of the informative subspace the cluster centres live in.
+    pub intrinsic_dim: usize,
+    /// Standard deviation of cluster centres in the informative subspace.
+    pub centre_scale: f64,
+    /// Within-cluster standard deviation (in the informative subspace).
+    pub cluster_scale: f64,
+    /// Isotropic ambient noise standard deviation.
+    pub noise_scale: f64,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+    /// How to split the generated points.
+    pub split: SplitSpec,
+}
+
+impl MixtureConfig {
+    /// A reasonable default configuration for `n_points` points of
+    /// dimensionality `dim` drawn from `n_clusters` clusters.
+    pub fn new(n_points: usize, dim: usize, n_clusters: usize) -> Self {
+        MixtureConfig {
+            n_points,
+            dim,
+            n_clusters,
+            intrinsic_dim: (dim / 4).clamp(2, 32).min(dim),
+            centre_scale: 10.0,
+            cluster_scale: 1.0,
+            noise_scale: 0.3,
+            seed: 0,
+            split: SplitSpec::default(),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the split fractions.
+    pub fn with_split(mut self, split: SplitSpec) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Sets the intrinsic (informative subspace) dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intrinsic_dim` is zero or larger than `dim`.
+    pub fn with_intrinsic_dim(mut self, intrinsic_dim: usize) -> Self {
+        assert!(intrinsic_dim > 0 && intrinsic_dim <= self.dim);
+        self.intrinsic_dim = intrinsic_dim;
+        self
+    }
+
+    /// Sets the within-cluster and ambient-noise scales.
+    pub fn with_noise(mut self, cluster_scale: f64, noise_scale: f64) -> Self {
+        self.cluster_scale = cluster_scale;
+        self.noise_scale = noise_scale;
+        self
+    }
+}
+
+/// Generates a clustered synthetic dataset.
+///
+/// Cluster centres are drawn in an `intrinsic_dim`-dimensional latent space,
+/// points are drawn around their centre, embedded into `dim` dimensions with a
+/// random linear map, and isotropic noise is added. Labels record the
+/// generating cluster.
+///
+/// # Panics
+///
+/// Panics if `n_points`, `dim` or `n_clusters` is zero.
+pub fn gaussian_mixture(cfg: &MixtureConfig) -> Dataset {
+    assert!(cfg.n_points > 0 && cfg.dim > 0 && cfg.n_clusters > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let d_latent = cfg.intrinsic_dim.min(cfg.dim);
+
+    // Random embedding of the latent space into the ambient space.
+    let embed = Mat::random_normal(d_latent, cfg.dim, &mut rng).scale(1.0 / (d_latent as f64).sqrt());
+    // Cluster centres in latent space.
+    let centres = Mat::random_normal(cfg.n_clusters, d_latent, &mut rng).scale(cfg.centre_scale);
+
+    let mut features = Mat::zeros(cfg.n_points, cfg.dim);
+    let mut labels = Vec::with_capacity(cfg.n_points);
+    for i in 0..cfg.n_points {
+        let c = rng.gen_range(0..cfg.n_clusters);
+        labels.push(c);
+        // Latent coordinates of the point.
+        let latent: Vec<f64> = (0..d_latent)
+            .map(|j| centres[(c, j)] + cfg.cluster_scale * normal(&mut rng))
+            .collect();
+        // Embed and add ambient noise.
+        for j in 0..cfg.dim {
+            let mut v = 0.0;
+            for (k, &l) in latent.iter().enumerate() {
+                v += l * embed[(k, j)];
+            }
+            features[(i, j)] = v + cfg.noise_scale * normal(&mut rng);
+        }
+    }
+
+    let mut dataset = Dataset {
+        features,
+        labels,
+        train_idx: Vec::new(),
+        validation_idx: Vec::new(),
+        query_idx: Vec::new(),
+    };
+    dataset.split(cfg.split, &mut rng);
+    dataset
+}
+
+/// A SIFT-like dataset: `D = 128` features, matching the paper's SIFT-10K /
+/// SIFT-1M / SIFT-1B descriptor dimensionality.
+pub fn sift_like(n_points: usize, seed: u64) -> Dataset {
+    gaussian_mixture(
+        &MixtureConfig::new(n_points, 128, 32)
+            .with_intrinsic_dim(16)
+            .with_seed(seed),
+    )
+}
+
+/// A GIST-like dataset: `D = 320` features, matching the paper's CIFAR/GIST
+/// setting.
+pub fn gist_like(n_points: usize, seed: u64) -> Dataset {
+    gaussian_mixture(
+        &MixtureConfig::new(n_points, 320, 10)
+            .with_intrinsic_dim(24)
+            .with_seed(seed),
+    )
+}
+
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; one sample per call is sufficient here.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parmac_linalg::vector::squared_distance;
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let cfg = MixtureConfig::new(50, 8, 3).with_seed(11);
+        let a = gaussian_mixture(&cfg);
+        let b = gaussian_mixture(&cfg);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.train_idx, b.train_idx);
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = gaussian_mixture(&MixtureConfig::new(20, 4, 2).with_seed(1));
+        let b = gaussian_mixture(&MixtureConfig::new(20, 4, 2).with_seed(2));
+        assert_ne!(a.features, b.features);
+    }
+
+    #[test]
+    fn shapes_and_labels_are_consistent() {
+        let d = gaussian_mixture(&MixtureConfig::new(200, 32, 5).with_seed(3));
+        assert_eq!(d.features.shape(), (200, 32));
+        assert_eq!(d.labels.len(), 200);
+        assert!(d.labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn within_cluster_distances_smaller_than_between() {
+        let d = gaussian_mixture(
+            &MixtureConfig::new(300, 16, 4)
+                .with_seed(4)
+                .with_noise(0.5, 0.1),
+        );
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                let dist = squared_distance(d.features.row(i), d.features.row(j));
+                if d.labels[i] == d.labels[j] {
+                    within.push(dist);
+                } else {
+                    between.push(dist);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&within) < 0.5 * mean(&between),
+            "within {} vs between {}",
+            mean(&within),
+            mean(&between)
+        );
+    }
+
+    #[test]
+    fn named_generators_have_paper_dimensions() {
+        assert_eq!(sift_like(10, 0).dim(), 128);
+        assert_eq!(gist_like(10, 0).dim(), 320);
+    }
+
+    #[test]
+    fn splits_cover_requested_fractions() {
+        let d = gaussian_mixture(
+            &MixtureConfig::new(100, 8, 2)
+                .with_seed(5)
+                .with_split(SplitSpec::new(0.6, 0.2, 0.2)),
+        );
+        assert_eq!(d.train_idx.len(), 60);
+        assert_eq!(d.validation_idx.len(), 20);
+        assert_eq!(d.query_idx.len(), 20);
+    }
+}

@@ -1,0 +1,304 @@
+//! Bit-packed binary codes and Hamming distances.
+//!
+//! Binary hashing owes its speed and memory footprint to packing each code
+//! into `L` bits (the paper's motivating example: 10⁹ points × 64 bits fit in
+//! 8 GB instead of 2 TB of floats). [`BinaryCodes`] stores `N` codes of `L`
+//! bits each in `⌈L/64⌉` machine words per code and provides constant-time bit
+//! access and popcount-based Hamming distances.
+
+use parmac_linalg::Mat;
+use serde::{Deserialize, Serialize};
+
+/// A collection of `N` binary codes of `L` bits each, bit-packed into `u64`
+/// words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryCodes {
+    words_per_code: usize,
+    n_bits: usize,
+    data: Vec<u64>,
+}
+
+impl BinaryCodes {
+    /// Creates `n_codes` all-zero codes of `n_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_bits == 0`.
+    pub fn zeros(n_codes: usize, n_bits: usize) -> Self {
+        assert!(n_bits > 0, "codes must have at least one bit");
+        let words_per_code = n_bits.div_ceil(64);
+        BinaryCodes {
+            words_per_code,
+            n_bits,
+            data: vec![0; n_codes * words_per_code],
+        }
+    }
+
+    /// Builds codes from a matrix whose entries are interpreted as bits
+    /// (`> 0.5` ⇒ 1): one row per code.
+    pub fn from_matrix(m: &Mat) -> Self {
+        let mut codes = BinaryCodes::zeros(m.rows(), m.cols().max(1));
+        if m.cols() == 0 {
+            return codes;
+        }
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                codes.set_bit(i, j, v > 0.5);
+            }
+        }
+        codes
+    }
+
+    /// Builds codes from per-code boolean slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or the input is empty with no
+    /// way to infer the bit count.
+    pub fn from_bools(rows: &[Vec<bool>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one code");
+        let n_bits = rows[0].len();
+        let mut codes = BinaryCodes::zeros(rows.len(), n_bits.max(1));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n_bits, "row {i} has inconsistent length");
+            for (j, &b) in row.iter().enumerate() {
+                codes.set_bit(i, j, b);
+            }
+        }
+        codes
+    }
+
+    /// Number of codes `N`.
+    pub fn len(&self) -> usize {
+        if self.words_per_code == 0 {
+            0
+        } else {
+            self.data.len() / self.words_per_code
+        }
+    }
+
+    /// Returns `true` if there are no codes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of bits per code `L`.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Reads bit `bit` of code `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `bit` is out of range.
+    pub fn bit(&self, i: usize, bit: usize) -> bool {
+        assert!(bit < self.n_bits, "bit {bit} out of range");
+        let word = self.data[i * self.words_per_code + bit / 64];
+        (word >> (bit % 64)) & 1 == 1
+    }
+
+    /// Sets bit `bit` of code `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `bit` is out of range.
+    pub fn set_bit(&mut self, i: usize, bit: usize, value: bool) {
+        assert!(bit < self.n_bits, "bit {bit} out of range");
+        let word = &mut self.data[i * self.words_per_code + bit / 64];
+        if value {
+            *word |= 1 << (bit % 64);
+        } else {
+            *word &= !(1 << (bit % 64));
+        }
+    }
+
+    /// The packed words of code `i`.
+    pub fn code_words(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_code..(i + 1) * self.words_per_code]
+    }
+
+    /// Hamming distance between code `i` of `self` and code `j` of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two collections have different bit widths.
+    pub fn hamming(&self, i: usize, other: &BinaryCodes, j: usize) -> u32 {
+        assert_eq!(self.n_bits, other.n_bits, "bit-width mismatch");
+        self.code_words(i)
+            .iter()
+            .zip(other.code_words(j))
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Hamming distance between two codes of this collection.
+    pub fn hamming_within(&self, i: usize, j: usize) -> u32 {
+        self.hamming(i, self, j)
+    }
+
+    /// Converts code `i` to a 0/1 `f64` vector (the representation the decoder
+    /// consumes).
+    pub fn to_f64_row(&self, i: usize) -> Vec<f64> {
+        (0..self.n_bits)
+            .map(|b| if self.bit(i, b) { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Converts all codes to an `N × L` 0/1 matrix.
+    pub fn to_matrix(&self) -> Mat {
+        let mut m = Mat::zeros(self.len(), self.n_bits);
+        for i in 0..self.len() {
+            let row = self.to_f64_row(i);
+            m.set_row(i, &row);
+        }
+        m
+    }
+
+    /// Overwrites code `i` from a 0/1 (or boolean-like) slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n_bits()`.
+    pub fn set_code(&mut self, i: usize, bits: &[f64]) {
+        assert_eq!(bits.len(), self.n_bits, "set_code: length mismatch");
+        for (b, &v) in bits.iter().enumerate() {
+            self.set_bit(i, b, v > 0.5);
+        }
+    }
+
+    /// Appends a new code given as a 0/1 (or boolean-like) slice, growing the
+    /// collection by one. Used when streaming new data points into a machine
+    /// (their codes are initialised from the current encoder, §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != n_bits()`.
+    pub fn push_code(&mut self, bits: &[f64]) {
+        assert_eq!(bits.len(), self.n_bits, "push_code: length mismatch");
+        self.data.extend(std::iter::repeat(0).take(self.words_per_code));
+        let i = self.len() - 1;
+        self.set_code(i, bits);
+    }
+
+    /// Number of positions in which the two collections differ, summed over
+    /// all codes. Useful to detect whether a Z step changed anything (the
+    /// paper's stopping criterion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collections have different sizes or bit widths.
+    pub fn total_differing_bits(&self, other: &BinaryCodes) -> u64 {
+        assert_eq!(self.len(), other.len(), "code count mismatch");
+        assert_eq!(self.n_bits, other.n_bits, "bit-width mismatch");
+        (0..self.len())
+            .map(|i| self.hamming(i, other, i) as u64)
+            .sum()
+    }
+
+    /// Memory used by the packed codes, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut c = BinaryCodes::zeros(3, 70); // spans two words
+        c.set_bit(1, 0, true);
+        c.set_bit(1, 69, true);
+        assert!(c.bit(1, 0));
+        assert!(c.bit(1, 69));
+        assert!(!c.bit(1, 35));
+        assert!(!c.bit(0, 0));
+        c.set_bit(1, 0, false);
+        assert!(!c.bit(1, 0));
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_bits() {
+        let a = BinaryCodes::from_bools(&[vec![true, false, true, true]]);
+        let b = BinaryCodes::from_bools(&[vec![true, true, false, true]]);
+        assert_eq!(a.hamming(0, &b, 0), 2);
+        assert_eq!(a.hamming(0, &a, 0), 0);
+    }
+
+    #[test]
+    fn hamming_is_symmetric_and_bounded() {
+        let a = BinaryCodes::from_bools(&[vec![true; 16], vec![false; 16]]);
+        assert_eq!(a.hamming_within(0, 1), 16);
+        assert_eq!(a.hamming_within(1, 0), 16);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = Mat::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]]);
+        let c = BinaryCodes::from_matrix(&m);
+        assert_eq!(c.to_matrix(), m);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.n_bits(), 3);
+    }
+
+    #[test]
+    fn set_code_and_to_f64_row() {
+        let mut c = BinaryCodes::zeros(1, 4);
+        c.set_code(0, &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(c.to_f64_row(0), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn total_differing_bits_detects_no_change() {
+        let a = BinaryCodes::from_bools(&[vec![true, false], vec![false, true]]);
+        let mut b = a.clone();
+        assert_eq!(a.total_differing_bits(&b), 0);
+        b.set_bit(0, 1, true);
+        assert_eq!(a.total_differing_bits(&b), 1);
+    }
+
+    #[test]
+    fn push_code_grows_the_collection() {
+        let mut c = BinaryCodes::zeros(2, 70);
+        c.push_code(&{
+            let mut v = vec![0.0; 70];
+            v[0] = 1.0;
+            v[69] = 1.0;
+            v
+        });
+        assert_eq!(c.len(), 3);
+        assert!(c.bit(2, 0));
+        assert!(c.bit(2, 69));
+        assert!(!c.bit(2, 35));
+        // Existing codes are untouched.
+        assert!(!c.bit(0, 0));
+    }
+
+    #[test]
+    fn memory_is_packed() {
+        // 1000 codes of 64 bits = 8000 bytes, versus 512 000 bytes as f64.
+        let c = BinaryCodes::zeros(1000, 64);
+        assert_eq!(c.memory_bytes(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width mismatch")]
+    fn hamming_rejects_mismatched_widths() {
+        let a = BinaryCodes::zeros(1, 8);
+        let b = BinaryCodes::zeros(1, 16);
+        let _ = a.hamming(0, &b, 0);
+    }
+
+    #[test]
+    fn bit_boundary_at_64_bits() {
+        let mut c = BinaryCodes::zeros(1, 128);
+        c.set_bit(0, 63, true);
+        c.set_bit(0, 64, true);
+        assert!(c.bit(0, 63));
+        assert!(c.bit(0, 64));
+        assert_eq!(c.code_words(0)[0], 1 << 63);
+        assert_eq!(c.code_words(0)[1], 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Hash functions (encoders): linear and RBF.
+//!
+//! The encoder of the binary autoencoder is `h(x) = s(Ax)` where `s` is the
+//! elementwise step function and `A` includes a bias (§3.1). Each of the `L`
+//! rows of `A` is a single-bit hash function, trained as a linear SVM in the
+//! MAC W step. §8.4 also evaluates a nonlinear hash: a fixed Gaussian RBF
+//! expansion followed by a linear hash on the kernel values.
+
+use crate::binary_code::BinaryCodes;
+use parmac_linalg::vector::dot;
+use parmac_linalg::Mat;
+use parmac_optim::{LinearSvm, RbfFeatureMap, SgdConfig, Submodel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A hash function mapping real feature vectors to `L`-bit binary codes.
+pub trait HashFunction {
+    /// Number of output bits `L`.
+    fn n_bits(&self) -> usize;
+
+    /// Input dimensionality `D`.
+    fn input_dim(&self) -> usize;
+
+    /// Encodes one point into its `L` bits.
+    fn encode_one(&self, x: &[f64]) -> Vec<bool>;
+
+    /// Encodes every row of `x`.
+    fn encode(&self, x: &Mat) -> BinaryCodes {
+        let mut codes = BinaryCodes::zeros(x.rows(), self.n_bits().max(1));
+        for i in 0..x.rows() {
+            for (b, bit) in self.encode_one(x.row(i)).into_iter().enumerate() {
+                codes.set_bit(i, b, bit);
+            }
+        }
+        codes
+    }
+}
+
+/// The linear hash function `h(x) = step(Ax + b)`.
+///
+/// Stored as `L` weight vectors of length `D` plus `L` biases, i.e. exactly
+/// the parameters of the `L` single-bit linear SVMs of the MAC W step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearHash {
+    /// `L × D` weight matrix.
+    weights: Mat,
+    /// Per-bit biases, length `L`.
+    biases: Vec<f64>,
+}
+
+impl LinearHash {
+    /// Creates a hash with explicit weights (`L × D`) and biases (length `L`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `biases.len() != weights.rows()`.
+    pub fn new(weights: Mat, biases: Vec<f64>) -> Self {
+        assert_eq!(weights.rows(), biases.len(), "bias count must equal L");
+        LinearHash { weights, biases }
+    }
+
+    /// Creates a random hash (weights ~ N(0,1)), used as a crude starting
+    /// point or for tests.
+    pub fn random<R: Rng + ?Sized>(n_bits: usize, dim: usize, rng: &mut R) -> Self {
+        LinearHash {
+            weights: Mat::random_normal(n_bits, dim, rng),
+            biases: vec![0.0; n_bits],
+        }
+    }
+
+    /// Builds a hash from `L` trained linear SVMs (one per bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `svms` is empty or the SVMs disagree on dimensionality.
+    pub fn from_svms(svms: &[LinearSvm]) -> Self {
+        assert!(!svms.is_empty(), "need at least one SVM");
+        let dim = svms[0].dim();
+        let mut weights = Mat::zeros(svms.len(), dim);
+        let mut biases = Vec::with_capacity(svms.len());
+        for (l, svm) in svms.iter().enumerate() {
+            assert_eq!(svm.dim(), dim, "SVM {l} has inconsistent dimensionality");
+            weights.set_row(l, svm.weight_vector());
+            biases.push(svm.bias());
+        }
+        LinearHash { weights, biases }
+    }
+
+    /// Splits the hash back into `L` linear SVMs (used to seed the W step from
+    /// the current model).
+    pub fn to_svms(&self, config: SgdConfig) -> Vec<LinearSvm> {
+        (0..self.n_bits())
+            .map(|l| {
+                let mut svm = LinearSvm::new(self.input_dim(), config);
+                let mut w = self.weights.row(l).to_vec();
+                w.push(self.biases[l]);
+                svm.set_weights(&w);
+                svm
+            })
+            .collect()
+    }
+
+    /// The `L × D` weight matrix.
+    pub fn weights(&self) -> &Mat {
+        &self.weights
+    }
+
+    /// The per-bit biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Raw (pre-threshold) responses `Ax + b` for one point.
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.n_bits())
+            .map(|l| dot(self.weights.row(l), x) + self.biases[l])
+            .collect()
+    }
+}
+
+impl HashFunction for LinearHash {
+    fn n_bits(&self) -> usize {
+        self.weights.rows()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    fn encode_one(&self, x: &[f64]) -> Vec<bool> {
+        self.decision_values(x).into_iter().map(|d| d >= 0.0).collect()
+    }
+}
+
+/// The kernel (RBF) hash of §8.4: a fixed RBF feature map followed by a linear
+/// hash on the kernel values. Only the linear part is trainable, so MAC/ParMAC
+/// treat it exactly like a linear hash on `m`-dimensional inputs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RbfHash {
+    feature_map: RbfFeatureMap,
+    linear: LinearHash,
+}
+
+impl RbfHash {
+    /// Combines a fixed feature map with a linear hash on kernel values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the linear hash does not accept `feature_map.n_centres()`
+    /// inputs.
+    pub fn new(feature_map: RbfFeatureMap, linear: LinearHash) -> Self {
+        assert_eq!(
+            feature_map.n_centres(),
+            linear.input_dim(),
+            "linear hash must consume one input per RBF centre"
+        );
+        RbfHash {
+            feature_map,
+            linear,
+        }
+    }
+
+    /// The fixed RBF expansion.
+    pub fn feature_map(&self) -> &RbfFeatureMap {
+        &self.feature_map
+    }
+
+    /// The trainable linear hash on kernel values.
+    pub fn linear(&self) -> &LinearHash {
+        &self.linear
+    }
+
+    /// Replaces the trainable linear part (e.g. after a W step).
+    pub fn set_linear(&mut self, linear: LinearHash) {
+        assert_eq!(self.feature_map.n_centres(), linear.input_dim());
+        self.linear = linear;
+    }
+
+    /// Expands raw inputs to kernel values (the representation MAC trains on).
+    pub fn expand(&self, x: &Mat) -> Mat {
+        self.feature_map.transform(x)
+    }
+}
+
+impl HashFunction for RbfHash {
+    fn n_bits(&self) -> usize {
+        self.linear.n_bits()
+    }
+
+    fn input_dim(&self) -> usize {
+        // The *raw* input dimensionality is whatever the centres have.
+        self.feature_map.n_centres()
+    }
+
+    fn encode_one(&self, x: &[f64]) -> Vec<bool> {
+        let k = self.feature_map.transform_one(x);
+        self.linear.encode_one(&k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_hash_thresholds_at_zero() {
+        let h = LinearHash::new(Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]), vec![0.0, 0.5]);
+        let bits = h.encode_one(&[2.0, 1.0]);
+        // bit0: 2.0 >= 0 -> true; bit1: -1.0 + 0.5 = -0.5 < 0 -> false
+        assert_eq!(bits, vec![true, false]);
+    }
+
+    #[test]
+    fn encode_matrix_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let h = LinearHash::random(8, 5, &mut rng);
+        let x = Mat::random_normal(10, 5, &mut rng);
+        let codes = h.encode(&x);
+        assert_eq!(codes.len(), 10);
+        assert_eq!(codes.n_bits(), 8);
+    }
+
+    #[test]
+    fn svm_round_trip_preserves_encoding() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let h = LinearHash::random(4, 6, &mut rng);
+        let svms = h.to_svms(SgdConfig::new());
+        let h2 = LinearHash::from_svms(&svms);
+        let x = Mat::random_normal(20, 6, &mut rng);
+        assert_eq!(h.encode(&x).to_matrix(), h2.encode(&x).to_matrix());
+    }
+
+    #[test]
+    fn decision_values_match_manual_dot() {
+        let h = LinearHash::new(Mat::from_rows(&[vec![2.0, -1.0]]), vec![0.25]);
+        let d = h.decision_values(&[1.0, 3.0]);
+        assert!((d[0] - (2.0 - 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rbf_hash_encodes_through_kernel_space() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = Mat::random_normal(30, 3, &mut rng);
+        let map = RbfFeatureMap::from_data(&data, 5, 1.0, &mut rng);
+        let linear = LinearHash::random(4, 5, &mut rng);
+        let rbf = RbfHash::new(map, linear.clone());
+        // Encoding through RbfHash equals expanding then linear-encoding.
+        let expanded = rbf.expand(&data);
+        let direct = rbf.encode(&data).to_matrix();
+        let two_step = linear.encode(&expanded).to_matrix();
+        assert_eq!(direct, two_step);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input per RBF centre")]
+    fn rbf_hash_rejects_dimension_mismatch() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = Mat::random_normal(10, 3, &mut rng);
+        let map = RbfFeatureMap::from_data(&data, 5, 1.0, &mut rng);
+        let linear = LinearHash::random(4, 3, &mut rng);
+        let _ = RbfHash::new(map, linear);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias count must equal L")]
+    fn linear_hash_rejects_bias_mismatch() {
+        let _ = LinearHash::new(Mat::zeros(3, 2), vec![0.0; 2]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Iterative Quantization (ITQ) baseline (Gong et al., 2013).
+//!
+//! The paper cites ITQ as the established unsupervised binary-hashing approach
+//! that binary autoencoders trained with MAC improve over. ITQ projects the
+//! data onto its top `L` principal directions and then finds an orthogonal
+//! rotation `R` minimising the quantisation error `‖B − V R‖²_F` between the
+//! rotated projections `V R` and their signs `B`, by alternating:
+//!
+//! 1. `B = sign(V R)` (fix `R`, update codes), and
+//! 2. the orthogonal-Procrustes solution `R = U Wᵀ` from the SVD
+//!    `Vᵀ B = U S Wᵀ` (fix `B`, update `R`).
+//!
+//! The small `L × L` SVD is computed from the symmetric eigendecomposition of
+//! `MᵀM`, which is all the linear-algebra substrate provides — adequate
+//! because `L ≤ 64` in all experiments.
+
+use crate::binary_code::BinaryCodes;
+use crate::encoder::HashFunction;
+use parmac_linalg::{pca, symmetric_eigen, LinalgError, Mat, Pca};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A fitted ITQ model: PCA projection plus learned orthogonal rotation.
+#[derive(Debug, Clone)]
+pub struct Itq {
+    pca: Pca,
+    rotation: Mat,
+    quantization_error: f64,
+}
+
+impl Itq {
+    /// Fits ITQ with `n_bits` bits on the rows of `x`, running `n_iterations`
+    /// alternations (the original paper uses 50; a handful suffice for the
+    /// synthetic data here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA/eigendecomposition errors (empty input, more bits than
+    /// input dimensions, ...).
+    pub fn fit(x: &Mat, n_bits: usize, n_iterations: usize, seed: u64) -> Result<Self, LinalgError> {
+        let pca_model = pca(x, n_bits)?;
+        let v = pca_model.transform(x)?; // N × L projected data
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rotation = random_orthogonal(n_bits, &mut rng);
+        let mut quantization_error = f64::INFINITY;
+
+        for _ in 0..n_iterations.max(1) {
+            let vr = v.matmul(&rotation)?;
+            // B = sign(VR) as ±1.
+            let b = vr.map(|t| if t >= 0.0 { 1.0 } else { -1.0 });
+            quantization_error = (&b - &vr).sum_squares();
+            // Procrustes: R = U Wᵀ with Vᵀ B = U S Wᵀ.
+            let m = v.transpose().matmul(&b)?;
+            rotation = procrustes_rotation(&m)?;
+        }
+
+        Ok(Itq {
+            pca: pca_model,
+            rotation,
+            quantization_error,
+        })
+    }
+
+    /// The learned orthogonal rotation `R` (`L × L`).
+    pub fn rotation(&self) -> &Mat {
+        &self.rotation
+    }
+
+    /// Final quantisation error `‖B − VR‖²_F` on the training data.
+    pub fn quantization_error(&self) -> f64 {
+        self.quantization_error
+    }
+
+    /// Encodes every row of `x` (project, rotate, threshold at zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `x` does not match the training dimensionality.
+    pub fn try_encode(&self, x: &Mat) -> Result<BinaryCodes, LinalgError> {
+        let v = self.pca.transform(x)?;
+        let vr = v.matmul(&self.rotation)?;
+        Ok(BinaryCodes::from_matrix(&vr.map(|t| if t >= 0.0 { 1.0 } else { 0.0 })))
+    }
+}
+
+impl HashFunction for Itq {
+    fn n_bits(&self) -> usize {
+        self.rotation.rows()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.pca.mean().len()
+    }
+
+    fn encode_one(&self, x: &[f64]) -> Vec<bool> {
+        let m = Mat::from_vec(1, x.len(), x.to_vec());
+        let codes = self.try_encode(&m).expect("dimension checked by caller");
+        (0..codes.n_bits()).map(|b| codes.bit(0, b)).collect()
+    }
+}
+
+/// Orthogonal-Procrustes rotation maximising `tr(Rᵀ M)`: `R = U Wᵀ` from the
+/// SVD `M = U S Wᵀ`, computed via the eigendecomposition of `MᵀM`.
+fn procrustes_rotation(m: &Mat) -> Result<Mat, LinalgError> {
+    let n = m.rows();
+    let mtm = m.transpose().matmul(m)?;
+    let eig = symmetric_eigen(&mtm)?;
+    // Singular values and right singular vectors.
+    let w = &eig.eigenvectors; // columns are right singular vectors
+    let mut u = Mat::zeros(n, n);
+    for j in 0..n {
+        let s = eig.eigenvalues[j].max(0.0).sqrt().max(1e-12);
+        let wj = w.col(j);
+        let mwj = m.matvec(&wj)?;
+        let col: Vec<f64> = mwj.iter().map(|v| v / s).collect();
+        u.set_col(j, &col);
+    }
+    u.matmul(&w.transpose())
+}
+
+/// A Haar-ish random orthogonal matrix from Gram–Schmidt on a Gaussian matrix.
+fn random_orthogonal(n: usize, rng: &mut SmallRng) -> Mat {
+    let g = Mat::random_normal(n, n, rng);
+    let mut q = Mat::zeros(n, n);
+    for j in 0..n {
+        let mut col = g.col(j);
+        for k in 0..j {
+            let qk = q.col(k);
+            let proj: f64 = col.iter().zip(&qk).map(|(a, b)| a * b).sum();
+            for (c, qv) in col.iter_mut().zip(&qk) {
+                *c -= proj * qv;
+            }
+        }
+        let norm: f64 = col.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        for c in &mut col {
+            *c /= norm;
+        }
+        q.set_col(j, &col);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_data(n: usize, seed: u64) -> Mat {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Mat::random_normal(n, 8, &mut rng);
+        for i in 0..n {
+            let c = i % 4;
+            x[(i, 0)] += (c as f64 - 1.5) * 6.0;
+            x[(i, 1)] += if c % 2 == 0 { 5.0 } else { -5.0 };
+        }
+        x
+    }
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let x = clustered_data(200, 0);
+        let itq = Itq::fit(&x, 4, 20, 7).unwrap();
+        let r = itq.rotation();
+        let rtr = r.transpose().matmul(r).unwrap();
+        assert!((&rtr - &Mat::identity(4)).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantization_error_not_worse_than_tpca() {
+        // ITQ explicitly minimises ‖B − VR‖²; with R = I that is the tPCA
+        // quantisation error, so the fitted error must be ≤ the R = I error.
+        let x = clustered_data(300, 1);
+        let n_bits = 4;
+        let pca_model = pca(&x, n_bits).unwrap();
+        let v = pca_model.transform(&x).unwrap();
+        let b = v.map(|t| if t >= 0.0 { 1.0 } else { -1.0 });
+        let tpca_err = (&b - &v).sum_squares();
+        let itq = Itq::fit(&x, n_bits, 30, 3).unwrap();
+        assert!(
+            itq.quantization_error() <= tpca_err * 1.001,
+            "itq {} vs tpca {}",
+            itq.quantization_error(),
+            tpca_err
+        );
+    }
+
+    #[test]
+    fn encode_is_consistent_between_one_and_many() {
+        let x = clustered_data(50, 2);
+        let itq = Itq::fit(&x, 3, 10, 0).unwrap();
+        let codes = itq.try_encode(&x).unwrap();
+        let one = itq.encode_one(x.row(7));
+        for (b, &bit) in one.iter().enumerate() {
+            assert_eq!(bit, codes.bit(7, b));
+        }
+    }
+
+    #[test]
+    fn same_cluster_points_get_similar_codes() {
+        let x = clustered_data(200, 3);
+        let itq = Itq::fit(&x, 4, 20, 1).unwrap();
+        let codes = itq.try_encode(&x).unwrap();
+        // Points 0 and 4 are in the same cluster; 0 and 2 are in different ones.
+        let same = codes.hamming_within(0, 4);
+        let diff = codes.hamming_within(0, 2);
+        assert!(same <= diff, "same-cluster {same} vs cross-cluster {diff}");
+    }
+
+    #[test]
+    fn rejects_more_bits_than_dims() {
+        let x = Mat::zeros(10, 2);
+        assert!(Itq::fit(&x, 3, 5, 0).is_err());
+    }
+}

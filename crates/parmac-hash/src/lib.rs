@@ -1,0 +1,32 @@
+//! Binary codes, hash functions and baselines.
+//!
+//! The binary autoencoder of the paper maps a real vector `x ∈ R^D` to an
+//! `L`-bit code `z = h(x) ∈ {0,1}^L` with a hash function `h(x) = s(Ax)` and
+//! reconstructs it with a linear decoder `f(z)`. This crate contains the
+//! model-side building blocks:
+//!
+//! * [`BinaryCodes`] — bit-packed storage of `N × L` binary codes and Hamming
+//!   distances (the data structure that makes retrieval fast and small, §3.1).
+//! * [`LinearHash`] — `h(x) = step(Ax + b)`, the linear hash function used in
+//!   all the paper's experiments.
+//! * [`RbfHash`] — the kernel-SVM hash of §8.4: a fixed RBF feature expansion
+//!   followed by a linear hash in kernel space.
+//! * [`LinearDecoder`] — the linear decoder `f(z) = Wz + c`.
+//! * [`TpcaHash`] — truncated PCA hashing, the initialisation and the
+//!   retrieval baseline.
+//! * [`Itq`] — Iterative Quantization (Gong et al., 2013), the established
+//!   baseline the paper says BAs improve over.
+
+#![warn(missing_docs)]
+
+pub mod binary_code;
+pub mod decoder;
+pub mod encoder;
+pub mod itq;
+pub mod tpca;
+
+pub use binary_code::BinaryCodes;
+pub use decoder::LinearDecoder;
+pub use encoder::{HashFunction, LinearHash, RbfHash};
+pub use itq::Itq;
+pub use tpca::TpcaHash;

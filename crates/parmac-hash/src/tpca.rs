@@ -1,0 +1,158 @@
+//! Truncated PCA hashing (tPCA).
+//!
+//! The paper initialises the binary codes "from truncated PCA ran on a subset
+//! of the training set" (§8.1) and reports tPCA as the retrieval baseline for
+//! SIFT-1B (fig. 12). tPCA projects a point onto the leading `L` principal
+//! directions and thresholds each projection at zero (the projections of
+//! centred data have zero mean, so this is the natural binarisation).
+
+use crate::binary_code::BinaryCodes;
+use crate::encoder::{HashFunction, LinearHash};
+use parmac_linalg::{pca, LinalgError, Mat};
+
+/// A truncated-PCA hash function: project on the top `L` principal directions
+/// of the training data and take the sign.
+#[derive(Debug, Clone)]
+pub struct TpcaHash {
+    hash: LinearHash,
+    explained_variance: Vec<f64>,
+}
+
+impl TpcaHash {
+    /// Fits tPCA with `n_bits` bits on the rows of `x`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA errors (empty input, more bits than dimensions, ...).
+    pub fn fit(x: &Mat, n_bits: usize) -> Result<Self, LinalgError> {
+        let model = pca(x, n_bits)?;
+        // Row l of the hash's weight matrix is the l-th principal direction;
+        // the bias is −wᵀmean so that thresholding happens around the data mean.
+        let components = model.components(); // D × L
+        let mut weights = Mat::zeros(n_bits, x.cols());
+        let mut biases = vec![0.0; n_bits];
+        for l in 0..n_bits {
+            let direction = components.col(l);
+            weights.set_row(l, &direction);
+            biases[l] = -direction
+                .iter()
+                .zip(model.mean())
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
+        }
+        Ok(TpcaHash {
+            hash: LinearHash::new(weights, biases),
+            explained_variance: model.explained_variance().to_vec(),
+        })
+    }
+
+    /// The equivalent linear hash function (useful to initialise a BA encoder).
+    pub fn as_linear_hash(&self) -> &LinearHash {
+        &self.hash
+    }
+
+    /// Consumes the model and returns the underlying linear hash.
+    pub fn into_linear_hash(self) -> LinearHash {
+        self.hash
+    }
+
+    /// Variance explained by each retained direction.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+}
+
+impl HashFunction for TpcaHash {
+    fn n_bits(&self) -> usize {
+        self.hash.n_bits()
+    }
+
+    fn input_dim(&self) -> usize {
+        self.hash.input_dim()
+    }
+
+    fn encode_one(&self, x: &[f64]) -> Vec<bool> {
+        self.hash.encode_one(x)
+    }
+}
+
+/// Convenience: fit tPCA on `x` and immediately encode `x`, returning the
+/// binary codes used to initialise MAC (§8.1).
+///
+/// # Errors
+///
+/// Propagates PCA errors.
+pub fn tpca_codes(x: &Mat, n_bits: usize) -> Result<BinaryCodes, LinalgError> {
+    let model = TpcaHash::fit(x, n_bits)?;
+    Ok(model.encode(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn clustered_data(seed: u64) -> Mat {
+        // Two clusters separated along the first axis.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut x = Mat::random_normal(200, 6, &mut rng);
+        for i in 0..200 {
+            x[(i, 0)] += if i % 2 == 0 { 8.0 } else { -8.0 };
+        }
+        x
+    }
+
+    #[test]
+    fn first_bit_separates_the_two_clusters() {
+        let x = clustered_data(0);
+        let model = TpcaHash::fit(&x, 2).unwrap();
+        let codes = model.encode(&x);
+        // Points in the same cluster must share their first bit; the two
+        // clusters must disagree on it.
+        let b_even = codes.bit(0, 0);
+        let b_odd = codes.bit(1, 0);
+        assert_ne!(b_even, b_odd);
+        for i in (0..200).step_by(2) {
+            assert_eq!(codes.bit(i, 0), b_even, "point {i}");
+        }
+        for i in (1..200).step_by(2) {
+            assert_eq!(codes.bit(i, 0), b_odd, "point {i}");
+        }
+    }
+
+    #[test]
+    fn codes_are_roughly_balanced_on_centred_data() {
+        let x = clustered_data(1);
+        let codes = tpca_codes(&x, 4).unwrap();
+        for bit in 0..4 {
+            let ones: usize = (0..codes.len()).filter(|&i| codes.bit(i, bit)).count();
+            let frac = ones as f64 / codes.len() as f64;
+            assert!((0.2..=0.8).contains(&frac), "bit {bit} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn explained_variance_is_descending() {
+        let x = clustered_data(2);
+        let model = TpcaHash::fit(&x, 3).unwrap();
+        let ev = model.explained_variance();
+        assert!(ev[0] >= ev[1] && ev[1] >= ev[2]);
+    }
+
+    #[test]
+    fn rejects_more_bits_than_dimensions() {
+        let x = Mat::zeros(10, 3);
+        assert!(TpcaHash::fit(&x, 4).is_err());
+    }
+
+    #[test]
+    fn into_linear_hash_preserves_encoding() {
+        let x = clustered_data(3);
+        let model = TpcaHash::fit(&x, 3).unwrap();
+        let codes_a = model.encode(&x).to_matrix();
+        let lin = model.clone().into_linear_hash();
+        let codes_b = lin.encode(&x).to_matrix();
+        assert_eq!(codes_a, codes_b);
+    }
+}

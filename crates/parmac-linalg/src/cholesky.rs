@@ -1,0 +1,275 @@
+//! Cholesky factorisation and (ridge-regularised) least squares.
+//!
+//! The W step of MAC for binary autoencoders fits `D` linear decoders by
+//! least squares (§3.1 of the paper). We solve the normal equations
+//! `(ZᵀZ + λI) w = Zᵀx` with a Cholesky factorisation of the (small) `L×L`
+//! Gram matrix, which is exactly what the reference GSL implementation does.
+
+use crate::error::LinalgError;
+use crate::mat::Mat;
+
+/// Cholesky factorisation `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// # Examples
+///
+/// ```
+/// use parmac_linalg::{Cholesky, Mat};
+///
+/// # fn main() -> Result<(), parmac_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let chol = Cholesky::new(&a)?;
+/// let x = chol.solve(&[2.0, 1.0])?;
+/// // Verify A x = b.
+/// let b = a.matvec(&x)?;
+/// assert!((b[0] - 2.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely.
+    lower: Mat,
+}
+
+impl Cholesky {
+    /// Factorises the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` has no elements.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    ///   positive.
+    pub fn new(a: &Mat) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                lhs: a.shape(),
+                rhs: a.shape(),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { lower: l })
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn lower(&self) -> &Mat {
+        &self.lower
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lower.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.lower[(i, k)] * y[k];
+            }
+            y[i] = sum / self.lower[(i, i)];
+        }
+        // Back solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.lower[(k, i)] * x[k];
+            }
+            x[i] = sum / self.lower[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Mat::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            out.set_col(j, &x);
+        }
+        Ok(out)
+    }
+}
+
+/// Solves the ridge-regularised least-squares problem
+/// `min_W ‖A W − B‖²_F + λ‖W‖²_F` via the normal equations
+/// `(AᵀA + λI) W = AᵀB`, returning `W` of shape `A.cols() × B.cols()`.
+///
+/// This is the exact decoder fit used by the serial MAC baseline. With
+/// `lambda = 0` the Gram matrix can be singular for rank-deficient `A`; a tiny
+/// positive `lambda` (e.g. `1e-8`) is recommended and is what the trainers in
+/// `parmac-core` pass.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a.rows() != b.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if the regularised Gram matrix is not
+///   positive definite (happens only for `lambda <= 0` on degenerate inputs).
+pub fn solve_ridge(a: &Mat, b: &Mat, lambda: f64) -> Result<Mat, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_ridge",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let mut gram = a.gram();
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    let chol = Cholesky::new(&gram)?;
+    let atb = a.transpose().matmul(b)?;
+    chol.solve_mat(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Mat::random_normal(n + 3, n, &mut rng);
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += 0.5;
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(5, 0);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.lower();
+        let reconstructed = l.matmul(&l.transpose()).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((reconstructed[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(6, 1);
+        let x_true: Vec<f64> = (0..6).map(|i| i as f64 - 2.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let chol = Cholesky::new(&a).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(matches!(
+            Cholesky::new(&Mat::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Cholesky::new(&Mat::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_wrong_rhs_length() {
+        let chol = Cholesky::new(&spd(3, 2)).unwrap();
+        assert!(chol.solve(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn ridge_least_squares_fits_exactly_solvable_system() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = Mat::random_normal(50, 4, &mut rng);
+        let w_true = Mat::random_normal(4, 2, &mut rng);
+        let b = a.matmul(&w_true).unwrap();
+        let w = solve_ridge(&a, &b, 1e-10).unwrap();
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!((w[(i, j)] - w_true[(i, j)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_ridge_shrinks_solution_norm() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let a = Mat::random_normal(30, 5, &mut rng);
+        let b = Mat::random_normal(30, 1, &mut rng);
+        let w_small = solve_ridge(&a, &b, 1e-6).unwrap();
+        let w_big = solve_ridge(&a, &b, 100.0).unwrap();
+        assert!(w_big.frobenius_norm() < w_small.frobenius_norm());
+    }
+
+    #[test]
+    fn ridge_rejects_row_mismatch() {
+        let a = Mat::zeros(4, 2);
+        let b = Mat::zeros(5, 1);
+        assert!(solve_ridge(&a, &b, 1.0).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (used to initialise the binary codes, §8.1) needs the leading
+//! eigenvectors of a covariance matrix. The cyclic Jacobi rotation method is
+//! simple, numerically robust for the small feature dimensions used here
+//! (D ≤ a few hundred), and requires no external libraries.
+
+use crate::error::LinalgError;
+use crate::mat::Mat;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in **descending** order and `eigenvectors` stores the
+/// corresponding eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f64>,
+    /// Matrix whose `j`-th column is the eigenvector for `eigenvalues[j]`.
+    pub eigenvectors: Mat,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix with the cyclic
+/// Jacobi method.
+///
+/// Only the lower triangle of `a` is trusted; the matrix is symmetrised
+/// internally to guard against tiny asymmetries from floating-point
+/// accumulation.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `a` is not square.
+/// * [`LinalgError::Empty`] if `a` has no elements.
+/// * [`LinalgError::NoConvergence`] if the off-diagonal mass has not dropped
+///   below tolerance after 100 sweeps (does not happen for well-scaled
+///   covariance matrices).
+pub fn symmetric_eigen(a: &Mat) -> Result<SymmetricEigen, LinalgError> {
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if a.rows() != a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "symmetric_eigen",
+            lhs: a.shape(),
+            rhs: a.shape(),
+        });
+    }
+
+    // Work on a symmetrised copy.
+    let mut m = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    let mut v = Mat::identity(n);
+
+    let max_sweeps = 100;
+    let tol = 1e-12 * m.frobenius_norm().max(1.0);
+    for sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            return Ok(sort_descending(m, v));
+        }
+        let _ = sweep;
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        iterations: max_sweeps,
+    })
+}
+
+fn sort_descending(m: Mat, v: Mat) -> SymmetricEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| m[(b, b)].partial_cmp(&m[(a, a)]).unwrap());
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut eigenvectors = Mat::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let col = v.col(old_j);
+        eigenvectors.set_col(new_j, &col);
+    }
+    SymmetricEigen {
+        eigenvalues,
+        eigenvectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn random_symmetric(n: usize, seed: u64) -> Mat {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Mat::random_normal(n, n, &mut rng);
+        let at = a.transpose();
+        (&a + &at).scale(0.5)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_diagonal() {
+        let mut a = Mat::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 2.0;
+        let eig = symmetric_eigen(&a).unwrap();
+        assert_eq!(eig.eigenvalues, vec![3.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = random_symmetric(8, 0);
+        let eig = symmetric_eigen(&a).unwrap();
+        let v = &eig.eigenvectors;
+        // A ≈ V diag(λ) Vᵀ
+        let mut lambda = Mat::zeros(8, 8);
+        for i in 0..8 {
+            lambda[(i, i)] = eig.eigenvalues[i];
+        }
+        let recon = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        assert!((&recon - &a).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(10, 1);
+        let eig = symmetric_eigen(&a).unwrap();
+        let v = &eig.eigenvectors;
+        let vtv = v.transpose().matmul(v).unwrap();
+        assert!((&vtv - &Mat::identity(10)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_equation_holds_per_pair() {
+        let a = random_symmetric(6, 2);
+        let eig = symmetric_eigen(&a).unwrap();
+        for j in 0..6 {
+            let v = eig.eigenvectors.col(j);
+            let av = a.matvec(&v).unwrap();
+            let lambda_v: Vec<f64> = v.iter().map(|x| x * eig.eigenvalues[j]).collect();
+            let err: f64 = av
+                .iter()
+                .zip(&lambda_v)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < 1e-8, "pair {j}: residual {err}");
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_symmetric(12, 3);
+        let eig = symmetric_eigen(&a).unwrap();
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(7, 4);
+        let eig = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..7).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        assert!((trace - sum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(symmetric_eigen(&Mat::zeros(2, 3)).is_err());
+        assert!(symmetric_eigen(&Mat::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn distinct_eigenvectors_are_orthogonal() {
+        let a = random_symmetric(5, 5);
+        let eig = symmetric_eigen(&a).unwrap();
+        let v0 = eig.eigenvectors.col(0);
+        let v1 = eig.eigenvectors.col(1);
+        assert!(dot(&v0, &v1).abs() < 1e-8);
+    }
+}

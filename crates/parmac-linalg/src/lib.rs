@@ -1,0 +1,33 @@
+//! Dense linear-algebra substrate used throughout the ParMAC reproduction.
+//!
+//! The paper's reference implementation relies on GSL/BLAS for matrix
+//! operations, least-squares fits and PCA initialisation. This crate provides
+//! the (small) subset of that functionality that MAC/ParMAC for binary
+//! autoencoders actually needs, implemented from scratch in safe Rust:
+//!
+//! * [`Mat`] — a dense, row-major `f64` matrix with the usual arithmetic.
+//! * [`cholesky`] — SPD factorisation and solves, used for exact least-squares
+//!   decoder fits and the ridge-regularised normal equations.
+//! * [`eig`] — a Jacobi eigensolver for symmetric matrices.
+//! * [`pca`] — principal component analysis built on the eigensolver, used to
+//!   initialise the binary codes (truncated PCA, §8.1 of the paper).
+//! * [`stats`] — means, centering, column norms.
+//!
+//! Everything is deterministic and has no external native dependencies, so the
+//! whole reproduction runs on any machine with `cargo test`.
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod eig;
+pub mod error;
+pub mod mat;
+pub mod pca;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::{solve_ridge, Cholesky};
+pub use eig::{symmetric_eigen, SymmetricEigen};
+pub use error::LinalgError;
+pub use mat::Mat;
+pub use pca::{pca, Pca};

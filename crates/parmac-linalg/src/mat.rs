@@ -1,0 +1,623 @@
+//! Dense, row-major `f64` matrix.
+
+use crate::error::LinalgError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub, SubAssign};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Mat` is deliberately small and predictable: it stores its elements in a
+/// single `Vec<f64>` in row-major order and implements just the operations the
+/// ParMAC algorithms need (products, transposes, slicing rows/columns, Frobenius
+/// norms). Data matrices throughout the workspace follow the paper's
+/// convention of one **row per data point** and one **column per feature**.
+///
+/// # Examples
+///
+/// ```
+/// use parmac_linalg::Mat;
+///
+/// let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// let b = Mat::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c, a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not all have the same length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Mat::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has inconsistent length");
+            data.extend_from_slice(r);
+        }
+        Mat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix whose entries are drawn i.i.d. from `U(lo, hi)`.
+    pub fn random_uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+        Mat { rows, cols, data }
+    }
+
+    /// Creates a matrix whose entries are drawn i.i.d. from a standard normal
+    /// distribution (via the Box–Muller transform, so only `rand`'s uniform
+    /// sampler is needed).
+    pub fn random_normal<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos());
+            if data.len() < n {
+                data.push(r * theta.sin());
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns `true` if the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Overwrites column `j` with `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols` or `values.len() != rows`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        assert_eq!(values.len(), self.rows, "set_col: length mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self[(i, j)] = v;
+        }
+    }
+
+    /// Overwrites row `i` with `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `values.len() != cols`.
+    pub fn set_row(&mut self, i: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.cols, "set_row: length mismatch");
+        self.row_mut(i).copy_from_slice(values);
+    }
+
+    /// Returns a new matrix containing only the rows whose indices appear in
+    /// `indices`, in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Mat {
+        let mut out = Mat::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Returns an iterator over the rows of the matrix.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &r) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok(self
+            .iter_rows()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Computes `selfᵀ * self` (the Gram matrix), a common building block for
+    /// normal-equation least squares.
+    pub fn gram(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..self.cols {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..self.cols {
+                    out[(a, b)] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..self.cols {
+            for b in 0..a {
+                out[(a, b)] = out[(b, a)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map.
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Scales all entries by `s`.
+    pub fn scale(&self, s: f64) -> Mat {
+        self.map(|x| x * s)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sum of squared entries.
+    pub fn sum_squares(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    /// Maximum absolute entry, or 0.0 for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Appends a column of ones to the right of the matrix (bias/intercept
+    /// augmentation, the paper's `x0 = 1` convention).
+    pub fn with_bias_column(&self) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out[(i, self.cols)] = 1.0;
+        }
+        out
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the column counts differ.
+    pub fn vstack(&self, other: &Mat) -> Result<Mat, LinalgError> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Mat {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add<&Mat> for &Mat {
+    type Output = Mat;
+
+    fn add(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub<&Mat> for &Mat {
+    type Output = Mat;
+
+    fn sub(self, rhs: &Mat) -> Mat {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl AddAssign<&Mat> for Mat {
+    fn add_assign(&mut self, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Mat> for Mat {
+    fn sub_assign(&mut self, rhs: &Mat) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for &Mat {
+    type Output = Mat;
+
+    fn mul(self, rhs: f64) -> Mat {
+        self.scale(rhs)
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{}", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for i in 0..show_rows {
+            let row = self.row(i);
+            let shown: Vec<String> = row.iter().take(8).map(|x| format!("{x:9.4}")).collect();
+            let ellipsis = if self.cols > 8 { " ..." } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Mat::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Mat::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Mat::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Mat::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Mat::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(&[vec![1.0, -1.0, 2.0], vec![0.0, 3.0, 1.0]]);
+        let v = vec![2.0, 1.0, -1.0];
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out, vec![-1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let a = Mat::random_normal(4, 7, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = Mat::random_normal(5, 3, &mut rng);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_column_appends_ones() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = a.with_bias_column();
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b.col(2), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let a = Mat::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let s = a.select_rows(&[3, 1]);
+        assert_eq!(s, Mat::from_rows(&[vec![3.0], vec![1.0]]));
+    }
+
+    #[test]
+    fn vstack_concatenates_rows() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0]]);
+        let b = Mat::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = a.vstack(&b).unwrap();
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0]]);
+        let b = Mat::from_rows(&[vec![3.0, 5.0]]);
+        assert_eq!(&a + &b, Mat::from_rows(&[vec![4.0, 7.0]]));
+        assert_eq!(&b - &a, Mat::from_rows(&[vec![2.0, 3.0]]));
+        assert_eq!(&a * 2.0, Mat::from_rows(&[vec![2.0, 4.0]]));
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, Mat::from_rows(&[vec![4.0, 7.0]]));
+        c -= &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn frobenius_norm_and_max_abs() {
+        let a = Mat::from_rows(&[vec![3.0, -4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+        assert_eq!(a.sum_squares(), 25.0);
+    }
+
+    #[test]
+    fn random_normal_has_reasonable_moments() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let a = Mat::random_normal(200, 50, &mut rng);
+        let n = (a.rows() * a.cols()) as f64;
+        let mean: f64 = a.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = a.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn display_does_not_panic_on_large_matrix() {
+        let a = Mat::zeros(100, 100);
+        let s = format!("{a}");
+        assert!(s.contains("Mat 100x100"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Principal component analysis.
+//!
+//! The paper initialises the binary codes of the autoencoder "by running PCA
+//! and binarising its result" (§3.1, §8.1), on a subset of the data small
+//! enough to fit in one machine. This module provides exactly that: fit PCA on
+//! a data matrix (rows = points) and project new points onto the leading
+//! components.
+
+use crate::eig::symmetric_eigen;
+use crate::error::LinalgError;
+use crate::mat::Mat;
+use crate::stats::{center, covariance};
+
+/// A fitted PCA model: the data mean and the leading principal directions.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `D × L` matrix whose columns are the leading eigenvectors.
+    components: Mat,
+    /// Eigenvalues (variances) of the retained components, descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Per-feature mean removed before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The `D × L` matrix of principal directions (columns).
+    pub fn components(&self) -> &Mat {
+        &self.components
+    }
+
+    /// Variance captured by each retained component, in descending order.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Projects a data matrix (rows = points, `D` columns) onto the retained
+    /// components, producing an `N × L` matrix of scores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `x.cols()` differs from the
+    /// training dimensionality.
+    pub fn transform(&self, x: &Mat) -> Result<Mat, LinalgError> {
+        if x.cols() != self.mean.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pca transform",
+                lhs: x.shape(),
+                rhs: (self.mean.len(), self.n_components()),
+            });
+        }
+        let mut centered = x.clone();
+        for i in 0..centered.rows() {
+            let row = centered.row_mut(i);
+            for (v, m) in row.iter_mut().zip(&self.mean) {
+                *v -= m;
+            }
+        }
+        centered.matmul(&self.components)
+    }
+}
+
+/// Fits PCA with `n_components` components to a data matrix (rows = points).
+///
+/// # Errors
+///
+/// * [`LinalgError::Empty`] if `x` has no rows or columns.
+/// * [`LinalgError::ShapeMismatch`] if `n_components` exceeds the feature
+///   dimensionality.
+/// * Any eigensolver error.
+pub fn pca(x: &Mat, n_components: usize) -> Result<Pca, LinalgError> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if n_components == 0 || n_components > x.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "pca",
+            lhs: x.shape(),
+            rhs: (n_components, n_components),
+        });
+    }
+    let cov = covariance(x);
+    let eig = symmetric_eigen(&cov)?;
+    let (_, mean) = center(x);
+    let mut components = Mat::zeros(x.cols(), n_components);
+    for j in 0..n_components {
+        let col = eig.eigenvectors.col(j);
+        components.set_col(j, &col);
+    }
+    Ok(Pca {
+        mean,
+        components,
+        explained_variance: eig.eigenvalues[..n_components].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Data stretched strongly along a known direction.
+    fn anisotropic_data(n: usize, seed: u64) -> Mat {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Mat::random_normal(n, 3, &mut rng);
+        let mut x = Mat::zeros(n, 3);
+        for i in 0..n {
+            // dominant direction ~ (1, 1, 0)/sqrt(2), scaled by 10
+            let t = g[(i, 0)] * 10.0;
+            x[(i, 0)] = t / 2f64.sqrt() + 0.1 * g[(i, 1)];
+            x[(i, 1)] = t / 2f64.sqrt() + 0.1 * g[(i, 2)];
+            x[(i, 2)] = 0.1 * g[(i, 1)] - 0.1 * g[(i, 2)];
+        }
+        x
+    }
+
+    #[test]
+    fn first_component_aligns_with_dominant_direction() {
+        let x = anisotropic_data(500, 0);
+        let model = pca(&x, 1).unwrap();
+        let c = model.components().col(0);
+        let expected = [1.0 / 2f64.sqrt(), 1.0 / 2f64.sqrt(), 0.0];
+        let dot: f64 = c.iter().zip(&expected).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.99, "alignment {dot}");
+    }
+
+    #[test]
+    fn explained_variance_descending_and_positive_for_real_data() {
+        let x = anisotropic_data(300, 1);
+        let model = pca(&x, 3).unwrap();
+        let ev = model.explained_variance();
+        assert!(ev[0] >= ev[1] && ev[1] >= ev[2]);
+        assert!(ev[0] > 0.0);
+    }
+
+    #[test]
+    fn transform_shapes_and_centering() {
+        let x = anisotropic_data(100, 2);
+        let model = pca(&x, 2).unwrap();
+        let scores = model.transform(&x).unwrap();
+        assert_eq!(scores.shape(), (100, 2));
+        // Scores of centred data have (near) zero mean.
+        let mean0: f64 = scores.col(0).iter().sum::<f64>() / 100.0;
+        assert!(mean0.abs() < 1e-8);
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dimension() {
+        let x = anisotropic_data(50, 3);
+        let model = pca(&x, 2).unwrap();
+        let bad = Mat::zeros(10, 5);
+        assert!(model.transform(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_component_counts() {
+        let x = anisotropic_data(20, 4);
+        assert!(pca(&x, 0).is_err());
+        assert!(pca(&x, 4).is_err());
+        assert!(pca(&Mat::zeros(0, 3), 1).is_err());
+    }
+
+    #[test]
+    fn projection_variance_matches_eigenvalue() {
+        let x = anisotropic_data(400, 5);
+        let model = pca(&x, 1).unwrap();
+        let scores = model.transform(&x).unwrap();
+        let col = scores.col(0);
+        let mean = col.iter().sum::<f64>() / col.len() as f64;
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / col.len() as f64;
+        let ev = model.explained_variance()[0];
+        assert!((var - ev).abs() / ev < 0.05, "var {var} vs ev {ev}");
+    }
+}

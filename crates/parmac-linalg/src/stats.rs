@@ -1,0 +1,118 @@
+//! Column statistics and centering helpers.
+
+use crate::mat::Mat;
+
+/// Returns the per-column mean of a data matrix (one row per point).
+///
+/// Returns an all-zero vector if the matrix has no rows.
+pub fn column_means(x: &Mat) -> Vec<f64> {
+    let mut means = vec![0.0; x.cols()];
+    if x.rows() == 0 {
+        return means;
+    }
+    for row in x.iter_rows() {
+        for (m, v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    let n = x.rows() as f64;
+    for m in &mut means {
+        *m /= n;
+    }
+    means
+}
+
+/// Returns the per-column (population) variance of a data matrix.
+pub fn column_variances(x: &Mat) -> Vec<f64> {
+    let means = column_means(x);
+    let mut vars = vec![0.0; x.cols()];
+    if x.rows() == 0 {
+        return vars;
+    }
+    for row in x.iter_rows() {
+        for ((v, m), xi) in vars.iter_mut().zip(&means).zip(row) {
+            let d = xi - m;
+            *v += d * d;
+        }
+    }
+    let n = x.rows() as f64;
+    for v in &mut vars {
+        *v /= n;
+    }
+    vars
+}
+
+/// Returns a copy of `x` with the per-column means subtracted, together with
+/// the means that were removed.
+pub fn center(x: &Mat) -> (Mat, Vec<f64>) {
+    let means = column_means(x);
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for (v, m) in row.iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    (out, means)
+}
+
+/// Computes the covariance matrix `(1/N) X_cᵀ X_c` of a data matrix with one
+/// row per point, where `X_c` is the column-centered data.
+///
+/// Returns a `cols × cols` zero matrix when there are no rows.
+pub fn covariance(x: &Mat) -> Mat {
+    if x.rows() == 0 {
+        return Mat::zeros(x.cols(), x.cols());
+    }
+    let (centered, _) = center(x);
+    centered.gram().scale(1.0 / x.rows() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_of_simple_matrix() {
+        let x = Mat::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0]]);
+        assert_eq!(column_means(&x), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn variances_of_simple_matrix() {
+        let x = Mat::from_rows(&[vec![1.0], vec![3.0]]);
+        assert_eq!(column_variances(&x), vec![1.0]);
+    }
+
+    #[test]
+    fn centered_data_has_zero_mean() {
+        let x = Mat::from_rows(&[vec![1.0, 2.0], vec![5.0, -2.0], vec![0.0, 3.0]]);
+        let (c, means) = center(&x);
+        let new_means = column_means(&c);
+        assert!(new_means.iter().all(|m| m.abs() < 1e-12));
+        assert_eq!(means.len(), 2);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal_equals_variance() {
+        let x = Mat::from_rows(&[
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+            vec![3.0, -1.0],
+            vec![4.0, 0.5],
+        ]);
+        let c = covariance(&x);
+        assert_eq!(c.shape(), (2, 2));
+        assert!((c[(0, 1)] - c[(1, 0)]).abs() < 1e-12);
+        let vars = column_variances(&x);
+        assert!((c[(0, 0)] - vars[0]).abs() < 1e-12);
+        assert!((c[(1, 1)] - vars[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_edge_cases() {
+        let x = Mat::zeros(0, 3);
+        assert_eq!(column_means(&x), vec![0.0; 3]);
+        assert_eq!(covariance(&x).shape(), (3, 3));
+    }
+}

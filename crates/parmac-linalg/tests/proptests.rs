@@ -1,0 +1,100 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use parmac_linalg::{solve_ridge, symmetric_eigen, Mat};
+use proptest::prelude::*;
+
+/// Strategy producing a small matrix with bounded entries.
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Mat::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in small_matrix(6)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in small_matrix(6)) {
+        let id = Mat::identity(m.cols());
+        let prod = m.matmul(&id).unwrap();
+        for (a, b) in prod.as_slice().iter().zip(m.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(5),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let b = Mat::random_normal(a.cols(), 3, &mut rng);
+        let c = Mat::random_normal(a.cols(), 3, &mut rng);
+        let left = a.matmul(&(&b + &c)).unwrap();
+        let right = &a.matmul(&b).unwrap() + &a.matmul(&c).unwrap();
+        prop_assert!((&left - &right).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd(m in small_matrix(6)) {
+        let g = m.gram();
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+            }
+        }
+        // Diagonal of a Gram matrix is non-negative.
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)] >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn ridge_solution_satisfies_normal_equations(
+        rows in 4usize..20,
+        cols in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Mat::random_normal(rows, cols, &mut rng);
+        let b = Mat::random_normal(rows, 2, &mut rng);
+        let lambda = 0.1;
+        let w = solve_ridge(&a, &b, lambda).unwrap();
+        // (AᵀA + λI) W should equal AᵀB.
+        let mut gram = a.gram();
+        for i in 0..gram.rows() { gram[(i, i)] += lambda; }
+        let lhs = gram.matmul(&w).unwrap();
+        let rhs = a.transpose().matmul(&b).unwrap();
+        prop_assert!((&lhs - &rhs).max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn eigen_reconstruction_of_covariance_like_matrices(
+        n in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = Mat::random_normal(n + 2, n, &mut rng);
+        let g = a.gram();
+        let eig = symmetric_eigen(&g).unwrap();
+        // Eigenvalues of a Gram matrix are non-negative.
+        for &l in &eig.eigenvalues {
+            prop_assert!(l >= -1e-8);
+        }
+        // V diag(λ) Vᵀ reconstructs G.
+        let mut lambda = Mat::zeros(n, n);
+        for i in 0..n { lambda[(i, i)] = eig.eigenvalues[i]; }
+        let v = &eig.eigenvectors;
+        let recon = v.matmul(&lambda).unwrap().matmul(&v.transpose()).unwrap();
+        prop_assert!((&recon - &g).max_abs() < 1e-7 * (1.0 + g.max_abs()));
+    }
+}

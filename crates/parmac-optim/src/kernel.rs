@@ -1,0 +1,169 @@
+//! Gaussian RBF feature map for the nonlinear (kernel SVM) hash function.
+//!
+//! §8.4 of the paper trains "a kernel SVM using m Gaussian radial basis
+//! functions (RBF) with fixed bandwidth σ and centres. This means the only
+//! trainable parameters are the weights, so the MAC algorithm does not change
+//! except that it operates on an m-dimensional input vector of kernel values".
+//! [`RbfFeatureMap`] is that fixed expansion: centres drawn from the training
+//! set, a shared bandwidth, and `transform` producing the kernel-value matrix
+//! on which the ordinary linear submodels are then trained.
+
+use parmac_linalg::vector::squared_distance;
+use parmac_linalg::Mat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed Gaussian RBF feature map `x ↦ [exp(−‖x−c_j‖²/(2σ²))]_{j=1..m}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RbfFeatureMap {
+    centres: Mat,
+    bandwidth: f64,
+}
+
+impl RbfFeatureMap {
+    /// Creates a feature map with explicit centres (one per row) and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth <= 0` or `centres` is empty.
+    pub fn new(centres: Mat, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        assert!(centres.rows() > 0, "need at least one centre");
+        RbfFeatureMap { centres, bandwidth }
+    }
+
+    /// Picks `m` centres at random from the rows of `data` (the paper picks
+    /// its 2 000 centres "at random from the training set").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows, `m == 0`, or `bandwidth <= 0`.
+    pub fn from_data<R: Rng + ?Sized>(data: &Mat, m: usize, bandwidth: f64, rng: &mut R) -> Self {
+        assert!(data.rows() > 0, "need data to sample centres from");
+        assert!(m > 0, "need at least one centre");
+        let mut indices: Vec<usize> = (0..data.rows()).collect();
+        indices.shuffle(rng);
+        indices.truncate(m.min(data.rows()));
+        // If more centres than points were requested, reuse points cyclically.
+        while indices.len() < m {
+            indices.push(indices[indices.len() % data.rows()]);
+        }
+        RbfFeatureMap::new(data.select_rows(&indices), bandwidth)
+    }
+
+    /// Picks a bandwidth with the median heuristic: the median pairwise
+    /// distance among a sample of rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has fewer than two rows.
+    pub fn median_bandwidth<R: Rng + ?Sized>(data: &Mat, sample: usize, rng: &mut R) -> f64 {
+        assert!(data.rows() >= 2, "need at least two points");
+        let mut indices: Vec<usize> = (0..data.rows()).collect();
+        indices.shuffle(rng);
+        indices.truncate(sample.max(2).min(data.rows()));
+        let mut dists = Vec::new();
+        for (a, &i) in indices.iter().enumerate() {
+            for &j in indices.iter().skip(a + 1) {
+                dists.push(squared_distance(data.row(i), data.row(j)).sqrt());
+            }
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists[dists.len() / 2].max(f64::MIN_POSITIVE)
+    }
+
+    /// Number of basis functions `m` (the output dimensionality).
+    pub fn n_centres(&self) -> usize {
+        self.centres.rows()
+    }
+
+    /// The bandwidth σ.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Maps one point to its `m` kernel values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the centre dimensionality.
+    pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
+        let denom = 2.0 * self.bandwidth * self.bandwidth;
+        (0..self.centres.rows())
+            .map(|j| (-squared_distance(x, self.centres.row(j)) / denom).exp())
+            .collect()
+    }
+
+    /// Maps every row of `x` to kernel values, producing an `N × m` matrix.
+    pub fn transform(&self, x: &Mat) -> Mat {
+        let mut out = Mat::zeros(x.rows(), self.n_centres());
+        for i in 0..x.rows() {
+            let k = self.transform_one(x.row(i));
+            out.set_row(i, &k);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kernel_values_lie_in_unit_interval_and_peak_at_centres() {
+        let centres = Mat::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]);
+        let map = RbfFeatureMap::new(centres, 1.0);
+        let k = map.transform_one(&[0.0, 0.0]);
+        assert!((k[0] - 1.0).abs() < 1e-12);
+        assert!(k[1] < 1e-5);
+        assert!(k.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn wider_bandwidth_gives_larger_kernel_values() {
+        let centres = Mat::from_rows(&[vec![0.0]]);
+        let narrow = RbfFeatureMap::new(centres.clone(), 0.5);
+        let wide = RbfFeatureMap::new(centres, 5.0);
+        let x = [2.0];
+        assert!(wide.transform_one(&x)[0] > narrow.transform_one(&x)[0]);
+    }
+
+    #[test]
+    fn from_data_selects_requested_number_of_centres() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let data = Mat::random_normal(30, 4, &mut rng);
+        let map = RbfFeatureMap::from_data(&data, 10, 1.0, &mut rng);
+        assert_eq!(map.n_centres(), 10);
+        let more = RbfFeatureMap::from_data(&data, 40, 1.0, &mut rng);
+        assert_eq!(more.n_centres(), 40);
+    }
+
+    #[test]
+    fn transform_shape_matches() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = Mat::random_normal(20, 3, &mut rng);
+        let map = RbfFeatureMap::from_data(&data, 7, 2.0, &mut rng);
+        let k = map.transform(&data);
+        assert_eq!(k.shape(), (20, 7));
+    }
+
+    #[test]
+    fn median_bandwidth_is_positive_and_scales_with_data() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = Mat::random_normal(50, 5, &mut rng);
+        let bw = RbfFeatureMap::median_bandwidth(&data, 30, &mut rng);
+        assert!(bw > 0.0);
+        let scaled = data.scale(10.0);
+        let bw_scaled = RbfFeatureMap::median_bandwidth(&scaled, 30, &mut rng);
+        assert!(bw_scaled > 5.0 * bw);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_nonpositive_bandwidth() {
+        let _ = RbfFeatureMap::new(Mat::from_rows(&[vec![0.0]]), 0.0);
+    }
+}

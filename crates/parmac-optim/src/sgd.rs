@@ -1,0 +1,234 @@
+//! SGD configuration and step-size schedules.
+//!
+//! The paper trains encoder/decoder submodels with "the SGD code from Bottou
+//! and Bousquet (2008) ... The SGD step size is tuned automatically in each
+//! iteration by examining the first 1 000 datapoints" (§8.1). We reproduce
+//! both ingredients: the `1/(λ(t+t0))`-style decaying schedule used by
+//! Bottou's `sgd`, and the calibration loop that picks the initial step size
+//! by trying a small grid on a prefix of the data.
+
+use serde::{Deserialize, Serialize};
+
+/// Step-size schedule for SGD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StepSizeSchedule {
+    /// Constant step size `eta0`.
+    Constant {
+        /// The fixed step size.
+        eta0: f64,
+    },
+    /// Bottou-style decay `eta_t = eta0 / (1 + eta0 * lambda * t)`, which is a
+    /// Robbins–Monro schedule for λ-strongly-convex objectives.
+    BottouDecay {
+        /// Initial step size.
+        eta0: f64,
+        /// Regularisation / strong-convexity constant used in the decay.
+        lambda: f64,
+    },
+    /// Generic inverse-time decay `eta_t = eta0 / (1 + t / t0)`.
+    InverseTime {
+        /// Initial step size.
+        eta0: f64,
+        /// Time constant controlling how quickly the step size decays.
+        t0: f64,
+    },
+}
+
+impl StepSizeSchedule {
+    /// Step size to use at update counter `t` (0-based).
+    pub fn step_size(&self, t: u64) -> f64 {
+        match *self {
+            StepSizeSchedule::Constant { eta0 } => eta0,
+            StepSizeSchedule::BottouDecay { eta0, lambda } => {
+                eta0 / (1.0 + eta0 * lambda * t as f64)
+            }
+            StepSizeSchedule::InverseTime { eta0, t0 } => eta0 / (1.0 + t as f64 / t0),
+        }
+    }
+
+    /// Returns a copy of the schedule with its initial step size replaced.
+    pub fn with_eta0(&self, new_eta0: f64) -> StepSizeSchedule {
+        match *self {
+            StepSizeSchedule::Constant { .. } => StepSizeSchedule::Constant { eta0: new_eta0 },
+            StepSizeSchedule::BottouDecay { lambda, .. } => StepSizeSchedule::BottouDecay {
+                eta0: new_eta0,
+                lambda,
+            },
+            StepSizeSchedule::InverseTime { t0, .. } => StepSizeSchedule::InverseTime {
+                eta0: new_eta0,
+                t0,
+            },
+        }
+    }
+}
+
+/// Configuration for stochastic gradient descent on a submodel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Step-size schedule.
+    pub schedule: StepSizeSchedule,
+    /// L2 regularisation strength applied by the submodels.
+    pub lambda: f64,
+    /// Minibatch size used when a caller lets the submodel form its own
+    /// minibatches.
+    pub minibatch_size: usize,
+    /// Number of points examined by [`calibrate_eta0`] (the paper uses the
+    /// first 1 000 data points).
+    pub calibration_points: usize,
+}
+
+impl SgdConfig {
+    /// A sensible default configuration: Bottou decay with `eta0 = 0.01`,
+    /// `lambda = 1e-4`, minibatches of 16, calibration on 1 000 points.
+    pub fn new() -> Self {
+        SgdConfig {
+            schedule: StepSizeSchedule::BottouDecay {
+                eta0: 0.01,
+                lambda: 1e-4,
+            },
+            lambda: 1e-4,
+            minibatch_size: 16,
+            calibration_points: 1000,
+        }
+    }
+
+    /// Sets the initial step size, keeping the schedule shape.
+    pub fn with_eta0(mut self, eta0: f64) -> Self {
+        self.schedule = self.schedule.with_eta0(eta0);
+        self
+    }
+
+    /// Sets the L2 regularisation strength (also used by the decay schedule if
+    /// it is [`StepSizeSchedule::BottouDecay`]).
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        if let StepSizeSchedule::BottouDecay { eta0, .. } = self.schedule {
+            self.schedule = StepSizeSchedule::BottouDecay { eta0, lambda };
+        }
+        self
+    }
+
+    /// Sets the minibatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn with_minibatch_size(mut self, size: usize) -> Self {
+        assert!(size > 0, "minibatch size must be positive");
+        self.minibatch_size = size;
+        self
+    }
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig::new()
+    }
+}
+
+/// Picks the best initial step size from `candidates` by running the supplied
+/// evaluation closure, which should perform a short SGD run on a prefix of the
+/// data (the paper uses the first 1 000 points) and return the resulting
+/// objective value (lower is better).
+///
+/// Returns the candidate with the lowest finite objective; if every candidate
+/// produces a non-finite objective the smallest candidate is returned as a
+/// safe fallback.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn calibrate_eta0<F: FnMut(f64) -> f64>(candidates: &[f64], mut trial_objective: F) -> f64 {
+    assert!(!candidates.is_empty(), "need at least one candidate eta0");
+    let mut best = None::<(f64, f64)>;
+    for &eta in candidates {
+        let obj = trial_objective(eta);
+        if obj.is_finite() && best.map_or(true, |(_, b)| obj < b) {
+            best = Some((eta, obj));
+        }
+    }
+    match best {
+        Some((eta, _)) => eta,
+        None => candidates.iter().copied().fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// The default grid of candidate step sizes used for calibration.
+pub fn default_eta0_grid() -> Vec<f64> {
+    vec![1e-4, 1e-3, 1e-2, 1e-1, 1.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_decays() {
+        let s = StepSizeSchedule::Constant { eta0: 0.5 };
+        assert_eq!(s.step_size(0), 0.5);
+        assert_eq!(s.step_size(1_000_000), 0.5);
+    }
+
+    #[test]
+    fn bottou_decay_is_monotone_decreasing() {
+        let s = StepSizeSchedule::BottouDecay {
+            eta0: 0.1,
+            lambda: 1e-2,
+        };
+        let mut prev = f64::INFINITY;
+        for t in 0..100 {
+            let eta = s.step_size(t);
+            assert!(eta <= prev);
+            assert!(eta > 0.0);
+            prev = eta;
+        }
+    }
+
+    #[test]
+    fn decay_satisfies_robbins_monro_divergence_heuristic() {
+        // Sum of eta_t over a long horizon keeps growing (≈ log divergence),
+        // while sum of eta_t^2 converges — check the partial sums behave.
+        let s = StepSizeSchedule::BottouDecay {
+            eta0: 1.0,
+            lambda: 1.0,
+        };
+        let sum1: f64 = (0..10_000).map(|t| s.step_size(t)).sum();
+        let sum2: f64 = (0..10_000).map(|t| s.step_size(t).powi(2)).sum();
+        assert!(sum1 > 5.0);
+        assert!(sum2 < 3.0);
+    }
+
+    #[test]
+    fn with_eta0_preserves_shape() {
+        let s = StepSizeSchedule::InverseTime { eta0: 1.0, t0: 5.0 };
+        let s2 = s.with_eta0(0.1);
+        assert_eq!(s2, StepSizeSchedule::InverseTime { eta0: 0.1, t0: 5.0 });
+    }
+
+    #[test]
+    fn config_builders() {
+        let cfg = SgdConfig::new().with_eta0(0.3).with_lambda(0.01).with_minibatch_size(8);
+        assert_eq!(cfg.minibatch_size, 8);
+        assert_eq!(cfg.lambda, 0.01);
+        assert_eq!(cfg.schedule.step_size(0), 0.3);
+    }
+
+    #[test]
+    fn calibration_picks_lowest_objective() {
+        // Pretend the objective is minimised at eta = 0.01.
+        let eta = calibrate_eta0(&[1e-3, 1e-2, 1e-1], |e| (e.ln() - 0.01f64.ln()).powi(2));
+        assert_eq!(eta, 1e-2);
+    }
+
+    #[test]
+    fn calibration_falls_back_when_all_diverge() {
+        let eta = calibrate_eta0(&[0.5, 0.1], |_| f64::NAN);
+        assert_eq!(eta, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn calibration_rejects_empty_grid() {
+        let _ = calibrate_eta0(&[], |_| 0.0);
+    }
+}

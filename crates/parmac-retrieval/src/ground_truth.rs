@@ -1,0 +1,79 @@
+//! Exact Euclidean nearest-neighbour ground truth (brute force).
+
+use parmac_linalg::vector::squared_distance;
+use parmac_linalg::Mat;
+
+/// For each query (row of `queries`), returns the indices of its `k` nearest
+/// database points (rows of `database`) by Euclidean distance, closest first.
+///
+/// Ties are broken by index to keep the output deterministic.
+///
+/// # Panics
+///
+/// Panics if the dimensionalities differ or `k == 0`.
+pub fn euclidean_knn(database: &Mat, queries: &Mat, k: usize) -> Vec<Vec<usize>> {
+    assert_eq!(
+        database.cols(),
+        queries.cols(),
+        "database and queries must share dimensionality"
+    );
+    assert!(k > 0, "k must be positive");
+    let k = k.min(database.rows());
+    (0..queries.rows())
+        .map(|q| {
+            let query = queries.row(q);
+            let mut dists: Vec<(f64, usize)> = (0..database.rows())
+                .map(|i| (squared_distance(query, database.row(i)), i))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            dists.into_iter().take(k).map(|(_, i)| i).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_obvious_nearest_neighbour() {
+        let db = Mat::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]]);
+        let q = Mat::from_rows(&[vec![9.0, 1.0]]);
+        let nn = euclidean_knn(&db, &q, 2);
+        assert_eq!(nn[0], vec![1, 0]);
+    }
+
+    #[test]
+    fn k_is_clamped_to_database_size() {
+        let db = Mat::from_rows(&[vec![0.0], vec![1.0]]);
+        let q = Mat::from_rows(&[vec![0.4]]);
+        let nn = euclidean_knn(&db, &q, 10);
+        assert_eq!(nn[0].len(), 2);
+        assert_eq!(nn[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn one_result_per_query() {
+        let db = Mat::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let q = Mat::from_rows(&[vec![0.1], vec![1.9]]);
+        let nn = euclidean_knn(&db, &q, 1);
+        assert_eq!(nn.len(), 2);
+        assert_eq!(nn[0], vec![0]);
+        assert_eq!(nn[1], vec![2]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let db = Mat::from_rows(&[vec![1.0], vec![-1.0]]);
+        let q = Mat::from_rows(&[vec![0.0]]);
+        let nn = euclidean_knn(&db, &q, 2);
+        assert_eq!(nn[0], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let db = Mat::from_rows(&[vec![0.0]]);
+        let _ = euclidean_knn(&db, &db, 0);
+    }
+}

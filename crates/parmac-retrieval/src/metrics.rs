@@ -1,0 +1,191 @@
+//! Retrieval metrics: precision and recall@R.
+
+use crate::search::{hamming_knn, hamming_ranking};
+use parmac_hash::BinaryCodes;
+
+/// Retrieval precision as defined in §8.1 of the paper: with the `K` Euclidean
+/// nearest neighbours of each query as ground truth (`ground_truth[q]`),
+/// retrieve the `k` Hamming nearest neighbours in code space and report the
+/// average fraction of retrieved points that are true neighbours.
+///
+/// Returns a value in `[0, 1]`; returns 0.0 when there are no queries.
+///
+/// # Panics
+///
+/// Panics if `ground_truth.len() != query_codes.len()` or `k == 0`.
+pub fn precision(
+    database_codes: &BinaryCodes,
+    query_codes: &BinaryCodes,
+    ground_truth: &[Vec<usize>],
+    k: usize,
+) -> f64 {
+    assert_eq!(
+        ground_truth.len(),
+        query_codes.len(),
+        "one ground-truth list per query required"
+    );
+    if query_codes.is_empty() {
+        return 0.0;
+    }
+    let retrieved = hamming_knn(database_codes, query_codes, k);
+    let mut total = 0.0;
+    for (ret, truth) in retrieved.iter().zip(ground_truth) {
+        if ret.is_empty() {
+            continue;
+        }
+        let truth_set: std::collections::HashSet<usize> = truth.iter().copied().collect();
+        let hits = ret.iter().filter(|i| truth_set.contains(i)).count();
+        total += hits as f64 / ret.len() as f64;
+    }
+    total / query_codes.len() as f64
+}
+
+/// recall@R for a single cutoff: the fraction of queries whose first
+/// ground-truth neighbour (`ground_truth[q][0]`) is ranked within the top `R`
+/// database points by Hamming distance (§8.1, SIFT-1B protocol).
+///
+/// Returns 0.0 when there are no queries.
+///
+/// # Panics
+///
+/// Panics if `ground_truth.len() != query_codes.len()` or any ground-truth
+/// list is empty, or `r == 0`.
+pub fn recall_at_r(
+    database_codes: &BinaryCodes,
+    query_codes: &BinaryCodes,
+    ground_truth: &[Vec<usize>],
+    r: usize,
+) -> f64 {
+    recall_curve(database_codes, query_codes, ground_truth, &[r])[0]
+}
+
+/// recall@R evaluated at several cutoffs at once (one ranking pass per query).
+///
+/// Returns one value per entry of `rs`, in the same order.
+///
+/// # Panics
+///
+/// Panics if `ground_truth.len() != query_codes.len()`, any ground-truth list
+/// is empty, or any cutoff is zero.
+pub fn recall_curve(
+    database_codes: &BinaryCodes,
+    query_codes: &BinaryCodes,
+    ground_truth: &[Vec<usize>],
+    rs: &[usize],
+) -> Vec<f64> {
+    assert_eq!(
+        ground_truth.len(),
+        query_codes.len(),
+        "one ground-truth list per query required"
+    );
+    assert!(rs.iter().all(|&r| r > 0), "cutoffs must be positive");
+    if query_codes.is_empty() {
+        return vec![0.0; rs.len()];
+    }
+    let mut hits = vec![0usize; rs.len()];
+    for q in 0..query_codes.len() {
+        assert!(
+            !ground_truth[q].is_empty(),
+            "query {q} has an empty ground-truth list"
+        );
+        let target = ground_truth[q][0];
+        let ranking = hamming_ranking(database_codes, query_codes, q);
+        // Position of the true nearest neighbour in the Hamming ranking. The
+        // paper places tied distances at top rank; our deterministic
+        // index-order tie-break is a slightly pessimistic variant.
+        let pos = ranking
+            .iter()
+            .position(|&i| i == target)
+            .expect("target index must be in the database");
+        for (h, &r) in hits.iter_mut().zip(rs) {
+            if pos < r {
+                *h += 1;
+            }
+        }
+    }
+    hits.iter()
+        .map(|&h| h as f64 / query_codes.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(rows: &[Vec<bool>]) -> BinaryCodes {
+        BinaryCodes::from_bools(rows)
+    }
+
+    #[test]
+    fn perfect_codes_give_perfect_precision() {
+        // Queries identical to their true neighbours' codes.
+        let db = codes(&[
+            vec![true, true, false, false],
+            vec![false, false, true, true],
+        ]);
+        let q = db.clone();
+        let gt = vec![vec![0], vec![1]];
+        let p = precision(&db, &q, &gt, 1);
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_codes_give_low_precision() {
+        // All database codes identical: retrieval is arbitrary; with k=2 and a
+        // single true neighbour, precision is 0.5 at best.
+        let db = codes(&[vec![true, true], vec![true, true], vec![true, true]]);
+        let q = codes(&[vec![true, true]]);
+        let gt = vec![vec![0]];
+        let p = precision(&db, &q, &gt, 2);
+        assert!(p <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn precision_is_between_zero_and_one() {
+        let db = codes(&[vec![true, false], vec![false, true], vec![true, true]]);
+        let q = codes(&[vec![false, false], vec![true, true]]);
+        let gt = vec![vec![0, 1], vec![2, 0]];
+        let p = precision(&db, &q, &gt, 2);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn recall_increases_with_r() {
+        let db = codes(&[
+            vec![true, true, true, true],
+            vec![true, true, true, false],
+            vec![true, true, false, false],
+            vec![false, false, false, false],
+        ]);
+        let q = codes(&[vec![false, false, false, true]]);
+        // True nearest neighbour is index 3.
+        let gt = vec![vec![3]];
+        let curve = recall_curve(&db, &q, &gt, &[1, 2, 4]);
+        assert!(curve[0] <= curve[1] && curve[1] <= curve[2]);
+        assert_eq!(curve[2], 1.0);
+    }
+
+    #[test]
+    fn recall_at_full_database_is_one() {
+        let db = codes(&[vec![true, false], vec![false, true]]);
+        let q = codes(&[vec![true, true]]);
+        let gt = vec![vec![1]];
+        assert_eq!(recall_at_r(&db, &q, &gt, 2), 1.0);
+    }
+
+    #[test]
+    fn empty_queries_return_zero() {
+        let db = codes(&[vec![true, false]]);
+        let q = BinaryCodes::zeros(0, 2);
+        assert_eq!(precision(&db, &q, &[], 1), 0.0);
+        assert_eq!(recall_curve(&db, &q, &[], &[1]), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ground-truth list per query")]
+    fn precision_rejects_mismatched_ground_truth() {
+        let db = codes(&[vec![true]]);
+        let q = codes(&[vec![true]]);
+        let _ = precision(&db, &q, &[], 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Hamming-space k-nearest-neighbour search over binary codes.
+
+use parmac_hash::BinaryCodes;
+
+/// For each query code, returns the indices of the `k` database codes with the
+/// smallest Hamming distance, closest first (ties broken by index).
+///
+/// # Panics
+///
+/// Panics if the code widths differ or `k == 0`.
+pub fn hamming_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> Vec<Vec<usize>> {
+    assert_eq!(
+        database.n_bits(),
+        queries.n_bits(),
+        "database and query codes must have the same width"
+    );
+    assert!(k > 0, "k must be positive");
+    let k = k.min(database.len());
+    (0..queries.len())
+        .map(|q| {
+            let mut dists: Vec<(u32, usize)> = (0..database.len())
+                .map(|i| (queries.hamming(q, database, i), i))
+                .collect();
+            dists.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+            dists.into_iter().take(k).map(|(_, i)| i).collect()
+        })
+        .collect()
+}
+
+/// Returns, for one query code, the database indices ordered by increasing
+/// Hamming distance (the full ranking used for recall@R curves).
+///
+/// # Panics
+///
+/// Panics if the code widths differ or `query >= queries.len()`.
+pub fn hamming_ranking(database: &BinaryCodes, queries: &BinaryCodes, query: usize) -> Vec<usize> {
+    assert_eq!(database.n_bits(), queries.n_bits(), "code width mismatch");
+    let mut dists: Vec<(u32, usize)> = (0..database.len())
+        .map(|i| (queries.hamming(query, database, i), i))
+        .collect();
+    dists.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    dists.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(rows: &[Vec<bool>]) -> BinaryCodes {
+        BinaryCodes::from_bools(rows)
+    }
+
+    #[test]
+    fn nearest_code_is_exact_match() {
+        let db = codes(&[
+            vec![true, true, false, false],
+            vec![false, false, true, true],
+            vec![true, false, true, false],
+        ]);
+        let q = codes(&[vec![false, false, true, true]]);
+        let nn = hamming_knn(&db, &q, 2);
+        assert_eq!(nn[0][0], 1);
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_distance() {
+        let db = codes(&[
+            vec![true, true, true, true],
+            vec![true, true, true, false],
+            vec![false, false, false, false],
+        ]);
+        let q = codes(&[vec![true, true, true, true]]);
+        let rank = hamming_ranking(&db, &q, 0);
+        assert_eq!(rank, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_clamped_and_ties_by_index() {
+        let db = codes(&[vec![true, false], vec![true, false], vec![false, true]]);
+        let q = codes(&[vec![true, false]]);
+        let nn = hamming_knn(&db, &q, 10);
+        assert_eq!(nn[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn rejects_width_mismatch() {
+        let db = codes(&[vec![true, false]]);
+        let q = codes(&[vec![true, false, true]]);
+        let _ = hamming_knn(&db, &q, 1);
+    }
+}

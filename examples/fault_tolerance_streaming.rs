@@ -1,0 +1,53 @@
+//! Fault tolerance and streaming (§4.3): a machine dies mid-W-step, data is
+//! added to a machine between iterations, and a new machine joins the ring —
+//! and training keeps converging.
+//!
+//! Run with `cargo run --release --example fault_tolerance_streaming`.
+
+use parmac::cluster::streaming::{add_data, add_machine};
+use parmac::cluster::{CostModel, Fault, RingTopology};
+use parmac::core::mac::RetrievalEval;
+use parmac::core::{BaConfig, ParMacBackend, ParMacConfig, ParMacTrainer};
+use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
+
+fn main() {
+    let data = gaussian_mixture(&MixtureConfig::new(1200, 64, 8).with_seed(11));
+    let train = data.train_features();
+    let eval = RetrievalEval::new(train.clone(), data.query_features(), 10, 10);
+    let ba = BaConfig::new(12)
+        .with_mu_schedule(0.01, 2.0, 6)
+        .with_epochs(2)
+        .with_seed(11);
+
+    // --- Fault tolerance: machine 2 fails during the second MAC iteration.
+    let cfg = ParMacConfig::new(ba, 6);
+    let mut faulty = ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(CostModel::distributed()))
+        .with_fault(1, Fault { machine: 2, at_tick: 3 });
+    let report = faulty.run_with_eval(&train, Some(&eval));
+    println!(
+        "with a machine failure at iteration 2: E_BA {:.0} -> {:.0}, precision {:.3}",
+        report.mac.initial_ba_error,
+        report.mac.final_ba_error,
+        eval.precision_of(faulty.model())
+    );
+
+    // --- Streaming: the same primitives ParMAC uses to add data and machines.
+    let mut shards = vec![vec![0usize, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
+    let mut topology = RingTopology::new(3);
+    println!("\nstreaming demo on a toy ring of {} machines", topology.n_machines());
+
+    // New points collected by machine 1 (within-machine streaming).
+    add_data(&mut shards, 1, &[9, 10, 11]);
+    println!("machine 1 now owns {} points", shards[1].len());
+
+    // A brand-new machine joins the ring with its own pre-loaded shard.
+    let new_id = add_machine(&mut shards, &mut topology, 1, vec![12, 13, 14]);
+    println!(
+        "machine {new_id} joined after machine 1; ring order is now {:?}",
+        topology.machines()
+    );
+
+    // And a machine can be removed without touching anyone's data.
+    topology.remove_machine(0);
+    println!("machine 0 left; ring order is now {:?}", topology.machines());
+}

@@ -1,0 +1,54 @@
+//! Quick start: train a binary autoencoder with serial MAC on synthetic data
+//! and inspect the learning curve.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use parmac::core::{BaConfig, MacTrainer};
+use parmac::core::mac::RetrievalEval;
+use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
+
+fn main() {
+    // A small clustered dataset standing in for image features.
+    let data = gaussian_mixture(&MixtureConfig::new(1000, 32, 8).with_seed(42));
+    let train = data.train_features();
+    let queries = data.query_features();
+    println!(
+        "dataset: {} training points, {} queries, {} features",
+        train.rows(),
+        queries.rows(),
+        train.cols()
+    );
+
+    // Retrieval ground truth for the precision curve.
+    let eval = RetrievalEval::new(train.clone(), queries, 10, 10);
+
+    // 16-bit binary autoencoder trained with serial MAC (exact W step).
+    let config = BaConfig::new(16)
+        .with_mu_schedule(0.01, 2.0, 10)
+        .with_exact_w_step(true)
+        .with_seed(1);
+    let mut trainer = MacTrainer::new(config, &train);
+    let report = trainer.run_with_eval(&train, Some(&eval));
+
+    println!("\nlearning curve:\n{}", report.mac_curve_tsv());
+    println!(
+        "E_BA: {:.1} -> {:.1} over {} iterations",
+        report.initial_ba_error, report.final_ba_error, report.iterations_run
+    );
+    println!(
+        "retrieval precision of the trained hash function: {:.3}",
+        eval.precision_of(trainer.model())
+    );
+}
+
+/// Small extension trait so the example prints the curve without repeating the
+/// field path; shows how the report types compose.
+trait CurveTsv {
+    fn mac_curve_tsv(&self) -> String;
+}
+
+impl CurveTsv for parmac::core::MacReport {
+    fn mac_curve_tsv(&self) -> String {
+        self.curve.to_tsv()
+    }
+}
