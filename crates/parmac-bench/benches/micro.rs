@@ -3,7 +3,7 @@
 //! of a hash SVM, one simulated W-step tick and the closed-form speedup model.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use parmac_cluster::{CostModel, SimCluster};
+use parmac_cluster::{ClusterBackend, CostModel, SimBackend, SimCluster, ThreadedBackend, ZUpdate};
 use parmac_core::zstep::{solve_alternating, solve_exact, ZStepProblem};
 use parmac_core::SpeedupModel;
 use parmac_data::partition_equal;
@@ -43,10 +43,47 @@ fn bench_zstep(c: &mut Criterion) {
     });
 }
 
+/// Serial vs shard-parallel execution of a full Z step through the
+/// `ClusterBackend` seam: same solves, same updates, different substrate. The
+/// ratio of the two lines is the wall-clock speedup of the parallel Z step on
+/// this host (first entry of the perf trajectory).
+fn bench_zstep_serial_vs_parallel(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let (l, d, n, p) = (16usize, 64usize, 2000usize, 8usize);
+    let decoder = LinearDecoder::new(Mat::random_normal(d, l, &mut rng), vec![0.0; d]);
+    let x = Mat::random_normal(n, d, &mut rng);
+    let hx: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..l).map(|b| f64::from((i + b) % 2 == 0)).collect())
+        .collect();
+    let cluster = SimCluster::new(
+        partition_equal(n, p).into_shards(),
+        CostModel::distributed(),
+    );
+    let solve = |_machine: usize, shard: &[usize]| -> Vec<ZUpdate> {
+        let problem = ZStepProblem::new(&decoder, 0.5);
+        shard
+            .iter()
+            .map(|&i| ZUpdate {
+                point: i,
+                code: solve_alternating(&problem, x.row(i), &hx[i], 5),
+            })
+            .collect()
+    };
+    c.bench_function("z step, serial sim backend (N=2000, L=16, P=8)", |b| {
+        b.iter(|| SimBackend::default().run_z_step(&cluster, 2 * l, solve))
+    });
+    c.bench_function(
+        "z step, parallel threaded backend (N=2000, L=16, P=8)",
+        |b| b.iter(|| ThreadedBackend::new().run_z_step(&cluster, 2 * l, solve)),
+    );
+}
+
 fn bench_svm_epoch(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let x = Mat::random_normal(2000, 128, &mut rng);
-    let y: Vec<f64> = (0..2000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let y: Vec<f64> = (0..2000)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
     c.bench_function("linear SVM, one SGD epoch (N=2000, D=128)", |b| {
         b.iter_batched(
             || LinearSvm::new(128, SgdConfig::new().with_eta0(0.01)),
@@ -62,12 +99,21 @@ fn bench_svm_epoch(c: &mut Criterion) {
 fn bench_ring_w_step(c: &mut Criterion) {
     let shards = partition_equal(4000, 16).into_shards();
     let cluster = SimCluster::new(shards, CostModel::distributed());
-    c.bench_function("simulated ring W step (M=32, P=16, bookkeeping only)", |b| {
-        b.iter(|| {
-            let mut submodels = vec![0u64; 32];
-            cluster.run_w_step(&mut submodels, 1, 129, |s, _, shard| *s += shard.len() as u64, None)
-        })
-    });
+    c.bench_function(
+        "simulated ring W step (M=32, P=16, bookkeeping only)",
+        |b| {
+            b.iter(|| {
+                let mut submodels = vec![0u64; 32];
+                cluster.run_w_step(
+                    &mut submodels,
+                    1,
+                    129,
+                    |s, _, shard| *s += shard.len() as u64,
+                    None,
+                )
+            })
+        },
+    );
 }
 
 fn bench_speedup_model(c: &mut Criterion) {
@@ -81,6 +127,7 @@ criterion_group!(
     benches,
     bench_hamming_search,
     bench_zstep,
+    bench_zstep_serial_vs_parallel,
     bench_svm_epoch,
     bench_ring_w_step,
     bench_speedup_model

@@ -8,9 +8,11 @@
 //! (c) ParMAC on 8 simulated machines with 1 and 2 epochs, and compares the
 //! final objectives and retrieval precision.
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{MacTrainer, ParMacBackend, ParMacTrainer};
+use parmac_core::{MacTrainer, ParMacTrainer, SimBackend};
 
 fn main() {
     let n = 1200;
@@ -43,7 +45,7 @@ fn main() {
         let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 31).with_epochs(epochs);
         let cfg = scaled_parmac_config(ba, 8);
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         rows.push(vec![
             format!("ParMAC, P = 8, {epochs} epoch(s)"),

@@ -5,9 +5,11 @@
 //! messages per W step with only a small effect on the final objective
 //! (shuffling across machines is reduced, §4.2).
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer};
+use parmac_core::{ParMacTrainer, SimBackend};
 
 fn main() {
     let n = 1000;
@@ -18,14 +20,21 @@ fn main() {
     println!("# Ablation — communication rounds per W step (e = {epochs}, P = 8)");
 
     let mut rows = Vec::new();
-    for &(two_round, label) in &[(false, "one round per epoch"), (true, "two rounds total (§4.2)")] {
+    for &(two_round, label) in &[
+        (false, "one round per epoch"),
+        (true, "two rounds total (§4.2)"),
+    ] {
         let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 41).with_epochs(epochs);
         let cfg = scaled_parmac_config(ba, 8).with_two_round_communication(two_round);
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         let messages: usize = report.w_steps.iter().map(|w| w.messages_sent).sum();
-        let comm_time: f64 = report.w_steps.iter().map(|w| w.timings.simulated_comm).sum();
+        let comm_time: f64 = report
+            .w_steps
+            .iter()
+            .map(|w| w.timings.simulated_comm)
+            .sum();
         rows.push(vec![
             label.to_string(),
             messages.to_string(),
@@ -36,7 +45,13 @@ fn main() {
     }
     print_table(
         "messages, simulated communication time and quality",
-        &["scheme", "messages", "sim comm time", "final E_BA", "best precision"],
+        &[
+            "scheme",
+            "messages",
+            "sim comm time",
+            "final E_BA",
+            "best precision",
+        ],
         &rows,
     );
 }

@@ -5,9 +5,11 @@
 //! optimisation is very close at a fraction of the cost, and the relaxed-only
 //! solution is cheapest but worst.
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer, ZStepMethod};
+use parmac_core::{ParMacTrainer, SimBackend, ZStepMethod};
 use std::time::Instant;
 
 fn main() {
@@ -20,7 +22,10 @@ fn main() {
     let mut rows = Vec::new();
     for &(method, label) in &[
         (ZStepMethod::Enumeration, "exact enumeration"),
-        (ZStepMethod::AlternatingBits, "alternating bits (relaxed init)"),
+        (
+            ZStepMethod::AlternatingBits,
+            "alternating bits (relaxed init)",
+        ),
         (ZStepMethod::RelaxedOnly, "truncated relaxed only"),
     ] {
         let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 37)
@@ -29,7 +34,7 @@ fn main() {
         let cfg = scaled_parmac_config(ba, 4);
         let start = Instant::now();
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         rows.push(vec![
             label.to_string(),
@@ -40,7 +45,12 @@ fn main() {
     }
     print_table(
         "final E_BA, best precision and wall-clock per solver",
-        &["Z-step solver", "final E_BA", "best precision", "wall seconds"],
+        &[
+            "Z-step solver",
+            "final E_BA",
+            "best precision",
+            "wall seconds",
+        ],
         &rows,
     );
 }

@@ -15,9 +15,11 @@
 //! down by the same factor. This keeps the speedup curves directly comparable
 //! with the paper's despite the smaller N.
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer, SpeedupModel};
+use parmac_core::{ParMacTrainer, SimBackend, SpeedupModel};
 use parmac_linalg::Mat;
 
 fn simulated_runtime(
@@ -30,7 +32,7 @@ fn simulated_runtime(
 ) -> f64 {
     let ba = scaled_ba_config(suite, bits, 3, 17).with_epochs(epochs);
     let cfg = scaled_parmac_config(ba, machines);
-    let mut trainer = ParMacTrainer::new(cfg, train, ParMacBackend::Simulated(cost));
+    let mut trainer = ParMacTrainer::new(cfg, train, SimBackend::new(cost));
     trainer.run(train).total_simulated_time
 }
 
@@ -40,7 +42,14 @@ fn main() {
 
     // (suite, scaled n, bits, epochs, paper N, paper tZr)
     for &(suite, n, bits, epochs, paper_n, t_zr) in &[
-        (Suite::Cifar, 1250usize, 16usize, 1usize, 50_000usize, 200.0f64),
+        (
+            Suite::Cifar,
+            1250usize,
+            16usize,
+            1usize,
+            50_000usize,
+            200.0f64,
+        ),
         (Suite::Sift1m, 2500, 16, 1, 1_000_000, 40.0),
     ] {
         let exp = build_experiment(suite, n, 17);

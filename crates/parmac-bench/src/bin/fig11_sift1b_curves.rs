@@ -10,7 +10,7 @@
 
 use parmac_bench::{cell, print_table, scaled_parmac_config, Suite};
 use parmac_cluster::CostModel;
-use parmac_core::{BaConfig, MuSchedule, ParMacBackend, ParMacTrainer};
+use parmac_core::{BaConfig, MuSchedule, ParMacTrainer, SimBackend};
 use parmac_linalg::Mat;
 use parmac_optim::RbfFeatureMap;
 use parmac_retrieval::{euclidean_knn, recall_at_r};
@@ -49,7 +49,7 @@ fn run(
         .with_epochs(2)
         .with_seed(19);
     let cfg = scaled_parmac_config(ba, machines);
-    let mut trainer = ParMacTrainer::new(cfg, features_train, ParMacBackend::Simulated(cost));
+    let mut trainer = ParMacTrainer::new(cfg, features_train, SimBackend::new(cost));
     let mut recalls = Vec::new();
     // Record recall after every MAC iteration by stepping manually through the
     // µ schedule (mirrors the learning curves of fig. 11).

@@ -6,7 +6,7 @@
 
 use parmac_bench::{cell, print_table, scaled_parmac_config, Suite};
 use parmac_cluster::CostModel;
-use parmac_core::{BaConfig, ParMacBackend, ParMacTrainer};
+use parmac_core::{BaConfig, ParMacTrainer, SimBackend};
 use parmac_hash::{HashFunction, TpcaHash};
 use parmac_linalg::Mat;
 use parmac_optim::RbfFeatureMap;
@@ -20,8 +20,7 @@ fn train_ba(train: &Mat, bits: usize) -> parmac_core::BinaryAutoencoder {
         .with_epochs(2)
         .with_seed(23);
     let cfg = scaled_parmac_config(ba, 8);
-    let mut trainer =
-        ParMacTrainer::new(cfg, train, ParMacBackend::Simulated(CostModel::distributed()));
+    let mut trainer = ParMacTrainer::new(cfg, train, SimBackend::new(CostModel::distributed()));
     trainer.run(train);
     trainer.into_model()
 }
@@ -38,7 +37,12 @@ fn main() {
 
     // Baseline: truncated PCA.
     let tpca = TpcaHash::fit(&train, bits).expect("tPCA fit");
-    let tpca_recall = recall_curve(&tpca.encode(&train), &tpca.encode(&queries), &ground_truth, &rs);
+    let tpca_recall = recall_curve(
+        &tpca.encode(&train),
+        &tpca.encode(&queries),
+        &ground_truth,
+        &rs,
+    );
 
     // BA with a linear hash on the raw features.
     let linear_ba = train_ba(&train, bits);
@@ -75,9 +79,5 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        "recall@R",
-        &["R", "tPCA", "BA linear", "BA RBF"],
-        &rows,
-    );
+    print_table("recall@R", &["R", "tPCA", "BA linear", "BA RBF"], &rows);
 }

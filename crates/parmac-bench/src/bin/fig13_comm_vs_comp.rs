@@ -24,7 +24,9 @@ fn main() {
     let cross = 500.0;
     let t_w = CostModel::distributed().w_compute_per_point;
 
-    println!("# Figure 13 — communication vs computation per node layout (P = {p}, N = {n}, M = {m})");
+    println!(
+        "# Figure 13 — communication vs computation per node layout (P = {p}, N = {n}, M = {m})"
+    );
     let mut rows = Vec::new();
     for &nodes in &[1usize, 2, 4, 8, 16] {
         let procs_per_node = p / nodes;
@@ -32,14 +34,18 @@ fn main() {
         // a node boundary (one per node), the rest stay inside a node. The
         // final distribution lap adds P−1 hops with the same mix.
         let hops_per_submodel = (epochs * p + (p - 1)) as f64;
-        let cross_fraction = if nodes == 1 { 0.0 } else { nodes as f64 / p as f64 };
+        let cross_fraction = if nodes == 1 {
+            0.0
+        } else {
+            nodes as f64 / p as f64
+        };
         let comm_per_hop = cross_fraction * cross + (1.0 - cross_fraction) * intra;
         let comm_time = m as f64 * hops_per_submodel * comm_per_hop;
         // Computation is independent of the layout: every submodel processes
         // every point e times, spread over P machines working in parallel.
-        let comp_time = m as f64 * epochs as f64 * (n as f64 / p as f64) * t_w
-            * (m as f64 / p as f64).ceil()
-            / (m as f64 / p as f64);
+        let comp_time =
+            m as f64 * epochs as f64 * (n as f64 / p as f64) * t_w * (m as f64 / p as f64).ceil()
+                / (m as f64 / p as f64);
         rows.push(vec![
             format!("{nodes}x{procs_per_node}"),
             cell(comm_time, 0),
@@ -49,7 +55,12 @@ fn main() {
     }
     print_table(
         "simulated time units per W step",
-        &["nodes x procs", "communication", "computation", "comm fraction"],
+        &[
+            "nodes x procs",
+            "communication",
+            "computation",
+            "comm fraction",
+        ],
         &rows,
     );
 }

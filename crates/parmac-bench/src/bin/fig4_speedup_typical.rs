@@ -16,8 +16,8 @@ fn main() {
     println!("# rho1={rho1:.4} rho2={rho2:.4} rho={rho:.4}");
 
     let ps: Vec<usize> = vec![
-        1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1131,
-        1280, 1536, 1792, 2000,
+        1, 2, 4, 8, 16, 32, 64, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024, 1131, 1280,
+        1536, 1792, 2000,
     ];
     let rows: Vec<Vec<String>> = ps
         .iter()
@@ -26,7 +26,11 @@ fn main() {
                 p.to_string(),
                 cell(model.speedup(p), 2),
                 cell(p as f64, 0),
-                if model.n_submodels % p == 0 { "yes".into() } else { "no".into() },
+                if model.n_submodels.is_multiple_of(p) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
@@ -37,5 +41,8 @@ fn main() {
     );
 
     let (p_opt, s_opt) = model.optimal_machines();
-    println!("maximum speedup S* = {s_opt:.1} at P* = {p_opt:.0} (M = {})", model.n_submodels);
+    println!(
+        "maximum speedup S* = {s_opt:.1} at P* = {p_opt:.0} (M = {})",
+        model.n_submodels
+    );
 }

@@ -7,9 +7,11 @@
 //! precision per MAC iteration. Dataset: SIFT-like synthetic features scaled
 //! down from the paper's 10 000 points.
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer};
+use parmac_core::{ParMacTrainer, SimBackend};
 
 fn main() {
     let n = 1500;
@@ -23,7 +25,7 @@ fn main() {
         let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 7).with_epochs(epochs);
         let cfg = scaled_parmac_config(ba, 1);
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         let rows: Vec<Vec<String>> = report
             .mac
@@ -52,17 +54,20 @@ fn main() {
         for &p in &[1usize, 8, 16, 32] {
             let ba = scaled_ba_config(Suite::Sift10k, bits, iterations, 7).with_epochs(epochs);
             let cfg = scaled_parmac_config(ba, p);
-            let mut trainer = ParMacTrainer::new(
-                cfg,
-                &exp.train,
-                ParMacBackend::Simulated(CostModel::distributed()),
-            );
+            let mut trainer =
+                ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
             let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
             let last = report.mac.curve.last().unwrap();
             let best_precision = report.mac.curve.best_precision().unwrap_or(0.0);
             print_table(
                 &format!("epochs = {epochs}, P = {p} (final iteration summary)"),
-                &["iters", "final E_Q", "final E_BA", "best precision", "total sim_time"],
+                &[
+                    "iters",
+                    "final E_Q",
+                    "final E_BA",
+                    "best precision",
+                    "total sim_time",
+                ],
                 &[vec![
                     report.mac.iterations_run.to_string(),
                     cell(last.quadratic_penalty, 1),

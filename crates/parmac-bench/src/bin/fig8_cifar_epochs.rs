@@ -4,9 +4,11 @@
 //! Same protocol as fig. 7 but on the CIFAR-like data and with the paper's
 //! machine counts {1, 32, 64, 96, 128} (scaled data, same shapes).
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer};
+use parmac_core::{ParMacTrainer, SimBackend};
 
 fn main() {
     let n = 1200;
@@ -19,7 +21,7 @@ fn main() {
         let ba = scaled_ba_config(Suite::Cifar, bits, iterations, 11).with_epochs(epochs);
         let cfg = scaled_parmac_config(ba, 1);
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         let rows: Vec<Vec<String>> = report
             .mac
@@ -46,12 +48,18 @@ fn main() {
         let ba = scaled_ba_config(Suite::Cifar, bits, iterations, 11).with_epochs(2);
         let cfg = scaled_parmac_config(ba, p.min(1200));
         let mut trainer =
-            ParMacTrainer::new(cfg, &exp.train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
         let last = report.mac.curve.last().unwrap();
         print_table(
             &format!("epochs = 2, P = {p} (final iteration summary)"),
-            &["iters", "final E_Q", "final E_BA", "best precision", "total sim_time"],
+            &[
+                "iters",
+                "final E_Q",
+                "final E_BA",
+                "best precision",
+                "total sim_time",
+            ],
             &[vec![
                 report.mac.iterations_run.to_string(),
                 cell(last.quadratic_penalty, 1),

@@ -5,9 +5,11 @@
 //! of §4.3). The paper's observation: shuffling generally reduces E_Q and
 //! increases precision with no increase in runtime.
 
-use parmac_bench::{build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite};
+use parmac_bench::{
+    build_experiment, cell, print_table, scaled_ba_config, scaled_parmac_config, Suite,
+};
 use parmac_cluster::CostModel;
-use parmac_core::{ParMacBackend, ParMacTrainer};
+use parmac_core::{ParMacTrainer, SimBackend};
 
 fn main() {
     let n = 1200;
@@ -27,11 +29,8 @@ fn main() {
             let cfg = scaled_parmac_config(ba, p)
                 .with_within_machine_shuffling(within)
                 .with_cross_machine_shuffling(cross);
-            let mut trainer = ParMacTrainer::new(
-                cfg,
-                &exp.train,
-                ParMacBackend::Simulated(CostModel::distributed()),
-            );
+            let mut trainer =
+                ParMacTrainer::new(cfg, &exp.train, SimBackend::new(CostModel::distributed()));
             let report = trainer.run_with_eval(&exp.train, Some(&exp.eval));
             let last = report.mac.curve.last().unwrap();
             rows.push(vec![
@@ -46,7 +45,14 @@ fn main() {
     }
     print_table(
         "final objective / precision with and without shuffling",
-        &["variant", "P", "final E_Q", "final E_BA", "best precision", "sim_time"],
+        &[
+            "variant",
+            "P",
+            "final E_Q",
+            "final E_BA",
+            "best precision",
+            "sim_time",
+        ],
         &rows,
     );
 }

@@ -8,7 +8,7 @@
 
 use parmac_bench::{cell, print_table, scaled_parmac_config, Suite};
 use parmac_cluster::CostModel;
-use parmac_core::{BaConfig, ParMacBackend, ParMacTrainer};
+use parmac_core::{BaConfig, ParMacTrainer, SimBackend};
 use parmac_linalg::Mat;
 use parmac_optim::RbfFeatureMap;
 use parmac_retrieval::{euclidean_knn, recall_at_r};
@@ -28,7 +28,7 @@ fn train_and_eval(
         .with_epochs(2)
         .with_seed(29);
     let cfg = scaled_parmac_config(ba, 8);
-    let mut trainer = ParMacTrainer::new(cfg, train, ParMacBackend::Simulated(cost));
+    let mut trainer = ParMacTrainer::new(cfg, train, SimBackend::new(cost));
     let report = trainer.run(train);
     let recall = recall_at_r(
         &trainer.model().encode(train),
@@ -62,8 +62,14 @@ fn main() {
     ] {
         let (lin_recall, lin_time) =
             train_and_eval(&train, &queries, &ground_truth, bits, cost, recall_r);
-        let (rbf_recall, rbf_time) =
-            train_and_eval(&train_rbf, &queries_rbf, &ground_truth, bits, cost, recall_r);
+        let (rbf_recall, rbf_time) = train_and_eval(
+            &train_rbf,
+            &queries_rbf,
+            &ground_truth,
+            bits,
+            cost,
+            recall_r,
+        );
         rows.push(vec![
             "linear SVM".into(),
             system.into(),

@@ -1,0 +1,427 @@
+//! The execution-engine seam: [`ClusterBackend`].
+//!
+//! ParMAC's two steps have very different execution structures — the W step
+//! circulates submodels over a ring while the Z step is embarrassingly
+//! parallel over data points — but *what* is computed is identical on every
+//! substrate. `ClusterBackend` captures that split: a backend decides **how**
+//! the ring protocol and the per-shard Z solves are executed (serially under a
+//! simulated clock, on real threads, or on a future substrate such as a rayon
+//! pool or MPI ranks), while the shared [`SimCluster`] state (shards, ring
+//! topology, machine speeds, cost model) and the algorithmic closures supplied
+//! by `parmac-core` stay backend-agnostic.
+//!
+//! Two backends ship today:
+//!
+//! * [`SimBackend`] — the deterministic synchronous-tick simulator, charging
+//!   simulated time to a [`CostModel`] (fig. 10's speedup experiments);
+//! * [`ThreadedBackend`] — real OS threads: the crossbeam ring for the W step
+//!   and one scoped thread per machine shard for the Z step. Simulated time is
+//!   still charged with the same formulas, so speedup curves remain comparable
+//!   across backends.
+//!
+//! The Z step uses a *collect-then-apply* contract: the solve closure returns
+//! the changed codes per shard as [`ZUpdate`]s instead of mutating shared
+//! state, which is what makes shard-parallel execution safe and keeps the
+//! parallel result bitwise identical to the serial one (per-point solves are
+//! independent; updates are applied in topology order either way).
+
+use crate::cost::{CostModel, StepTimings, WStepStats, ZStepStats};
+use crate::sim::{Fault, SimCluster};
+use crate::threaded::run_w_step_threaded;
+use std::thread;
+use std::time::Instant;
+
+/// A new binary code for one data point, produced by a Z-step solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZUpdate {
+    /// The data point (global index) whose code changed.
+    pub point: usize,
+    /// The new code as 0/1 values.
+    pub code: Vec<f64>,
+}
+
+/// An execution engine for ParMAC's distributed steps.
+///
+/// Implementations run the W-step ring protocol and the per-shard Z solves on
+/// their substrate of choice. The trainer in `parmac-core` is generic over
+/// this trait and contains no backend-specific dispatch; new substrates plug
+/// in here without touching the training logic.
+pub trait ClusterBackend {
+    /// Human-readable backend name (for reports and logging).
+    fn name(&self) -> &'static str;
+
+    /// The cost model this backend *seeds* a trainer's cluster with. At
+    /// execution time the cluster's own cost model is authoritative — both
+    /// steps charge simulated time from `cluster.cost_model()`, so a cluster
+    /// constructed with a different model than the backend's will be charged
+    /// with the cluster's.
+    fn cost_model(&self) -> CostModel;
+
+    /// Runs one distributed W step: every submodel visits every machine
+    /// `epochs` times and is updated on that machine's shard via `update`.
+    ///
+    /// * `cluster` — shards, ring topology, speeds.
+    /// * `submodels` — the `M` circulating submodels; returned updated, in the
+    ///   original order.
+    /// * `params_per_submodel` — parameter count for the bytes statistic.
+    /// * `update` — `update(&mut submodel, machine, shard)` performs one pass
+    ///   of stochastic updates. It may be called concurrently for *different*
+    ///   submodels, hence `Sync`.
+    /// * `fault` — optional machine failure to inject. Only the simulator
+    ///   honours faults; real-thread backends ignore the plan (they exercise
+    ///   actual thread liveness instead).
+    fn run_w_step<S, F>(
+        &self,
+        cluster: &SimCluster,
+        submodels: Vec<S>,
+        epochs: usize,
+        params_per_submodel: usize,
+        update: F,
+        fault: Option<Fault>,
+    ) -> (Vec<S>, WStepStats)
+    where
+        S: Send,
+        F: Fn(&mut S, usize, &[usize]) + Sync;
+
+    /// Runs one Z step: `solve(machine, shard)` computes the changed codes of
+    /// one machine's shard and the backend decides how machines execute
+    /// (serially or one thread per shard). Returns all updates in ring
+    /// topology order plus the step statistics.
+    ///
+    /// * `n_submodels` — the `M` used by the cost model (`M · N/P · t_r^Z`).
+    fn run_z_step<F>(
+        &self,
+        cluster: &SimCluster,
+        n_submodels: usize,
+        solve: F,
+    ) -> (Vec<ZUpdate>, ZStepStats)
+    where
+        F: Fn(usize, &[usize]) -> Vec<ZUpdate> + Sync;
+}
+
+/// Z-step statistics shared by both backends: simulated time comes from
+/// [`SimCluster::simulated_z_time`] (eq. 7), so the simulated speedup curves
+/// are directly comparable across substrates.
+fn z_stats(cluster: &SimCluster, n_submodels: usize, start: Instant) -> ZStepStats {
+    let mut timings = StepTimings::default();
+    timings.simulated_compute = cluster.simulated_z_time(n_submodels);
+    timings.simulated = timings.simulated_compute;
+    ZStepStats {
+        timings: timings.with_wall_clock(start.elapsed()),
+        points_updated: cluster
+            .topology()
+            .machines()
+            .iter()
+            .map(|&m| cluster.shard(m).len())
+            .sum(),
+    }
+}
+
+/// The deterministic synchronous-tick simulator backend.
+///
+/// Executes both steps serially on the calling thread in ring-topology order,
+/// charging simulated time to the configured [`CostModel`]. Supports fault
+/// injection (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimBackend {
+    cost: CostModel,
+}
+
+impl SimBackend {
+    /// A simulator charging time to `cost`.
+    pub fn new(cost: CostModel) -> Self {
+        SimBackend { cost }
+    }
+}
+
+impl Default for SimBackend {
+    /// The distributed-cluster cost preset (table 1 / fig. 10).
+    fn default() -> Self {
+        SimBackend::new(CostModel::distributed())
+    }
+}
+
+impl ClusterBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn run_w_step<S, F>(
+        &self,
+        cluster: &SimCluster,
+        mut submodels: Vec<S>,
+        epochs: usize,
+        params_per_submodel: usize,
+        update: F,
+        fault: Option<Fault>,
+    ) -> (Vec<S>, WStepStats)
+    where
+        S: Send,
+        F: Fn(&mut S, usize, &[usize]) + Sync,
+    {
+        let stats = cluster.run_w_step(&mut submodels, epochs, params_per_submodel, update, fault);
+        (submodels, stats)
+    }
+
+    fn run_z_step<F>(
+        &self,
+        cluster: &SimCluster,
+        n_submodels: usize,
+        solve: F,
+    ) -> (Vec<ZUpdate>, ZStepStats)
+    where
+        F: Fn(usize, &[usize]) -> Vec<ZUpdate> + Sync,
+    {
+        let start = Instant::now();
+        let mut updates = Vec::new();
+        for &machine in cluster.topology().machines() {
+            updates.extend(solve(machine, cluster.shard(machine)));
+        }
+        (updates, z_stats(cluster, n_submodels, start))
+    }
+}
+
+/// The real-thread backend: one OS thread per machine.
+///
+/// The W step runs the asynchronous crossbeam ring of §4.1; the Z step spawns
+/// one scoped thread per machine shard (the paper's "the Z step is
+/// embarrassingly parallel": no communication, disjoint shards). Simulated
+/// time is charged with the same cost formulas as [`SimBackend`] so that
+/// fig-10-style speedup curves cover both steps on either backend; wall-clock
+/// time additionally reflects true parallelism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadedBackend {
+    cost: CostModel,
+    parallel_z: bool,
+}
+
+impl ThreadedBackend {
+    /// A threaded backend with the distributed cost preset and the parallel Z
+    /// step enabled.
+    pub fn new() -> Self {
+        ThreadedBackend {
+            cost: CostModel::distributed(),
+            parallel_z: true,
+        }
+    }
+
+    /// Overrides the cost model a trainer built on this backend seeds its
+    /// cluster with (the cluster is authoritative at execution time; see
+    /// [`ClusterBackend::cost_model`]).
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables or disables the shard-parallel Z step (serial fallback; the
+    /// results are bitwise identical either way, see the equivalence tests).
+    pub fn with_parallel_z(mut self, on: bool) -> Self {
+        self.parallel_z = on;
+        self
+    }
+
+    /// Whether the Z step runs one thread per shard.
+    pub fn parallel_z(&self) -> bool {
+        self.parallel_z
+    }
+}
+
+impl Default for ThreadedBackend {
+    fn default() -> Self {
+        ThreadedBackend::new()
+    }
+}
+
+impl ClusterBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn run_w_step<S, F>(
+        &self,
+        cluster: &SimCluster,
+        submodels: Vec<S>,
+        epochs: usize,
+        params_per_submodel: usize,
+        update: F,
+        _fault: Option<Fault>,
+    ) -> (Vec<S>, WStepStats)
+    where
+        S: Send,
+        F: Fn(&mut S, usize, &[usize]) + Sync,
+    {
+        let shards: Vec<Vec<usize>> = (0..cluster.n_machines())
+            .map(|p| cluster.shard(p).to_vec())
+            .collect();
+        run_w_step_threaded(
+            submodels,
+            &shards,
+            cluster.topology(),
+            epochs,
+            params_per_submodel,
+            update,
+        )
+    }
+
+    fn run_z_step<F>(
+        &self,
+        cluster: &SimCluster,
+        n_submodels: usize,
+        solve: F,
+    ) -> (Vec<ZUpdate>, ZStepStats)
+    where
+        F: Fn(usize, &[usize]) -> Vec<ZUpdate> + Sync,
+    {
+        let start = Instant::now();
+        let machines = cluster.topology().machines();
+        let per_machine: Vec<Vec<ZUpdate>> = if self.parallel_z && machines.len() > 1 {
+            thread::scope(|scope| {
+                let handles: Vec<_> = machines
+                    .iter()
+                    .map(|&machine| {
+                        let solve = &solve;
+                        scope.spawn(move || solve(machine, cluster.shard(machine)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("Z-step shard thread panicked"))
+                    .collect()
+            })
+        } else {
+            machines
+                .iter()
+                .map(|&machine| solve(machine, cluster.shard(machine)))
+                .collect()
+        };
+        let updates: Vec<ZUpdate> = per_machine.into_iter().flatten().collect();
+        (updates, z_stats(cluster, n_submodels, start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shards(p: usize, n: usize) -> Vec<Vec<usize>> {
+        let base = n / p;
+        (0..p)
+            .map(|i| (i * base..(i + 1) * base).collect())
+            .collect()
+    }
+
+    fn toggle_solve(machine: usize, shard: &[usize]) -> Vec<ZUpdate> {
+        // Deterministic per-point "solve": flip points whose index is even,
+        // code derived from (machine, point).
+        shard
+            .iter()
+            .filter(|&&n| n % 2 == 0)
+            .map(|&n| ZUpdate {
+                point: n,
+                code: vec![machine as f64, n as f64],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sim_and_threaded_z_steps_produce_identical_updates_and_times() {
+        let cluster = SimCluster::new(shards(4, 40), CostModel::new(1.0, 10.0, 5.0));
+        let sim = SimBackend::new(CostModel::new(1.0, 10.0, 5.0));
+        let threaded = ThreadedBackend::new().with_cost_model(CostModel::new(1.0, 10.0, 5.0));
+        let (u_sim, s_sim) = sim.run_z_step(&cluster, 8, toggle_solve);
+        let (u_thr, s_thr) = threaded.run_z_step(&cluster, 8, toggle_solve);
+        assert_eq!(
+            u_sim, u_thr,
+            "parallel Z must be bitwise identical to serial"
+        );
+        assert_eq!(s_sim.points_updated, 40);
+        assert_eq!(s_sim.points_updated, s_thr.points_updated);
+        assert_eq!(s_sim.timings.simulated, s_thr.timings.simulated);
+    }
+
+    #[test]
+    fn threaded_serial_z_fallback_matches_parallel() {
+        let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        let parallel = ThreadedBackend::new();
+        let serial = ThreadedBackend::new().with_parallel_z(false);
+        assert!(parallel.parallel_z() && !serial.parallel_z());
+        let (u_par, _) = parallel.run_z_step(&cluster, 4, toggle_solve);
+        let (u_ser, _) = serial.run_z_step(&cluster, 4, toggle_solve);
+        assert_eq!(u_par, u_ser);
+    }
+
+    #[test]
+    fn z_updates_arrive_in_topology_order() {
+        let mut cluster = SimCluster::new(shards(4, 16), CostModel::distributed());
+        cluster.set_topology(crate::topology::RingTopology::from_order(vec![2, 0, 3, 1]));
+        let backend = ThreadedBackend::new();
+        let (updates, _) = backend.run_z_step(&cluster, 2, |machine, shard| {
+            shard
+                .iter()
+                .map(|&n| ZUpdate {
+                    point: n,
+                    code: vec![machine as f64],
+                })
+                .collect()
+        });
+        let machine_order: Vec<usize> = updates
+            .iter()
+            .map(|u| u.code[0] as usize)
+            .collect::<Vec<_>>()
+            .chunks(4)
+            .map(|c| c[0])
+            .collect();
+        assert_eq!(machine_order, vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn both_backends_run_the_w_step_protocol() {
+        let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        for (name, stats) in [
+            ("sim", {
+                let (subs, stats) = SimBackend::default().run_w_step(
+                    &cluster,
+                    vec![0usize; 5],
+                    2,
+                    1,
+                    |s, _, shard| *s += shard.len(),
+                    None,
+                );
+                assert!(subs.iter().all(|&s| s == 2 * 30));
+                stats
+            }),
+            ("threaded", {
+                let (subs, stats) = ThreadedBackend::new().run_w_step(
+                    &cluster,
+                    vec![0usize; 5],
+                    2,
+                    1,
+                    |s, _, shard| *s += shard.len(),
+                    None,
+                );
+                assert!(subs.iter().all(|&s| s == 2 * 30));
+                stats
+            }),
+        ] {
+            assert_eq!(stats.update_visits, 5 * 3 * 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn backend_names_and_cost_models_are_exposed() {
+        let sim = SimBackend::new(CostModel::shared_memory());
+        assert_eq!(sim.name(), "sim");
+        assert_eq!(sim.cost_model(), CostModel::shared_memory());
+        let thr = ThreadedBackend::new();
+        assert_eq!(thr.name(), "threaded");
+        assert_eq!(thr.cost_model(), CostModel::distributed());
+    }
+}

@@ -31,7 +31,11 @@ impl CostModel {
     /// # Panics
     ///
     /// Panics if any time is negative or non-finite.
-    pub fn new(w_compute_per_point: f64, w_comm_per_submodel: f64, z_compute_per_point: f64) -> Self {
+    pub fn new(
+        w_compute_per_point: f64,
+        w_comm_per_submodel: f64,
+        z_compute_per_point: f64,
+    ) -> Self {
         assert!(
             w_compute_per_point >= 0.0
                 && w_comm_per_submodel >= 0.0

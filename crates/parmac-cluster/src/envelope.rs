@@ -55,12 +55,7 @@ impl<S> SubmodelEnvelope<S> {
     /// machine from the pending list (refilling the list with `all_machines`
     /// when an epoch's list empties), and returns whether the visit performed
     /// an update.
-    pub fn record_visit(
-        &mut self,
-        machine: usize,
-        all_machines: &[usize],
-        epochs: usize,
-    ) -> bool {
+    pub fn record_visit(&mut self, machine: usize, all_machines: &[usize], epochs: usize) -> bool {
         let updating = self.needs_update(all_machines.len(), epochs);
         self.visits += 1;
         if updating {

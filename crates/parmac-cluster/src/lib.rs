@@ -1,8 +1,9 @@
 //! Distributed-cluster substrate for ParMAC.
 //!
 //! The paper runs ParMAC on a 128-processor MPI cluster and a 64-core
-//! shared-memory machine. This crate replaces that hardware with two
-//! interchangeable backends that implement the same ring protocol of §4.1:
+//! shared-memory machine. This crate replaces that hardware with
+//! interchangeable execution engines behind the [`ClusterBackend`] trait
+//! ([`backend`]), all implementing the same ring protocol of §4.1:
 //!
 //! * [`sim`] — a **deterministic, synchronous-tick simulator**. Machines,
 //!   their data shards and the circulating submodels are explicit; per-tick
@@ -22,12 +23,14 @@
 //!   (cost models and step statistics) and [`streaming`] (adding/removing data
 //!   and machines on the fly).
 //!
-//! The backends are generic over the submodel type `S` and the update
-//! closure, so they contain no knowledge of binary autoencoders; `parmac-core`
-//! supplies the actual W-step work.
+//! The backends are generic over the submodel type `S` and the update/solve
+//! closures, so they contain no knowledge of binary autoencoders;
+//! `parmac-core` supplies the actual W-step and Z-step work through the
+//! [`ClusterBackend`] methods.
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cost;
 pub mod envelope;
 pub mod sim;
@@ -35,6 +38,7 @@ pub mod streaming;
 pub mod threaded;
 pub mod topology;
 
+pub use backend::{ClusterBackend, SimBackend, ThreadedBackend, ZUpdate};
 pub use cost::{CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
 pub use sim::{Fault, SimCluster};

@@ -85,6 +85,11 @@ impl SimCluster {
         &self.shards[machine]
     }
 
+    /// The relative speed of `machine` (see load balancing, §4.3).
+    pub fn speed(&self, machine: usize) -> f64 {
+        self.speeds[machine]
+    }
+
     /// The current ring topology.
     pub fn topology(&self) -> &RingTopology {
         &self.topology
@@ -113,7 +118,10 @@ impl SimCluster {
     ///
     /// Panics if `machine` is out of range or a point is already owned.
     pub fn add_points_to_shard(&mut self, machine: usize, points: &[usize]) {
-        assert!(machine < self.shards.len(), "machine {machine} out of range");
+        assert!(
+            machine < self.shards.len(),
+            "machine {machine} out of range"
+        );
         for &p in points {
             assert!(
                 self.shards.iter().all(|s| !s.contains(&p)),
@@ -228,8 +236,9 @@ impl SimCluster {
                     update(&mut submodels[sub], machine, shard);
                     stats.update_visits += 1;
                 }
-                let compute = queue.len() as f64 * shard.len() as f64 * self.cost.w_compute_per_point
-                    / self.speeds[machine];
+                let compute =
+                    queue.len() as f64 * shard.len() as f64 * self.cost.w_compute_per_point
+                        / self.speeds[machine];
                 let comm = queue.len() as f64 * self.cost.w_comm_per_submodel;
                 stats.messages_sent += queue.len();
                 stats.bytes_sent += queue.len() * params_per_submodel * std::mem::size_of::<f64>();
@@ -255,7 +264,8 @@ impl SimCluster {
                 for queue in &queues {
                     tick_comm = tick_comm.max(queue.len() as f64 * self.cost.w_comm_per_submodel);
                     stats.messages_sent += queue.len();
-                    stats.bytes_sent += queue.len() * params_per_submodel * std::mem::size_of::<f64>();
+                    stats.bytes_sent +=
+                        queue.len() * params_per_submodel * std::mem::size_of::<f64>();
                 }
                 timings.simulated_comm += tick_comm;
                 let mut rotated: Vec<Vec<usize>> = vec![Vec::new(); p_now];
@@ -271,6 +281,23 @@ impl SimCluster {
         stats
     }
 
+    /// Simulated duration of one Z step: the slowest machine dominates the
+    /// tick, `max_p (M · N_p · t_r^Z / speed_p)` (eq. 7). The single source of
+    /// the Z-step cost formula, shared by [`run_z_step`](Self::run_z_step) and
+    /// the [`ClusterBackend`](crate::backend::ClusterBackend) implementations.
+    pub fn simulated_z_time(&self, n_submodels: usize) -> f64 {
+        self.topology
+            .machines()
+            .iter()
+            .map(|&machine| {
+                n_submodels as f64
+                    * self.shards[machine].len() as f64
+                    * self.cost.z_compute_per_point
+                    / self.speeds[machine]
+            })
+            .fold(0.0, f64::max)
+    }
+
     /// Runs one Z step: every machine updates the coordinates of its local
     /// shard, with no communication at all (§4.1).
     ///
@@ -284,17 +311,13 @@ impl SimCluster {
         let start = Instant::now();
         let mut stats = ZStepStats::default();
         let mut timings = StepTimings::default();
-        let mut slowest: f64 = 0.0;
         for &machine in self.topology.machines() {
             let shard = &self.shards[machine];
             update(machine, shard);
             stats.points_updated += shard.len();
-            let t = n_submodels as f64 * shard.len() as f64 * self.cost.z_compute_per_point
-                / self.speeds[machine];
-            slowest = slowest.max(t);
         }
-        timings.simulated_compute = slowest;
-        timings.simulated = slowest;
+        timings.simulated_compute = self.simulated_z_time(n_submodels);
+        timings.simulated = timings.simulated_compute;
         stats.timings = timings.with_wall_clock(start.elapsed());
         stats
     }
@@ -388,7 +411,7 @@ mod tests {
         let cluster = SimCluster::new(shards(4, 40), CostModel::distributed());
         let mut submodels = vec![(); 4];
         let mut visits_to_failed_after = 0usize;
-        let mut tick_counter = vec![0usize; 4]; // visits per submodel to track progress
+        let mut tick_counter = [0usize; 4]; // visits per submodel to track progress
         let fault = Fault {
             machine: 2,
             at_tick: 1,

@@ -82,7 +82,10 @@ mod tests {
     use super::*;
 
     fn setup() -> (Vec<Vec<usize>>, RingTopology) {
-        (vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]], RingTopology::new(3))
+        (
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]],
+            RingTopology::new(3),
+        )
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub fn run_w_step_threaded<S, F>(
     update: F,
 ) -> (Vec<S>, WStepStats)
 where
-    S: Send + 'static,
+    S: Send,
     F: Fn(&mut S, usize, &[usize]) + Sync,
 {
     assert!(epochs > 0, "need at least one epoch");
@@ -96,7 +96,9 @@ where
     let mut messages_seeded = 0usize;
     for (idx, sub) in submodels.into_iter().enumerate() {
         let env = SubmodelEnvelope::new(idx, sub, &machines);
-        senders[idx % p].send(Message::Envelope(env)).expect("seed send");
+        senders[idx % p]
+            .send(Message::Envelope(env))
+            .expect("seed send");
         messages_seeded += 1;
     }
     let _ = messages_seeded;
@@ -204,7 +206,11 @@ mod tests {
         let visits = visits.lock();
         for sub in 0..6 {
             for machine in 0..4 {
-                assert_eq!(visits.get(&(sub, machine)), Some(&epochs), "({sub},{machine})");
+                assert_eq!(
+                    visits.get(&(sub, machine)),
+                    Some(&epochs),
+                    "({sub},{machine})"
+                );
             }
         }
         assert_eq!(stats.update_visits, 6 * 4 * epochs);
@@ -215,7 +221,8 @@ mod tests {
         let shards = shards(3, 9);
         let topology = RingTopology::new(3);
         let submodels: Vec<String> = (0..5).map(|i| format!("model-{i}")).collect();
-        let (result, _) = run_w_step_threaded(submodels.clone(), &shards, &topology, 1, 1, |_, _, _| {});
+        let (result, _) =
+            run_w_step_threaded(submodels.clone(), &shards, &topology, 1, 1, |_, _, _| {});
         assert_eq!(result, submodels);
     }
 
@@ -226,9 +233,10 @@ mod tests {
         let shards = shards(4, 32);
         let topology = RingTopology::new(4);
         let submodels = vec![0usize; 3];
-        let (result, _) = run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, shard| {
-            *sub += shard.len();
-        });
+        let (result, _) =
+            run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, shard| {
+                *sub += shard.len();
+            });
         assert!(result.iter().all(|&c| c == 2 * 32));
     }
 
@@ -237,9 +245,10 @@ mod tests {
         let shards = shards(1, 10);
         let topology = RingTopology::new(1);
         let submodels = vec![0usize; 2];
-        let (result, stats) = run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, _| {
-            *sub += 1;
-        });
+        let (result, stats) =
+            run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, _| {
+                *sub += 1;
+            });
         assert_eq!(result, vec![2, 2]);
         assert_eq!(stats.update_visits, 4);
     }
@@ -249,7 +258,8 @@ mod tests {
         let shards = shards(2, 4);
         let topology = RingTopology::new(2);
         let submodels: Vec<u8> = Vec::new();
-        let (result, stats) = run_w_step_threaded(submodels, &shards, &topology, 1, 1, |_, _, _| {});
+        let (result, stats) =
+            run_w_step_threaded(submodels, &shards, &topology, 1, 1, |_, _, _| {});
         assert!(result.is_empty());
         assert_eq!(stats.update_visits, 0);
     }

@@ -160,7 +160,7 @@ mod tests {
         ms.sort_unstable();
         assert_eq!(ms, (0..8).collect::<Vec<_>>());
         // Following successors visits every machine exactly once.
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         let mut cur = r.machines()[0];
         for _ in 0..8 {
             assert!(!seen[cur]);

@@ -216,7 +216,10 @@ mod tests {
 
     #[test]
     fn auto_z_method_resolves_by_code_length() {
-        assert_eq!(BaConfig::new(8).resolved_z_method(), ZStepMethod::Enumeration);
+        assert_eq!(
+            BaConfig::new(8).resolved_z_method(),
+            ZStepMethod::Enumeration
+        );
         assert_eq!(
             BaConfig::new(16).resolved_z_method(),
             ZStepMethod::AlternatingBits

@@ -82,8 +82,7 @@ impl LearningCurve {
     /// Renders the curve as tab-separated rows (one per record), with a header
     /// — the format the experiment binaries print.
     pub fn to_tsv(&self) -> String {
-        let mut out =
-            String::from("iteration\tmu\tE_Q\tE_BA\tprecision\tsim_time\twall_secs\n");
+        let mut out = String::from("iteration\tmu\tE_Q\tE_BA\tprecision\tsim_time\twall_secs\n");
         for r in &self.records {
             let prec = r
                 .precision
@@ -91,7 +90,13 @@ impl LearningCurve {
                 .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!(
                 "{}\t{:.6}\t{:.3}\t{:.3}\t{}\t{:.1}\t{:.3}\n",
-                r.iteration, r.mu, r.quadratic_penalty, r.ba_error, prec, r.simulated_time, r.wall_clock_secs
+                r.iteration,
+                r.mu,
+                r.quadratic_penalty,
+                r.ba_error,
+                prec,
+                r.simulated_time,
+                r.wall_clock_secs
             ));
         }
         out

@@ -16,8 +16,9 @@
 //! * [`mu`] — the multiplicative penalty schedule `µ_i = µ_0 a^i`.
 //! * [`config`] — configuration types shared by the trainers.
 //! * [`mac`] — the serial MAC/BA trainer (fig. 1 of the paper).
-//! * [`parmac`] — the distributed ParMAC trainer over the cluster substrate
-//!   (simulator or threads), with epochs, shuffling, streaming and fault hooks.
+//! * [`parmac`] — the distributed ParMAC trainer, generic over the
+//!   [`ClusterBackend`] execution engine (simulator or threads), with epochs,
+//!   shuffling, streaming and fault hooks.
 //! * [`nested`] — the general K-layer MAC for deep (sigmoid) nets of §3.2.
 //! * [`speedup`] — the theoretical parallel-speedup model of §5 (eqs. 7–22).
 //! * [`curve`] — learning-curve records (`E_Q`, `E_BA`, precision vs
@@ -55,5 +56,6 @@ pub use curve::{IterationRecord, LearningCurve};
 pub use mac::{MacReport, MacTrainer};
 pub use mu::MuSchedule;
 pub use nested::{NestedMac, NestedMacConfig};
-pub use parmac::{ParMacBackend, ParMacReport, ParMacTrainer};
+pub use parmac::{ParMacReport, ParMacTrainer};
+pub use parmac_cluster::{ClusterBackend, SimBackend, ThreadedBackend};
 pub use speedup::SpeedupModel;

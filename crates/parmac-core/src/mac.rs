@@ -141,11 +141,16 @@ impl RetrievalEval {
 /// Summary of a MAC (or ParMAC) training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MacReport {
-    /// Per-iteration learning curve.
+    /// Per-iteration learning curve: the optimisation path *before* the final
+    /// decoder refit, matching what the paper's fig. 7/8 plot. Its last record
+    /// therefore differs from [`final_ba_error`](Self::final_ba_error), which
+    /// describes the returned model.
     pub curve: LearningCurve,
     /// `E_BA` of the initial (tPCA-initialised) model.
     pub initial_ba_error: f64,
-    /// `E_BA` of the returned model.
+    /// `E_BA` of the *returned* model, i.e. after the final decoder refit on
+    /// the binarised codes (see [`refit_decoder`]). Use the curve's last
+    /// record for the pre-refit path value instead.
     pub final_ba_error: f64,
     /// Number of MAC iterations actually run (µ values consumed).
     pub iterations_run: usize,
@@ -163,11 +168,26 @@ pub struct MacTrainer {
     rng: SmallRng,
 }
 
+/// Refits the decoder optimally to `(h(X), X)` by least squares — the final W
+/// half-step of the BA-MAC algorithm (§3.1): once training fixes the hash
+/// function `h`, the best reconstruction uses the decoder fitted to the
+/// *binarised* codes `h(X)` rather than the auxiliary codes `Z`, so the
+/// reported `E_BA` is the minimum achievable for the returned hash. The
+/// encoder (and therefore retrieval behaviour) is untouched.
+pub fn refit_decoder(model: &mut BinaryAutoencoder, x: &Mat, ridge: f64) {
+    let hx = model.encode(x);
+    model.set_decoder(LinearDecoder::fit_least_squares(&hx.to_matrix(), x, ridge));
+}
+
 /// Initialises a binary autoencoder and its auxiliary codes from data:
 /// truncated-PCA codes (§8.1), a tPCA encoder, and a least-squares decoder
 /// fitted to reconstruct `x` from those codes. Falls back to a random encoder
 /// when `L > D` (tPCA undefined).
-pub fn initialize_ba(config: &BaConfig, x: &Mat, rng: &mut SmallRng) -> (BinaryAutoencoder, BinaryCodes) {
+pub fn initialize_ba(
+    config: &BaConfig,
+    x: &Mat,
+    rng: &mut SmallRng,
+) -> (BinaryAutoencoder, BinaryCodes) {
     let encoder = if config.n_bits <= x.cols() && x.rows() > config.n_bits {
         TpcaHash::fit(x, config.n_bits)
             .map(TpcaHash::into_linear_hash)
@@ -188,7 +208,10 @@ impl MacTrainer {
     ///
     /// Panics if `x` is empty.
     pub fn new(config: BaConfig, x: &Mat) -> Self {
-        assert!(x.rows() > 0 && x.cols() > 0, "training data must be non-empty");
+        assert!(
+            x.rows() > 0 && x.cols() > 0,
+            "training data must be non-empty"
+        );
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let (model, codes) = initialize_ba(&config, x, &mut rng);
         MacTrainer {
@@ -288,12 +311,18 @@ impl MacTrainer {
         // (the "guarantees that we improve (or leave unchanged) the initial Z"
         // property of §3.1's early stopping).
         if eval.is_some() && best_precision > f64::NEG_INFINITY {
-            let current = eval.map(|e| e.precision_of(&self.model)).unwrap_or(best_precision);
+            let current = eval
+                .map(|e| e.precision_of(&self.model))
+                .unwrap_or(best_precision);
             if best_precision > current {
                 self.model = best_model;
                 self.codes = best_codes;
             }
         }
+
+        // Final W half-step on the binarised codes (§3.1 of the BA paper); see
+        // [`refit_decoder`].
+        refit_decoder(&mut self.model, x, self.config.decoder_ridge);
 
         MacReport {
             final_ba_error: self.model.ba_error(x),
@@ -327,8 +356,11 @@ impl MacTrainer {
 
         // Decoder: D least-squares problems from Z to X.
         if self.config.exact_w_step {
-            self.model
-                .set_decoder(LinearDecoder::fit_least_squares(&z_mat, x, self.config.decoder_ridge));
+            self.model.set_decoder(LinearDecoder::fit_least_squares(
+                &z_mat,
+                x,
+                self.config.decoder_ridge,
+            ));
         } else {
             let decoder_sgd = calibrate_decoder_sgd(self.config.sgd, &self.codes, x);
             let mut rows = self.model.decoder().to_ridge_rows(decoder_sgd);
@@ -336,7 +368,8 @@ impl MacTrainer {
                 let targets: Vec<f64> = x.col(out);
                 row.fit_batch(&z_mat, &targets, self.config.epochs);
             }
-            self.model.set_decoder(LinearDecoder::from_ridge_rows(&rows));
+            self.model
+                .set_decoder(LinearDecoder::from_ridge_rows(&rows));
         }
         // Deterministic but stateful RNG use keeps shuffling-based variants
         // reproducible; the serial trainer itself needs no randomness here.
@@ -468,7 +501,11 @@ mod tests {
             .with_seed(8);
         let mut trainer = MacTrainer::new(cfg, &x);
         let report = trainer.run(&x);
-        assert!(report.iterations_run < 30, "ran {} iterations", report.iterations_run);
+        assert!(
+            report.iterations_run < 30,
+            "ran {} iterations",
+            report.iterations_run
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl MuSchedule {
     /// Panics if `mu0 <= 0`, `factor <= 1`, or `n_steps == 0`.
     pub fn multiplicative(mu0: f64, factor: f64, n_steps: usize) -> Self {
         assert!(mu0 > 0.0, "µ0 must be positive");
-        assert!(factor > 1.0, "the µ factor must be > 1 so the schedule increases");
+        assert!(
+            factor > 1.0,
+            "the µ factor must be > 1 so the schedule increases"
+        );
         assert!(n_steps > 0, "need at least one µ value");
         MuSchedule {
             mu0,

@@ -56,8 +56,14 @@ impl NestedMacConfig {
     /// Panics if fewer than two layer sizes (input and output) are given or
     /// any size is zero.
     pub fn new(layer_sizes: Vec<usize>) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         NestedMacConfig {
             layer_sizes,
             mu0: 0.1,
@@ -118,7 +124,12 @@ impl SigmoidMlp {
         for (k, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
             let pre: Vec<f64> = (0..w.rows())
                 .map(|u| {
-                    w.row(u).iter().zip(&input).map(|(wi, xi)| wi * xi).sum::<f64>() + b[u]
+                    w.row(u)
+                        .iter()
+                        .zip(&input)
+                        .map(|(wi, xi)| wi * xi)
+                        .sum::<f64>()
+                        + b[u]
                 })
                 .collect();
             let out: Vec<f64> = if k + 1 == self.n_layers() {
@@ -276,7 +287,11 @@ impl NestedMac {
     pub fn w_step(&mut self, x: &Mat, y: &Mat) {
         let k_hidden = self.config.n_hidden_layers();
         for k in 0..k_hidden {
-            let input = if k == 0 { x.clone() } else { self.z[k - 1].clone() };
+            let input = if k == 0 {
+                x.clone()
+            } else {
+                self.z[k - 1].clone()
+            };
             let width = self.config.layer_sizes[k + 1];
             for unit in 0..width {
                 let targets: Vec<f64> = self.z[k].col(unit);
@@ -291,7 +306,11 @@ impl NestedMac {
             }
         }
         // Output layer: ridge regression from the last hidden coordinates.
-        let input = if k_hidden == 0 { x.clone() } else { self.z[k_hidden - 1].clone() };
+        let input = if k_hidden == 0 {
+            x.clone()
+        } else {
+            self.z[k_hidden - 1].clone()
+        };
         let augmented = input.with_bias_column();
         let w = solve_ridge(&augmented, y, 1e-6).expect("output ridge fit");
         let out_width = *self.config.layer_sizes.last().unwrap();
@@ -402,7 +421,11 @@ impl NestedMac {
                 let input = &zs[k];
                 let pre: Vec<f64> = (0..w_up.rows())
                     .map(|u| {
-                        w_up.row(u).iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>()
+                        w_up.row(u)
+                            .iter()
+                            .zip(input)
+                            .map(|(wi, xi)| wi * xi)
+                            .sum::<f64>()
                             + self.model.biases[k + 1][u]
                     })
                     .collect();
@@ -431,8 +454,13 @@ impl NestedMac {
         let b = &self.model.biases[k];
         (0..w.rows())
             .map(|u| {
-                let pre: f64 =
-                    w.row(u).iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b[u];
+                let pre: f64 = w
+                    .row(u)
+                    .iter()
+                    .zip(input)
+                    .map(|(wi, xi)| wi * xi)
+                    .sum::<f64>()
+                    + b[u];
                 if linear {
                     pre
                 } else {
@@ -456,7 +484,8 @@ mod tests {
         let mut y = Mat::zeros(n, 1);
         for i in 0..n {
             let r = x.row(i);
-            y[(i, 0)] = (r[0] + 0.5 * r[1]).tanh() - 0.7 * (r[2]).tanh() + 0.1 * rng.gen_range(-1.0..1.0);
+            y[(i, 0)] =
+                (r[0] + 0.5 * r[1]).tanh() - 0.7 * (r[2]).tanh() + 0.1 * rng.gen_range(-1.0..1.0);
         }
         (x, y)
     }
@@ -509,7 +538,10 @@ mod tests {
         let before = mac.quadratic_penalty(&x, &y, mu);
         mac.w_step(&x, &y);
         let after = mac.quadratic_penalty(&x, &y, mu);
-        assert!(after <= before + 1e-6, "penalty went from {before} to {after}");
+        assert!(
+            after <= before + 1e-6,
+            "penalty went from {before} to {after}"
+        );
     }
 
     #[test]
@@ -522,7 +554,10 @@ mod tests {
         let before = mac.quadratic_penalty(&x, &y, mu);
         mac.z_step(&x, &y, mu);
         let after = mac.quadratic_penalty(&x, &y, mu);
-        assert!(after <= before + 1e-6, "penalty went from {before} to {after}");
+        assert!(
+            after <= before + 1e-6,
+            "penalty went from {before} to {after}"
+        );
     }
 
     #[test]

@@ -3,14 +3,18 @@
 //! Data and auxiliary coordinates are partitioned over `P` machines and never
 //! move; the submodels (the `L` hash SVMs and the `D` decoder rows) circulate
 //! around the ring and are trained by SGD on each machine's shard (the W
-//! step); the Z step is purely local. The trainer can execute on either
-//! cluster backend:
+//! step); the Z step is purely local and embarrassingly parallel over points.
+//! The trainer is generic over a [`ClusterBackend`] execution engine:
 //!
-//! * [`ParMacBackend::Simulated`] — the deterministic synchronous simulator
-//!   with a [`CostModel`], which also produces the simulated runtimes used for
-//!   the speedup experiments;
-//! * [`ParMacBackend::Threaded`] — real threads and channels (one thread per
-//!   machine), for wall-clock parallelism.
+//! * [`SimBackend`] — the deterministic synchronous simulator with a
+//!   [`CostModel`](parmac_cluster::CostModel), which also produces the
+//!   simulated runtimes used for the speedup experiments;
+//! * [`ThreadedBackend`](parmac_cluster::ThreadedBackend) — real threads and channels: one thread per machine
+//!   for the W-step ring and one scoped thread per shard for the Z step.
+//!
+//! The trainer contains no backend-specific dispatch; further substrates (a
+//! rayon pool, MPI ranks, an async sharded server) plug in by implementing
+//! the trait in `parmac-cluster` — see `ClusterBackend`'s docs.
 //!
 //! Extensions of §4.2–4.3 are supported: within-machine minibatch shuffling,
 //! cross-machine (topology) shuffling, the two-round communication scheme,
@@ -19,10 +23,11 @@
 use crate::ba::BinaryAutoencoder;
 use crate::config::ParMacConfig;
 use crate::curve::{IterationRecord, LearningCurve};
-use crate::mac::{initialize_ba, MacReport, RetrievalEval};
+use crate::mac::{initialize_ba, refit_decoder, MacReport, RetrievalEval};
 use crate::zstep::{self, ZStepProblem};
-use parmac_cluster::{CostModel, Fault, SimCluster, WStepStats, ZStepStats};
-use parmac_cluster::threaded::run_w_step_threaded;
+use parmac_cluster::{
+    ClusterBackend, Fault, SimBackend, SimCluster, WStepStats, ZStepStats, ZUpdate,
+};
 use parmac_data::partition_equal;
 use parmac_hash::{BinaryCodes, HashFunction, LinearDecoder, LinearHash};
 use parmac_linalg::Mat;
@@ -32,16 +37,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-
-/// Which execution backend ParMAC runs on.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ParMacBackend {
-    /// The deterministic synchronous-tick simulator, charging simulated time
-    /// to the given cost model.
-    Simulated(CostModel),
-    /// One OS thread per machine, connected by channels.
-    Threaded,
-}
 
 /// Report of a ParMAC run: the MAC-level learning curve plus the distributed
 /// execution statistics.
@@ -67,11 +62,12 @@ enum BaSubmodel {
     DecoderRow { out: usize, ridge: RidgeRegression },
 }
 
-/// The distributed ParMAC trainer for binary autoencoders.
+/// The distributed ParMAC trainer for binary autoencoders, generic over the
+/// [`ClusterBackend`] execution engine.
 #[derive(Debug, Clone)]
-pub struct ParMacTrainer {
+pub struct ParMacTrainer<B: ClusterBackend = SimBackend> {
     config: ParMacConfig,
-    backend: ParMacBackend,
+    backend: B,
     model: BinaryAutoencoder,
     codes: BinaryCodes,
     cluster: SimCluster,
@@ -79,16 +75,20 @@ pub struct ParMacTrainer {
     rng: SmallRng,
 }
 
-impl ParMacTrainer {
+impl<B: ClusterBackend> ParMacTrainer<B> {
     /// Creates a trainer: initialises the model/codes exactly like the serial
     /// trainer (tPCA), partitions the points equally over the machines and
-    /// builds the ring.
+    /// builds the ring. The cluster charges simulated time to the backend's
+    /// cost model.
     ///
     /// # Panics
     ///
     /// Panics if `x` is empty or has fewer points than machines.
-    pub fn new(mut config: ParMacConfig, x: &Mat, backend: ParMacBackend) -> Self {
-        assert!(x.rows() > 0 && x.cols() > 0, "training data must be non-empty");
+    pub fn new(mut config: ParMacConfig, x: &Mat, backend: B) -> Self {
+        assert!(
+            x.rows() > 0 && x.cols() > 0,
+            "training data must be non-empty"
+        );
         assert!(
             x.rows() >= config.n_machines,
             "need at least one data point per machine"
@@ -98,12 +98,8 @@ impl ParMacTrainer {
         config.ba.sgd = config.ba.sgd.with_minibatch_size(config.minibatch_size);
         let mut rng = SmallRng::seed_from_u64(config.ba.seed);
         let (model, codes) = initialize_ba(&config.ba, x, &mut rng);
-        let cost = match backend {
-            ParMacBackend::Simulated(cost) => cost,
-            ParMacBackend::Threaded => CostModel::distributed(),
-        };
         let shards = partition_equal(x.rows(), config.n_machines).into_shards();
-        let cluster = SimCluster::new(shards, cost);
+        let cluster = SimCluster::new(shards, backend.cost_model());
         ParMacTrainer {
             config,
             backend,
@@ -117,10 +113,16 @@ impl ParMacTrainer {
 
     /// Injects a machine fault during the W step of MAC iteration
     /// `at_iteration` (0-based), exercising the recovery path of §4.3. Only
-    /// honoured by the simulated backend.
+    /// honoured by backends that simulate faults (see
+    /// [`ClusterBackend::run_w_step`]).
     pub fn with_fault(mut self, at_iteration: usize, fault: Fault) -> Self {
         self.fault_plan = Some((at_iteration, fault));
         self
+    }
+
+    /// The execution backend in use.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The current model.
@@ -224,12 +226,20 @@ impl ParMacTrainer {
         }
 
         if eval.is_some() && best_precision > f64::NEG_INFINITY {
-            let current = eval.map(|e| e.precision_of(&self.model)).unwrap_or(best_precision);
+            let current = eval
+                .map(|e| e.precision_of(&self.model))
+                .unwrap_or(best_precision);
             if best_precision > current {
                 self.model = best_model;
                 self.codes = best_codes;
             }
         }
+
+        // Final W half-step on the binarised codes (§3.1 of the BA paper): fit
+        // the decoder optimally to (h(X), X), so the reported E_BA is the best
+        // achievable for the returned hash function. Retrieval precision only
+        // depends on the encoder, so this never changes the model selection.
+        refit_decoder(&mut self.model, x, self.config.ba.decoder_ridge);
 
         ParMacReport {
             mac: MacReport {
@@ -256,10 +266,22 @@ impl ParMacTrainer {
         let decoder_sgd = crate::mac::calibrate_decoder_sgd(ba_cfg.sgd, &self.codes, x);
         // Build the circulating submodels from the current model.
         let mut submodels: Vec<BaSubmodel> = Vec::with_capacity(ba_cfg.n_bits + x.cols());
-        for (bit, svm) in self.model.encoder().to_svms(encoder_sgd).into_iter().enumerate() {
+        for (bit, svm) in self
+            .model
+            .encoder()
+            .to_svms(encoder_sgd)
+            .into_iter()
+            .enumerate()
+        {
             submodels.push(BaSubmodel::Hash { bit, svm });
         }
-        for (out, ridge) in self.model.decoder().to_ridge_rows(decoder_sgd).into_iter().enumerate() {
+        for (out, ridge) in self
+            .model
+            .decoder()
+            .to_ridge_rows(decoder_sgd)
+            .into_iter()
+            .enumerate()
+        {
             submodels.push(BaSubmodel::DecoderRow { out, ridge });
         }
 
@@ -273,10 +295,13 @@ impl ParMacTrainer {
 
         let params_per_submodel = x.cols() + 1;
         let codes = &self.codes;
-        let shuffle = self.config.within_machine_shuffling;
-        let seed = ba_cfg.seed ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let plan = VisitPlan {
+            passes: local_passes,
+            shuffle: self.config.within_machine_shuffling,
+            seed: ba_cfg.seed ^ (iteration as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
         let update = |sub: &mut BaSubmodel, machine: usize, shard: &[usize]| {
-            visit_update(sub, machine, shard, x, codes, local_passes, shuffle, seed);
+            visit_update(sub, machine, shard, x, codes, plan);
         };
 
         let fault = match self.fault_plan {
@@ -284,30 +309,15 @@ impl ParMacTrainer {
             _ => None,
         };
 
-        let stats = match self.backend {
-            ParMacBackend::Simulated(_) => self.cluster.run_w_step(
-                &mut submodels,
-                ring_epochs,
-                params_per_submodel,
-                update,
-                fault,
-            ),
-            ParMacBackend::Threaded => {
-                let shards: Vec<Vec<usize>> = (0..self.cluster.n_machines())
-                    .map(|p| self.cluster.shard(p).to_vec())
-                    .collect();
-                let (updated, stats) = run_w_step_threaded(
-                    submodels,
-                    &shards,
-                    self.cluster.topology(),
-                    ring_epochs,
-                    params_per_submodel,
-                    update,
-                );
-                submodels = updated;
-                stats
-            }
-        };
+        let (updated, stats) = self.backend.run_w_step(
+            &self.cluster,
+            submodels,
+            ring_epochs,
+            params_per_submodel,
+            update,
+            fault,
+        );
+        submodels = updated;
 
         // Reassemble the model from the circulated submodels.
         let mut svms: Vec<Option<LinearSvm>> = vec![None; ba_cfg.n_bits];
@@ -318,24 +328,35 @@ impl ParMacTrainer {
                 BaSubmodel::DecoderRow { out, ridge } => rows[out] = Some(ridge),
             }
         }
-        let svms: Vec<LinearSvm> = svms.into_iter().map(|s| s.expect("hash submodel returned")).collect();
-        let rows: Vec<RidgeRegression> =
-            rows.into_iter().map(|r| r.expect("decoder submodel returned")).collect();
+        let svms: Vec<LinearSvm> = svms
+            .into_iter()
+            .map(|s| s.expect("hash submodel returned"))
+            .collect();
+        let rows: Vec<RidgeRegression> = rows
+            .into_iter()
+            .map(|r| r.expect("decoder submodel returned"))
+            .collect();
         self.model.set_encoder(LinearHash::from_svms(&svms));
-        self.model.set_decoder(LinearDecoder::from_ridge_rows(&rows));
+        self.model
+            .set_decoder(LinearDecoder::from_ridge_rows(&rows));
         stats
     }
 
     /// One Z step: every machine updates its local coordinates; no
-    /// communication. Returns whether any code changed and the statistics.
+    /// communication. The per-shard solves run through the backend (serially
+    /// on the simulator, one thread per shard on the threaded backend) and
+    /// return the changed codes, which are applied here in topology order —
+    /// so the result is bitwise identical across backends. Returns whether
+    /// any code changed and the statistics.
     pub fn z_step(&mut self, x: &Mat, mu: f64) -> (bool, ZStepStats) {
         let method = self.config.ba.resolved_z_method();
         let alternations = self.config.ba.z_alternations;
         let model = &self.model;
-        let codes = &mut self.codes;
-        let mut changed = false;
-        let stats = self.cluster.run_z_step(self.config.ba.effective_submodels(), |_machine, shard| {
+        let codes = &self.codes;
+        let solve = |_machine: usize, shard: &[usize]| {
+            // One factorisation per shard, reused for every point on it.
             let problem = ZStepProblem::new(model.decoder(), mu);
+            let mut updates = Vec::new();
             for &n in shard {
                 let hx: Vec<f64> = model
                     .encoder()
@@ -345,11 +366,21 @@ impl ParMacTrainer {
                     .collect();
                 let z_new = zstep::solve(method, &problem, x.row(n), &hx, alternations);
                 if z_new != codes.to_f64_row(n) {
-                    changed = true;
-                    codes.set_code(n, &z_new);
+                    updates.push(ZUpdate {
+                        point: n,
+                        code: z_new,
+                    });
                 }
             }
-        });
+            updates
+        };
+        let (updates, stats) =
+            self.backend
+                .run_z_step(&self.cluster, self.config.ba.effective_submodels(), solve);
+        let changed = !updates.is_empty();
+        for update in updates {
+            self.codes.set_code(update.point, &update.code);
+        }
         (changed, stats)
     }
 
@@ -379,7 +410,10 @@ impl ParMacTrainer {
         }
         for &n in &new_indices {
             let bits = self.model.encoder().encode_one(x.row(n));
-            let code: Vec<f64> = bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+            let code: Vec<f64> = bits
+                .into_iter()
+                .map(|b| if b { 1.0 } else { 0.0 })
+                .collect();
             self.codes.push_code(&code);
         }
         self.cluster.add_points_to_shard(machine, &new_indices);
@@ -401,7 +435,10 @@ impl ParMacTrainer {
         let new_indices: Vec<usize> = (self.codes.len()..x.rows()).collect();
         for &n in &new_indices {
             let bits = self.model.encoder().encode_one(x.row(n));
-            let code: Vec<f64> = bits.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+            let code: Vec<f64> = bits
+                .into_iter()
+                .map(|b| if b { 1.0 } else { 0.0 })
+                .collect();
             self.codes.push_code(&code);
         }
         self.cluster.add_machine(after, new_indices, 1.0)
@@ -418,21 +455,34 @@ impl ParMacTrainer {
     }
 }
 
-/// One machine visit of one submodel: a pass (or `passes` passes, for the
-/// two-round scheme) of minibatch SGD over the machine's shard.
+/// How one machine visit trains a submodel: `passes` SGD passes (more than
+/// one only for the two-round scheme of §4.2), with optional deterministic
+/// within-machine shuffling derived from `seed`.
+#[derive(Debug, Clone, Copy)]
+struct VisitPlan {
+    passes: usize,
+    shuffle: bool,
+    seed: u64,
+}
+
+/// One machine visit of one submodel: a pass (or `plan.passes` passes, for
+/// the two-round scheme) of minibatch SGD over the machine's shard.
 fn visit_update(
     sub: &mut BaSubmodel,
     machine: usize,
     shard: &[usize],
     x: &Mat,
     codes: &BinaryCodes,
-    passes: usize,
-    shuffle: bool,
-    seed: u64,
+    plan: VisitPlan,
 ) {
     if shard.is_empty() {
         return;
     }
+    let VisitPlan {
+        passes,
+        shuffle,
+        seed,
+    } = plan;
     // Deterministic per-(visit) shuffling: reproducible regardless of backend
     // thread interleaving.
     let sub_id = match sub {
@@ -472,6 +522,7 @@ mod tests {
     use super::*;
     use crate::config::BaConfig;
     use crate::mac::MacTrainer;
+    use parmac_cluster::{CostModel, ThreadedBackend};
     use parmac_data::synthetic::{gaussian_mixture, MixtureConfig};
 
     fn dataset(seed: u64, n: usize) -> Mat {
@@ -496,7 +547,7 @@ mod tests {
         let x = data.train_features();
         let eval = crate::mac::RetrievalEval::new(x.clone(), data.query_features(), 10, 5);
         let cfg = ParMacConfig::new(quick_ba(6), 4);
-        let mut trainer = ParMacTrainer::new(cfg, &x, ParMacBackend::Simulated(CostModel::distributed()));
+        let mut trainer = ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()));
         let report = trainer.run_with_eval(&x, Some(&eval));
         let init_precision = report.mac.curve.records()[0].precision.unwrap();
         let final_precision = eval.precision_of(trainer.model());
@@ -513,9 +564,8 @@ mod tests {
     fn parmac_threaded_backend_produces_comparable_model() {
         let x = dataset(1, 200);
         let cfg = ParMacConfig::new(quick_ba(6), 4).with_within_machine_shuffling(false);
-        let mut sim =
-            ParMacTrainer::new(cfg, &x, ParMacBackend::Simulated(CostModel::distributed()));
-        let mut thr = ParMacTrainer::new(cfg, &x, ParMacBackend::Threaded);
+        let mut sim = ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()));
+        let mut thr = ParMacTrainer::new(cfg, &x, ThreadedBackend::new());
         let r_sim = sim.run(&x);
         let r_thr = thr.run(&x);
         // Both backends execute the same protocol; the threaded one may apply
@@ -523,7 +573,50 @@ mod tests {
         // independent), so the final errors should be very close.
         let rel = (r_sim.mac.final_ba_error - r_thr.mac.final_ba_error).abs()
             / r_sim.mac.final_ba_error.max(1e-9);
-        assert!(rel < 0.05, "simulated {} vs threaded {}", r_sim.mac.final_ba_error, r_thr.mac.final_ba_error);
+        assert!(
+            rel < 0.05,
+            "simulated {} vs threaded {}",
+            r_sim.mac.final_ba_error,
+            r_thr.mac.final_ba_error
+        );
+    }
+
+    #[test]
+    fn parallel_z_step_is_bitwise_identical_to_serial() {
+        // The per-point Z solves are independent, so running them one thread
+        // per shard must give exactly the same codes as the serial sweep —
+        // not just statistically close.
+        let x = dataset(13, 200);
+        let cfg = ParMacConfig::new(quick_ba(6), 4);
+        let mut parallel = ParMacTrainer::new(cfg, &x, ThreadedBackend::new());
+        let mut serial = ParMacTrainer::new(cfg, &x, ThreadedBackend::new().with_parallel_z(false));
+
+        parallel.w_step(&x, 0);
+        serial.w_step(&x, 0);
+        let (changed_par, stats_par) = parallel.z_step(&x, 0.05);
+        let (changed_ser, stats_ser) = serial.z_step(&x, 0.05);
+
+        assert_eq!(changed_par, changed_ser);
+        assert_eq!(stats_par.points_updated, stats_ser.points_updated);
+        assert_eq!(
+            parallel.codes().to_matrix(),
+            serial.codes().to_matrix(),
+            "parallel Z step must be bitwise identical to the serial one"
+        );
+    }
+
+    #[test]
+    fn parallel_z_full_run_matches_serial_z_run_exactly() {
+        // Same property over a whole training run: every iteration's Z step
+        // applies identical updates, so the final model and codes coincide
+        // bit for bit.
+        let x = dataset(14, 160);
+        let cfg = ParMacConfig::new(quick_ba(5), 4);
+        let r_par = ParMacTrainer::new(cfg, &x, ThreadedBackend::new()).run(&x);
+        let r_ser =
+            ParMacTrainer::new(cfg, &x, ThreadedBackend::new().with_parallel_z(false)).run(&x);
+        assert_eq!(r_par.mac.final_ba_error, r_ser.mac.final_ba_error);
+        assert_eq!(r_par.mac.iterations_run, r_ser.mac.iterations_run);
     }
 
     #[test]
@@ -535,9 +628,13 @@ mod tests {
         let mut serial = MacTrainer::new(ba, &x);
         let serial_report = serial.run(&x);
 
-        let cfg = ParMacConfig::new(quick_ba(6).with_epochs(2), 4);
+        // §8.2 / fig. 7: the SGD-trained distributed run approaches the serial
+        // exact one as the number of W-step epochs e grows; on a dataset this
+        // small (65 points per machine, minibatch 32) e = 8 is needed to give
+        // each submodel a meaningful SGD budget per W step.
+        let cfg = ParMacConfig::new(quick_ba(6).with_epochs(8), 4);
         let mut distributed =
-            ParMacTrainer::new(cfg, &x, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()));
         let parmac_report = distributed.run(&x);
 
         let serial_final = serial_report.final_ba_error;
@@ -552,7 +649,7 @@ mod tests {
     fn single_machine_parmac_equals_its_own_rerun_deterministically() {
         let x = dataset(3, 150);
         let cfg = ParMacConfig::new(quick_ba(5), 1);
-        let backend = ParMacBackend::Simulated(CostModel::distributed());
+        let backend = SimBackend::new(CostModel::distributed());
         let r1 = ParMacTrainer::new(cfg, &x, backend).run(&x);
         let r2 = ParMacTrainer::new(cfg, &x, backend).run(&x);
         assert_eq!(r1.mac.final_ba_error, r2.mac.final_ba_error);
@@ -564,11 +661,8 @@ mod tests {
         let x = dataset(4, 320);
         let time_with = |p: usize| {
             let cfg = ParMacConfig::new(quick_ba(6), p);
-            let mut t = ParMacTrainer::new(
-                cfg,
-                &x,
-                ParMacBackend::Simulated(CostModel::new(1.0, 10.0, 5.0)),
-            );
+            let mut t =
+                ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::new(1.0, 10.0, 5.0)));
             t.run(&x).total_simulated_time
         };
         let t1 = time_with(1);
@@ -582,7 +676,7 @@ mod tests {
         let x = dataset(5, 200);
         let cfg_multi = ParMacConfig::new(quick_ba(5).with_epochs(4), 4);
         let cfg_two = cfg_multi.with_two_round_communication(true);
-        let backend = ParMacBackend::Simulated(CostModel::distributed());
+        let backend = SimBackend::new(CostModel::distributed());
         let r_multi = ParMacTrainer::new(cfg_multi, &x, backend).run(&x);
         let r_two = ParMacTrainer::new(cfg_two, &x, backend).run(&x);
         let msgs = |r: &ParMacReport| r.w_steps.iter().map(|w| w.messages_sent).sum::<usize>();
@@ -598,12 +692,14 @@ mod tests {
     fn fault_injection_still_converges() {
         let x = dataset(6, 240);
         let cfg = ParMacConfig::new(quick_ba(5), 4);
-        let mut trainer = ParMacTrainer::new(
-            cfg,
-            &x,
-            ParMacBackend::Simulated(CostModel::distributed()),
-        )
-        .with_fault(1, Fault { machine: 2, at_tick: 1 });
+        let mut trainer = ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()))
+            .with_fault(
+                1,
+                Fault {
+                    machine: 2,
+                    at_tick: 1,
+                },
+            );
         let report = trainer.run(&x);
         assert!(report.mac.final_ba_error <= report.mac.initial_ba_error * 1.1);
     }
@@ -612,11 +708,7 @@ mod tests {
     fn cross_machine_shuffling_changes_topology_but_not_correctness() {
         let x = dataset(7, 200);
         let cfg = ParMacConfig::new(quick_ba(5), 4).with_cross_machine_shuffling(true);
-        let mut trainer = ParMacTrainer::new(
-            cfg,
-            &x,
-            ParMacBackend::Simulated(CostModel::distributed()),
-        );
+        let mut trainer = ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()));
         let report = trainer.run(&x);
         // E_BA is not monotone along the penalty path (fig. 7/8); assert that
         // training stayed sane: finite errors and a curve that dips at least
@@ -630,11 +722,8 @@ mod tests {
     fn streaming_new_points_into_a_machine_keeps_training() {
         let x_initial = dataset(9, 200);
         let cfg = ParMacConfig::new(quick_ba(5), 4);
-        let mut trainer = ParMacTrainer::new(
-            cfg,
-            &x_initial,
-            ParMacBackend::Simulated(CostModel::distributed()),
-        );
+        let mut trainer =
+            ParMacTrainer::new(cfg, &x_initial, SimBackend::new(CostModel::distributed()));
         // One MAC iteration on the initial data.
         trainer.w_step(&x_initial, 0);
         trainer.z_step(&x_initial, 0.05);
@@ -658,11 +747,8 @@ mod tests {
     fn streaming_machine_addition_and_removal() {
         let x_initial = dataset(11, 160);
         let cfg = ParMacConfig::new(quick_ba(5), 4);
-        let mut trainer = ParMacTrainer::new(
-            cfg,
-            &x_initial,
-            ParMacBackend::Simulated(CostModel::distributed()),
-        );
+        let mut trainer =
+            ParMacTrainer::new(cfg, &x_initial, SimBackend::new(CostModel::distributed()));
         trainer.w_step(&x_initial, 0);
         trainer.z_step(&x_initial, 0.05);
 
@@ -688,6 +774,6 @@ mod tests {
     fn more_machines_than_points_rejected() {
         let x = dataset(8, 4);
         let cfg = ParMacConfig::new(quick_ba(4), 8);
-        let _ = ParMacTrainer::new(cfg, &x, ParMacBackend::Threaded);
+        let _ = ParMacTrainer::new(cfg, &x, ThreadedBackend::new());
     }
 }

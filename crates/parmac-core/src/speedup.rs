@@ -49,7 +49,10 @@ impl SpeedupModel {
         t_w_comm: f64,
         t_z_compute: f64,
     ) -> Self {
-        assert!(n_points > 0 && n_submodels > 0 && epochs > 0, "counts must be positive");
+        assert!(
+            n_points > 0 && n_submodels > 0 && epochs > 0,
+            "counts must be positive"
+        );
         assert!(
             t_w_compute >= 0.0 && t_w_comm >= 0.0 && t_z_compute >= 0.0,
             "times must be non-negative"
@@ -148,7 +151,7 @@ impl SpeedupModel {
         assert!(p > 0, "need at least one machine");
         let (rho1, rho2, rho) = self.rho();
         let m = self.n_submodels as f64;
-        if self.n_submodels % p == 0 {
+        if self.n_submodels.is_multiple_of(p) {
             p as f64
         } else {
             rho / (rho1 / p as f64 + rho2 / m)
@@ -157,7 +160,9 @@ impl SpeedupModel {
 
     /// Evaluates the speedup curve at every `P` in `1..=max_machines`.
     pub fn curve(&self, max_machines: usize) -> Vec<(usize, f64)> {
-        (1..=max_machines.max(1)).map(|p| (p, self.speedup(p))).collect()
+        (1..=max_machines.max(1))
+            .map(|p| (p, self.speedup(p)))
+            .collect()
     }
 }
 
@@ -203,7 +208,7 @@ mod tests {
         // Theorem A.1(3): S(M/k) dominates every earlier P.
         let m = typical();
         let divisor_points: Vec<usize> = (1..=m.n_submodels)
-            .filter(|&p| m.n_submodels % p == 0)
+            .filter(|&p| m.n_submodels.is_multiple_of(p))
             .collect();
         let mut prev = 0.0;
         for &p in &divisor_points {
@@ -259,7 +264,10 @@ mod tests {
         // instead of growing with P (fig. 5, tWc large rows).
         let m = SpeedupModel::new(50_000, 8, 8, 1.0, 1000.0, 1.0);
         let s_big_p = m.speedup(128);
-        assert!(s_big_p < 16.0, "speedup {s_big_p} should saturate near M = 8");
+        assert!(
+            s_big_p < 16.0,
+            "speedup {s_big_p} should saturate near M = 8"
+        );
     }
 
     #[test]
@@ -268,7 +276,10 @@ mod tests {
         for &p in &[8usize, 32, 128] {
             let exact = m.speedup(p);
             let approx = m.speedup_large_dataset(p);
-            assert!((exact - approx).abs() / approx < 0.06, "P={p}: {exact} vs {approx}");
+            assert!(
+                (exact - approx).abs() / approx < 0.06,
+                "P={p}: {exact} vs {approx}"
+            );
         }
     }
 

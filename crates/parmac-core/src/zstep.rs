@@ -112,7 +112,11 @@ pub fn solve_relaxed(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f
         return hx.to_vec();
     };
     // rhs = Wᵀ(x − c) + µ·hx
-    let shifted: Vec<f64> = x.iter().zip(decoder.biases()).map(|(xi, ci)| xi - ci).collect();
+    let shifted: Vec<f64> = x
+        .iter()
+        .zip(decoder.biases())
+        .map(|(xi, ci)| xi - ci)
+        .collect();
     let w = decoder.weights(); // D × L
     let mut rhs = vec![0.0; l];
     for (bit, r) in rhs.iter_mut().enumerate() {
@@ -150,7 +154,7 @@ pub fn solve_alternating(
             }
         }
         let obj = problem.objective(x, hx, &z);
-        if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+        if best.as_ref().is_none_or(|(b, _)| obj < *b) {
             best = Some((obj, z));
         }
     }
@@ -189,12 +193,7 @@ pub fn encoder_output_as_f64(bits: &[bool]) -> Vec<f64> {
 ///
 /// The sweep maintains the residual `r = x − f(z)` so that flipping bit `l`
 /// costs `O(D)` instead of a full decode.
-fn alternate_bits_once(
-    problem: &ZStepProblem<'_>,
-    x: &[f64],
-    hx: &[f64],
-    z: &mut [f64],
-) -> bool {
+fn alternate_bits_once(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64], z: &mut [f64]) -> bool {
     let decoder = problem.decoder;
     let l = decoder.n_bits();
     let d = decoder.dim_out();
@@ -256,7 +255,9 @@ mod tests {
 
     fn random_code(l: usize, seed: u64) -> Vec<f64> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        (0..l).map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 }).collect()
+        (0..l)
+            .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+            .collect()
     }
 
     #[test]
@@ -290,8 +291,7 @@ mod tests {
                     <= problem.objective(&x, &hx, &relaxed) + 1e-12
             );
             assert!(
-                problem.objective(&x, &hx, &alternating)
-                    <= problem.objective(&x, &hx, &hx) + 1e-12
+                problem.objective(&x, &hx, &alternating) <= problem.objective(&x, &hx, &hx) + 1e-12
             );
         }
     }
@@ -316,7 +316,10 @@ mod tests {
                 matches += 1;
             }
         }
-        assert!(matches * 2 >= trials, "only {matches}/{trials} matched the exact solution");
+        assert!(
+            matches * 2 >= trials,
+            "only {matches}/{trials} matched the exact solution"
+        );
     }
 
     #[test]
@@ -335,7 +338,10 @@ mod tests {
                 matches += 1;
             }
         }
-        assert!(matches >= 8, "only {matches}/15 relaxed solutions matched the exact one");
+        assert!(
+            matches >= 8,
+            "only {matches}/15 relaxed solutions matched the exact one"
+        );
     }
 
     #[test]
@@ -376,7 +382,10 @@ mod tests {
 
     #[test]
     fn encoder_output_helper_maps_bools() {
-        assert_eq!(encoder_output_as_f64(&[true, false, true]), vec![1.0, 0.0, 1.0]);
+        assert_eq!(
+            encoder_output_as_f64(&[true, false, true]),
+            vec![1.0, 0.0, 1.0]
+        );
     }
 
     #[test]

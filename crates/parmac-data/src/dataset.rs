@@ -103,7 +103,8 @@ impl Dataset {
         order.shuffle(rng);
         let n_train = ((n as f64) * spec.train).round() as usize;
         let n_val = ((n as f64) * spec.validation).round() as usize;
-        let n_query = (((n as f64) * spec.query).round() as usize).min(n - n_train.min(n) - n_val.min(n - n_train.min(n)));
+        let n_query = (((n as f64) * spec.query).round() as usize)
+            .min(n - n_train.min(n) - n_val.min(n - n_train.min(n)));
         let n_train = n_train.min(n);
         let n_val = n_val.min(n - n_train);
         self.train_idx = order[..n_train].to_vec();

@@ -95,7 +95,9 @@ mod tests {
     fn shuffled_batches_cover_same_indices() {
         let idx: Vec<usize> = (0..50).collect();
         let mut rng = SmallRng::seed_from_u64(0);
-        let mut flat: Vec<usize> = MinibatchIter::shuffled(&idx, 7, &mut rng).flatten().collect();
+        let mut flat: Vec<usize> = MinibatchIter::shuffled(&idx, 7, &mut rng)
+            .flatten()
+            .collect();
         flat.sort_unstable();
         assert_eq!(flat, idx);
     }
@@ -104,7 +106,9 @@ mod tests {
     fn shuffling_changes_order_with_high_probability() {
         let idx: Vec<usize> = (0..100).collect();
         let mut rng = SmallRng::seed_from_u64(1);
-        let flat: Vec<usize> = MinibatchIter::shuffled(&idx, 100, &mut rng).flatten().collect();
+        let flat: Vec<usize> = MinibatchIter::shuffled(&idx, 100, &mut rng)
+            .flatten()
+            .collect();
         assert_ne!(flat, idx);
     }
 

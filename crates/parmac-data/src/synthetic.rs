@@ -101,7 +101,8 @@ pub fn gaussian_mixture(cfg: &MixtureConfig) -> Dataset {
     let d_latent = cfg.intrinsic_dim.min(cfg.dim);
 
     // Random embedding of the latent space into the ambient space.
-    let embed = Mat::random_normal(d_latent, cfg.dim, &mut rng).scale(1.0 / (d_latent as f64).sqrt());
+    let embed =
+        Mat::random_normal(d_latent, cfg.dim, &mut rng).scale(1.0 / (d_latent as f64).sqrt());
     // Cluster centres in latent space.
     let centres = Mat::random_normal(cfg.n_clusters, d_latent, &mut rng).scale(cfg.centre_scale);
 

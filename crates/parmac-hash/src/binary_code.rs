@@ -70,11 +70,10 @@ impl BinaryCodes {
 
     /// Number of codes `N`.
     pub fn len(&self) -> usize {
-        if self.words_per_code == 0 {
-            0
-        } else {
-            self.data.len() / self.words_per_code
-        }
+        self.data
+            .len()
+            .checked_div(self.words_per_code)
+            .unwrap_or(0)
     }
 
     /// Returns `true` if there are no codes.
@@ -176,7 +175,8 @@ impl BinaryCodes {
     /// Panics if `bits.len() != n_bits()`.
     pub fn push_code(&mut self, bits: &[f64]) {
         assert_eq!(bits.len(), self.n_bits, "push_code: length mismatch");
-        self.data.extend(std::iter::repeat(0).take(self.words_per_code));
+        self.data
+            .extend(std::iter::repeat_n(0, self.words_per_code));
         let i = self.len() - 1;
         self.set_code(i, bits);
     }

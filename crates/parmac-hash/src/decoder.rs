@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn decode_one_matches_manual_computation() {
-        let dec = LinearDecoder::new(Mat::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]), vec![0.0, 1.0]);
+        let dec = LinearDecoder::new(
+            Mat::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]),
+            vec![0.0, 1.0],
+        );
         let out = dec.decode_one(&[1.0, 0.0]);
         assert_eq!(out, vec![1.0, 1.5]);
     }
@@ -213,7 +216,7 @@ mod tests {
     #[test]
     fn zeros_decoder_has_zero_output() {
         let dec = LinearDecoder::zeros(4, 8);
-        assert_eq!(dec.decode_one(&vec![1.0; 8]), vec![0.0; 4]);
+        assert_eq!(dec.decode_one(&[1.0; 8]), vec![0.0; 4]);
         assert_eq!(dec.dim_out(), 4);
         assert_eq!(dec.n_bits(), 8);
     }

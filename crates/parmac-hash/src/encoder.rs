@@ -128,7 +128,10 @@ impl HashFunction for LinearHash {
     }
 
     fn encode_one(&self, x: &[f64]) -> Vec<bool> {
-        self.decision_values(x).into_iter().map(|d| d >= 0.0).collect()
+        self.decision_values(x)
+            .into_iter()
+            .map(|d| d >= 0.0)
+            .collect()
     }
 }
 
@@ -206,7 +209,10 @@ mod tests {
 
     #[test]
     fn linear_hash_thresholds_at_zero() {
-        let h = LinearHash::new(Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]), vec![0.0, 0.5]);
+        let h = LinearHash::new(
+            Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, -1.0]]),
+            vec![0.0, 0.5],
+        );
         let bits = h.encode_one(&[2.0, 1.0]);
         // bit0: 2.0 >= 0 -> true; bit1: -1.0 + 0.5 = -0.5 < 0 -> false
         assert_eq!(bits, vec![true, false]);

@@ -37,7 +37,12 @@ impl Itq {
     ///
     /// Propagates PCA/eigendecomposition errors (empty input, more bits than
     /// input dimensions, ...).
-    pub fn fit(x: &Mat, n_bits: usize, n_iterations: usize, seed: u64) -> Result<Self, LinalgError> {
+    pub fn fit(
+        x: &Mat,
+        n_bits: usize,
+        n_iterations: usize,
+        seed: u64,
+    ) -> Result<Self, LinalgError> {
         let pca_model = pca(x, n_bits)?;
         let v = pca_model.transform(x)?; // N × L projected data
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -79,7 +84,13 @@ impl Itq {
     pub fn try_encode(&self, x: &Mat) -> Result<BinaryCodes, LinalgError> {
         let v = self.pca.transform(x)?;
         let vr = v.matmul(&self.rotation)?;
-        Ok(BinaryCodes::from_matrix(&vr.map(|t| if t >= 0.0 { 1.0 } else { 0.0 })))
+        Ok(BinaryCodes::from_matrix(&vr.map(|t| {
+            if t >= 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })))
     }
 }
 

@@ -31,10 +31,10 @@ impl TpcaHash {
         let components = model.components(); // D × L
         let mut weights = Mat::zeros(n_bits, x.cols());
         let mut biases = vec![0.0; n_bits];
-        for l in 0..n_bits {
+        for (l, bias) in biases.iter_mut().enumerate() {
             let direction = components.col(l);
             weights.set_row(l, &direction);
-            biases[l] = -direction
+            *bias = -direction
                 .iter()
                 .zip(model.mean())
                 .map(|(w, m)| w * m)

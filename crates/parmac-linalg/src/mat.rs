@@ -609,7 +609,12 @@ mod tests {
         let a = Mat::random_normal(200, 50, &mut rng);
         let n = (a.rows() * a.cols()) as f64;
         let mean: f64 = a.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = a.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var: f64 = a
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

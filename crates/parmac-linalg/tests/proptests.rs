@@ -6,8 +6,7 @@ use proptest::prelude::*;
 /// Strategy producing a small matrix with bounded entries.
 fn small_matrix(max_dim: usize) -> impl Strategy<Value = Mat> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-10.0f64..10.0, r * c)
-            .prop_map(move |data| Mat::from_vec(r, c, data))
+        prop::collection::vec(-10.0f64..10.0, r * c).prop_map(move |data| Mat::from_vec(r, c, data))
     })
 }
 

@@ -216,7 +216,10 @@ mod tests {
         exact.fit_exact(&x, &y);
         let mut sgd = RidgeRegression::new(
             3,
-            SgdConfig::new().with_eta0(0.05).with_lambda(1e-6).with_minibatch_size(10),
+            SgdConfig::new()
+                .with_eta0(0.05)
+                .with_lambda(1e-6)
+                .with_minibatch_size(10),
         );
         sgd.fit_batch(&x, &y, 100);
         assert!(sgd.mse(&x, &y) < 10.0 * (exact.mse(&x, &y) + 1e-3));

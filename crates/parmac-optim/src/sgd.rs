@@ -54,10 +54,9 @@ impl StepSizeSchedule {
                 eta0: new_eta0,
                 lambda,
             },
-            StepSizeSchedule::InverseTime { t0, .. } => StepSizeSchedule::InverseTime {
-                eta0: new_eta0,
-                t0,
-            },
+            StepSizeSchedule::InverseTime { t0, .. } => {
+                StepSizeSchedule::InverseTime { eta0: new_eta0, t0 }
+            }
         }
     }
 }
@@ -143,7 +142,7 @@ pub fn calibrate_eta0<F: FnMut(f64) -> f64>(candidates: &[f64], mut trial_object
     let mut best = None::<(f64, f64)>;
     for &eta in candidates {
         let obj = trial_objective(eta);
-        if obj.is_finite() && best.map_or(true, |(_, b)| obj < b) {
+        if obj.is_finite() && best.is_none_or(|(_, b)| obj < b) {
             best = Some((eta, obj));
         }
     }
@@ -207,7 +206,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let cfg = SgdConfig::new().with_eta0(0.3).with_lambda(0.01).with_minibatch_size(8);
+        let cfg = SgdConfig::new()
+            .with_eta0(0.3)
+            .with_lambda(0.01)
+            .with_minibatch_size(8);
         assert_eq!(cfg.minibatch_size, 8);
         assert_eq!(cfg.lambda, 0.01);
         assert_eq!(cfg.schedule.step_size(0), 0.3);

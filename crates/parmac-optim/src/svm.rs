@@ -223,7 +223,11 @@ mod tests {
         let (x, y) = separable_problem(300, 0);
         let mut svm = LinearSvm::new(4, SgdConfig::new().with_eta0(0.1).with_lambda(1e-4));
         svm.fit_batch(&x, &y, 50);
-        assert!(svm.accuracy(&x, &y) > 0.95, "accuracy {}", svm.accuracy(&x, &y));
+        assert!(
+            svm.accuracy(&x, &y) > 0.95,
+            "accuracy {}",
+            svm.accuracy(&x, &y)
+        );
     }
 
     #[test]

@@ -83,12 +83,12 @@ pub fn recall_curve(
         return vec![0.0; rs.len()];
     }
     let mut hits = vec![0usize; rs.len()];
-    for q in 0..query_codes.len() {
+    for (q, truth) in ground_truth.iter().enumerate() {
         assert!(
-            !ground_truth[q].is_empty(),
+            !truth.is_empty(),
             "query {q} has an empty ground-truth list"
         );
-        let target = ground_truth[q][0];
+        let target = truth[0];
         let ranking = hamming_ranking(database_codes, query_codes, q);
         // Position of the true nearest neighbour in the Hamming ranking. The
         // paper places tied distances at top rank; our deterministic

@@ -17,7 +17,8 @@ fn main() {
     let mut y = Mat::zeros(n, 1);
     for i in 0..n {
         let r = x.row(i);
-        y[(i, 0)] = (r[0] - 0.5 * r[1]).tanh() + 0.8 * (r[2] * r[3]).tanh()
+        y[(i, 0)] = (r[0] - 0.5 * r[1]).tanh()
+            + 0.8 * (r[2] * r[3]).tanh()
             + 0.05 * rng.gen_range(-1.0..1.0);
     }
 

@@ -10,7 +10,9 @@
 
 use parmac::cluster::CostModel;
 use parmac::core::mac::RetrievalEval;
-use parmac::core::{BaConfig, ParMacBackend, ParMacConfig, ParMacTrainer, SpeedupModel};
+use parmac::core::{
+    BaConfig, ParMacConfig, ParMacTrainer, SimBackend, SpeedupModel, ThreadedBackend,
+};
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 
 fn main() {
@@ -38,7 +40,7 @@ fn main() {
     let mut t1 = None;
     for &machines in &[1usize, 4, 16] {
         let cfg = ParMacConfig::new(ba, machines);
-        let mut trainer = ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(cost));
+        let mut trainer = ParMacTrainer::new(cfg, &train, SimBackend::new(cost));
         let report = trainer.run_with_eval(&train, Some(&eval));
         let t = report.total_simulated_time;
         let t1 = *t1.get_or_insert(t);
@@ -54,7 +56,7 @@ fn main() {
 
     // The same run on real threads (one per machine): wall-clock parallelism.
     let cfg = ParMacConfig::new(ba, 4);
-    let mut threaded = ParMacTrainer::new(cfg, &train, ParMacBackend::Threaded);
+    let mut threaded = ParMacTrainer::new(cfg, &train, ThreadedBackend::new());
     let report = threaded.run_with_eval(&train, Some(&eval));
     println!(
         "\nthreaded backend (4 OS threads): {:.2}s wall clock, precision {:.3}",

@@ -7,7 +7,7 @@
 use parmac::cluster::streaming::{add_data, add_machine};
 use parmac::cluster::{CostModel, Fault, RingTopology};
 use parmac::core::mac::RetrievalEval;
-use parmac::core::{BaConfig, ParMacBackend, ParMacConfig, ParMacTrainer};
+use parmac::core::{BaConfig, ParMacConfig, ParMacTrainer, SimBackend};
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 
 fn main() {
@@ -21,8 +21,14 @@ fn main() {
 
     // --- Fault tolerance: machine 2 fails during the second MAC iteration.
     let cfg = ParMacConfig::new(ba, 6);
-    let mut faulty = ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(CostModel::distributed()))
-        .with_fault(1, Fault { machine: 2, at_tick: 3 });
+    let mut faulty = ParMacTrainer::new(cfg, &train, SimBackend::new(CostModel::distributed()))
+        .with_fault(
+            1,
+            Fault {
+                machine: 2,
+                at_tick: 3,
+            },
+        );
     let report = faulty.run_with_eval(&train, Some(&eval));
     println!(
         "with a machine failure at iteration 2: E_BA {:.0} -> {:.0}, precision {:.3}",
@@ -34,7 +40,10 @@ fn main() {
     // --- Streaming: the same primitives ParMAC uses to add data and machines.
     let mut shards = vec![vec![0usize, 1, 2], vec![3, 4, 5], vec![6, 7, 8]];
     let mut topology = RingTopology::new(3);
-    println!("\nstreaming demo on a toy ring of {} machines", topology.n_machines());
+    println!(
+        "\nstreaming demo on a toy ring of {} machines",
+        topology.n_machines()
+    );
 
     // New points collected by machine 1 (within-machine streaming).
     add_data(&mut shards, 1, &[9, 10, 11]);
@@ -49,5 +58,8 @@ fn main() {
 
     // And a machine can be removed without touching anyone's data.
     topology.remove_machine(0);
-    println!("machine 0 left; ring order is now {:?}", topology.machines());
+    println!(
+        "machine 0 left; ring order is now {:?}",
+        topology.machines()
+    );
 }

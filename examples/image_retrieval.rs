@@ -24,7 +24,11 @@ fn main() {
     let queries = data.query_features();
     let eval = RetrievalEval::new(database.clone(), queries, 20, 20);
 
-    println!("database: {} points x {} GIST-like features", database.rows(), database.cols());
+    println!(
+        "database: {} points x {} GIST-like features",
+        database.rows(),
+        database.cols()
+    );
     let dense_bytes = database.rows() * database.cols() * std::mem::size_of::<f64>();
 
     // Baseline 1: truncated PCA hashing.
@@ -45,7 +49,8 @@ fn main() {
     let ba_precision = eval.precision_of(trainer.model());
 
     let codes = trainer.model().encode(&database);
-    println!("\nindex memory: {} bytes as f64 features, {} bytes as {bits}-bit codes ({}x smaller)",
+    println!(
+        "\nindex memory: {} bytes as f64 features, {} bytes as {bits}-bit codes ({}x smaller)",
         dense_bytes,
         codes.memory_bytes(),
         dense_bytes / codes.memory_bytes().max(1)

@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use parmac::core::{BaConfig, MacTrainer};
 use parmac::core::mac::RetrievalEval;
+use parmac::core::{BaConfig, MacTrainer};
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 
 fn main() {

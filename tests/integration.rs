@@ -5,7 +5,8 @@
 use parmac::cluster::{CostModel, Fault};
 use parmac::core::mac::RetrievalEval;
 use parmac::core::{
-    BaConfig, MacTrainer, ParMacBackend, ParMacConfig, ParMacTrainer, SpeedupModel, ZStepMethod,
+    BaConfig, MacTrainer, ParMacConfig, ParMacTrainer, SimBackend, SpeedupModel, ThreadedBackend,
+    ZStepMethod,
 };
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 use parmac::hash::TpcaHash;
@@ -51,7 +52,7 @@ fn parmac_simulated_matches_serial_quality() {
 
     let cfg = ParMacConfig::new(ba_config(8, 1).with_epochs(2), 4);
     let mut distributed =
-        ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(CostModel::distributed()));
+        ParMacTrainer::new(cfg, &train, SimBackend::new(CostModel::distributed()));
     distributed.run_with_eval(&train, Some(&eval));
     let parmac_precision = eval.precision_of(distributed.model());
 
@@ -67,8 +68,8 @@ fn parmac_simulated_matches_serial_quality() {
 fn parmac_threaded_and_simulated_backends_agree() {
     let (train, _) = dataset(300, 12, 2);
     let cfg = ParMacConfig::new(ba_config(6, 2), 3).with_within_machine_shuffling(false);
-    let mut sim = ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(CostModel::distributed()));
-    let mut thr = ParMacTrainer::new(cfg, &train, ParMacBackend::Threaded);
+    let mut sim = ParMacTrainer::new(cfg, &train, SimBackend::new(CostModel::distributed()));
+    let mut thr = ParMacTrainer::new(cfg, &train, ThreadedBackend::new());
     let r_sim = sim.run(&train);
     let r_thr = thr.run(&train);
     // Same protocol, same deterministic update order per submodel → same model.
@@ -92,7 +93,7 @@ fn one_epoch_no_shuffling_is_invariant_to_machine_count() {
         let cfg = ParMacConfig::new(ba_config(6, 3).with_epochs(1), p)
             .with_within_machine_shuffling(false);
         let mut trainer =
-            ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(CostModel::distributed()));
+            ParMacTrainer::new(cfg, &train, SimBackend::new(CostModel::distributed()));
         trainer.run_with_eval(&train, Some(&eval));
         finals.push(eval.precision_of(trainer.model()));
     }
@@ -105,12 +106,14 @@ fn one_epoch_no_shuffling_is_invariant_to_machine_count() {
 fn fault_injection_mid_training_still_produces_a_usable_model() {
     let (train, eval) = dataset(400, 16, 4);
     let cfg = ParMacConfig::new(ba_config(8, 4), 5);
-    let mut trainer = ParMacTrainer::new(
-        cfg,
-        &train,
-        ParMacBackend::Simulated(CostModel::distributed()),
-    )
-    .with_fault(0, Fault { machine: 3, at_tick: 2 });
+    let mut trainer = ParMacTrainer::new(cfg, &train, SimBackend::new(CostModel::distributed()))
+        .with_fault(
+            0,
+            Fault {
+                machine: 3,
+                at_tick: 2,
+            },
+        );
     let report = trainer.run_with_eval(&train, Some(&eval));
     assert!(report.mac.final_ba_error.is_finite());
     let init_precision = report.mac.curve.records()[0].precision.unwrap();
@@ -127,7 +130,7 @@ fn speedup_model_agrees_with_simulated_cluster_shape() {
     let cost = CostModel::new(1.0, 50.0, 10.0);
     let runtime = |p: usize| {
         let cfg = ParMacConfig::new(ba_config(bits, 5).with_mu_schedule(0.05, 2.0, 2), p);
-        let mut t = ParMacTrainer::new(cfg, &train, ParMacBackend::Simulated(cost));
+        let mut t = ParMacTrainer::new(cfg, &train, SimBackend::new(cost));
         t.run(&train).total_simulated_time
     };
     let t1 = runtime(1);
@@ -168,7 +171,9 @@ fn z_step_methods_agree_for_small_codes() {
         let mut trainer = MacTrainer::new(cfg, &train);
         trainer.w_step(&train);
         trainer.z_step(&train, mu);
-        trainer.model().quadratic_penalty(&train, trainer.codes(), mu)
+        trainer
+            .model()
+            .quadratic_penalty(&train, trainer.codes(), mu)
     };
     let exact = penalty_after(ZStepMethod::Enumeration);
     let alternating = penalty_after(ZStepMethod::AlternatingBits);

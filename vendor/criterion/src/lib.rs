@@ -1,0 +1,158 @@
+//! Minimal offline shim for `criterion`.
+//!
+//! Supports the `criterion_group!` / `criterion_main!` harness with
+//! `bench_function`, `Bencher::iter` and `Bencher::iter_batched`. Each
+//! benchmark is auto-calibrated to a ~100 ms measurement window and reports
+//! mean ns/iter on stdout — enough to track the perf trajectory without the
+//! real crate's statistics. Honours `--bench` (ignored) and substring filters
+//! on argv like the real harness, so `cargo bench zstep` works.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; the shim runs one setup per
+/// measured call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Collects timing for one benchmark.
+pub struct Bencher {
+    /// Total measured duration of the last run.
+    elapsed: Duration,
+    /// Number of routine invocations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to the measurement
+    /// window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count filling the window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(100) || n >= (1 << 30) {
+                self.elapsed = elapsed;
+                self.iters = n;
+                return;
+            }
+            let target = Duration::from_millis(120);
+            let scale = if elapsed.is_zero() {
+                16
+            } else {
+                (target.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            n = n.saturating_mul(scale);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                hint::black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(100) || n >= (1 << 24) {
+                self.elapsed = elapsed;
+                self.iters = n;
+                return;
+            }
+            let target = Duration::from_millis(120);
+            let scale = if elapsed.is_zero() {
+                16
+            } else {
+                (target.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            n = n.saturating_mul(scale);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional argv entries act as substring filters (cargo bench passes
+        // `--bench` and the binary path first).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let ns_per_iter = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        };
+        println!(
+            "{name:<55} {:>14.1} ns/iter  ({} iters)",
+            ns_per_iter, b.iters
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,144 @@
+//! Minimal offline shim for `proptest`.
+//!
+//! Provides randomised property testing with the strategy combinators this
+//! workspace uses (`Range`/`RangeInclusive` strategies, tuples, `prop_map`,
+//! `prop_flat_map`, `prop::collection::vec`, `any::<bool>()`) and the
+//! `proptest!` macro. Each test runs `ProptestConfig::cases` random cases
+//! seeded from the test name, so failures reproduce across runs. Unlike the
+//! real crate there is **no shrinking**: a failing case panics with the
+//! assertion message directly.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a hash of a test name, used to derive a stable per-test seed.
+#[doc(hidden)]
+pub fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The RNG driving one test case.
+#[doc(hidden)]
+pub fn test_rng(name_hash: u64, case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(name_hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Strategy constructors namespaced like the real crate (`prop::collection`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy for `Vec`s whose elements come from `element` and whose
+        /// length is drawn from `size` (a fixed length or a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type `any` returns.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+/// Everything a proptest-style test module needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-style function running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let name_hash = $crate::fnv(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::test_rng(name_hash, case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}

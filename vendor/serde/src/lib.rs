@@ -1,0 +1,26 @@
+//! Minimal offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report and config
+//! types so they can be exported once the real serde is available, but it
+//! never actually serialises anything in-tree. The shim therefore provides
+//! blanket-implemented marker traits plus no-op derive macros, keeping every
+//! `#[derive(Serialize, Deserialize)]` and trait bound compiling unchanged.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The `serde::de` module surface used in bounds.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

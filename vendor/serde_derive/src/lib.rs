@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim. The
+//! shim's traits are blanket-implemented, so the derives emit nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: `serde::Serialize` is blanket-implemented by the shim.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: `serde::Deserialize` is blanket-implemented by the shim.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
