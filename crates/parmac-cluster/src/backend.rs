@@ -23,7 +23,12 @@
 //! the changed codes per shard as [`ZUpdate`]s instead of mutating shared
 //! state, which is what makes shard-parallel execution safe and keeps the
 //! parallel result bitwise identical to the serial one (per-point solves are
-//! independent; updates are applied in topology order either way).
+//! independent; updates are applied in topology order either way). Because the
+//! closure is invoked once per machine shard, it is also the right place for
+//! per-shard amortised state: `parmac-core`'s closure builds one
+//! `ZStepProblem` (Cholesky factorisation) **and one `ZStepWorkspace`** per
+//! shard and reuses them `&mut` across the shard's points, so the per-point
+//! kernels allocate nothing regardless of which backend drives them.
 
 use crate::cost::{CostModel, StepTimings, WStepStats, ZStepStats};
 use crate::sim::{Fault, SimCluster};

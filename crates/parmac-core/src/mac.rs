@@ -376,27 +376,34 @@ impl MacTrainer {
         let _ = &mut self.rng;
     }
 
-    /// One Z step: solve the binary proximal operator for every point. Returns
-    /// whether any code changed.
+    /// One Z step: solve the binary proximal operator for every point through
+    /// the shared shard solver ([`zstep::solve_shard`], treating the whole
+    /// dataset as one shard) — one reusable workspace and one batched
+    /// multi-RHS relaxed init, bitwise identical to the distributed sweeps.
+    /// Returns whether any code changed.
     pub fn z_step(&mut self, x: &Mat, mu: f64) -> bool {
         let method = self.config.resolved_z_method();
         let problem = ZStepProblem::new(self.model.decoder(), mu);
+        let points: Vec<usize> = (0..x.rows()).collect();
+        let hx = zstep::encoder_outputs(x, &points, self.model.decoder().n_bits(), |row| {
+            self.model.encoder().encode_one(row)
+        });
+        let codes = &mut self.codes;
         let mut changed = false;
-        for n in 0..x.rows() {
-            let hx: Vec<f64> = self
-                .model
-                .encoder()
-                .encode_one(x.row(n))
-                .into_iter()
-                .map(|b| if b { 1.0 } else { 0.0 })
-                .collect();
-            let z_new = zstep::solve(method, &problem, x.row(n), &hx, self.config.z_alternations);
-            let z_old = self.codes.to_f64_row(n);
-            if z_new != z_old {
-                changed = true;
-                self.codes.set_code(n, &z_new);
-            }
-        }
+        zstep::solve_shard(
+            method,
+            &problem,
+            x,
+            &points,
+            &hx,
+            self.config.z_alternations,
+            |n, z_new| {
+                if !codes.row_equals(n, z_new) {
+                    changed = true;
+                    codes.set_code(n, z_new);
+                }
+            },
+        );
         changed
     }
 

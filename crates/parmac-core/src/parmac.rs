@@ -354,24 +354,22 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
         let model = &self.model;
         let codes = &self.codes;
         let solve = |_machine: usize, shard: &[usize]| {
-            // One factorisation per shard, reused for every point on it.
+            // One factorisation, one workspace and one batched relaxed init
+            // per shard (inside `solve_shard`), reused for every point on it;
+            // the per-point kernels allocate nothing.
             let problem = ZStepProblem::new(model.decoder(), mu);
+            let hx = zstep::encoder_outputs(x, shard, model.decoder().n_bits(), |row| {
+                model.encoder().encode_one(row)
+            });
             let mut updates = Vec::new();
-            for &n in shard {
-                let hx: Vec<f64> = model
-                    .encoder()
-                    .encode_one(x.row(n))
-                    .into_iter()
-                    .map(|b| if b { 1.0 } else { 0.0 })
-                    .collect();
-                let z_new = zstep::solve(method, &problem, x.row(n), &hx, alternations);
-                if z_new != codes.to_f64_row(n) {
+            zstep::solve_shard(method, &problem, x, shard, &hx, alternations, |n, z_new| {
+                if !codes.row_equals(n, z_new) {
                     updates.push(ZUpdate {
                         point: n,
-                        code: z_new,
+                        code: z_new.to_vec(),
                     });
                 }
-            }
+            });
             updates
         };
         let (updates, stats) =

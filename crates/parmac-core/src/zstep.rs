@@ -11,12 +11,46 @@
 //! enumeration for small `L` and approximately for larger `L` by alternating
 //! optimisation over bits, initialised from the truncated solution of the
 //! relaxed problem over `[0,1]^L` — all three solvers are implemented here.
+//!
+//! # Kernels and the workspace
+//!
+//! The Z step dominates each MAC iteration (`N` independent solves per
+//! iteration, multiplied by however many shards a backend runs in parallel),
+//! so the solver core is built around a reusable [`ZStepWorkspace`] whose hot
+//! loops perform **no heap allocation per point**:
+//!
+//! * exact enumeration walks the `2^L` candidate codes in **Gray-code order**,
+//!   maintaining the residual `r = x − f(z)` incrementally so each candidate
+//!   costs `O(D)` instead of the `O(L·D)` full decode — an asymptotic `L×`
+//!   win (~16× at the paper's `L = 16`);
+//! * the alternating sweep computes per-bit flip deltas in place against a
+//!   **column-major cached copy** of the decoder weights `Wᵀ` held in the
+//!   workspace (the row-major [`Mat`] makes column access strided): one dot
+//!   product per decision instead of three `Vec` allocations per bit, with
+//!   the residual updated only when a bit actually flips;
+//! * the relaxed initialisation has a **batched path**
+//!   ([`solve_relaxed_batch`]) that solves the Cholesky system for a whole
+//!   shard of right-hand sides with one multi-RHS
+//!   [`Cholesky::solve_mat`] call.
+//!
+//! The contract is **one workspace per shard** (per `(decoder, µ)` problem),
+//! passed `&mut` through the backend's solve closure and reused for every
+//! point of the shard; on generic real-valued problems the results are
+//! bitwise identical to the allocating reference kernels (see the equivalence
+//! tests in `tests/zstep_equivalence.rs` — the incremental residual only
+//! rounds differently within ULP-level objective ties).
 
 use crate::config::ZStepMethod;
 use parmac_hash::LinearDecoder;
 use parmac_linalg::cholesky::Cholesky;
-use parmac_linalg::vector::squared_distance;
+use parmac_linalg::vector::{dot, squared_distance};
 use parmac_linalg::Mat;
+
+/// Diagonal jitter added to `WᵀW + µI` **only** when the plain factorisation
+/// fails (rank-deficient decoder with µ = 0, or µ so small it does not lift
+/// the spectrum above the pivot tolerance). For any well-posed problem the
+/// relaxed solve factorises exactly the matrix stated in §3.1.
+pub const RELAXED_JITTER: f64 = 1e-9;
 
 /// The per-point Z-step problem for a fixed decoder and penalty parameter.
 ///
@@ -27,9 +61,10 @@ use parmac_linalg::Mat;
 pub struct ZStepProblem<'a> {
     decoder: &'a LinearDecoder,
     mu: f64,
-    /// Cholesky factor of `WᵀW + µI` (`None` if the factorisation failed,
-    /// which only happens for degenerate decoders; the solvers then fall back
-    /// to starting from `h(x)`).
+    /// Cholesky factor of `WᵀW + µI` (with [`RELAXED_JITTER`] added to the
+    /// diagonal only if the unjittered factorisation fails; `None` if even the
+    /// jittered one does, in which case the solvers fall back to starting from
+    /// `h(x)`).
     relaxed_factor: Option<Cholesky>,
 }
 
@@ -39,9 +74,19 @@ impl<'a> ZStepProblem<'a> {
         let l = decoder.n_bits();
         let mut gram = decoder.weights().gram(); // WᵀW, L × L
         for i in 0..l {
-            gram[(i, i)] += mu.max(1e-9);
+            gram[(i, i)] += mu;
         }
-        let relaxed_factor = Cholesky::new(&gram).ok();
+        let relaxed_factor = match Cholesky::new(&gram) {
+            Ok(factor) => Some(factor),
+            Err(_) => {
+                // Degenerate decoder: retry with a documented jitter instead
+                // of silently regularising every problem instance.
+                for i in 0..l {
+                    gram[(i, i)] += RELAXED_JITTER;
+                }
+                Cholesky::new(&gram).ok()
+            }
+        };
         ZStepProblem {
             decoder,
             mu,
@@ -73,30 +118,517 @@ impl<'a> ZStepProblem<'a> {
     }
 }
 
+/// Reusable buffers for the per-point Z-step kernels: build **one per shard**,
+/// pass it `&mut` through the solve closure and reuse it for every point, so
+/// the hot loop performs zero heap allocations per point.
+///
+/// The workspace caches a column-major copy of the decoder weights (`Wᵀ`,
+/// `L × D`) so the per-bit kernels read contiguous memory; it owns its copies
+/// and may outlive the [`ZStepProblem`] it was built from, but must only be
+/// used with problems over the **same decoder** it was built from — a decoder
+/// with different weights (even of the same shape, e.g. after a W step
+/// refitted the model) invalidates the cached `Wᵀ` and column norms, so build
+/// a fresh workspace per `(decoder, µ)` problem. Debug builds assert this;
+/// release builds only check shapes.
+#[derive(Debug, Clone)]
+pub struct ZStepWorkspace {
+    /// `Wᵀ` (`L × D`): row `l` is decoder weight column `l`, contiguous.
+    wt: Mat,
+    /// Address of the decoder weight storage the caches were built from, used
+    /// to catch same-shape/different-decoder misuse in debug builds.
+    decoder_id: usize,
+    /// Squared norms `‖w_l‖²` of the decoder weight columns (`L`), used by the
+    /// sweep's flip-delta formula.
+    col_norms: Vec<f64>,
+    /// Residual `r = x − f(z)` maintained by the incremental kernels (`D`).
+    residual: Vec<f64>,
+    /// The code being optimised (`L`).
+    z: Vec<f64>,
+    /// The best code found so far / the returned solution (`L`).
+    best: Vec<f64>,
+    /// Relaxed-path scratch: `x − c` (`D`).
+    shifted: Vec<f64>,
+    /// Relaxed-path scratch: the right-hand side `Wᵀ(x − c) + µ·h(x)` (`L`).
+    rhs: Vec<f64>,
+    /// Relaxed-path scratch: forward-substitution intermediate (`L`).
+    solve_scratch: Vec<f64>,
+    /// The truncated relaxed solution (`L`).
+    relaxed: Vec<f64>,
+}
+
+impl ZStepWorkspace {
+    /// Builds a workspace sized for (and caching `Wᵀ` of) `problem`'s decoder.
+    pub fn new(problem: &ZStepProblem<'_>) -> Self {
+        let l = problem.decoder.n_bits();
+        let d = problem.decoder.dim_out();
+        let wt = problem.decoder.weights().transpose();
+        let col_norms = (0..l).map(|bit| dot(wt.row(bit), wt.row(bit))).collect();
+        ZStepWorkspace {
+            wt,
+            decoder_id: problem.decoder.weights().as_slice().as_ptr() as usize,
+            col_norms,
+            residual: vec![0.0; d],
+            z: vec![0.0; l],
+            best: vec![0.0; l],
+            shifted: vec![0.0; d],
+            rhs: vec![0.0; l],
+            solve_scratch: vec![0.0; l],
+            relaxed: vec![0.0; l],
+        }
+    }
+
+    /// Code length `L` this workspace is sized for.
+    pub fn n_bits(&self) -> usize {
+        self.wt.rows()
+    }
+
+    /// Output dimensionality `D` this workspace is sized for.
+    pub fn dim_out(&self) -> usize {
+        self.wt.cols()
+    }
+
+    fn check_shapes(&self, problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) {
+        assert_eq!(
+            (self.n_bits(), self.dim_out()),
+            (problem.decoder.n_bits(), problem.decoder.dim_out()),
+            "workspace was built for a decoder of a different shape"
+        );
+        debug_assert_eq!(
+            self.decoder_id,
+            problem.decoder.weights().as_slice().as_ptr() as usize,
+            "workspace was built for a different decoder (the cached Wᵀ and \
+             column norms are stale); build one workspace per (decoder, µ) \
+             problem"
+        );
+        assert_eq!(x.len(), self.dim_out(), "data point length mismatch");
+        assert_eq!(hx.len(), self.n_bits(), "encoder output length mismatch");
+    }
+
+    /// Exact enumeration of all `2^L` codes in Gray-code order.
+    ///
+    /// Consecutive Gray codes differ in exactly one bit, so the residual
+    /// `r = x − f(z)` is updated with one `±w_l` column per candidate and each
+    /// of the `2^L` candidates costs `O(D)` instead of the `O(L·D)` full
+    /// decode. Exact objective ties are broken towards the numerically
+    /// smallest code mask, the same convention as the naive ascending
+    /// enumeration; because the residual is maintained incrementally its
+    /// rounding differs from a fresh decode by ULPs, so codes whose true
+    /// objectives are closer than that accumulated error may resolve
+    /// differently than under the naive kernel (structured decoders with
+    /// exactly duplicated columns, say) — for generic real-valued problems the
+    /// results coincide bitwise (see `tests/zstep_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `L > 24` (enumeration would be astronomically slow) or if the
+    /// input lengths are inconsistent with the decoder.
+    pub fn solve_exact(&mut self, problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> &[f64] {
+        let l = problem.decoder.n_bits();
+        assert!(l <= 24, "enumeration over 2^{l} codes is not tractable");
+        self.check_shapes(problem, x, hx);
+        let Self {
+            wt, residual, best, ..
+        } = self;
+        // Start at z = 0: residual is x − c, the Hamming term counts the set
+        // bits of h(x) (kept as an exact integer).
+        for (r, (xi, ci)) in residual
+            .iter_mut()
+            .zip(x.iter().zip(problem.decoder.biases()))
+        {
+            *r = xi - ci;
+        }
+        let mut mismatches: u32 = hx.iter().filter(|&&h| h > 0.5).count() as u32;
+        let mut best_obj =
+            residual.iter().map(|v| v * v).sum::<f64>() + problem.mu * f64::from(mismatches);
+        let mut best_mask = 0u64;
+        let mut mask = 0u64;
+        for i in 1u64..(1u64 << l) {
+            // The Gray code of i differs from that of i−1 in bit trailing_zeros(i).
+            let bit = i.trailing_zeros() as usize;
+            mask ^= 1 << bit;
+            let set = (mask >> bit) & 1 == 1;
+            let w = wt.row(bit);
+            let mut sq = 0.0;
+            if set {
+                for (r, wv) in residual.iter_mut().zip(w) {
+                    *r -= wv;
+                    sq += *r * *r;
+                }
+            } else {
+                for (r, wv) in residual.iter_mut().zip(w) {
+                    *r += wv;
+                    sq += *r * *r;
+                }
+            }
+            if set == (hx[bit] > 0.5) {
+                mismatches -= 1;
+            } else {
+                mismatches += 1;
+            }
+            let obj = sq + problem.mu * f64::from(mismatches);
+            if obj < best_obj || (obj == best_obj && mask < best_mask) {
+                best_obj = obj;
+                best_mask = mask;
+            }
+        }
+        for (bit, zb) in best.iter_mut().enumerate() {
+            *zb = if (best_mask >> bit) & 1 == 1 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        best
+    }
+
+    /// The truncated relaxed solution (see [`solve_relaxed`]), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths are inconsistent with the decoder.
+    pub fn solve_relaxed(&mut self, problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> &[f64] {
+        self.check_shapes(problem, x, hx);
+        self.compute_relaxed(problem, x, hx);
+        &self.relaxed
+    }
+
+    /// Fills `self.relaxed` with the truncated relaxed solution (or `hx` if
+    /// the factorisation is unavailable).
+    fn compute_relaxed(&mut self, problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) {
+        let Self {
+            wt,
+            shifted,
+            rhs,
+            solve_scratch,
+            relaxed,
+            ..
+        } = self;
+        let Some(factor) = &problem.relaxed_factor else {
+            relaxed.copy_from_slice(hx);
+            return;
+        };
+        for (s, (xi, ci)) in shifted
+            .iter_mut()
+            .zip(x.iter().zip(problem.decoder.biases()))
+        {
+            *s = xi - ci;
+        }
+        // rhs = Wᵀ(x − c) + µ·hx, read off the contiguous rows of Wᵀ.
+        for (bit, r) in rhs.iter_mut().enumerate() {
+            *r = dot(wt.row(bit), shifted) + problem.mu * hx[bit];
+        }
+        match factor.solve_into(rhs, solve_scratch, relaxed) {
+            Ok(()) => {
+                for v in relaxed.iter_mut() {
+                    *v = if v.clamp(0.0, 1.0) >= 0.5 { 1.0 } else { 0.0 };
+                }
+            }
+            Err(_) => relaxed.copy_from_slice(hx),
+        }
+    }
+
+    /// Alternating optimisation over bits from both the truncated relaxed
+    /// solution and `h(x)`, keeping the better result (see
+    /// [`solve_alternating`]), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths are inconsistent with the decoder.
+    pub fn solve_alternating(
+        &mut self,
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        max_rounds: usize,
+    ) -> &[f64] {
+        self.check_shapes(problem, x, hx);
+        self.compute_relaxed(problem, x, hx);
+        let relaxed = std::mem::take(&mut self.relaxed);
+        self.solve_alternating_from(problem, x, hx, &relaxed, max_rounds);
+        self.relaxed = relaxed;
+        &self.best
+    }
+
+    /// Alternating optimisation with a precomputed initialisation (typically a
+    /// row of [`solve_relaxed_batch`]'s output); the `h(x)` start is still
+    /// tried and the better of the two results is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input lengths are inconsistent with the decoder.
+    pub fn solve_alternating_from(
+        &mut self,
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        start: &[f64],
+        max_rounds: usize,
+    ) -> &[f64] {
+        self.check_shapes(problem, x, hx);
+        assert_eq!(start.len(), self.n_bits(), "start code length mismatch");
+        self.z.copy_from_slice(start);
+        let start_obj = self.run_sweeps(problem, x, hx, max_rounds);
+        self.best.copy_from_slice(&self.z);
+        self.z.copy_from_slice(hx);
+        if self.run_sweeps(problem, x, hx, max_rounds) < start_obj {
+            self.best.copy_from_slice(&self.z);
+        }
+        &self.best
+    }
+
+    /// Runs up to `max_rounds` bit sweeps from the code currently in `self.z`
+    /// and returns the **tracked** objective of the final code: the squared
+    /// norm of the maintained residual plus the µ-weighted Hamming distance,
+    /// with no re-decode.
+    fn run_sweeps(
+        &mut self,
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        max_rounds: usize,
+    ) -> f64 {
+        // residual = x − f(z) for the start code; the sweeps keep it current.
+        for (d, r) in self.residual.iter_mut().enumerate() {
+            *r = x[d]
+                - (dot(problem.decoder.weights().row(d), &self.z) + problem.decoder.biases()[d]);
+        }
+        for _ in 0..max_rounds.max(1) {
+            if !self.sweep_once(problem, hx) {
+                break;
+            }
+        }
+        let sq: f64 = self.residual.iter().map(|v| v * v).sum();
+        let hamming: f64 = self
+            .z
+            .iter()
+            .zip(hx)
+            .map(|(a, b)| if (a > &0.5) == (b > &0.5) { 0.0 } else { 1.0 })
+            .sum();
+        sq + problem.mu * hamming
+    }
+
+    /// One sweep of single-bit updates over `self.z`, maintaining
+    /// `self.residual = x − f(z)`; returns whether any bit changed.
+    ///
+    /// Per bit the flip delta is computed in place against the contiguous
+    /// cached `Wᵀ` row: with `r₀` the residual at `z_bit = 0`,
+    /// `obj₁ − obj₀ = ‖w‖² − 2·r₀ᵀw + µ·(±1)`, so each decision costs one dot
+    /// product and the residual is touched only when the bit actually flips —
+    /// no allocation, no candidate-residual materialisation.
+    fn sweep_once(&mut self, problem: &ZStepProblem<'_>, hx: &[f64]) -> bool {
+        let Self {
+            wt,
+            col_norms,
+            residual,
+            z,
+            ..
+        } = self;
+        let l = wt.rows();
+        let mut changed = false;
+        for bit in 0..l {
+            let current = z[bit];
+            let w = wt.row(bit);
+            let rw = dot(residual, w);
+            // r₀ᵀw, with r₀ = residual + current·w the residual at z_bit = 0.
+            let r0w = if current > 0.5 {
+                rw + col_norms[bit]
+            } else {
+                rw
+            };
+            let delta =
+                col_norms[bit] - 2.0 * r0w + problem.mu * if hx[bit] > 0.5 { -1.0 } else { 1.0 };
+            let new_value = if delta < 0.0 { 1.0 } else { 0.0 };
+            if (new_value - current).abs() > 0.5 {
+                changed = true;
+                z[bit] = new_value;
+                if new_value > 0.5 {
+                    for (r, wv) in residual.iter_mut().zip(w) {
+                        *r -= wv;
+                    }
+                } else {
+                    for (r, wv) in residual.iter_mut().zip(w) {
+                        *r += wv;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Dispatches to the requested method (cf. the free [`solve`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with [`ZStepMethod::Auto`].
+    pub fn solve(
+        &mut self,
+        method: ZStepMethod,
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        max_rounds: usize,
+    ) -> &[f64] {
+        match method {
+            ZStepMethod::Enumeration => self.solve_exact(problem, x, hx),
+            ZStepMethod::AlternatingBits => self.solve_alternating(problem, x, hx, max_rounds),
+            ZStepMethod::RelaxedOnly => self.solve_relaxed(problem, x, hx),
+            ZStepMethod::Auto => panic!("ZStepMethod::Auto must be resolved before calling solve"),
+        }
+    }
+}
+
+/// Batched relaxed initialisation for a whole shard: one multi-RHS Cholesky
+/// solve instead of `points.len()` scalar solves.
+///
+/// `hx` holds the encoder outputs as 0/1 rows aligned with `points` (row `i`
+/// is `h(x[points[i]])`). Returns the truncated relaxed solutions in the same
+/// layout; each row is bitwise identical to the per-point
+/// [`ZStepWorkspace::solve_relaxed`] result. Falls back to the `hx` rows if
+/// the factorisation is unavailable.
+///
+/// # Panics
+///
+/// Panics if `hx` is not `points.len() × L` or any point index is out of
+/// bounds.
+pub fn solve_relaxed_batch(problem: &ZStepProblem<'_>, x: &Mat, points: &[usize], hx: &Mat) -> Mat {
+    let l = problem.decoder.n_bits();
+    assert_eq!(
+        hx.shape(),
+        (points.len(), l),
+        "encoder output matrix must be points × L"
+    );
+    assert_eq!(
+        x.cols(),
+        problem.decoder.dim_out(),
+        "data dimensionality must match the decoder"
+    );
+    let Some(factor) = &problem.relaxed_factor else {
+        return hx.clone();
+    };
+    // RHS rows Wᵀ(x_n − c) + µ·h(x_n), accumulated per output dimension over
+    // the contiguous decoder weight rows — the same accumulation order as the
+    // per-point solve (so bitwise identical), without materialising an n × D
+    // shifted copy of the data.
+    let w = problem.decoder.weights();
+    let mut rhs = Mat::zeros(points.len(), l);
+    for (row, &n) in points.iter().enumerate() {
+        let rhs_row = rhs.row_mut(row);
+        for (out, (xi, ci)) in x.row(n).iter().zip(problem.decoder.biases()).enumerate() {
+            let s = xi - ci;
+            for (r, wv) in rhs_row.iter_mut().zip(w.row(out)) {
+                *r += s * wv;
+            }
+        }
+        for (r, h) in rhs_row.iter_mut().zip(hx.row(row)) {
+            *r += problem.mu * h;
+        }
+    }
+    match factor.solve_mat(&rhs.transpose()) {
+        Ok(solutions) => {
+            // solutions is L × n; truncate and transpose back to n × L.
+            let mut out = Mat::zeros(points.len(), l);
+            for row in 0..points.len() {
+                for bit in 0..l {
+                    out[(row, bit)] = if solutions[(bit, row)].clamp(0.0, 1.0) >= 0.5 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            out
+        }
+        Err(_) => hx.clone(),
+    }
+}
+
+/// Builds the encoder-output matrix for a shard: row `i` is
+/// `h(x[points[i]])` as 0/1 values, the layout [`solve_relaxed_batch`] and
+/// [`solve_shard`] consume.
+pub fn encoder_outputs(
+    x: &Mat,
+    points: &[usize],
+    n_bits: usize,
+    encode_one: impl Fn(&[f64]) -> Vec<bool>,
+) -> Mat {
+    let mut hx = Mat::zeros(points.len(), n_bits);
+    for (row, &n) in points.iter().enumerate() {
+        for (bit, set) in encode_one(x.row(n)).into_iter().enumerate() {
+            if set {
+                hx[(row, bit)] = 1.0;
+            }
+        }
+    }
+    hx
+}
+
+/// Solves the Z step for every point of a shard with the requested method,
+/// calling `visit(point, z_new)` with each solution in shard order.
+///
+/// This is the single implementation behind both trainers' Z sweeps (the
+/// serial `MacTrainer` passes the whole dataset as one shard; the ParMAC
+/// backends call it once per machine shard), which is what keeps their
+/// results bitwise identical. It builds one [`ZStepWorkspace`] for the shard
+/// and, for the relaxed-initialised methods, computes all starts with one
+/// batched multi-RHS solve ([`solve_relaxed_batch`]); the per-point kernels
+/// then allocate nothing.
+///
+/// # Panics
+///
+/// Panics if `hx` is not `points.len() × L`, any index is out of bounds, or
+/// `method` is [`ZStepMethod::Auto`] (resolve it first).
+pub fn solve_shard(
+    method: ZStepMethod,
+    problem: &ZStepProblem<'_>,
+    x: &Mat,
+    points: &[usize],
+    hx: &Mat,
+    max_rounds: usize,
+    mut visit: impl FnMut(usize, &[f64]),
+) {
+    let mut workspace = ZStepWorkspace::new(problem);
+    let starts = match method {
+        ZStepMethod::AlternatingBits | ZStepMethod::RelaxedOnly => {
+            Some(solve_relaxed_batch(problem, x, points, hx))
+        }
+        ZStepMethod::Enumeration => None,
+        ZStepMethod::Auto => panic!("ZStepMethod::Auto must be resolved before the Z step"),
+    };
+    for (row, &n) in points.iter().enumerate() {
+        let z_new: &[f64] = match method {
+            ZStepMethod::Enumeration => workspace.solve_exact(problem, x.row(n), hx.row(row)),
+            ZStepMethod::AlternatingBits => workspace.solve_alternating_from(
+                problem,
+                x.row(n),
+                hx.row(row),
+                starts
+                    .as_ref()
+                    .expect("starts computed for this method")
+                    .row(row),
+                max_rounds,
+            ),
+            ZStepMethod::RelaxedOnly => starts
+                .as_ref()
+                .expect("starts computed for this method")
+                .row(row),
+            ZStepMethod::Auto => unreachable!("rejected above"),
+        };
+        visit(n, z_new);
+    }
+}
+
 /// Solves the per-point Z step exactly by enumerating all `2^L` codes.
+///
+/// One-shot convenience wrapper over [`ZStepWorkspace::solve_exact`]; build a
+/// workspace yourself to amortise its buffers over a shard.
 ///
 /// # Panics
 ///
 /// Panics if `L > 24` (enumeration would be astronomically slow) or if the
 /// input lengths are inconsistent with the decoder.
 pub fn solve_exact(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
-    let l = problem.decoder.n_bits();
-    assert!(l <= 24, "enumeration over 2^{l} codes is not tractable");
-    assert_eq!(hx.len(), l, "encoder output length mismatch");
-    let mut best = vec![0.0; l];
-    let mut best_obj = f64::INFINITY;
-    let mut z = vec![0.0; l];
-    for mask in 0u64..(1u64 << l) {
-        for (bit, zb) in z.iter_mut().enumerate() {
-            *zb = if (mask >> bit) & 1 == 1 { 1.0 } else { 0.0 };
-        }
-        let obj = problem.objective(x, hx, &z);
-        if obj < best_obj {
-            best_obj = obj;
-            best.copy_from_slice(&z);
-        }
-    }
-    best
+    let mut workspace = ZStepWorkspace::new(problem);
+    workspace.solve_exact(problem, x, hx).to_vec()
 }
 
 /// The truncated relaxed solution: minimise the quadratic relaxation
@@ -104,61 +636,30 @@ pub fn solve_exact(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64
 /// `(WᵀW + µI) z = Wᵀ(x − c) + µ·h(x)`, clamp to `[0, 1]` and round to `{0,1}`
 /// (§3.1: "initialised by solving the relaxed problem to [0, 1] and truncating
 /// its solution").
+///
+/// One-shot convenience wrapper over [`ZStepWorkspace::solve_relaxed`]; for a
+/// whole shard prefer [`solve_relaxed_batch`].
 pub fn solve_relaxed(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
-    let decoder = problem.decoder;
-    let l = decoder.n_bits();
-    assert_eq!(hx.len(), l, "encoder output length mismatch");
-    let Some(factor) = &problem.relaxed_factor else {
-        return hx.to_vec();
-    };
-    // rhs = Wᵀ(x − c) + µ·hx
-    let shifted: Vec<f64> = x
-        .iter()
-        .zip(decoder.biases())
-        .map(|(xi, ci)| xi - ci)
-        .collect();
-    let w = decoder.weights(); // D × L
-    let mut rhs = vec![0.0; l];
-    for (bit, r) in rhs.iter_mut().enumerate() {
-        let mut acc = 0.0;
-        for (out, s) in shifted.iter().enumerate() {
-            acc += w[(out, bit)] * s;
-        }
-        *r = acc + problem.mu * hx[bit];
-    }
-    match factor.solve(&rhs) {
-        Ok(relaxed) => relaxed
-            .into_iter()
-            .map(|v| if v.clamp(0.0, 1.0) >= 0.5 { 1.0 } else { 0.0 })
-            .collect(),
-        Err(_) => hx.to_vec(),
-    }
+    let mut workspace = ZStepWorkspace::new(problem);
+    workspace.solve_relaxed(problem, x, hx).to_vec()
 }
 
 /// Alternating optimisation over bits, run from both the truncated relaxed
 /// solution and from `h(x)`, keeping the better result (§3.1's approximate
 /// solver for larger `L`). `max_rounds` bounds the sweeps per start.
+///
+/// One-shot convenience wrapper over [`ZStepWorkspace::solve_alternating`];
+/// build a workspace yourself to amortise its buffers over a shard.
 pub fn solve_alternating(
     problem: &ZStepProblem<'_>,
     x: &[f64],
     hx: &[f64],
     max_rounds: usize,
 ) -> Vec<f64> {
-    let mut best: Option<(f64, Vec<f64>)> = None;
-    for start in [solve_relaxed(problem, x, hx), hx.to_vec()] {
-        let mut z = start;
-        for _ in 0..max_rounds.max(1) {
-            let changed = alternate_bits_once(problem, x, hx, &mut z);
-            if !changed {
-                break;
-            }
-        }
-        let obj = problem.objective(x, hx, &z);
-        if best.as_ref().is_none_or(|(b, _)| obj < *b) {
-            best = Some((obj, z));
-        }
-    }
-    best.expect("at least one start evaluated").1
+    let mut workspace = ZStepWorkspace::new(problem);
+    workspace
+        .solve_alternating(problem, x, hx, max_rounds)
+        .to_vec()
 }
 
 /// Solves the Z step with the requested method. [`ZStepMethod::Auto`] must be
@@ -175,12 +676,8 @@ pub fn solve(
     hx: &[f64],
     max_rounds: usize,
 ) -> Vec<f64> {
-    match method {
-        ZStepMethod::Enumeration => solve_exact(problem, x, hx),
-        ZStepMethod::AlternatingBits => solve_alternating(problem, x, hx, max_rounds),
-        ZStepMethod::RelaxedOnly => solve_relaxed(problem, x, hx),
-        ZStepMethod::Auto => panic!("ZStepMethod::Auto must be resolved before calling solve"),
-    }
+    let mut workspace = ZStepWorkspace::new(problem);
+    workspace.solve(method, problem, x, hx, max_rounds).to_vec()
 }
 
 /// Builds the `hx` (encoder output) vector for one point as 0/1 values; small
@@ -189,49 +686,134 @@ pub fn encoder_output_as_f64(bits: &[bool]) -> Vec<f64> {
     bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
 }
 
-/// One sweep of single-bit updates; returns whether any bit changed.
-///
-/// The sweep maintains the residual `r = x − f(z)` so that flipping bit `l`
-/// costs `O(D)` instead of a full decode.
-fn alternate_bits_once(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64], z: &mut [f64]) -> bool {
-    let decoder = problem.decoder;
-    let l = decoder.n_bits();
-    let d = decoder.dim_out();
-    // residual r = x − f(z)
-    let fz = decoder.decode_one(z);
-    let mut residual: Vec<f64> = x.iter().zip(&fz).map(|(a, b)| a - b).collect();
-    let mut changed = false;
-    for bit in 0..l {
-        let current = z[bit];
-        let w_col: Vec<f64> = (0..d).map(|out| decoder.weights()[(out, bit)]).collect();
-        // Objective difference between z_bit = 1 and z_bit = 0, keeping the
-        // other bits fixed. Let r0 be the residual with z_bit = 0.
-        let r0: Vec<f64> = residual
-            .iter()
-            .zip(&w_col)
-            .map(|(r, w)| r + current * w)
-            .collect();
-        let obj0: f64 = r0.iter().map(|v| v * v).sum::<f64>()
-            + problem.mu * if hx[bit] > 0.5 { 1.0 } else { 0.0 };
-        let r1: Vec<f64> = r0.iter().zip(&w_col).map(|(r, w)| r - w).collect();
-        let obj1: f64 = r1.iter().map(|v| v * v).sum::<f64>()
-            + problem.mu * if hx[bit] > 0.5 { 0.0 } else { 1.0 };
-        let new_value = if obj1 < obj0 { 1.0 } else { 0.0 };
-        if (new_value - current).abs() > 0.5 {
-            changed = true;
-        }
-        z[bit] = new_value;
-        residual = if new_value > 0.5 { r1 } else { r0 };
-    }
-    changed
-}
-
 /// Internal helper kept for completeness of the module's API surface: decodes
 /// a relaxed-only problem instance against a dense matrix. Used by tests.
 #[doc(hidden)]
 pub fn decode_matrix(decoder: &LinearDecoder, z: &Mat) -> Mat {
     let codes = parmac_hash::BinaryCodes::from_matrix(z);
     decoder.decode(&codes)
+}
+
+/// The PR-1 reference kernels, kept verbatim as the **single** source of
+/// truth for the bitwise-equivalence tests (`tests/zstep_equivalence.rs`) and
+/// the before/after micro-benchmarks (`parmac-bench/benches/micro.rs`). Not
+/// part of the public API; do not optimise these.
+#[doc(hidden)]
+pub mod reference {
+    use super::ZStepProblem;
+
+    /// Naive exact solver: ascending mask enumeration, one full decode (and
+    /// one reconstruction allocation) per candidate.
+    pub fn solve_exact(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
+        let l = problem.decoder().n_bits();
+        let mut best = vec![0.0; l];
+        let mut best_obj = f64::INFINITY;
+        let mut z = vec![0.0; l];
+        for mask in 0u64..(1u64 << l) {
+            for (bit, zb) in z.iter_mut().enumerate() {
+                *zb = if (mask >> bit) & 1 == 1 { 1.0 } else { 0.0 };
+            }
+            let obj = problem.objective(x, hx, &z);
+            if obj < best_obj {
+                best_obj = obj;
+                best.copy_from_slice(&z);
+            }
+        }
+        best
+    }
+
+    /// PR-1 relaxed solve: per-call `shifted`/`rhs` allocations with strided
+    /// column reads, then a scalar Cholesky solve against the problem's
+    /// precomputed factor.
+    pub fn solve_relaxed(problem: &ZStepProblem<'_>, x: &[f64], hx: &[f64]) -> Vec<f64> {
+        let decoder = problem.decoder();
+        let l = decoder.n_bits();
+        let Some(factor) = &problem.relaxed_factor else {
+            return hx.to_vec();
+        };
+        let shifted: Vec<f64> = x
+            .iter()
+            .zip(decoder.biases())
+            .map(|(xi, ci)| xi - ci)
+            .collect();
+        let w = decoder.weights();
+        let mut rhs = vec![0.0; l];
+        for (bit, r) in rhs.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (out, s) in shifted.iter().enumerate() {
+                acc += w[(out, bit)] * s;
+            }
+            *r = acc + problem.mu() * hx[bit];
+        }
+        match factor.solve(&rhs) {
+            Ok(relaxed) => relaxed
+                .into_iter()
+                .map(|v| if v.clamp(0.0, 1.0) >= 0.5 { 1.0 } else { 0.0 })
+                .collect(),
+            Err(_) => hx.to_vec(),
+        }
+    }
+
+    /// PR-1 alternating solver: both starts, full decode for the residual at
+    /// each round and for the final objective.
+    pub fn solve_alternating(
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        max_rounds: usize,
+    ) -> Vec<f64> {
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for start in [solve_relaxed(problem, x, hx), hx.to_vec()] {
+            let mut z = start;
+            for _ in 0..max_rounds.max(1) {
+                if !alternate_bits_once(problem, x, hx, &mut z) {
+                    break;
+                }
+            }
+            let obj = problem.objective(x, hx, &z);
+            if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                best = Some((obj, z));
+            }
+        }
+        best.expect("at least one start evaluated").1
+    }
+
+    /// PR-1 sweep: three `Vec` allocations per bit against strided decoder
+    /// weight columns.
+    fn alternate_bits_once(
+        problem: &ZStepProblem<'_>,
+        x: &[f64],
+        hx: &[f64],
+        z: &mut [f64],
+    ) -> bool {
+        let decoder = problem.decoder();
+        let l = decoder.n_bits();
+        let d = decoder.dim_out();
+        let fz = decoder.decode_one(z);
+        let mut residual: Vec<f64> = x.iter().zip(&fz).map(|(a, b)| a - b).collect();
+        let mut changed = false;
+        for bit in 0..l {
+            let current = z[bit];
+            let w_col: Vec<f64> = (0..d).map(|out| decoder.weights()[(out, bit)]).collect();
+            let r0: Vec<f64> = residual
+                .iter()
+                .zip(&w_col)
+                .map(|(r, w)| r + current * w)
+                .collect();
+            let obj0: f64 = r0.iter().map(|v| v * v).sum::<f64>()
+                + problem.mu() * if hx[bit] > 0.5 { 1.0 } else { 0.0 };
+            let r1: Vec<f64> = r0.iter().zip(&w_col).map(|(r, w)| r - w).collect();
+            let obj1: f64 = r1.iter().map(|v| v * v).sum::<f64>()
+                + problem.mu() * if hx[bit] > 0.5 { 0.0 } else { 1.0 };
+            let new_value = if obj1 < obj0 { 1.0 } else { 0.0 };
+            if (new_value - current).abs() > 0.5 {
+                changed = true;
+            }
+            z[bit] = new_value;
+            residual = if new_value > 0.5 { r1 } else { r0 };
+        }
+        changed
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +856,63 @@ mod tests {
                 .map(|b| if (mask >> b) & 1 == 1 { 1.0 } else { 0.0 })
                 .collect();
             assert!(problem.objective(&x, &hx, &cand) >= best - 1e-12);
+        }
+    }
+
+    #[test]
+    fn gray_code_enumeration_breaks_ties_towards_the_smallest_mask() {
+        // A zero decoder with µ = 0 makes every code optimal; the naive
+        // ascending enumeration returns the all-zero code, and so must the
+        // Gray-code walk.
+        let decoder = LinearDecoder::zeros(3, 4);
+        let problem = ZStepProblem::new(&decoder, 0.0);
+        let x = vec![1.0, -1.0, 0.5];
+        let hx = vec![1.0, 1.0, 0.0, 1.0];
+        assert_eq!(solve_exact(&problem, &x, &hx), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_points_without_state_leakage() {
+        let decoder = random_decoder(8, 12, 40);
+        let problem = ZStepProblem::new(&decoder, 0.4);
+        let mut shared = ZStepWorkspace::new(&problem);
+        for seed in 0..8 {
+            let x = random_point(12, 700 + seed);
+            let hx = random_code(8, 800 + seed);
+            let mut fresh = ZStepWorkspace::new(&problem);
+            assert_eq!(
+                shared.solve_exact(&problem, &x, &hx),
+                fresh.solve_exact(&problem, &x, &hx).to_vec()
+            );
+            assert_eq!(
+                shared.solve_alternating(&problem, &x, &hx, 10),
+                fresh.solve_alternating(&problem, &x, &hx, 10).to_vec()
+            );
+            assert_eq!(
+                shared.solve_relaxed(&problem, &x, &hx),
+                fresh.solve_relaxed(&problem, &x, &hx).to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_relaxed_matches_per_point_relaxed_bitwise() {
+        let decoder = random_decoder(7, 9, 41);
+        for &mu in &[0.0, 0.05, 1.0] {
+            let problem = ZStepProblem::new(&decoder, mu);
+            let mut rng = SmallRng::seed_from_u64(900);
+            let x = Mat::random_normal(20, 9, &mut rng);
+            let points: Vec<usize> = vec![3, 0, 7, 19, 11];
+            let mut hx = Mat::zeros(points.len(), 7);
+            for row in 0..points.len() {
+                let code = random_code(7, 950 + row as u64);
+                hx.set_row(row, &code);
+            }
+            let batch = solve_relaxed_batch(&problem, &x, &points, &hx);
+            for (row, &n) in points.iter().enumerate() {
+                let single = solve_relaxed(&problem, x.row(n), hx.row(row));
+                assert_eq!(batch.row(row), &single[..], "row {row} (µ = {mu})");
+            }
         }
     }
 
@@ -367,6 +1006,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_mu_relaxed_solve_uses_the_unregularised_gram() {
+        // With a full-rank decoder and µ = 0 the relaxed solve must factorise
+        // WᵀW itself (no hidden jitter): the relaxed solution of x = f(z*) for
+        // a code z* is z* exactly.
+        let decoder = random_decoder(4, 12, 30);
+        let problem = ZStepProblem::new(&decoder, 0.0);
+        let z_star = vec![1.0, 0.0, 1.0, 1.0];
+        let x = decoder.decode_one(&z_star);
+        let hx = vec![0.0, 1.0, 0.0, 0.0]; // ignored at µ = 0
+        assert_eq!(solve_relaxed(&problem, &x, &hx), z_star);
+    }
+
+    #[test]
+    fn degenerate_decoder_still_factorises_via_jitter() {
+        // A decoder with a zero column makes WᵀW singular at µ = 0; the
+        // documented jitter fallback must keep the relaxed path available
+        // (returning *some* valid binary code rather than falling back to hx).
+        let mut weights = Mat::random_normal(6, 4, &mut SmallRng::seed_from_u64(31));
+        for out in 0..6 {
+            weights[(out, 2)] = 0.0;
+        }
+        let decoder = LinearDecoder::new(weights, vec![0.0; 6]);
+        let problem = ZStepProblem::new(&decoder, 0.0);
+        let x = random_point(6, 32);
+        let hx = random_code(4, 33);
+        let z = solve_relaxed(&problem, &x, &hx);
+        assert!(z.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
     fn dispatcher_routes_methods() {
         let decoder = random_decoder(4, 3, 12);
         let problem = ZStepProblem::new(&decoder, 0.1);
@@ -406,6 +1075,19 @@ mod tests {
         let x = random_point(2, 19);
         let hx = random_code(25, 20);
         let _ = solve_exact(&problem, &x, &hx);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn workspace_rejects_mismatched_problem() {
+        let decoder_a = random_decoder(4, 3, 22);
+        let decoder_b = random_decoder(5, 3, 23);
+        let problem_a = ZStepProblem::new(&decoder_a, 0.1);
+        let problem_b = ZStepProblem::new(&decoder_b, 0.1);
+        let mut workspace = ZStepWorkspace::new(&problem_a);
+        let x = random_point(3, 24);
+        let hx = random_code(5, 25);
+        let _ = workspace.solve_exact(&problem_b, &x, &hx);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Equivalence tests pinning the allocation-free, incrementally-updated
+//! Z-step kernels to the semantics of the PR-1 reference implementations
+//! (kept verbatim in `parmac_core::zstep::reference` so the benches measure
+//! exactly the kernels these tests pin).
+//!
+//! Three properties are checked bitwise:
+//!
+//! * Gray-code exact enumeration ≡ naive ascending enumeration (full decode
+//!   per candidate) across random `(L ≤ 12, D, µ)` instances;
+//! * the workspace-based alternating sweep ≡ the PR-1 allocating kernel on
+//!   seeded random instances;
+//! * the batched multi-RHS relaxed initialisation ≡ the per-point relaxed
+//!   solve over random shards.
+
+use parmac_core::zstep::{
+    reference, solve_alternating, solve_exact, solve_relaxed_batch, ZStepProblem, ZStepWorkspace,
+};
+use parmac_hash::LinearDecoder;
+use parmac_linalg::Mat;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(l: usize, d: usize, seed: u64) -> (LinearDecoder, Vec<f64>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let decoder = LinearDecoder::new(
+        Mat::random_normal(d, l, &mut rng),
+        (0..d).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+    );
+    let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let hx: Vec<f64> = (0..l)
+        .map(|_| if rng.gen_bool(0.5) { 1.0 } else { 0.0 })
+        .collect();
+    (decoder, x, hx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gray_code_exact_is_bit_identical_to_naive_enumeration(
+        l in 1usize..=12,
+        d in 1usize..=16,
+        seed in 0u64..100_000,
+        mu in 0.0f64..3.0,
+    ) {
+        let (decoder, x, hx) = random_instance(l, d, seed);
+        let problem = ZStepProblem::new(&decoder, mu);
+        let mut workspace = ZStepWorkspace::new(&problem);
+        let gray = workspace.solve_exact(&problem, &x, &hx).to_vec();
+        let naive = reference::solve_exact(&problem, &x, &hx);
+        prop_assert_eq!(&gray, &naive);
+        // The free function goes through the same workspace kernel.
+        prop_assert_eq!(&solve_exact(&problem, &x, &hx), &naive);
+    }
+
+    #[test]
+    fn workspace_alternating_is_bit_identical_to_pr1_kernel(
+        l in 2usize..=16,
+        d in 1usize..=24,
+        seed in 0u64..100_000,
+        mu in 0.0f64..3.0,
+        rounds in 1usize..6,
+    ) {
+        let (decoder, x, hx) = random_instance(l, d, seed);
+        let problem = ZStepProblem::new(&decoder, mu);
+        let mut workspace = ZStepWorkspace::new(&problem);
+        let ours = workspace.solve_alternating(&problem, &x, &hx, rounds).to_vec();
+        let pr1 = reference::solve_alternating(&problem, &x, &hx, rounds);
+        prop_assert_eq!(&ours, &pr1);
+        prop_assert_eq!(&solve_alternating(&problem, &x, &hx, rounds), &pr1);
+    }
+
+    #[test]
+    fn batched_relaxed_is_bit_identical_to_per_point(
+        l in 1usize..=12,
+        d in 1usize..=16,
+        n in 1usize..12,
+        seed in 0u64..100_000,
+        mu in 0.0f64..3.0,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let decoder = LinearDecoder::new(
+            Mat::random_normal(d, l, &mut rng),
+            (0..d).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+        );
+        let problem = ZStepProblem::new(&decoder, mu);
+        let x = Mat::random_normal(n + 3, d, &mut rng);
+        // A shard of distinct points in scrambled order.
+        let mut points: Vec<usize> = (0..n).collect();
+        for i in (1..points.len()).rev() {
+            points.swap(i, rng.gen_range(0..=i));
+        }
+        let mut hx = Mat::zeros(points.len(), l);
+        for row in 0..points.len() {
+            for bit in 0..l {
+                if rng.gen_bool(0.5) {
+                    hx[(row, bit)] = 1.0;
+                }
+            }
+        }
+        let batch = solve_relaxed_batch(&problem, &x, &points, &hx);
+        let mut workspace = ZStepWorkspace::new(&problem);
+        for (row, &point) in points.iter().enumerate() {
+            let single = workspace.solve_relaxed(&problem, x.row(point), hx.row(row)).to_vec();
+            prop_assert_eq!(batch.row(row), &single[..]);
+            // ... and the per-point path matches the PR-1 relaxed solve.
+            prop_assert_eq!(
+                batch.row(row),
+                &reference::solve_relaxed(&problem, x.row(point), hx.row(row))[..]
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_a_shard_matches_fresh_workspaces(
+        l in 2usize..=10,
+        d in 1usize..=12,
+        seed in 0u64..100_000,
+    ) {
+        // Solving a sequence of points through one shared workspace must give
+        // the same answers as fresh per-point workspaces: no state leakage.
+        let (decoder, _, _) = random_instance(l, d, seed);
+        let problem = ZStepProblem::new(&decoder, 0.3);
+        let mut shared = ZStepWorkspace::new(&problem);
+        for point_seed in 0..4u64 {
+            let (_, x, hx) = random_instance(l, d, seed ^ (0xabcd + point_seed));
+            let mut fresh = ZStepWorkspace::new(&problem);
+            prop_assert_eq!(
+                shared.solve_exact(&problem, &x, &hx).to_vec(),
+                fresh.solve_exact(&problem, &x, &hx).to_vec()
+            );
+            prop_assert_eq!(
+                shared.solve_alternating(&problem, &x, &hx, 4).to_vec(),
+                fresh.solve_alternating(&problem, &x, &hx, 4).to_vec()
+            );
+        }
+    }
+}

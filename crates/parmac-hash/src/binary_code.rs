@@ -154,6 +154,17 @@ impl BinaryCodes {
         m
     }
 
+    /// Returns whether code `i` equals the 0/1 (or boolean-like) slice
+    /// `bits`, without materialising the stored code as floats. Used by the
+    /// Z-step sweeps to detect unchanged codes without a per-point allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_equals(&self, i: usize, bits: &[f64]) -> bool {
+        bits.len() == self.n_bits && (0..self.n_bits).all(|b| (bits[b] > 0.5) == self.bit(i, b))
+    }
+
     /// Overwrites code `i` from a 0/1 (or boolean-like) slice.
     ///
     /// # Panics
@@ -248,6 +259,15 @@ mod tests {
         let mut c = BinaryCodes::zeros(1, 4);
         c.set_code(0, &[1.0, 0.0, 0.0, 1.0]);
         assert_eq!(c.to_f64_row(0), vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn row_equals_matches_float_comparison() {
+        let mut c = BinaryCodes::zeros(1, 4);
+        c.set_code(0, &[1.0, 0.0, 0.0, 1.0]);
+        assert!(c.row_equals(0, &[1.0, 0.0, 0.0, 1.0]));
+        assert!(!c.row_equals(0, &[1.0, 0.0, 1.0, 1.0]));
+        assert!(!c.row_equals(0, &[1.0, 0.0, 0.0]));
     }
 
     #[test]

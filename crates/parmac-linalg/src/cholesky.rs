@@ -91,7 +91,29 @@ impl Cholesky {
     /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.dim();
-        if b.len() != n {
+        let mut scratch = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        self.solve_into(b, &mut scratch, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into caller-provided buffers, performing no heap
+    /// allocation: `scratch` holds the intermediate forward-substitution
+    /// result and `out` receives the solution. This is the hot-loop entry
+    /// point for the per-point Z-step relaxed initialisation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if any buffer length differs
+    /// from `self.dim()`.
+    pub fn solve_into(
+        &self,
+        b: &[f64],
+        scratch: &mut [f64],
+        out: &mut [f64],
+    ) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if b.len() != n || scratch.len() != n || out.len() != n {
             return Err(LinalgError::ShapeMismatch {
                 op: "cholesky solve",
                 lhs: (n, n),
@@ -99,27 +121,30 @@ impl Cholesky {
             });
         }
         // Forward solve L y = b.
-        let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for (k, &yk) in y.iter().enumerate().take(i) {
+            for (k, &yk) in scratch.iter().enumerate().take(i) {
                 sum -= self.lower[(i, k)] * yk;
             }
-            y[i] = sum / self.lower[(i, i)];
+            scratch[i] = sum / self.lower[(i, i)];
         }
         // Back solve Lᵀ x = y.
-        let mut x = vec![0.0; n];
         for i in (0..n).rev() {
-            let mut sum = y[i];
-            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+            let mut sum = scratch[i];
+            for (k, &xk) in out.iter().enumerate().skip(i + 1) {
                 sum -= self.lower[(k, i)] * xk;
             }
-            x[i] = sum / self.lower[(i, i)];
+            out[i] = sum / self.lower[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A X = B` for all right-hand sides at once with blocked
+    /// forward/back substitution over whole rows, so the multi-RHS solve costs
+    /// no per-column allocation and runs over contiguous row-major memory.
+    /// Per column the arithmetic is identical (same operations, same order) to
+    /// [`Cholesky::solve`], so results are bitwise equal to the per-column
+    /// path.
     ///
     /// # Errors
     ///
@@ -133,11 +158,40 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
-        let mut out = Mat::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            out.set_col(j, &x);
+        let k = b.cols();
+        let mut out = b.clone();
+        let data = out.as_mut_slice();
+        // Forward solve L Y = B, one row of Y at a time across all columns.
+        for i in 0..n {
+            let (above, rest) = data.split_at_mut(i * k);
+            let row_i = &mut rest[..k];
+            for j in 0..i {
+                let lij = self.lower[(i, j)];
+                let row_j = &above[j * k..(j + 1) * k];
+                for (yi, &yj) in row_i.iter_mut().zip(row_j) {
+                    *yi -= lij * yj;
+                }
+            }
+            let lii = self.lower[(i, i)];
+            for yi in row_i.iter_mut() {
+                *yi /= lii;
+            }
+        }
+        // Back solve Lᵀ X = Y.
+        for i in (0..n).rev() {
+            let (head, below) = data.split_at_mut((i + 1) * k);
+            let row_i = &mut head[i * k..];
+            for j in i + 1..n {
+                let lji = self.lower[(j, i)];
+                let row_j = &below[(j - i - 1) * k..(j - i) * k];
+                for (xi, &xj) in row_i.iter_mut().zip(row_j) {
+                    *xi -= lji * xj;
+                }
+            }
+            let lii = self.lower[(i, i)];
+            for xi in row_i.iter_mut() {
+                *xi /= lii;
+            }
         }
         Ok(out)
     }
@@ -240,6 +294,48 @@ mod tests {
     fn solve_rejects_wrong_rhs_length() {
         let chol = Cholesky::new(&spd(3, 2)).unwrap();
         assert!(chol.solve(&[1.0, 2.0]).is_err());
+        let mut scratch = vec![0.0; 3];
+        let mut out = vec![0.0; 3];
+        assert!(chol
+            .solve_into(&[1.0, 2.0], &mut scratch, &mut out)
+            .is_err());
+        assert!(chol
+            .solve_into(&[1.0, 2.0, 3.0], &mut scratch[..2], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn solve_into_is_bitwise_identical_to_solve() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let chol = Cholesky::new(&spd(6, 5)).unwrap();
+        let b = Mat::random_normal(1, 6, &mut rng).into_vec();
+        let x = chol.solve(&b).unwrap();
+        let mut scratch = vec![0.0; 6];
+        let mut out = vec![0.0; 6];
+        chol.solve_into(&b, &mut scratch, &mut out).unwrap();
+        assert_eq!(x, out);
+    }
+
+    #[test]
+    fn blocked_solve_mat_is_bitwise_identical_to_per_column_solve() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let chol = Cholesky::new(&spd(7, 6)).unwrap();
+        let b = Mat::random_normal(7, 5, &mut rng);
+        let x = chol.solve_mat(&b).unwrap();
+        for j in 0..5 {
+            let col = chol.solve(&b.col(j)).unwrap();
+            assert_eq!(
+                x.col(j),
+                col,
+                "column {j} of the blocked solve differs from the scalar solve"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_mat_rejects_row_mismatch() {
+        let chol = Cholesky::new(&spd(3, 9)).unwrap();
+        assert!(chol.solve_mat(&Mat::zeros(4, 2)).is_err());
     }
 
     #[test]

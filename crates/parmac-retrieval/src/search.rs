@@ -1,6 +1,12 @@
 //! Hamming-space k-nearest-neighbour search over binary codes.
+//!
+//! `hamming_knn` selects the top `k` with a bounded max-heap — `O(N log k)`
+//! per query instead of the `O(N log N)` full sort — reusing one heap
+//! allocation across queries. The selection is ordered by `(distance, index)`
+//! so results are identical to sorting the full distance list.
 
 use parmac_hash::BinaryCodes;
+use std::collections::BinaryHeap;
 
 /// For each query code, returns the indices of the `k` database codes with the
 /// smallest Hamming distance, closest first (ties broken by index).
@@ -15,6 +21,36 @@ pub fn hamming_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> V
         "database and query codes must have the same width"
     );
     assert!(k > 0, "k must be positive");
+    let k = k.min(database.len());
+    // The heap keeps the k best (distance, index) pairs with the *worst* on
+    // top; it is allocated once and reused as the per-query scratch buffer.
+    let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
+    (0..queries.len())
+        .map(|q| {
+            heap.clear();
+            for i in 0..database.len() {
+                let candidate = (queries.hamming(q, database, i), i);
+                if heap.len() < k {
+                    heap.push(candidate);
+                } else if candidate < *heap.peek().expect("heap is non-empty when full") {
+                    heap.pop();
+                    heap.push(candidate);
+                }
+            }
+            let mut neighbours = vec![0usize; heap.len()];
+            for slot in neighbours.iter_mut().rev() {
+                *slot = heap.pop().expect("heap holds one entry per slot").1;
+            }
+            neighbours
+        })
+        .collect()
+}
+
+/// The pre-optimisation k-NN reference: full `O(N log N)` sort per query.
+/// Kept as the single baseline implementation for the equivalence tests and
+/// the before/after micro-benchmarks; not part of the public API.
+#[doc(hidden)]
+pub fn full_sort_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> Vec<Vec<usize>> {
     let k = k.min(database.len());
     (0..queries.len())
         .map(|q| {
@@ -38,13 +74,18 @@ pub fn hamming_ranking(database: &BinaryCodes, queries: &BinaryCodes, query: usi
     let mut dists: Vec<(u32, usize)> = (0..database.len())
         .map(|i| (queries.hamming(query, database, i), i))
         .collect();
-    dists.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    // The (distance, index) keys are unique, so the unstable sort is
+    // deterministic and matches the stable sort exactly.
+    dists.sort_unstable();
     dists.into_iter().map(|(_, i)| i).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parmac_linalg::Mat;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
 
     fn codes(rows: &[Vec<bool>]) -> BinaryCodes {
         BinaryCodes::from_bools(rows)
@@ -80,6 +121,35 @@ mod tests {
         let q = codes(&[vec![true, false]]);
         let nn = hamming_knn(&db, &q, 10);
         assert_eq!(nn[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heap_selection_matches_full_sort_on_random_codes() {
+        // Many duplicate distances (16-bit codes over 400 points) exercise the
+        // tie-breaking; the bounded-heap result must equal the full sort for
+        // every k.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(400, 16, 0.0, 1.0, &mut rng));
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(9, 16, 0.0, 1.0, &mut rng));
+        for k in [1, 3, 10, 100, 400, 1000] {
+            assert_eq!(
+                hamming_knn(&db, &q, k),
+                full_sort_knn(&db, &q, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_prefix_matches_knn() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(120, 12, 0.0, 1.0, &mut rng));
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(4, 12, 0.0, 1.0, &mut rng));
+        let nn = hamming_knn(&db, &q, 25);
+        for (query, neighbours) in nn.iter().enumerate() {
+            let rank = hamming_ranking(&db, &q, query);
+            assert_eq!(neighbours, &rank[..25], "query {query}");
+        }
     }
 
     #[test]
