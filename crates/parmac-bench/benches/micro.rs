@@ -13,7 +13,9 @@
 //! what the tests verify. Results are tracked in `BENCH_zstep.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use parmac_cluster::{ClusterBackend, CostModel, SimBackend, SimCluster, ThreadedBackend, ZUpdate};
+use parmac_cluster::{
+    ClusterBackend, CostModel, PoolBackend, SimBackend, SimCluster, ThreadedBackend, ZUpdate,
+};
 use parmac_core::zstep::{reference, solve_relaxed_batch, ZStepProblem, ZStepWorkspace};
 use parmac_core::SpeedupModel;
 use parmac_data::partition_equal;
@@ -152,6 +154,121 @@ fn bench_zstep_serial_vs_parallel(c: &mut Criterion) {
     );
 }
 
+/// Perf-trajectory entry 3 (`BENCH_pool.json`): the same full Z step on the
+/// serial simulator, the one-thread-per-shard threaded backend and the
+/// work-stealing pool, over a *balanced* partition (P = cores regime) and an
+/// *imbalanced* proportional partition (the regime shard-granular threads
+/// cannot balance but chunk stealing can). All variants produce bitwise
+/// identical updates; only the substrate differs. The solve closure mirrors
+/// the trainer's current Z-step contract (one `ZStepProblem` per step, a
+/// workspace checkout pool) so the pool backend is not charged a spurious
+/// factorisation per 64-point chunk.
+fn bench_zstep_pool_vs_threaded_vs_serial(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let (l, d, n, p) = (16usize, 64usize, 2000usize, 8usize);
+    let decoder = LinearDecoder::new(Mat::random_normal(d, l, &mut rng), vec![0.0; d]);
+    let x = Mat::random_normal(n, d, &mut rng);
+    let hx: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..l).map(|b| f64::from((i + b) % 2 == 0)).collect())
+        .collect();
+    let problem = ZStepProblem::new(&decoder, 0.5);
+    let workspaces: std::sync::Mutex<Vec<ZStepWorkspace>> = std::sync::Mutex::new(Vec::new());
+    let solve = |_machine: usize, shard: &[usize]| -> Vec<ZUpdate> {
+        let mut workspace = workspaces
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_else(|| ZStepWorkspace::new(&problem));
+        let updates = shard
+            .iter()
+            .map(|&i| ZUpdate {
+                point: i,
+                code: workspace
+                    .solve_alternating(&problem, x.row(i), &hx[i], 5)
+                    .to_vec(),
+            })
+            .collect();
+        workspaces
+            .lock()
+            .expect("workspace pool poisoned")
+            .push(workspace);
+        updates
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |w| w.get());
+    for (label, shards) in [
+        ("balanced", partition_equal(n, p).into_shards()),
+        (
+            // One machine 16× faster than the rest: its shard dwarfs the
+            // others, so per-shard threads serialise on it.
+            "imbalanced 16:1",
+            parmac_data::partition_proportional(n, &[16.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+                .into_shards(),
+        ),
+    ] {
+        let cluster = SimCluster::new(shards, CostModel::distributed());
+        c.bench_function(
+            &format!("z step, serial sim backend ({label}, N=2000, P=8)"),
+            |b| b.iter(|| SimBackend::default().run_z_step(&cluster, 2 * l, solve)),
+        );
+        c.bench_function(
+            &format!("z step, threaded per-shard backend ({label}, N=2000, P=8)"),
+            |b| b.iter(|| ThreadedBackend::new().run_z_step(&cluster, 2 * l, solve)),
+        );
+        for w in [1usize, workers.max(2)] {
+            c.bench_function(
+                &format!("z step, work-stealing pool ({label}, N=2000, P=8, workers={w})"),
+                |b| {
+                    b.iter(|| {
+                        PoolBackend::new()
+                            .with_workers(w)
+                            .run_z_step(&cluster, 2 * l, solve)
+                    })
+                },
+            );
+        }
+    }
+}
+
+/// Within-machine W-step parallelism (§8.5): M = 16 submodels circulate over
+/// P = 2 machines, so up to 8 submodels queue at one machine at a time. The
+/// pool trains a machine's queue concurrently; scaling workers shows the
+/// within-machine speedup (1 worker ≈ the serialised queue).
+fn bench_wstep_within_machine(c: &mut Criterion) {
+    let shards = partition_equal(2000, 2).into_shards();
+    let cluster = SimCluster::new(shards, CostModel::shared_memory());
+    let mut rng = SmallRng::seed_from_u64(4);
+    let x = Mat::random_normal(2000, 64, &mut rng);
+    let update = |svm: &mut LinearSvm, _machine: usize, shard: &[usize]| {
+        let xs = x.select_rows(shard);
+        let y: Vec<f64> = shard
+            .iter()
+            .map(|&i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        svm.fit_batch(&xs, &y, 1);
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |w| w.get());
+    for w in [1usize, workers.max(2)] {
+        c.bench_function(
+            &format!("W step, pool within-machine (M=16, P=2, workers={w})"),
+            |b| {
+                b.iter_batched(
+                    || {
+                        (0..16)
+                            .map(|_| LinearSvm::new(64, SgdConfig::new().with_eta0(0.01)))
+                            .collect::<Vec<_>>()
+                    },
+                    |submodels| {
+                        PoolBackend::new()
+                            .with_workers(w)
+                            .run_w_step(&cluster, submodels, 1, 65, update, None)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}
+
 fn bench_svm_epoch(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(2);
     let x = Mat::random_normal(2000, 128, &mut rng);
@@ -204,6 +321,8 @@ criterion_group!(
     bench_zstep_alternating,
     bench_zstep_relaxed_batch,
     bench_zstep_serial_vs_parallel,
+    bench_zstep_pool_vs_threaded_vs_serial,
+    bench_wstep_within_machine,
     bench_svm_epoch,
     bench_ring_w_step,
     bench_speedup_model

@@ -10,14 +10,18 @@
 //! topology, machine speeds, cost model) and the algorithmic closures supplied
 //! by `parmac-core` stay backend-agnostic.
 //!
-//! Two backends ship today:
+//! Three backends ship today:
 //!
 //! * [`SimBackend`] — the deterministic synchronous-tick simulator, charging
 //!   simulated time to a [`CostModel`] (fig. 10's speedup experiments);
 //! * [`ThreadedBackend`] — real OS threads: the crossbeam ring for the W step
 //!   and one scoped thread per machine shard for the Z step. Simulated time is
 //!   still charged with the same formulas, so speedup curves remain comparable
-//!   across backends.
+//!   across backends;
+//! * [`PoolBackend`](crate::pool::PoolBackend) — a hand-rolled work-stealing
+//!   thread pool (§8.5's shared-memory configuration): the Z step splits every
+//!   shard into point chunks any worker can steal, the W step drains each
+//!   machine's submodel queue across the local workers.
 //!
 //! The Z step uses a *collect-then-apply* contract: the solve closure returns
 //! the changed codes per shard as [`ZUpdate`]s instead of mutating shared
@@ -104,10 +108,10 @@ pub trait ClusterBackend {
         F: Fn(usize, &[usize]) -> Vec<ZUpdate> + Sync;
 }
 
-/// Z-step statistics shared by both backends: simulated time comes from
+/// Z-step statistics shared by every backend: simulated time comes from
 /// [`SimCluster::simulated_z_time`] (eq. 7), so the simulated speedup curves
 /// are directly comparable across substrates.
-fn z_stats(cluster: &SimCluster, n_submodels: usize, start: Instant) -> ZStepStats {
+pub(crate) fn z_stats(cluster: &SimCluster, n_submodels: usize, start: Instant) -> ZStepStats {
     let mut timings = StepTimings::default();
     timings.simulated_compute = cluster.simulated_z_time(n_submodels);
     timings.simulated = timings.simulated_compute;
@@ -263,8 +267,10 @@ impl ClusterBackend for ThreadedBackend {
         S: Send,
         F: Fn(&mut S, usize, &[usize]) + Sync,
     {
-        let shards: Vec<Vec<usize>> = (0..cluster.n_machines())
-            .map(|p| cluster.shard(p).to_vec())
+        // Borrow the shards (the W step reads them concurrently but never
+        // mutates them): P slice pointers instead of an O(N) copy per step.
+        let shards: Vec<&[usize]> = (0..cluster.n_machines())
+            .map(|p| cluster.shard(p))
             .collect();
         run_w_step_threaded(
             submodels,
@@ -337,19 +343,31 @@ mod tests {
     }
 
     #[test]
-    fn sim_and_threaded_z_steps_produce_identical_updates_and_times() {
-        let cluster = SimCluster::new(shards(4, 40), CostModel::new(1.0, 10.0, 5.0));
-        let sim = SimBackend::new(CostModel::new(1.0, 10.0, 5.0));
-        let threaded = ThreadedBackend::new().with_cost_model(CostModel::new(1.0, 10.0, 5.0));
+    fn all_backends_z_steps_produce_identical_updates_and_times() {
+        let cost = CostModel::new(1.0, 10.0, 5.0);
+        let cluster = SimCluster::new(shards(4, 40), cost);
+        let sim = SimBackend::new(cost);
+        let threaded = ThreadedBackend::new().with_cost_model(cost);
+        let pool = crate::pool::PoolBackend::new()
+            .with_workers(3)
+            .with_chunk_size(4)
+            .with_cost_model(cost);
         let (u_sim, s_sim) = sim.run_z_step(&cluster, 8, toggle_solve);
         let (u_thr, s_thr) = threaded.run_z_step(&cluster, 8, toggle_solve);
+        let (u_pool, s_pool) = pool.run_z_step(&cluster, 8, toggle_solve);
         assert_eq!(
             u_sim, u_thr,
             "parallel Z must be bitwise identical to serial"
         );
+        assert_eq!(
+            u_sim, u_pool,
+            "work-stealing Z must be bitwise identical to serial"
+        );
         assert_eq!(s_sim.points_updated, 40);
         assert_eq!(s_sim.points_updated, s_thr.points_updated);
+        assert_eq!(s_sim.points_updated, s_pool.points_updated);
         assert_eq!(s_sim.timings.simulated, s_thr.timings.simulated);
+        assert_eq!(s_sim.timings.simulated, s_pool.timings.simulated);
     }
 
     #[test]
@@ -388,35 +406,77 @@ mod tests {
     }
 
     #[test]
-    fn both_backends_run_the_w_step_protocol() {
+    fn every_backend_runs_the_w_step_protocol() {
         let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
-        for (name, stats) in [
-            ("sim", {
-                let (subs, stats) = SimBackend::default().run_w_step(
+        for (name, (subs, stats)) in [
+            (
+                "sim",
+                SimBackend::default().run_w_step(
                     &cluster,
                     vec![0usize; 5],
                     2,
                     1,
                     |s, _, shard| *s += shard.len(),
                     None,
-                );
-                assert!(subs.iter().all(|&s| s == 2 * 30));
-                stats
-            }),
-            ("threaded", {
-                let (subs, stats) = ThreadedBackend::new().run_w_step(
+                ),
+            ),
+            (
+                "threaded",
+                ThreadedBackend::new().run_w_step(
                     &cluster,
                     vec![0usize; 5],
                     2,
                     1,
                     |s, _, shard| *s += shard.len(),
                     None,
-                );
-                assert!(subs.iter().all(|&s| s == 2 * 30));
-                stats
-            }),
+                ),
+            ),
+            (
+                "pool",
+                crate::pool::PoolBackend::new().with_workers(2).run_w_step(
+                    &cluster,
+                    vec![0usize; 5],
+                    2,
+                    1,
+                    |s, _, shard| *s += shard.len(),
+                    None,
+                ),
+            ),
         ] {
+            assert!(subs.iter().all(|&s| s == 2 * 30), "{name}");
             assert_eq!(stats.update_visits, 5 * 3 * 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn w_step_stats_are_identical_across_backends() {
+        // The canonical message count is ring_hops(M, P, e); the simulator
+        // counts hops dynamically and must agree with the closed form used by
+        // the threaded and pool backends (no-fault case), byte-for-byte.
+        let (m, p, e, params) = (5usize, 4usize, 3usize, 7usize);
+        let cluster = SimCluster::new(shards(p, 40), CostModel::distributed());
+        let noop = |_: &mut (), _: usize, _: &[usize]| {};
+        let (_, s_sim) =
+            SimBackend::default().run_w_step(&cluster, vec![(); m], e, params, noop, None);
+        let (_, s_thr) =
+            ThreadedBackend::new().run_w_step(&cluster, vec![(); m], e, params, noop, None);
+        let (_, s_pool) = crate::pool::PoolBackend::new().with_workers(2).run_w_step(
+            &cluster,
+            vec![(); m],
+            e,
+            params,
+            noop,
+            None,
+        );
+        let expected = crate::cost::ring_hops(m, p, e);
+        for (name, stats) in [("sim", s_sim), ("threaded", s_thr), ("pool", s_pool)] {
+            assert_eq!(stats.messages_sent, expected, "{name} messages");
+            assert_eq!(
+                stats.bytes_sent,
+                expected * params * std::mem::size_of::<f64>(),
+                "{name} bytes"
+            );
+            assert_eq!(stats.update_visits, m * p * e, "{name} visits");
         }
     }
 

@@ -97,6 +97,26 @@ impl Default for CostModel {
     }
 }
 
+/// The canonical number of ring messages (submodel hops) of one fault-free W
+/// step, shared by every backend's [`WStepStats::messages_sent`] accounting.
+///
+/// Each of the `M` submodels is handed to a machine `e·P` times for updates
+/// and then makes the final communication-only lap of `P − 1` hops (§4.1), so
+/// every submodel moves `e·P + P − 1` times in total — the initial seed send
+/// counts as its first hop, the final delivery (every machine already holds a
+/// copy) is not a hop. Hence `M · (e·P + P − 1)`; with `P = 1` this degrades
+/// to `M · e` (a submodel "hops" to its only machine once per epoch).
+///
+/// The simulator counts hops dynamically (a mid-step fault shrinks the ring,
+/// changing the count); without a fault its count equals this formula, which
+/// the backend-parity tests pin.
+pub fn ring_hops(n_submodels: usize, n_machines: usize, epochs: usize) -> usize {
+    if n_machines == 0 {
+        return 0;
+    }
+    n_submodels * (epochs * n_machines + n_machines - 1)
+}
+
 /// Accumulated simulated and wall-clock time for one step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct StepTimings {
@@ -179,6 +199,15 @@ mod tests {
     #[should_panic(expected = "at least one epoch")]
     fn rho_rejects_zero_epochs() {
         let _ = CostModel::distributed().rho(0);
+    }
+
+    #[test]
+    fn ring_hops_formula() {
+        // M·(e·P + P − 1); P = 1 degrades to M·e, zero machines to zero.
+        assert_eq!(ring_hops(5, 3, 2), 5 * (6 + 2));
+        assert_eq!(ring_hops(4, 1, 3), 12);
+        assert_eq!(ring_hops(0, 4, 2), 0);
+        assert_eq!(ring_hops(7, 0, 2), 0);
     }
 
     #[test]

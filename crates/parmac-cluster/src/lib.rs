@@ -16,6 +16,11 @@
 //!   asynchronous queue-per-machine protocol described in §4.1 (each submodel
 //!   carries a visit counter; a final communication-only lap distributes the
 //!   finished submodels).
+//! * [`pool`] — a **work-stealing thread-pool backend** (the paper's
+//!   shared-memory configuration, §8.5): the Z step splits shards into point
+//!   chunks any worker can steal, the W step trains the submodels queued at
+//!   one machine concurrently on the local workers. Results stay bitwise
+//!   identical to the simulator's.
 //!
 //! Supporting modules: [`topology`] (the circular topology, including the
 //!   random re-wiring used for cross-machine shuffling), [`envelope`] (the
@@ -33,14 +38,16 @@
 pub mod backend;
 pub mod cost;
 pub mod envelope;
+pub mod pool;
 pub mod sim;
 pub mod streaming;
 pub mod threaded;
 pub mod topology;
 
 pub use backend::{ClusterBackend, SimBackend, ThreadedBackend, ZUpdate};
-pub use cost::{CostModel, StepTimings, WStepStats, ZStepStats};
+pub use cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
+pub use pool::PoolBackend;
 pub use sim::{Fault, SimCluster};
 pub use threaded::run_w_step_threaded;
 pub use topology::RingTopology;

@@ -13,7 +13,7 @@
 //! suite to check that the concurrent protocol computes the same kind of model
 //! as the deterministic simulator.
 
-use crate::cost::{StepTimings, WStepStats};
+use crate::cost::{ring_hops, StepTimings, WStepStats};
 use crate::envelope::SubmodelEnvelope;
 use crate::topology::RingTopology;
 use crossbeam_channel::{unbounded, Receiver, Sender};
@@ -30,7 +30,9 @@ enum Message<S> {
 /// * `submodels` — the `M` submodels to train; returned updated, in the same
 ///   order.
 /// * `shards` — per-machine point indices, indexed by machine id (`shards[p]`
-///   is machine `p`'s local data).
+///   is machine `p`'s local data). Borrowed, not cloned: a W step touches the
+///   shards read-only, so callers pass `P` slices instead of copying `N`
+///   indices per step.
 /// * `topology` — the ring; every machine id it contains must be a valid index
 ///   into `shards`.
 /// * `epochs` — the number of passes `e` over the distributed dataset.
@@ -40,9 +42,12 @@ enum Message<S> {
 ///   concurrently from several threads (for *different* submodels), hence
 ///   `Sync`.
 ///
-/// Returns the updated submodels and communication statistics. Simulated time
-/// is not charged here (use [`SimCluster`](crate::sim::SimCluster) for that);
-/// wall-clock time is measured.
+/// Returns the updated submodels and communication statistics
+/// (`messages_sent` is the canonical fault-free hop count,
+/// [`ring_hops`]`(M, P, e)`, the same formula the simulator's dynamic count
+/// reduces to). Simulated time is not charged here (use
+/// [`SimCluster`](crate::sim::SimCluster) for that); wall-clock time is
+/// measured.
 ///
 /// # Panics
 ///
@@ -50,7 +55,7 @@ enum Message<S> {
 /// entry.
 pub fn run_w_step_threaded<S, F>(
     submodels: Vec<S>,
-    shards: &[Vec<usize>],
+    shards: &[&[usize]],
     topology: &RingTopology,
     epochs: usize,
     params_per_submodel: usize,
@@ -93,29 +98,24 @@ where
 
     // Seed each machine's queue with its portion of the submodels (round
     // robin by ring position, as in fig. 2).
-    let mut messages_seeded = 0usize;
     for (idx, sub) in submodels.into_iter().enumerate() {
         let env = SubmodelEnvelope::new(idx, sub, &machines);
         senders[idx % p]
             .send(Message::Envelope(env))
             .expect("seed send");
-        messages_seeded += 1;
     }
-    let _ = messages_seeded;
 
     let update_visits = std::sync::atomic::AtomicUsize::new(0);
-    let messages_sent = std::sync::atomic::AtomicUsize::new(0);
 
     thread::scope(|scope| {
         for (pos, &machine) in machines.iter().enumerate() {
             let rx = receivers[pos].take().expect("receiver taken once");
             let next_tx = senders[(pos + 1) % p].clone();
             let done_tx = done_tx.clone();
-            let shard = &shards[machine];
+            let shard = shards[machine];
             let update = &update;
             let machines_ref = &machines;
             let update_visits = &update_visits;
-            let messages_sent = &messages_sent;
             scope.spawn(move || {
                 while let Ok(msg) = rx.recv() {
                     let mut env = match msg {
@@ -130,7 +130,6 @@ where
                     if env.is_finished(p, epochs) {
                         done_tx.send(env).expect("collector alive");
                     } else {
-                        messages_sent.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         next_tx.send(Message::Envelope(env)).expect("ring alive");
                     }
                 }
@@ -152,7 +151,7 @@ where
     .map(|s| s.expect("every submodel collected"))
     .collect::<Vec<S>>()
     .pipe(|result| {
-        let msgs = messages_sent.load(std::sync::atomic::Ordering::Relaxed) + m_total;
+        let msgs = ring_hops(m_total, p, epochs);
         let stats = WStepStats {
             timings: StepTimings::default().with_wall_clock(start.elapsed()),
             messages_sent: msgs,
@@ -185,6 +184,10 @@ mod tests {
             .collect()
     }
 
+    fn as_refs(shards: &[Vec<usize>]) -> Vec<&[usize]> {
+        shards.iter().map(Vec::as_slice).collect()
+    }
+
     #[test]
     fn every_submodel_is_updated_on_every_machine_each_epoch() {
         let shards = shards(4, 40);
@@ -194,7 +197,7 @@ mod tests {
         let submodels: Vec<usize> = (0..6).collect();
         let (result, stats) = run_w_step_threaded(
             submodels,
-            &shards,
+            &as_refs(&shards),
             &topology,
             epochs,
             1,
@@ -221,8 +224,14 @@ mod tests {
         let shards = shards(3, 9);
         let topology = RingTopology::new(3);
         let submodels: Vec<String> = (0..5).map(|i| format!("model-{i}")).collect();
-        let (result, _) =
-            run_w_step_threaded(submodels.clone(), &shards, &topology, 1, 1, |_, _, _| {});
+        let (result, _) = run_w_step_threaded(
+            submodels.clone(),
+            &as_refs(&shards),
+            &topology,
+            1,
+            1,
+            |_, _, _| {},
+        );
         assert_eq!(result, submodels);
     }
 
@@ -233,10 +242,16 @@ mod tests {
         let shards = shards(4, 32);
         let topology = RingTopology::new(4);
         let submodels = vec![0usize; 3];
-        let (result, _) =
-            run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, shard| {
+        let (result, _) = run_w_step_threaded(
+            submodels,
+            &as_refs(&shards),
+            &topology,
+            2,
+            1,
+            |sub, _, shard| {
                 *sub += shard.len();
-            });
+            },
+        );
         assert!(result.iter().all(|&c| c == 2 * 32));
     }
 
@@ -245,10 +260,16 @@ mod tests {
         let shards = shards(1, 10);
         let topology = RingTopology::new(1);
         let submodels = vec![0usize; 2];
-        let (result, stats) =
-            run_w_step_threaded(submodels, &shards, &topology, 2, 1, |sub, _, _| {
+        let (result, stats) = run_w_step_threaded(
+            submodels,
+            &as_refs(&shards),
+            &topology,
+            2,
+            1,
+            |sub, _, _| {
                 *sub += 1;
-            });
+            },
+        );
         assert_eq!(result, vec![2, 2]);
         assert_eq!(stats.update_visits, 4);
     }
@@ -259,7 +280,7 @@ mod tests {
         let topology = RingTopology::new(2);
         let submodels: Vec<u8> = Vec::new();
         let (result, stats) =
-            run_w_step_threaded(submodels, &shards, &topology, 1, 1, |_, _, _| {});
+            run_w_step_threaded(submodels, &as_refs(&shards), &topology, 1, 1, |_, _, _| {});
         assert!(result.is_empty());
         assert_eq!(stats.update_visits, 0);
     }
@@ -270,9 +291,16 @@ mod tests {
         let topology = RingTopology::from_order(vec![2, 0, 3, 1]);
         let seen = Mutex::new(Vec::new());
         let submodels = vec![(); 1];
-        run_w_step_threaded(submodels, &shards, &topology, 1, 1, |_, machine, _| {
-            seen.lock().push(machine);
-        });
+        run_w_step_threaded(
+            submodels,
+            &as_refs(&shards),
+            &topology,
+            1,
+            1,
+            |_, machine, _| {
+                seen.lock().push(machine);
+            },
+        );
         let seen = seen.lock();
         assert_eq!(seen.len(), 4);
         // The single submodel starts at ring position 0 (machine 2) and walks

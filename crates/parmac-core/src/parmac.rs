@@ -10,11 +10,15 @@
 //!   [`CostModel`](parmac_cluster::CostModel), which also produces the
 //!   simulated runtimes used for the speedup experiments;
 //! * [`ThreadedBackend`](parmac_cluster::ThreadedBackend) — real threads and channels: one thread per machine
-//!   for the W-step ring and one scoped thread per shard for the Z step.
+//!   for the W-step ring and one scoped thread per shard for the Z step;
+//! * [`PoolBackend`](parmac_cluster::PoolBackend) — a work-stealing thread
+//!   pool (§8.5's shared-memory configuration): the Z step is split into
+//!   stealable point chunks, the W step drains each machine's submodel queue
+//!   across the local workers. All three produce bitwise-identical models.
 //!
-//! The trainer contains no backend-specific dispatch; further substrates (a
-//! rayon pool, MPI ranks, an async sharded server) plug in by implementing
-//! the trait in `parmac-cluster` — see `ClusterBackend`'s docs.
+//! The trainer contains no backend-specific dispatch; further substrates
+//! (MPI ranks, an async sharded server) plug in by implementing the trait in
+//! `parmac-cluster` — see `ClusterBackend`'s docs.
 //!
 //! Extensions of §4.2–4.3 are supported: within-machine minibatch shuffling,
 //! cross-machine (topology) shuffling, the two-round communication scheme,
@@ -28,7 +32,7 @@ use crate::zstep::{self, ZStepProblem};
 use parmac_cluster::{
     ClusterBackend, Fault, SimBackend, SimCluster, WStepStats, ZStepStats, ZUpdate,
 };
-use parmac_data::partition_equal;
+use parmac_data::{partition_equal, partition_proportional};
 use parmac_hash::{BinaryCodes, HashFunction, LinearDecoder, LinearHash};
 use parmac_linalg::Mat;
 use parmac_optim::{LinearSvm, RidgeRegression};
@@ -117,6 +121,26 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
     /// [`ClusterBackend::run_w_step`]).
     pub fn with_fault(mut self, at_iteration: usize, fault: Fault) -> Self {
         self.fault_plan = Some((at_iteration, fault));
+        self
+    }
+
+    /// Re-balances the data proportionally to per-machine speeds (§4.3:
+    /// machine `p` gets `N·α_p / Σα` points) and records the speeds in the
+    /// cluster's cost accounting. Call before training starts; the model and
+    /// code initialisation are per-point and unaffected by the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of speeds differs from the number of machines or
+    /// any speed is not positive and finite.
+    pub fn with_machine_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(
+            speeds.len(),
+            self.config.n_machines,
+            "one speed per machine"
+        );
+        let shards = partition_proportional(self.codes.len(), &speeds).into_shards();
+        self.cluster = SimCluster::new(shards, self.backend.cost_model()).with_speeds(speeds);
         self
     }
 
@@ -343,33 +367,59 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
     }
 
     /// One Z step: every machine updates its local coordinates; no
-    /// communication. The per-shard solves run through the backend (serially
-    /// on the simulator, one thread per shard on the threaded backend) and
-    /// return the changed codes, which are applied here in topology order —
-    /// so the result is bitwise identical across backends. Returns whether
-    /// any code changed and the statistics.
+    /// communication. The solves run through the backend (serially on the
+    /// simulator, one thread per shard on the threaded backend, stealable
+    /// point chunks on the pool backend) and return the changed codes, which
+    /// are applied here in topology order — so the result is bitwise
+    /// identical across backends. Returns whether any code changed and the
+    /// statistics.
     pub fn z_step(&mut self, x: &Mat, mu: f64) -> (bool, ZStepStats) {
         let method = self.config.ba.resolved_z_method();
         let alternations = self.config.ba.z_alternations;
         let model = &self.model;
         let codes = &self.codes;
-        let solve = |_machine: usize, shard: &[usize]| {
-            // One factorisation, one workspace and one batched relaxed init
-            // per shard (inside `solve_shard`), reused for every point on it;
-            // the per-point kernels allocate nothing.
-            let problem = ZStepProblem::new(model.decoder(), mu);
-            let hx = zstep::encoder_outputs(x, shard, model.decoder().n_bits(), |row| {
+        // One factorisation for the entire Z step: the decoder and µ are
+        // global, so every shard (and every chunk a backend may split a shard
+        // into) shares the same read-only `ZStepProblem`.
+        let problem = ZStepProblem::new(model.decoder(), mu);
+        // Workspace checkout pool: a solve invocation borrows a workspace and
+        // returns it afterwards, so at most one workspace is ever built per
+        // concurrently-solving worker — not one per chunk — and the per-point
+        // kernels allocate nothing regardless of how the backend partitions
+        // the work.
+        let workspaces: std::sync::Mutex<Vec<zstep::ZStepWorkspace>> =
+            std::sync::Mutex::new(Vec::new());
+        let solve = |_machine: usize, chunk: &[usize]| {
+            let hx = zstep::encoder_outputs(x, chunk, model.decoder().n_bits(), |row| {
                 model.encoder().encode_one(row)
             });
+            let mut workspace = workspaces
+                .lock()
+                .expect("workspace pool poisoned")
+                .pop()
+                .unwrap_or_else(|| zstep::ZStepWorkspace::new(&problem));
             let mut updates = Vec::new();
-            zstep::solve_shard(method, &problem, x, shard, &hx, alternations, |n, z_new| {
-                if !codes.row_equals(n, z_new) {
-                    updates.push(ZUpdate {
-                        point: n,
-                        code: z_new.to_vec(),
-                    });
-                }
-            });
+            zstep::solve_shard_chunk(
+                method,
+                &problem,
+                x,
+                chunk,
+                &hx,
+                alternations,
+                &mut workspace,
+                |n, z_new| {
+                    if !codes.row_equals(n, z_new) {
+                        updates.push(ZUpdate {
+                            point: n,
+                            code: z_new.to_vec(),
+                        });
+                    }
+                },
+            );
+            workspaces
+                .lock()
+                .expect("workspace pool poisoned")
+                .push(workspace);
             updates
         };
         let (updates, stats) =

@@ -567,11 +567,12 @@ pub fn encoder_outputs(
 ///
 /// This is the single implementation behind both trainers' Z sweeps (the
 /// serial `MacTrainer` passes the whole dataset as one shard; the ParMAC
-/// backends call it once per machine shard), which is what keeps their
-/// results bitwise identical. It builds one [`ZStepWorkspace`] for the shard
-/// and, for the relaxed-initialised methods, computes all starts with one
-/// batched multi-RHS solve ([`solve_relaxed_batch`]); the per-point kernels
-/// then allocate nothing.
+/// backends call it per machine shard — or per shard *chunk* on the
+/// work-stealing pool backend), which is what keeps their results bitwise
+/// identical. It builds one [`ZStepWorkspace`] for the shard and delegates to
+/// [`solve_shard_chunk`]; callers that solve many chunks (one per stealable
+/// pool task) should call the chunked entry point directly with a reused
+/// per-worker workspace instead of paying a workspace construction per chunk.
 ///
 /// # Panics
 ///
@@ -584,9 +585,47 @@ pub fn solve_shard(
     points: &[usize],
     hx: &Mat,
     max_rounds: usize,
-    mut visit: impl FnMut(usize, &[f64]),
+    visit: impl FnMut(usize, &[f64]),
 ) {
     let mut workspace = ZStepWorkspace::new(problem);
+    solve_shard_chunk(
+        method,
+        problem,
+        x,
+        points,
+        hx,
+        max_rounds,
+        &mut workspace,
+        visit,
+    );
+}
+
+/// The chunked entry point behind [`solve_shard`]: identical semantics, but
+/// the caller supplies the [`ZStepWorkspace`], so a worker solving many
+/// chunks of one Z step (the pool backend's stealable tasks) builds **one
+/// workspace per worker** and reuses it — together with one
+/// [`ZStepProblem`] per shard (its Cholesky factor is shared read-only) the
+/// per-point kernels still allocate nothing. Because per-point solves are
+/// independent and the batched relaxed starts are bitwise identical to the
+/// per-point solve row by row, splitting a shard into chunks cannot change
+/// any point's solution.
+///
+/// # Panics
+///
+/// Panics if `hx` is not `points.len() × L`, any index is out of bounds, the
+/// workspace was built for a decoder of a different shape, or `method` is
+/// [`ZStepMethod::Auto`] (resolve it first).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_shard_chunk(
+    method: ZStepMethod,
+    problem: &ZStepProblem<'_>,
+    x: &Mat,
+    points: &[usize],
+    hx: &Mat,
+    max_rounds: usize,
+    workspace: &mut ZStepWorkspace,
+    mut visit: impl FnMut(usize, &[f64]),
+) {
     let starts = match method {
         ZStepMethod::AlternatingBits | ZStepMethod::RelaxedOnly => {
             Some(solve_relaxed_batch(problem, x, points, hx))

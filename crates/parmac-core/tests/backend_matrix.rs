@@ -1,0 +1,209 @@
+//! Three-way backend equivalence matrix: the same training run on
+//! [`SimBackend`], [`ThreadedBackend`] and [`PoolBackend`] must produce
+//! **bitwise identical** trained weights and codes — not merely statistically
+//! close models. This holds because each submodel's machine-visit sequence is
+//! the same on every backend (seeded round-robin, then ring order), submodels
+//! are mutually independent during a W step, and per-point Z solves are
+//! independent with a collect-then-apply contract applied in topology order.
+//!
+//! The matrix covers the degenerate single-worker pool (CI runs it at pool
+//! sizes 1, 2 and 8), a shuffled ring topology, an imbalanced proportional
+//! partition, and the serial-MAC-shaped whole-dataset Z sweep against each
+//! backend's distributed sweep.
+
+use parmac_cluster::{ClusterBackend, CostModel, PoolBackend, SimBackend, ThreadedBackend};
+use parmac_core::zstep::{self, ZStepProblem};
+use parmac_core::{BaConfig, ParMacConfig, ParMacTrainer};
+use parmac_data::synthetic::{gaussian_mixture, MixtureConfig};
+use parmac_hash::{BinaryCodes, HashFunction};
+use parmac_linalg::Mat;
+
+/// The pool sizes the equivalence suite is pinned at: the single-worker
+/// degenerate path, a small pool, and more workers than this container has
+/// cores.
+const POOL_WORKERS: [usize; 3] = [1, 2, 8];
+
+fn dataset(seed: u64, n: usize) -> Mat {
+    gaussian_mixture(&MixtureConfig::new(n, 10, 4).with_seed(seed)).features
+}
+
+fn quick_cfg(bits: usize, machines: usize) -> ParMacConfig {
+    ParMacConfig::new(
+        BaConfig::new(bits)
+            .with_mu_schedule(0.02, 2.0, 4)
+            .with_epochs(1)
+            .with_seed(5)
+            .with_sgd(parmac_optim::SgdConfig::new().with_eta0(0.1)),
+        machines,
+    )
+}
+
+/// Runs a full training and returns everything that must match bitwise.
+fn run<B: ClusterBackend>(
+    cfg: ParMacConfig,
+    x: &Mat,
+    backend: B,
+    speeds: Option<Vec<f64>>,
+) -> (Mat, Mat, BinaryCodes, f64) {
+    let mut trainer = ParMacTrainer::new(cfg, x, backend);
+    if let Some(speeds) = speeds {
+        trainer = trainer.with_machine_speeds(speeds);
+    }
+    let report = trainer.run(x);
+    (
+        trainer.model().encoder().weights().clone(),
+        trainer.model().decoder().weights().clone(),
+        trainer.codes().clone(),
+        report.mac.final_ba_error,
+    )
+}
+
+fn assert_matrix_identical(cfg: ParMacConfig, x: &Mat, speeds: Option<Vec<f64>>, label: &str) {
+    let sim = run(
+        cfg,
+        x,
+        SimBackend::new(CostModel::distributed()),
+        speeds.clone(),
+    );
+    let threaded = run(
+        cfg,
+        x,
+        ThreadedBackend::new().with_cost_model(CostModel::distributed()),
+        speeds.clone(),
+    );
+    assert_eq!(
+        sim.0, threaded.0,
+        "{label}: encoder weights sim vs threaded"
+    );
+    assert_eq!(
+        sim.1, threaded.1,
+        "{label}: decoder weights sim vs threaded"
+    );
+    assert_eq!(sim.2, threaded.2, "{label}: codes sim vs threaded");
+    assert_eq!(sim.3, threaded.3, "{label}: E_BA sim vs threaded");
+    for workers in POOL_WORKERS {
+        let pool = run(
+            cfg,
+            x,
+            PoolBackend::new()
+                .with_workers(workers)
+                .with_chunk_size(8)
+                .with_cost_model(CostModel::distributed()),
+            speeds.clone(),
+        );
+        assert_eq!(
+            sim.0, pool.0,
+            "{label}: encoder weights sim vs pool({workers})"
+        );
+        assert_eq!(
+            sim.1, pool.1,
+            "{label}: decoder weights sim vs pool({workers})"
+        );
+        assert_eq!(sim.2, pool.2, "{label}: codes sim vs pool({workers})");
+        assert_eq!(sim.3, pool.3, "{label}: E_BA sim vs pool({workers})");
+    }
+}
+
+#[test]
+fn parmac_full_run_is_bitwise_identical_across_backends() {
+    let x = dataset(21, 160);
+    assert_matrix_identical(quick_cfg(6, 4), &x, None, "plain");
+}
+
+#[test]
+fn matrix_holds_under_a_shuffled_topology() {
+    // Cross-machine shuffling re-randomises the ring before every W step; the
+    // trainer's seeded RNG makes the shuffle sequence identical across
+    // backends, so the matrix must still agree bitwise.
+    let x = dataset(22, 160);
+    let cfg = quick_cfg(5, 4).with_cross_machine_shuffling(true);
+    assert_matrix_identical(cfg, &x, None, "shuffled topology");
+}
+
+#[test]
+fn matrix_holds_under_an_imbalanced_proportional_partition() {
+    // Speeds 1:2:5 give shards of very different sizes — the regime where the
+    // pool's chunk stealing beats one-thread-per-shard, and exactly where a
+    // granularity bug would break bitwise equality.
+    let x = dataset(23, 240);
+    let cfg = quick_cfg(5, 3);
+    assert_matrix_identical(cfg, &x, Some(vec![1.0, 2.0, 5.0]), "imbalanced");
+}
+
+#[test]
+fn distributed_z_sweep_equals_the_serial_mac_sweep_on_every_backend() {
+    // The serial MacTrainer solves its Z step through `zstep::solve_shard`
+    // with the whole dataset as one shard. Every backend's distributed sweep
+    // must produce exactly those codes: same kernels, same per-point
+    // independence, different partitioning and scheduling only.
+    let x = dataset(24, 150);
+    let cfg = quick_cfg(6, 3);
+    let mu = 0.05;
+
+    fn one_iteration<B: ClusterBackend>(
+        cfg: ParMacConfig,
+        x: &Mat,
+        mu: f64,
+        backend: B,
+    ) -> (Mat, BinaryCodes) {
+        let mut t = ParMacTrainer::new(cfg, x, backend);
+        t.w_step(x, 0);
+        t.z_step(x, mu);
+        (t.model().encoder().weights().clone(), t.codes().clone())
+    }
+
+    let mut results: Vec<(String, (Mat, BinaryCodes))> = vec![
+        (
+            "sim".into(),
+            one_iteration(cfg, &x, mu, SimBackend::new(CostModel::distributed())),
+        ),
+        (
+            "threaded".into(),
+            one_iteration(cfg, &x, mu, ThreadedBackend::new()),
+        ),
+    ];
+    for workers in POOL_WORKERS {
+        results.push((
+            format!("pool({workers})"),
+            one_iteration(
+                cfg,
+                &x,
+                mu,
+                PoolBackend::new().with_workers(workers).with_chunk_size(16),
+            ),
+        ));
+    }
+    let (_, reference) = results[0].clone();
+    for (name, result) in &results[1..] {
+        assert_eq!(reference.0, result.0, "{name}: W step diverged");
+        assert_eq!(reference.1, result.1, "{name}: Z step diverged");
+    }
+
+    // The MAC-shaped sweep: one shard covering the whole dataset, solved with
+    // the same model state the backends reached after their (identical) W
+    // step.
+    let ref_codes = reference.1;
+    let mut t = ParMacTrainer::new(cfg, &x, SimBackend::new(CostModel::distributed()));
+    t.w_step(&x, 0);
+    let model = t.model().clone();
+    let method = cfg.ba.resolved_z_method();
+    let problem = ZStepProblem::new(model.decoder(), mu);
+    let points: Vec<usize> = (0..x.rows()).collect();
+    let hx = zstep::encoder_outputs(&x, &points, model.decoder().n_bits(), |row| {
+        model.encoder().encode_one(row)
+    });
+    let mut serial_codes = t.codes().clone();
+    zstep::solve_shard(
+        method,
+        &problem,
+        &x,
+        &points,
+        &hx,
+        cfg.ba.z_alternations,
+        |n, z_new| serial_codes.set_code(n, z_new),
+    );
+    assert_eq!(
+        ref_codes, serial_codes,
+        "distributed Z sweep must equal the serial MAC whole-dataset sweep"
+    );
+}

@@ -77,8 +77,11 @@ pub fn partition_equal(n_points: usize, n_machines: usize) -> Partition {
 }
 
 /// Partitions `n_points` points proportionally to the per-machine speeds
-/// `alpha` (§4.3: machine `p` gets `N·α_p / Σα` points). Rounding remainders
-/// are assigned to the fastest machines.
+/// `alpha` (§4.3: machine `p` gets `N·α_p / Σα` points), by largest-remainder
+/// apportionment: every machine first gets `⌊N·α_p / Σα⌋` points, then the
+/// leftover points go to the machines with the largest fractional remainders,
+/// with speed as the tie-break (equal remainders → the faster machine gets
+/// the extra point).
 ///
 /// # Panics
 ///
@@ -174,6 +177,26 @@ mod tests {
         let sizes: Vec<usize> = p.iter().map(|s| s.len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn proportional_remainder_tie_breaks_towards_the_faster_machine() {
+        // 10 points over speeds (1, 3): exact shares are 2.5 and 7.5, the
+        // fractional remainders tie at 0.5, and the single leftover point must
+        // go to the faster machine — regardless of index order.
+        let p = partition_proportional(10, &[1.0, 3.0]);
+        assert_eq!(
+            p.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![2, 8],
+            "faster machine 1 wins the tied remainder"
+        );
+        let p = partition_proportional(10, &[3.0, 1.0]);
+        assert_eq!(
+            p.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            vec![8, 2],
+            "faster machine 0 wins the tied remainder"
+        );
+        assert_disjoint_cover(&p);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Retrieval metrics: precision and recall@R.
 
-use crate::search::{hamming_knn, hamming_ranking};
+use crate::search::hamming_knn;
 use parmac_hash::BinaryCodes;
 
 /// Retrieval precision as defined in §8.1 of the paper: with the `K` Euclidean
@@ -42,7 +42,8 @@ pub fn precision(
 
 /// recall@R for a single cutoff: the fraction of queries whose first
 /// ground-truth neighbour (`ground_truth[q][0]`) is ranked within the top `R`
-/// database points by Hamming distance (§8.1, SIFT-1B protocol).
+/// database points by Hamming distance (§8.1, SIFT-1B protocol; tied
+/// distances rank at the top, see [`recall_curve`]).
 ///
 /// Returns 0.0 when there are no queries.
 ///
@@ -59,14 +60,22 @@ pub fn recall_at_r(
     recall_curve(database_codes, query_codes, ground_truth, &[r])[0]
 }
 
-/// recall@R evaluated at several cutoffs at once (one ranking pass per query).
+/// recall@R evaluated at several cutoffs at once (one distance pass per
+/// query).
+///
+/// Hamming distances over short codes tie massively, and §8.1's protocol
+/// ranks tied distances at the top: the target's rank is the number of
+/// database points *strictly closer* to the query, computed in `O(N)` per
+/// query with no ranking materialised (previously a full sort placed ties in
+/// index order, under-reporting recall whenever the target tied with
+/// lower-indexed points).
 ///
 /// Returns one value per entry of `rs`, in the same order.
 ///
 /// # Panics
 ///
 /// Panics if `ground_truth.len() != query_codes.len()`, any ground-truth list
-/// is empty, or any cutoff is zero.
+/// is empty or names a point outside the database, or any cutoff is zero.
 pub fn recall_curve(
     database_codes: &BinaryCodes,
     query_codes: &BinaryCodes,
@@ -89,16 +98,16 @@ pub fn recall_curve(
             "query {q} has an empty ground-truth list"
         );
         let target = truth[0];
-        let ranking = hamming_ranking(database_codes, query_codes, q);
-        // Position of the true nearest neighbour in the Hamming ranking. The
-        // paper places tied distances at top rank; our deterministic
-        // index-order tie-break is a slightly pessimistic variant.
-        let pos = ranking
-            .iter()
-            .position(|&i| i == target)
-            .expect("target index must be in the database");
+        assert!(
+            target < database_codes.len(),
+            "target index must be in the database"
+        );
+        let target_dist = query_codes.hamming(q, database_codes, target);
+        let rank = (0..database_codes.len())
+            .filter(|&i| query_codes.hamming(q, database_codes, i) < target_dist)
+            .count();
         for (h, &r) in hits.iter_mut().zip(rs) {
-            if pos < r {
+            if rank < r {
                 *h += 1;
             }
         }
@@ -163,6 +172,38 @@ mod tests {
         let curve = recall_curve(&db, &q, &gt, &[1, 2, 4]);
         assert!(curve[0] <= curve[1] && curve[1] <= curve[2]);
         assert_eq!(curve[2], 1.0);
+    }
+
+    #[test]
+    fn tied_distances_rank_at_the_top() {
+        // Five of six database codes are identical to the query (distance 0)
+        // and the target is the *last* of them. §8.1 places ties at top rank,
+        // so recall@1 must be 1 even though four lower-indexed points tie;
+        // the old index-order tie-break reported 0 until R > 4.
+        let tie = vec![true, false, true, false];
+        let db = codes(&[
+            tie.clone(),
+            tie.clone(),
+            tie.clone(),
+            tie.clone(),
+            vec![false, true, false, true],
+            tie.clone(),
+        ]);
+        let q = codes(&[tie]);
+        let gt = vec![vec![5]];
+        assert_eq!(recall_curve(&db, &q, &gt, &[1, 2, 5]), vec![1.0, 1.0, 1.0]);
+        // A strictly closer point still pushes the target down: with the
+        // target at distance 4 and five points at distance 0, its rank is 5.
+        let gt_far = vec![vec![4]];
+        assert_eq!(recall_curve(&db, &q, &gt_far, &[5, 6]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target index must be in the database")]
+    fn recall_rejects_out_of_range_target() {
+        let db = codes(&[vec![true, false]]);
+        let q = codes(&[vec![true, false]]);
+        let _ = recall_curve(&db, &q, &[vec![7]], &[1]);
     }
 
     #[test]

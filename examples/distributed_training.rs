@@ -1,5 +1,7 @@
 //! Distributed training with ParMAC: the same binary autoencoder trained on
-//! 1, 4 and 16 simulated machines and on the real multi-threaded backend.
+//! 1, 4 and 16 simulated machines, on the real multi-threaded backend, and on
+//! the work-stealing pool backend (the paper's shared-memory configuration,
+//! §8.5).
 //!
 //! Demonstrates the properties §4–5 of the paper emphasise: only model
 //! parameters are communicated (bytes reported), simulated runtime shrinks
@@ -11,7 +13,7 @@
 use parmac::cluster::CostModel;
 use parmac::core::mac::RetrievalEval;
 use parmac::core::{
-    BaConfig, ParMacConfig, ParMacTrainer, SimBackend, SpeedupModel, ThreadedBackend,
+    BaConfig, ParMacConfig, ParMacTrainer, PoolBackend, SimBackend, SpeedupModel, ThreadedBackend,
 };
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 
@@ -62,5 +64,23 @@ fn main() {
         "\nthreaded backend (4 OS threads): {:.2}s wall clock, precision {:.3}",
         report.total_wall_clock_secs,
         eval.precision_of(threaded.model())
+    );
+
+    // And on the work-stealing pool (§8.5's shared-memory configuration):
+    // the Z step is split into stealable point chunks so all workers help
+    // with every shard, and submodels queued at one machine train
+    // concurrently. The trained model is bitwise identical to the other
+    // backends'.
+    let mut pool = ParMacTrainer::new(cfg, &train, PoolBackend::new().with_workers(4));
+    let report = pool.run_with_eval(&train, Some(&eval));
+    println!(
+        "pool backend (work-stealing, 4 workers): {:.2}s wall clock, precision {:.3}",
+        report.total_wall_clock_secs,
+        eval.precision_of(pool.model())
+    );
+    assert_eq!(
+        pool.model().encoder().weights(),
+        threaded.model().encoder().weights(),
+        "pool and threaded backends must train the identical model"
     );
 }
