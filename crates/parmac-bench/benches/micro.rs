@@ -314,6 +314,36 @@ fn bench_speedup_model(c: &mut Criterion) {
     });
 }
 
+/// The serving fan-out of the server backend: `QueryRouter::knn` routes a
+/// query batch to P resident shard actors and merges the per-shard top-k,
+/// benchmarked against the single-process `hamming_knn` over the same 50k
+/// codes. The gap is the message-passing + merge overhead one pays for
+/// serving from the training processes (per `ring_hops` there is no W-step
+/// traffic involved: queries fan out P ways and reply once each, 2·P
+/// messages per batch).
+fn bench_server_query_routing(c: &mut Criterion) {
+    use parmac_cluster::ServerBackend;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let hash = LinearHash::random(64, 128, &mut rng);
+    let database = hash.encode(&Mat::random_normal(50_000, 128, &mut rng));
+    let queries = hash.encode(&Mat::random_normal(20, 128, &mut rng));
+    for p in [4usize, 16] {
+        let shards = partition_equal(database.len(), p).into_shards();
+        let cluster = SimCluster::new(shards, CostModel::distributed());
+        let backend = ServerBackend::new();
+        backend.publish_codes(&cluster, &database);
+        let router = backend.query_router();
+        c.bench_function(
+            &format!("server knn fan-out + merge (20 q x 50k db, k=100, P={p})"),
+            |b| b.iter(|| router.knn(&queries, 100)),
+        );
+    }
+    c.bench_function(
+        "single-process hamming_knn baseline (20 q x 50k db, k=100)",
+        |b| b.iter(|| hamming_knn(&database, &queries, 100)),
+    );
+}
+
 criterion_group!(
     benches,
     bench_hamming_search,
@@ -325,6 +355,7 @@ criterion_group!(
     bench_wstep_within_machine,
     bench_svm_epoch,
     bench_ring_w_step,
-    bench_speedup_model
+    bench_speedup_model,
+    bench_server_query_routing
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@
 //! topology, machine speeds, cost model) and the algorithmic closures supplied
 //! by `parmac-core` stay backend-agnostic.
 //!
-//! Three backends ship today:
+//! Four backends ship today:
 //!
 //! * [`SimBackend`] — the deterministic synchronous-tick simulator, charging
 //!   simulated time to a [`CostModel`] (fig. 10's speedup experiments);
@@ -21,7 +21,16 @@
 //! * [`PoolBackend`](crate::pool::PoolBackend) — a hand-rolled work-stealing
 //!   thread pool (§8.5's shared-memory configuration): the Z step splits every
 //!   shard into point chunks any worker can steal, the W step drains each
-//!   machine's submodel queue across the local workers.
+//!   machine's submodel queue across the local workers;
+//! * [`ServerBackend`](crate::server::ServerBackend) — machines as long-lived
+//!   actors behind typed crossbeam mailboxes ([`MachineMsg`]): the W step
+//!   routes [`SubmodelEnvelope`] hops by the envelope's own visit list, the Z
+//!   step is a `ZStepRequest`/reply exchange, and the resident serving fleet
+//!   answers Hamming k-NN queries (via
+//!   [`QueryRouter`](crate::server::QueryRouter)) *while* training runs.
+//!
+//! [`MachineMsg`]: crate::server::MachineMsg
+//! [`SubmodelEnvelope`]: crate::envelope::SubmodelEnvelope
 //!
 //! The Z step uses a *collect-then-apply* contract: the solve closure returns
 //! the changed codes per shard as [`ZUpdate`]s instead of mutating shared
@@ -106,6 +115,27 @@ pub trait ClusterBackend {
     ) -> (Vec<ZUpdate>, ZStepStats)
     where
         F: Fn(usize, &[usize]) -> Vec<ZUpdate> + Sync;
+
+    /// Publishes the current auxiliary codes to the backend's serving side,
+    /// shard by shard. Called by the trainer whenever the codes are (re)built
+    /// wholesale — at initialisation, after re-partitioning and at the end of
+    /// a run — so a backend that also *serves* the codes (the
+    /// [`ServerBackend`](crate::server::ServerBackend) retrieval fleet) stays
+    /// fresh. Purely computational backends ignore it (the default no-op).
+    fn publish_codes(&self, _cluster: &SimCluster, _codes: &parmac_hash::BinaryCodes) {}
+
+    /// Publishes the codes of freshly streamed points: `points` were just
+    /// added to `machine`'s shard and their codes are rows of `codes`. The
+    /// incremental sibling of [`publish_codes`](Self::publish_codes) — a
+    /// streaming ingest touches one machine, so only that machine's delta
+    /// should move. Default no-op.
+    fn publish_point_codes(
+        &self,
+        _machine: usize,
+        _points: &[usize],
+        _codes: &parmac_hash::BinaryCodes,
+    ) {
+    }
 }
 
 /// Z-step statistics shared by every backend: simulated time comes from

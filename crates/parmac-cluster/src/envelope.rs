@@ -4,8 +4,17 @@
 //! initially 1 and increases every time it visits a machine" (§4.1); the more
 //! general fault-tolerant variant tags each submodel "with a list (per epoch)
 //! of machines it has to visit" (§4.3). [`SubmodelEnvelope`] implements both:
-//! the counter drives the normal flow, the visit list supports fault recovery
-//! and arbitrary per-submodel topologies.
+//! the visit list drives the epoch bookkeeping and the fault-tolerant routing
+//! (see [`next_machine`]), the counters expose progress for statistics.
+//!
+//! Machines removed by [`handle_fault`] are remembered in
+//! [`faulted_machines`] and excluded from every subsequent epoch refill, so a
+//! failed machine never re-enters a submodel's route — the visit list is the
+//! authoritative record of where the submodel still has to go.
+//!
+//! [`next_machine`]: SubmodelEnvelope::next_machine
+//! [`handle_fault`]: SubmodelEnvelope::handle_fault
+//! [`faulted_machines`]: SubmodelEnvelope::faulted_machines
 
 use serde::{Deserialize, Serialize};
 
@@ -18,11 +27,20 @@ pub struct SubmodelEnvelope<S> {
     pub payload: S,
     /// Number of machine visits so far (both updating and forwarding visits).
     pub visits: usize,
+    /// Epochs fully completed: incremented whenever the pending list empties.
+    pub epochs_completed: usize,
+    /// Hops made in the final communication-only lap.
+    pub forward_visits: usize,
     /// Machines this submodel still has to visit in the current epoch
     /// (§4.3's more general mechanism; kept in sync by [`record_visit`]).
     ///
     /// [`record_visit`]: SubmodelEnvelope::record_visit
     pub pending_machines: Vec<usize>,
+    /// Machines removed by [`handle_fault`]: they are excluded from every
+    /// epoch refill, so a failed machine never comes back into the route.
+    ///
+    /// [`handle_fault`]: SubmodelEnvelope::handle_fault
+    pub faulted_machines: Vec<usize>,
 }
 
 impl<S> SubmodelEnvelope<S> {
@@ -32,48 +50,80 @@ impl<S> SubmodelEnvelope<S> {
             submodel_id,
             payload,
             visits: 0,
+            epochs_completed: 0,
+            forward_visits: 0,
             pending_machines: machines.to_vec(),
+            faulted_machines: Vec::new(),
         }
     }
 
     /// Whether the submodel should still be *updated* when visiting a machine
-    /// (as opposed to merely forwarded in the final communication lap).
-    ///
-    /// With `P` machines and `e` epochs, updates happen on the first `e·P`
-    /// visits.
-    pub fn needs_update(&self, n_machines: usize, epochs: usize) -> bool {
-        self.visits < n_machines * epochs
+    /// (as opposed to merely forwarded in the final communication lap): true
+    /// until all `epochs` visit lists have been worked off.
+    pub fn needs_update(&self, epochs: usize) -> bool {
+        self.epochs_completed < epochs
     }
 
-    /// Whether the envelope has completed the full W step (all update visits
-    /// plus the final `P−1` forwarding hops), i.e. `visits ≥ P(e+1) − 1`.
+    /// Whether the envelope has completed the full W step: every epoch's
+    /// visit list worked off, plus the final communication-only lap of
+    /// `P_live − 1` hops over the `n_machines`-strong ring (machines that
+    /// faulted after this envelope last saw them reduce the lap accordingly).
     pub fn is_finished(&self, n_machines: usize, epochs: usize) -> bool {
-        self.visits >= n_machines * (epochs + 1) - 1
+        let live = n_machines.saturating_sub(self.faulted_machines.len());
+        !self.needs_update(epochs) && self.forward_visits >= live.saturating_sub(1)
     }
 
-    /// Records a visit to `machine`: increments the counter, removes the
-    /// machine from the pending list (refilling the list with `all_machines`
-    /// when an epoch's list empties), and returns whether the visit performed
-    /// an update.
+    /// Records a visit to `machine`: increments the counters, removes the
+    /// machine from the pending list (refilling the list with the non-faulted
+    /// members of `all_machines` when an epoch's list empties), and returns
+    /// whether the visit performed an update.
     pub fn record_visit(&mut self, machine: usize, all_machines: &[usize], epochs: usize) -> bool {
-        let updating = self.needs_update(all_machines.len(), epochs);
+        let updating = self.needs_update(epochs);
         self.visits += 1;
         if updating {
             if let Some(pos) = self.pending_machines.iter().position(|&m| m == machine) {
                 self.pending_machines.remove(pos);
             }
-            if self.pending_machines.is_empty() && self.needs_update(all_machines.len(), epochs) {
-                // Start of the next epoch: must visit everyone again.
-                self.pending_machines = all_machines.to_vec();
+            if self.pending_machines.is_empty() {
+                self.epochs_completed += 1;
+                if self.needs_update(epochs) {
+                    // Start of the next epoch: must visit every live machine
+                    // again — but never one that has faulted.
+                    self.pending_machines = all_machines
+                        .iter()
+                        .copied()
+                        .filter(|m| !self.faulted_machines.contains(m))
+                        .collect();
+                }
             }
+        } else {
+            self.forward_visits += 1;
         }
         updating
     }
 
     /// Handles the failure of `machine` (§4.3): the machine can no longer be
-    /// visited, so it is dropped from the pending list.
+    /// visited, so it is dropped from the pending list *and* remembered so
+    /// that later epoch refills exclude it.
+    ///
+    /// Routing follows from the list: a machine holding an envelope whose
+    /// pending list does not contain it relays the envelope onward instead of
+    /// processing it (see the server backend's W step), so faulted machines
+    /// are routed around without any successor-walk special cases.
     pub fn handle_fault(&mut self, machine: usize) {
         self.pending_machines.retain(|&m| m != machine);
+        if !self.faulted_machines.contains(&machine) {
+            self.faulted_machines.push(machine);
+        }
+    }
+
+    /// Whether a machine holding this envelope should process it (record a
+    /// visit, possibly update) rather than relay it onward: always during the
+    /// final forwarding lap, and only when on the pending list during the
+    /// update phase. This is the §4.3 routing rule — the visit list, not a
+    /// hardcoded successor walk, decides where the envelope stops next.
+    pub fn should_process_at(&self, machine: usize, epochs: usize) -> bool {
+        !self.needs_update(epochs) || self.pending_machines.contains(&machine)
     }
 }
 
@@ -101,6 +151,7 @@ mod tests {
         assert_eq!(updates, 6);
         assert_eq!(forwards, 2);
         assert_eq!(env.visits, 8); // P(e+1) − 1
+        assert_eq!(env.epochs_completed, 2);
     }
 
     #[test]
@@ -121,6 +172,39 @@ mod tests {
         let mut env = SubmodelEnvelope::new(0, (), &machines);
         env.handle_fault(1);
         assert_eq!(env.pending_machines, vec![0, 2]);
+        assert_eq!(env.faulted_machines, vec![1]);
+    }
+
+    #[test]
+    fn faulted_machine_is_never_pending_again() {
+        // Regression: the epoch refill used to reinstate machines previously
+        // removed by handle_fault. Fault machine 1 during epoch 1 of a
+        // 3-machine / 2-epoch run and drive the envelope to completion: 1 must
+        // never appear on the pending list again.
+        let machines = [0usize, 1, 2];
+        let epochs = 2;
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        assert!(env.record_visit(0, &machines, epochs));
+        env.handle_fault(1); // machine 1 dies mid-epoch-1
+        assert!(!env.pending_machines.contains(&1));
+        let mut visited = Vec::new();
+        let mut machine = 2; // continue around the (reconnected) ring 0 → 2
+        while !env.is_finished(machines.len(), epochs) {
+            assert!(
+                !env.pending_machines.contains(&1),
+                "faulted machine reinstated: pending {:?} after visits {:?}",
+                env.pending_machines,
+                visited
+            );
+            env.record_visit(machine, &machines, epochs);
+            visited.push(machine);
+            machine = if machine == 0 { 2 } else { 0 };
+        }
+        // Epoch 1 finishes on {0, 2}; epoch 2 refills with {0, 2} only; the
+        // final lap is P_live − 1 = 1 hop.
+        assert_eq!(env.epochs_completed, 2);
+        assert_eq!(env.forward_visits, 1);
+        assert!(!visited.is_empty());
     }
 
     #[test]
@@ -130,5 +214,24 @@ mod tests {
         assert!(!env.is_finished(1, 1));
         assert!(env.record_visit(0, &machines, 1));
         assert!(env.is_finished(1, 1));
+    }
+
+    #[test]
+    fn routing_processes_at_pending_machines_only_until_the_forwarding_lap() {
+        let ring = [0usize, 1, 2, 3];
+        let mut env = SubmodelEnvelope::new(0, (), &ring);
+        // Machine 1 faulted: it must relay, the pending machines process.
+        env.handle_fault(1);
+        assert!(env.should_process_at(0, 1));
+        assert!(!env.should_process_at(1, 1));
+        assert!(env.should_process_at(2, 1));
+        // A visited machine relays for the rest of the epoch.
+        env.record_visit(0, &ring, 1);
+        assert!(!env.should_process_at(0, 1));
+        // During the forwarding lap every machine processes (forward hop).
+        env.record_visit(2, &ring, 1);
+        env.record_visit(3, &ring, 1);
+        assert!(!env.needs_update(1));
+        assert!(env.should_process_at(0, 1) && env.should_process_at(1, 1));
     }
 }

@@ -21,12 +21,19 @@
 //!   chunks any worker can steal, the W step trains the submodels queued at
 //!   one machine concurrently on the local workers. Results stay bitwise
 //!   identical to the simulator's.
+//! * [`server`] — a **sharded-server backend**: machines as long-lived actors
+//!   behind typed crossbeam mailboxes, W-step envelopes routed by their own
+//!   visit lists (§4.3), the Z step as request/reply exchanges, and a
+//!   resident serving fleet answering Hamming k-NN queries *during* training
+//!   through a [`QueryRouter`] — training and retrieval from the same
+//!   processes.
 //!
 //! Supporting modules: [`topology`] (the circular topology, including the
 //!   random re-wiring used for cross-machine shuffling), [`envelope`] (the
 //!   per-submodel protocol metadata: counters and visit lists), [`cost`]
-//!   (cost models and step statistics) and [`streaming`] (adding/removing data
-//!   and machines on the fly).
+//!   (cost models and step statistics), [`streaming`] (adding/removing data
+//!   and machines on the fly) and [`wire`] (byte-level envelope/message
+//!   codecs, the groundwork for a multi-process MPI backend).
 //!
 //! The backends are generic over the submodel type `S` and the update/solve
 //! closures, so they contain no knowledge of binary autoencoders;
@@ -39,15 +46,21 @@ pub mod backend;
 pub mod cost;
 pub mod envelope;
 pub mod pool;
+pub mod server;
 pub mod sim;
 pub mod streaming;
 pub mod threaded;
 pub mod topology;
+pub mod wire;
 
 pub use backend::{ClusterBackend, SimBackend, ThreadedBackend, ZUpdate};
 pub use cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
 pub use pool::PoolBackend;
+pub use server::{
+    MachineMsg, Query, QueryResult, QueryRouter, ServerBackend, ZShardUpdates, ZStepRequest,
+};
 pub use sim::{Fault, SimCluster};
 pub use threaded::run_w_step_threaded;
 pub use topology::RingTopology;
+pub use wire::{WireCode, WireError, WireQuery};

@@ -122,13 +122,7 @@ impl SimCluster {
             machine < self.shards.len(),
             "machine {machine} out of range"
         );
-        for &p in points {
-            assert!(
-                self.shards.iter().all(|s| !s.contains(&p)),
-                "point {p} is already owned by a machine"
-            );
-        }
-        self.shards[machine].extend_from_slice(points);
+        crate::streaming::add_data(&mut self.shards, machine, points);
     }
 
     /// Connects a new machine with its own pre-loaded shard into the ring
@@ -141,26 +135,18 @@ impl SimCluster {
     /// one.
     pub fn add_machine(&mut self, after: usize, shard: Vec<usize>, speed: f64) -> usize {
         assert!(speed > 0.0, "machine speed must be positive");
-        for &p in &shard {
-            assert!(
-                self.shards.iter().all(|s| !s.contains(&p)),
-                "point {p} is already owned by a machine"
-            );
-        }
-        let id = self.shards.len();
-        self.shards.push(shard);
+        let id = crate::streaming::add_machine(&mut self.shards, &mut self.topology, after, shard);
         self.speeds.push(speed);
-        self.topology.add_machine_after(id, after);
         id
     }
 
     /// Disconnects a machine from the ring (fault recovery or streaming,
     /// §4.3). Its shard stays allocated but is no longer visited by either
-    /// step.
+    /// step. Disconnecting a machine that already left the ring is a no-op.
     ///
     /// # Panics
     ///
-    /// Panics if the machine is not in the ring or is the last one.
+    /// Panics if the machine is the last one in the ring.
     pub fn remove_machine(&mut self, machine: usize) {
         self.topology.remove_machine(machine);
     }
@@ -504,7 +490,7 @@ mod tests {
         let new_id = cluster.add_machine(0, vec![40, 41, 42], 2.0);
         assert_eq!(new_id, 3);
         assert_eq!(cluster.topology().n_machines(), 4);
-        assert_eq!(cluster.topology().successor(0), 3);
+        assert_eq!(cluster.topology().successor(0), Some(3));
 
         cluster.remove_machine(2);
         assert_eq!(cluster.topology().n_machines(), 3);

@@ -6,8 +6,32 @@
 //! connected into the ring, or an existing machine disconnected. These
 //! operations never move data over the network; they only edit shard index
 //! sets and the ring topology, which is what the functions here do.
+//!
+//! The disjointness checks are hash-based: one `O(N + new)` pass instead of a
+//! `Vec::contains` scan per point (`O(N · new)`), which matters in the
+//! streaming regime where points arrive continuously.
 
 use crate::topology::RingTopology;
+use std::collections::HashSet;
+
+/// Asserts that none of `new_points` is already owned by a shard, in one
+/// hashed pass over the existing shards.
+fn assert_disjoint(shards: &[Vec<usize>], new_points: &[usize]) {
+    let incoming: HashSet<usize> = new_points.iter().copied().collect();
+    assert_eq!(
+        incoming.len(),
+        new_points.len(),
+        "duplicate point in the batch being added"
+    );
+    for shard in shards {
+        for p in shard {
+            assert!(
+                !incoming.contains(p),
+                "point {p} is already owned by a machine"
+            );
+        }
+    }
+}
 
 /// Adds `new_points` (global point indices) to machine `machine`'s shard.
 ///
@@ -20,12 +44,7 @@ use crate::topology::RingTopology;
 /// by some machine (shards must stay disjoint).
 pub fn add_data(shards: &mut [Vec<usize>], machine: usize, new_points: &[usize]) {
     assert!(machine < shards.len(), "machine {machine} out of range");
-    for &p in new_points {
-        assert!(
-            shards.iter().all(|s| !s.contains(&p)),
-            "point {p} is already owned by a machine"
-        );
-    }
+    assert_disjoint(shards, new_points);
     shards[machine].extend_from_slice(new_points);
 }
 
@@ -37,7 +56,8 @@ pub fn add_data(shards: &mut [Vec<usize>], machine: usize, new_points: &[usize])
 /// Panics if `machine` is out of range.
 pub fn remove_data(shards: &mut [Vec<usize>], machine: usize, points: &[usize]) {
     assert!(machine < shards.len(), "machine {machine} out of range");
-    shards[machine].retain(|p| !points.contains(p));
+    let drop: HashSet<usize> = points.iter().copied().collect();
+    shards[machine].retain(|p| !drop.contains(p));
 }
 
 /// Connects a new machine, with its own pre-loaded shard, into the ring after
@@ -54,12 +74,7 @@ pub fn add_machine(
     after: usize,
     new_shard: Vec<usize>,
 ) -> usize {
-    for &p in &new_shard {
-        assert!(
-            shards.iter().all(|s| !s.contains(&p)),
-            "point {p} is already owned by a machine"
-        );
-    }
+    assert_disjoint(shards, &new_shard);
     let new_id = shards.len();
     shards.push(new_shard);
     topology.add_machine_after(new_id, after);
@@ -69,10 +84,11 @@ pub fn add_machine(
 /// Disconnects machine `machine` from the ring (its shard stays allocated but
 /// is no longer visited; §4.3: "Removing a machine is easier ... reconnecting
 /// machine p−1 → machine p+1 and returning machine p to the cluster").
+/// Disconnecting a machine that already left the ring is a no-op.
 ///
 /// # Panics
 ///
-/// Panics if the machine is not in the ring or is the last one.
+/// Panics if the machine is the last one in the ring.
 pub fn remove_machine(topology: &mut RingTopology, machine: usize) {
     topology.remove_machine(machine);
 }
@@ -105,13 +121,44 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "duplicate point in the batch")]
+    fn adding_a_batch_with_internal_duplicates_is_rejected() {
+        let (mut shards, _) = setup();
+        add_data(&mut shards, 0, &[9, 9]);
+    }
+
+    #[test]
+    fn bulk_add_stays_disjoint_checked_and_correct() {
+        // 10k-point streaming add: the hashed disjointness check must still
+        // reject overlap and accept the disjoint bulk (the old per-point
+        // `Vec::contains` scan made this O(N·P) per call).
+        let mut shards = vec![(0..5_000).collect::<Vec<usize>>(), vec![]];
+        let incoming: Vec<usize> = (5_000..15_000).collect();
+        add_data(&mut shards, 1, &incoming);
+        assert_eq!(shards[1].len(), 10_000);
+        assert_eq!(shards[1][0], 5_000);
+        assert_eq!(*shards[1].last().unwrap(), 14_999);
+        // One overlapping point in another 10k batch is still caught.
+        let overlapping: Vec<usize> = (15_000..25_000).chain([4_999]).collect();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            add_data(&mut shards, 0, &overlapping);
+        }));
+        assert!(err.is_err(), "overlap must be rejected");
+        // And bulk removal drops exactly the requested points.
+        let drop: Vec<usize> = (5_000..10_000).collect();
+        remove_data(&mut shards, 1, &drop);
+        assert_eq!(shards[1].len(), 5_000);
+        assert!(shards[1].iter().all(|&p| p >= 10_000));
+    }
+
+    #[test]
     fn add_machine_extends_ring_and_shards() {
         let (mut shards, mut topo) = setup();
         let id = add_machine(&mut shards, &mut topo, 1, vec![9, 10, 11]);
         assert_eq!(id, 3);
         assert_eq!(topo.n_machines(), 4);
-        assert_eq!(topo.successor(1), 3);
-        assert_eq!(topo.successor(3), 2);
+        assert_eq!(topo.successor(1), Some(3));
+        assert_eq!(topo.successor(3), Some(2));
         assert_eq!(shards[3], vec![9, 10, 11]);
     }
 

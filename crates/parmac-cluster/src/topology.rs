@@ -75,36 +75,34 @@ impl RingTopology {
         self.order.contains(&machine)
     }
 
-    /// The machine that `machine` sends to.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `machine` is not in the ring.
-    pub fn successor(&self, machine: usize) -> usize {
-        let pos = self.position(machine);
-        self.order[(pos + 1) % self.order.len()]
+    /// The machine that `machine` sends to, or `None` if `machine` is not in
+    /// the ring (e.g. it was removed by streaming or a fault — asking for the
+    /// successor of a gone machine is an answerable question, not a crash).
+    pub fn successor(&self, machine: usize) -> Option<usize> {
+        let pos = self.position(machine)?;
+        Some(self.order[(pos + 1) % self.order.len()])
     }
 
-    /// The machine that sends to `machine`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `machine` is not in the ring.
-    pub fn predecessor(&self, machine: usize) -> usize {
-        let pos = self.position(machine);
-        self.order[(pos + self.order.len() - 1) % self.order.len()]
+    /// The machine that sends to `machine`, or `None` if `machine` is not in
+    /// the ring.
+    pub fn predecessor(&self, machine: usize) -> Option<usize> {
+        let pos = self.position(machine)?;
+        Some(self.order[(pos + self.order.len() - 1) % self.order.len()])
     }
 
     /// Removes a machine, reconnecting its predecessor to its successor
     /// (§4.3: "To remove machine p ... reconnect machine p−1 → machine p+1").
+    /// Removing a machine that already left the ring is a no-op; the error
+    /// case is only the last machine.
     ///
     /// # Panics
     ///
-    /// Panics if `machine` is not in the ring or is the last machine.
+    /// Panics if `machine` is the last machine in the ring.
     pub fn remove_machine(&mut self, machine: usize) {
-        assert!(self.order.len() > 1, "cannot remove the last machine");
-        let pos = self.position(machine);
-        self.order.remove(pos);
+        if let Some(pos) = self.position(machine) {
+            assert!(self.order.len() > 1, "cannot remove the last machine");
+            self.order.remove(pos);
+        }
     }
 
     /// Inserts a new machine after `after` (§4.3: "connecting it between any
@@ -115,26 +113,22 @@ impl RingTopology {
     /// Panics if `after` is not in the ring or `machine` already is.
     pub fn add_machine_after(&mut self, machine: usize, after: usize) {
         assert!(!self.contains(machine), "machine {machine} already in ring");
-        let pos = self.position(after);
+        let pos = self
+            .position(after)
+            .unwrap_or_else(|| panic!("machine {after} is not in the ring"));
         self.order.insert(pos + 1, machine);
     }
 
-    /// The ring distance (number of hops) from `from` to `to`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either machine is not in the ring.
-    pub fn hops(&self, from: usize, to: usize) -> usize {
-        let a = self.position(from);
-        let b = self.position(to);
-        (b + self.order.len() - a) % self.order.len()
+    /// The ring distance (number of hops) from `from` to `to`, or `None` if
+    /// either machine is not in the ring.
+    pub fn hops(&self, from: usize, to: usize) -> Option<usize> {
+        let a = self.position(from)?;
+        let b = self.position(to)?;
+        Some((b + self.order.len() - a) % self.order.len())
     }
 
-    fn position(&self, machine: usize) -> usize {
-        self.order
-            .iter()
-            .position(|&m| m == machine)
-            .unwrap_or_else(|| panic!("machine {machine} is not in the ring"))
+    fn position(&self, machine: usize) -> Option<usize> {
+        self.order.iter().position(|&m| m == machine)
     }
 }
 
@@ -147,9 +141,9 @@ mod tests {
     #[test]
     fn identity_ring_successors() {
         let r = RingTopology::new(4);
-        assert_eq!(r.successor(0), 1);
-        assert_eq!(r.successor(3), 0);
-        assert_eq!(r.predecessor(0), 3);
+        assert_eq!(r.successor(0), Some(1));
+        assert_eq!(r.successor(3), Some(0));
+        assert_eq!(r.predecessor(0), Some(3));
     }
 
     #[test]
@@ -165,7 +159,7 @@ mod tests {
         for _ in 0..8 {
             assert!(!seen[cur]);
             seen[cur] = true;
-            cur = r.successor(cur);
+            cur = r.successor(cur).expect("machine is in the ring");
         }
         assert!(seen.iter().all(|&s| s));
         assert_eq!(cur, r.machines()[0]);
@@ -176,8 +170,8 @@ mod tests {
         let mut r = RingTopology::new(4);
         r.remove_machine(2);
         assert_eq!(r.n_machines(), 3);
-        assert_eq!(r.successor(1), 3);
-        assert_eq!(r.predecessor(3), 1);
+        assert_eq!(r.successor(1), Some(3));
+        assert_eq!(r.predecessor(3), Some(1));
         assert!(!r.contains(2));
     }
 
@@ -185,24 +179,35 @@ mod tests {
     fn add_machine_inserts_after_anchor() {
         let mut r = RingTopology::new(3);
         r.add_machine_after(7, 1);
-        assert_eq!(r.successor(1), 7);
-        assert_eq!(r.successor(7), 2);
+        assert_eq!(r.successor(1), Some(7));
+        assert_eq!(r.successor(7), Some(2));
         assert_eq!(r.n_machines(), 4);
     }
 
     #[test]
     fn hops_counts_ring_distance() {
         let r = RingTopology::from_order(vec![3, 1, 0, 2]);
-        assert_eq!(r.hops(3, 1), 1);
-        assert_eq!(r.hops(1, 3), 3);
-        assert_eq!(r.hops(0, 0), 0);
+        assert_eq!(r.hops(3, 1), Some(1));
+        assert_eq!(r.hops(1, 3), Some(3));
+        assert_eq!(r.hops(0, 0), Some(0));
     }
 
     #[test]
-    #[should_panic(expected = "not in the ring")]
-    fn successor_of_unknown_machine_panics() {
-        let r = RingTopology::new(2);
-        let _ = r.successor(5);
+    fn lookups_about_removed_machines_return_none_not_panic() {
+        // Regression: `successor`/`predecessor`/`hops` used to abort the
+        // process when asked about a machine that had left the ring — a state
+        // plain user code reaches via `streaming::remove_machine` followed by
+        // a W step.
+        let mut r = RingTopology::new(3);
+        r.remove_machine(1);
+        assert_eq!(r.successor(1), None);
+        assert_eq!(r.predecessor(1), None);
+        assert_eq!(r.hops(1, 0), None);
+        assert_eq!(r.hops(0, 1), None);
+        assert_eq!(r.successor(5), None, "never-known machine is also None");
+        // Removing an already-removed machine is idempotent.
+        r.remove_machine(1);
+        assert_eq!(r.n_machines(), 2);
     }
 
     #[test]

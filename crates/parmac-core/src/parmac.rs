@@ -14,11 +14,20 @@
 //! * [`PoolBackend`](parmac_cluster::PoolBackend) — a work-stealing thread
 //!   pool (§8.5's shared-memory configuration): the Z step is split into
 //!   stealable point chunks, the W step drains each machine's submodel queue
-//!   across the local workers. All three produce bitwise-identical models.
+//!   across the local workers;
+//! * [`ServerBackend`](parmac_cluster::ServerBackend) — machines as
+//!   long-lived actors behind typed mailboxes: W-step envelopes routed by
+//!   their own visit lists, the Z step as request/reply exchanges, and a
+//!   resident serving fleet answering Hamming k-NN queries *during* training
+//!   (obtain a [`QueryRouter`](parmac_cluster::QueryRouter) from the backend
+//!   before handing it to the trainer). All four produce bitwise-identical
+//!   models.
 //!
 //! The trainer contains no backend-specific dispatch; further substrates
-//! (MPI ranks, an async sharded server) plug in by implementing the trait in
-//! `parmac-cluster` — see `ClusterBackend`'s docs.
+//! (e.g. MPI ranks) plug in by implementing the trait in `parmac-cluster` —
+//! see `ClusterBackend`'s docs. Backends that also *serve* are kept fresh
+//! through [`ClusterBackend::publish_codes`]: the trainer publishes the
+//! auxiliary codes whenever they are (re)built outside a Z step.
 //!
 //! Extensions of §4.2–4.3 are supported: within-machine minibatch shuffling,
 //! cross-machine (topology) shuffling, the two-round communication scheme,
@@ -104,6 +113,9 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
         let (model, codes) = initialize_ba(&config.ba, x, &mut rng);
         let shards = partition_equal(x.rows(), config.n_machines).into_shards();
         let cluster = SimCluster::new(shards, backend.cost_model());
+        // Serving backends (ServerBackend) mirror the initial codes into
+        // their resident fleet; computational backends ignore this.
+        backend.publish_codes(&cluster, &codes);
         ParMacTrainer {
             config,
             backend,
@@ -141,6 +153,7 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
         );
         let shards = partition_proportional(self.codes.len(), &speeds).into_shards();
         self.cluster = SimCluster::new(shards, self.backend.cost_model()).with_speeds(speeds);
+        self.backend.publish_codes(&self.cluster, &self.codes);
         self
     }
 
@@ -264,6 +277,11 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
         // achievable for the returned hash function. Retrieval precision only
         // depends on the encoder, so this never changes the model selection.
         refit_decoder(&mut self.model, x, self.config.ba.decoder_ridge);
+
+        // Early stopping may have restored the best-model codes above; push
+        // the final codes to any serving backend so post-training queries see
+        // exactly what the trainer returns.
+        self.backend.publish_codes(&self.cluster, &self.codes);
 
         ParMacReport {
             mac: MacReport {
@@ -465,6 +483,8 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
             self.codes.push_code(&code);
         }
         self.cluster.add_points_to_shard(machine, &new_indices);
+        self.backend
+            .publish_point_codes(machine, &new_indices, &self.codes);
     }
 
     /// Across-machine streaming (§4.3): connects a new machine into the ring
@@ -489,15 +509,19 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
                 .collect();
             self.codes.push_code(&code);
         }
-        self.cluster.add_machine(after, new_indices, 1.0)
+        let id = self.cluster.add_machine(after, new_indices.clone(), 1.0);
+        self.backend
+            .publish_point_codes(id, &new_indices, &self.codes);
+        id
     }
 
     /// Disconnects a machine from the ring (§4.3). Its data is simply no
     /// longer visited; the model keeps training on the remaining shards.
+    /// Disconnecting a machine that already left the ring is a no-op.
     ///
     /// # Panics
     ///
-    /// Panics if the machine is not in the ring or is the last one.
+    /// Panics if the machine is the last one in the ring.
     pub fn remove_machine(&mut self, machine: usize) {
         self.cluster.remove_machine(machine);
     }

@@ -1,22 +1,29 @@
-//! Three-way backend equivalence matrix: the same training run on
-//! [`SimBackend`], [`ThreadedBackend`] and [`PoolBackend`] must produce
-//! **bitwise identical** trained weights and codes — not merely statistically
-//! close models. This holds because each submodel's machine-visit sequence is
-//! the same on every backend (seeded round-robin, then ring order), submodels
-//! are mutually independent during a W step, and per-point Z solves are
-//! independent with a collect-then-apply contract applied in topology order.
+//! Four-way backend equivalence matrix: the same training run on
+//! [`SimBackend`], [`ThreadedBackend`], [`PoolBackend`] and [`ServerBackend`]
+//! must produce **bitwise identical** trained weights and codes — not merely
+//! statistically close models. This holds because each submodel's
+//! machine-visit sequence is the same on every backend (seeded round-robin,
+//! then ring order), submodels are mutually independent during a W step, and
+//! per-point Z solves are independent with a collect-then-apply contract
+//! applied in topology order.
 //!
 //! The matrix covers the degenerate single-worker pool (CI runs it at pool
 //! sizes 1, 2 and 8), a shuffled ring topology, an imbalanced proportional
-//! partition, and the serial-MAC-shaped whole-dataset Z sweep against each
-//! backend's distributed sweep.
+//! partition, a mid-training machine add/remove (streaming §4.3), the
+//! serial-MAC-shaped whole-dataset Z sweep against each backend's distributed
+//! sweep, and the serving path: `ServerBackend` answers Hamming k-NN queries
+//! during training, equal to a single-process `hamming_knn` over the
+//! concatenated shards.
 
-use parmac_cluster::{ClusterBackend, CostModel, PoolBackend, SimBackend, ThreadedBackend};
+use parmac_cluster::{
+    ClusterBackend, CostModel, PoolBackend, ServerBackend, SimBackend, ThreadedBackend,
+};
 use parmac_core::zstep::{self, ZStepProblem};
 use parmac_core::{BaConfig, ParMacConfig, ParMacTrainer};
 use parmac_data::synthetic::{gaussian_mixture, MixtureConfig};
 use parmac_hash::{BinaryCodes, HashFunction};
 use parmac_linalg::Mat;
+use parmac_retrieval::hamming_knn;
 
 /// The pool sizes the equivalence suite is pinned at: the single-worker
 /// degenerate path, a small pool, and more workers than this container has
@@ -102,6 +109,16 @@ fn assert_matrix_identical(cfg: ParMacConfig, x: &Mat, speeds: Option<Vec<f64>>,
         assert_eq!(sim.2, pool.2, "{label}: codes sim vs pool({workers})");
         assert_eq!(sim.3, pool.3, "{label}: E_BA sim vs pool({workers})");
     }
+    let server = run(
+        cfg,
+        x,
+        ServerBackend::new().with_cost_model(CostModel::distributed()),
+        speeds,
+    );
+    assert_eq!(sim.0, server.0, "{label}: encoder weights sim vs server");
+    assert_eq!(sim.1, server.1, "{label}: decoder weights sim vs server");
+    assert_eq!(sim.2, server.2, "{label}: codes sim vs server");
+    assert_eq!(sim.3, server.3, "{label}: E_BA sim vs server");
 }
 
 #[test]
@@ -173,6 +190,10 @@ fn distributed_z_sweep_equals_the_serial_mac_sweep_on_every_backend() {
             ),
         ));
     }
+    results.push((
+        "server".into(),
+        one_iteration(cfg, &x, mu, ServerBackend::new()),
+    ));
     let (_, reference) = results[0].clone();
     for (name, result) in &results[1..] {
         assert_eq!(reference.0, result.0, "{name}: W step diverged");
@@ -205,5 +226,157 @@ fn distributed_z_sweep_equals_the_serial_mac_sweep_on_every_backend() {
     assert_eq!(
         ref_codes, serial_codes,
         "distributed Z sweep must equal the serial MAC whole-dataset sweep"
+    );
+}
+
+/// One MAC iteration, then §4.3 streaming — a new machine joins with freshly
+/// collected data and an old machine leaves the ring — then another
+/// iteration on the final topology. Returns everything that must match.
+fn streaming_schedule<B: ClusterBackend>(
+    cfg: ParMacConfig,
+    x_initial: &Mat,
+    x_extended: &Mat,
+    backend: B,
+) -> (Mat, Mat, BinaryCodes) {
+    let mut t = ParMacTrainer::new(cfg, x_initial, backend);
+    t.w_step(x_initial, 0);
+    t.z_step(x_initial, 0.05);
+    let new_id = t.add_streaming_machine(x_extended, 1);
+    assert_eq!(new_id, 4);
+    t.remove_machine(0);
+    t.w_step(x_extended, 1);
+    t.z_step(x_extended, 0.1);
+    (
+        t.model().encoder().weights().clone(),
+        t.model().decoder().weights().clone(),
+        t.codes().clone(),
+    )
+}
+
+#[test]
+fn matrix_holds_across_a_mid_training_machine_add_and_remove() {
+    // Streaming between epochs must not break the bitwise equivalence: every
+    // backend sees the same machine join (with identically initialised codes)
+    // and the same machine leave, so the second iteration runs on the same
+    // final topology everywhere.
+    let x_initial = dataset(25, 160);
+    let extra = dataset(26, 40);
+    let x_extended = x_initial.vstack(&extra).unwrap();
+    let cfg = quick_cfg(5, 4);
+    let reference = streaming_schedule(
+        cfg,
+        &x_initial,
+        &x_extended,
+        SimBackend::new(CostModel::distributed()),
+    );
+    let others: Vec<(String, _)> = vec![
+        (
+            "threaded".into(),
+            streaming_schedule(cfg, &x_initial, &x_extended, ThreadedBackend::new()),
+        ),
+        (
+            "pool".into(),
+            streaming_schedule(
+                cfg,
+                &x_initial,
+                &x_extended,
+                PoolBackend::new().with_workers(2).with_chunk_size(8),
+            ),
+        ),
+        (
+            "server".into(),
+            streaming_schedule(cfg, &x_initial, &x_extended, ServerBackend::new()),
+        ),
+    ];
+    for (name, result) in &others {
+        assert_eq!(reference.0, result.0, "{name}: encoder weights");
+        assert_eq!(reference.1, result.1, "{name}: decoder weights");
+        assert_eq!(reference.2, result.2, "{name}: codes");
+    }
+}
+
+#[test]
+fn server_streaming_between_epochs_matches_a_fresh_sim_run_on_the_final_topology() {
+    // The satellite regression: add and remove a machine between epochs on
+    // ServerBackend and compare against a *fresh* SimBackend trainer driven
+    // through the identical schedule — the end state (final topology, model,
+    // codes) must coincide bitwise.
+    let x_initial = dataset(27, 160);
+    let extra = dataset(28, 40);
+    let x_extended = x_initial.vstack(&extra).unwrap();
+    let cfg = quick_cfg(6, 4);
+    let server = streaming_schedule(cfg, &x_initial, &x_extended, ServerBackend::new());
+    let sim = streaming_schedule(
+        cfg,
+        &x_initial,
+        &x_extended,
+        SimBackend::new(CostModel::distributed()),
+    );
+    assert_eq!(sim, server, "server streaming end-state diverged from sim");
+}
+
+#[test]
+fn server_backend_serves_knn_equal_to_single_process_search() {
+    // The train-and-serve acceptance: mid-training (after each MAC
+    // iteration), the ServerBackend's QueryRouter must answer Hamming k-NN
+    // exactly like a single-process hamming_knn over the concatenated shards
+    // — which partition the whole dataset, i.e. the trainer's codes.
+    let x = dataset(29, 180);
+    let cfg = quick_cfg(6, 3);
+    let backend = ServerBackend::new();
+    let router = backend.query_router();
+    let mut trainer = ParMacTrainer::new(cfg, &x, backend);
+    let queries = trainer.model().encode(&x.select_rows(&[3, 50, 99]));
+    for (iteration, mu) in [(0usize, 0.05f64), (1, 0.1)] {
+        trainer.w_step(&x, iteration);
+        trainer.z_step(&x, mu);
+        for k in [1usize, 10, 180] {
+            assert_eq!(
+                router.knn(&queries, k),
+                hamming_knn(trainer.codes(), &queries, k),
+                "iteration {iteration}, k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn server_backend_answers_queries_while_training_runs() {
+    // Liveness of the serving path *during* training: a query thread hammers
+    // the router while the trainer runs; every answer must be well-formed
+    // (k hits, valid indices), and once training finishes the router agrees
+    // with the single-process search over the final codes.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let x = dataset(30, 150);
+    let cfg = quick_cfg(5, 3);
+    let backend = ServerBackend::new();
+    let router = backend.query_router();
+    let mut trainer = ParMacTrainer::new(cfg, &x, backend);
+    let queries = trainer.model().encode(&x.select_rows(&[0, 42]));
+    let n_points = x.rows();
+    let done = AtomicBool::new(false);
+    let queries_served = std::thread::scope(|scope| {
+        let prober = scope.spawn(|| {
+            let mut served = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let answers = router.knn(&queries, 5);
+                assert_eq!(answers.len(), 2);
+                for hits in &answers {
+                    assert_eq!(hits.len(), 5, "mid-training answer must have k hits");
+                    assert!(hits.iter().all(|&i| i < n_points));
+                }
+                served += 1;
+            }
+            served
+        });
+        trainer.run(&x);
+        done.store(true, Ordering::Release);
+        prober.join().expect("query thread panicked")
+    });
+    assert!(queries_served > 0, "no query was served during training");
+    assert_eq!(
+        router.knn(&queries, 10),
+        hamming_knn(trainer.codes(), &queries, 10),
+        "post-training serving state must match the trainer's codes"
     );
 }

@@ -21,4 +21,4 @@ pub mod search;
 
 pub use ground_truth::euclidean_knn;
 pub use metrics::{precision, recall_at_r, recall_curve};
-pub use search::hamming_knn;
+pub use search::{hamming_knn, merge_shard_topk, shard_hamming_topk};

@@ -4,6 +4,14 @@
 //! per query instead of the `O(N log N)` full sort — reusing one heap
 //! allocation across queries. The selection is ordered by `(distance, index)`
 //! so results are identical to sorting the full distance list.
+//!
+//! For sharded databases (ParMAC machines each keep their shard), the same
+//! selection is *mergeable*: [`shard_hamming_topk`] returns each shard's top
+//! `k` as `(distance, global index)` pairs and [`merge_shard_topk`] combines
+//! per-shard lists into the global top `k`. Because every per-shard list is
+//! the exact `(distance, index)`-minimal prefix of its shard, merging the
+//! lists and truncating at `k` is exactly the top `k` of the concatenated
+//! shards — the invariant `ServerBackend`'s query fan-out relies on.
 
 use parmac_hash::BinaryCodes;
 use std::collections::BinaryHeap;
@@ -44,6 +52,84 @@ pub fn hamming_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> V
             neighbours
         })
         .collect()
+}
+
+/// Per-shard top-`k`: for each query, the `k` codes of `shard` (a database
+/// fragment whose row `i` is the code of global point `global_ids[i]`) with
+/// the smallest Hamming distance, as `(distance, global index)` pairs sorted
+/// ascending. The per-shard lists of several disjoint shards can be combined
+/// with [`merge_shard_topk`] into exactly the global top `k`.
+///
+/// # Panics
+///
+/// Panics if the code widths differ, `k == 0`, or `global_ids` does not have
+/// one entry per shard code.
+pub fn shard_hamming_topk(
+    shard: &BinaryCodes,
+    global_ids: &[usize],
+    queries: &BinaryCodes,
+    k: usize,
+) -> Vec<Vec<(u32, usize)>> {
+    assert_eq!(
+        shard.n_bits(),
+        queries.n_bits(),
+        "shard and query codes must have the same width"
+    );
+    assert!(k > 0, "k must be positive");
+    assert_eq!(
+        global_ids.len(),
+        shard.len(),
+        "one global id per shard code"
+    );
+    let k = k.min(shard.len());
+    let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
+    (0..queries.len())
+        .map(|q| {
+            heap.clear();
+            for (i, &global) in global_ids.iter().enumerate() {
+                let candidate = (queries.hamming(q, shard, i), global);
+                if heap.len() < k {
+                    heap.push(candidate);
+                } else if candidate < *heap.peek().expect("heap is non-empty when full") {
+                    heap.pop();
+                    heap.push(candidate);
+                }
+            }
+            let mut hits = vec![(0u32, 0usize); heap.len()];
+            for slot in hits.iter_mut().rev() {
+                *slot = heap.pop().expect("heap holds one entry per slot");
+            }
+            hits
+        })
+        .collect()
+}
+
+/// Merges per-shard top-`k` lists (each sorted ascending by `(distance,
+/// global index)`, as produced by [`shard_hamming_topk`]) into the global top
+/// `k` indices for one query. Shards must be disjoint, so `(distance, index)`
+/// keys are unique and the merge is deterministic.
+pub fn merge_shard_topk(per_shard: &[Vec<(u32, usize)>], k: usize) -> Vec<usize> {
+    // k-way merge by a min-heap over (head element, shard, offset); Reverse
+    // turns the max-heap into a min-heap.
+    use std::cmp::Reverse;
+    type MergeHead = Reverse<((u32, usize), usize, usize)>;
+    let mut heap: BinaryHeap<MergeHead> = per_shard
+        .iter()
+        .enumerate()
+        .filter(|(_, hits)| !hits.is_empty())
+        .map(|(s, hits)| Reverse((hits[0], s, 0)))
+        .collect();
+    let mut merged = Vec::with_capacity(k);
+    while merged.len() < k {
+        let Some(Reverse(((_, global), shard, offset))) = heap.pop() else {
+            break;
+        };
+        merged.push(global);
+        if let Some(&next) = per_shard[shard].get(offset + 1) {
+            heap.push(Reverse((next, shard, offset + 1)));
+        }
+    }
+    merged
 }
 
 /// The pre-optimisation k-NN reference: full `O(N log N)` sort per query.
@@ -150,6 +236,61 @@ mod tests {
             let rank = hamming_ranking(&db, &q, query);
             assert_eq!(neighbours, &rank[..25], "query {query}");
         }
+    }
+
+    #[test]
+    fn sharded_topk_merge_equals_single_process_knn() {
+        // Partition a random database into three uneven shards; the merged
+        // per-shard top-k must equal hamming_knn over the whole database for
+        // every k, including ties (16-bit codes over 300 points collide a lot).
+        let mut rng = SmallRng::seed_from_u64(7);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(300, 16, 0.0, 1.0, &mut rng));
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(7, 16, 0.0, 1.0, &mut rng));
+        let shards: Vec<Vec<usize>> =
+            vec![(0..50).collect(), (50..60).collect(), (60..300).collect()];
+        let shard_codes: Vec<BinaryCodes> = shards
+            .iter()
+            .map(|ids| {
+                let mut rows = Vec::new();
+                for &i in ids {
+                    rows.push((0..db.n_bits()).map(|b| db.bit(i, b)).collect::<Vec<_>>());
+                }
+                BinaryCodes::from_bools(&rows)
+            })
+            .collect();
+        for k in [1usize, 5, 60, 300] {
+            let reference = hamming_knn(&db, &q, k);
+            let per_shard: Vec<Vec<Vec<(u32, usize)>>> = shard_codes
+                .iter()
+                .zip(&shards)
+                .map(|(codes, ids)| shard_hamming_topk(codes, ids, &q, k))
+                .collect();
+            for query in 0..q.len() {
+                let lists: Vec<Vec<(u32, usize)>> =
+                    per_shard.iter().map(|s| s[query].clone()).collect();
+                assert_eq!(
+                    merge_shard_topk(&lists, k),
+                    reference[query],
+                    "k={k}, query={query}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_shards() {
+        let lists = vec![vec![], vec![(0u32, 3usize), (2, 5)], vec![(1, 0)]];
+        assert_eq!(merge_shard_topk(&lists, 2), vec![3, 0]);
+        assert_eq!(merge_shard_topk(&lists, 10), vec![3, 0, 5]);
+        assert!(merge_shard_topk(&[], 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one global id per shard code")]
+    fn shard_topk_rejects_id_length_mismatch() {
+        let db = codes(&[vec![true, false]]);
+        let q = codes(&[vec![true, false]]);
+        let _ = shard_hamming_topk(&db, &[0, 1], &q, 1);
     }
 
     #[test]

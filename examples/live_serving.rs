@@ -1,0 +1,78 @@
+//! Train and serve from the same processes: ParMAC on the `ServerBackend`,
+//! with a query thread retrieving Hamming nearest neighbours from the
+//! machines' resident shard codes *while* the W and Z steps run.
+//!
+//! The machines of the server backend are long-lived actors that each keep
+//! their data shard and its binary codes; a `QueryRouter` fans a k-NN query
+//! out to every machine and merges the per-shard top-k — the same answer a
+//! single-process search over all codes would give, refreshed after every Z
+//! step.
+//!
+//! Run with `cargo run --release --example live_serving`.
+
+use parmac::cluster::{CostModel, ServerBackend};
+use parmac::core::{BaConfig, ParMacConfig, ParMacTrainer};
+use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
+use parmac::retrieval::hamming_knn;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn main() {
+    let data = gaussian_mixture(&MixtureConfig::new(1600, 64, 8).with_seed(23));
+    let train = data.train_features();
+    let ba = BaConfig::new(12)
+        .with_mu_schedule(0.01, 2.0, 8)
+        .with_epochs(2)
+        .with_seed(23);
+    let cfg = ParMacConfig::new(ba, 6);
+
+    // Grab the retrieval front-end *before* the backend moves into the
+    // trainer: the router shares the backend's resident machine fleet.
+    let backend = ServerBackend::new().with_cost_model(CostModel::distributed());
+    let router = backend.query_router();
+    let mut trainer = ParMacTrainer::new(cfg, &train, backend);
+
+    // Query with the codes of a few training points (their own neighbourhood
+    // should come back) while the trainer is mid-flight.
+    let queries = trainer.model().encode(&train.select_rows(&[5, 400, 1111]));
+    let done = AtomicBool::new(false);
+
+    let (report, served) = std::thread::scope(|scope| {
+        let router = &router;
+        let queries = &queries;
+        let done = &done;
+        let prober = scope.spawn(move || {
+            let mut served = 0usize;
+            while !done.load(Ordering::Acquire) {
+                let hits = router.knn(queries, 10);
+                assert_eq!(hits.len(), 3);
+                served += 1;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            served
+        });
+        let report = trainer.run(&train);
+        done.store(true, Ordering::Release);
+        (report, prober.join().expect("query thread panicked"))
+    });
+
+    println!(
+        "trained {} MAC iterations on {} machines: E_BA {:.0} -> {:.0}",
+        report.mac.iterations_run,
+        trainer.cluster().topology().n_machines(),
+        report.mac.initial_ba_error,
+        report.mac.final_ba_error,
+    );
+    println!("served {served} k-NN query batches while training ran");
+
+    // After training, the fleet serves exactly the trainer's final codes.
+    let final_queries = trainer.model().encode(&train.select_rows(&[5, 400, 1111]));
+    let from_fleet = router.knn(&final_queries, 10);
+    let single_process = hamming_knn(trainer.codes(), &final_queries, 10);
+    assert_eq!(from_fleet, single_process);
+    println!(
+        "post-training check: fleet top-10 == single-process top-10 for {} queries \
+         (first neighbours: {:?})",
+        from_fleet.len(),
+        from_fleet.iter().map(|h| h[0]).collect::<Vec<_>>()
+    );
+}

@@ -104,7 +104,7 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..p {
             prop_assert!(seen.insert(cur));
-            cur = ring.successor(cur);
+            cur = ring.successor(cur).expect("ring member has a successor");
         }
         prop_assert_eq!(cur, start);
     }
