@@ -23,7 +23,7 @@ use parmac_hash::{HashFunction, LinearDecoder, LinearHash};
 use parmac_linalg::Mat;
 use parmac_optim::{LinearSvm, SgdConfig, Submodel};
 use parmac_retrieval::hamming_knn;
-use parmac_retrieval::search::full_sort_knn;
+use parmac_retrieval::search::{full_sort_knn, reference as search_reference};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -42,6 +42,29 @@ fn bench_hamming_search(c: &mut Criterion) {
         "hamming_knn full-sort baseline (20 q x 50k db, k=100)",
         |b| b.iter(|| full_sort_knn(&database, &queries, 100)),
     );
+}
+
+/// Perf-trajectory entry 4 (`BENCH_serving.json`): the batched, cache-blocked
+/// top-k kernel against the PR-2 per-query heap scan it replaced, at the
+/// serving-shaped 64-query batch over 50k codes (acceptance bar: ≥ 2×). Both
+/// run in the same invocation so the ratio is host-consistent, and the
+/// baseline is the same implementation the bitwise-equivalence tests pin
+/// (`parmac_retrieval::search::reference`).
+fn bench_batched_topk(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let hash = LinearHash::random(64, 128, &mut rng);
+    let database = hash.encode(&Mat::random_normal(50_000, 128, &mut rng));
+    let queries = hash.encode(&Mat::random_normal(64, 128, &mut rng));
+    for k in [10, 100] {
+        c.bench_function(
+            &format!("batched blocked top-k (64 q x 50k db, k={k})"),
+            |b| b.iter(|| hamming_knn(&database, &queries, k)),
+        );
+        c.bench_function(
+            &format!("per-query heap scan, PR-2 baseline (64 q x 50k db, k={k})"),
+            |b| b.iter(|| search_reference::per_query_heap_knn(&database, &queries, k)),
+        );
+    }
 }
 
 /// Gray-code exact enumeration vs the naive PR-1 kernel at the paper's code
@@ -347,6 +370,7 @@ fn bench_server_query_routing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_hamming_search,
+    bench_batched_topk,
     bench_zstep_exact,
     bench_zstep_alternating,
     bench_zstep_relaxed_batch,

@@ -1,0 +1,323 @@
+//! Sustained-throughput serving benchmark (perf-trajectory entry 4,
+//! `BENCH_serving.json`).
+//!
+//! Two measurements, both printed as JSON to stdout:
+//!
+//! 1. **Kernel**: the batched, cache-blocked top-k scan
+//!    ([`parmac_retrieval::hamming_knn`], which routes through
+//!    `shard_hamming_topk_batched`) against the PR-2 per-query heap scan
+//!    (`parmac_retrieval::search::reference`) at a 64-query batch over 50k
+//!    codes — the acceptance bar is ≥ 2×.
+//! 2. **Serving**: a closed-loop sustained-qps drive of the
+//!    `ServerBackend`'s `QueryRouter` *while training runs*, comparing the
+//!    PR-4 single-actor per-query path (`knn`, one fan-out per query, one
+//!    scan thread per machine) against the batched multi-worker path
+//!    (`knn_admitted` through the bounded admission queue, several scan
+//!    workers per machine). Reports queries/s and p50/p99 call latency, plus
+//!    the shed count — every shed query is accounted for
+//!    (`answered + shed == submitted`).
+//!
+//! Run with `cargo run --release -p parmac-bench --bin serving_sustained`;
+//! pass `--smoke` for the bounded fast mode CI runs on every push (smaller
+//! database, fewer MAC iterations, invariants asserted).
+
+use parmac_cluster::{AdmissionConfig, QueryRouter, ServerBackend};
+use parmac_core::{BaConfig, ParMacConfig, ParMacTrainer};
+use parmac_data::synthetic::{gaussian_mixture, MixtureConfig};
+use parmac_hash::{BinaryCodes, HashFunction, LinearHash};
+use parmac_linalg::Mat;
+use parmac_retrieval::{hamming_knn, search::reference};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One serving variant's closed-loop measurements.
+struct ServingRun {
+    label: &'static str,
+    queries_answered: u64,
+    queries_shed: u64,
+    wall: Duration,
+    p50_us: u128,
+    p99_us: u128,
+    train_wall: Duration,
+}
+
+impl ServingRun {
+    fn qps(&self) -> f64 {
+        self.queries_answered as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"queries_answered\": {}, \"queries_shed\": {}, \
+             \"wall_s\": {:.3}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"train_wall_s\": {:.3}}}",
+            self.label,
+            self.queries_answered,
+            self.queries_shed,
+            self.wall.as_secs_f64(),
+            self.qps(),
+            self.p50_us,
+            self.p99_us,
+            self.train_wall.as_secs_f64()
+        )
+    }
+}
+
+fn percentile(sorted: &[u128], pct: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// Times `f` `reps` times and returns the fastest run (the usual
+/// noise-resistant estimator on a shared container).
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Phase 1: the batched blocked kernel vs the PR-2 per-query heap scan.
+fn kernel_comparison(smoke: bool) -> (f64, String) {
+    let n = if smoke { 10_000 } else { 50_000 };
+    let batch = 64usize;
+    let k = 10usize;
+    let reps = if smoke { 3 } else { 7 };
+    let mut rng = SmallRng::seed_from_u64(42);
+    let hash = LinearHash::random(64, 128, &mut rng);
+    let database = hash.encode(&Mat::random_normal(n, 128, &mut rng));
+    let queries = hash.encode(&Mat::random_normal(batch, 128, &mut rng));
+    // Correctness before speed: both kernels must agree bitwise.
+    let batched = hamming_knn(&database, &queries, k);
+    assert_eq!(
+        batched,
+        reference::per_query_heap_knn(&database, &queries, k),
+        "batched kernel diverged from the PR-2 reference"
+    );
+    let t_batched = best_of(reps, || hamming_knn(&database, &queries, k));
+    let t_reference = best_of(reps, || {
+        reference::per_query_heap_knn(&database, &queries, k)
+    });
+    let speedup = t_reference.as_secs_f64() / t_batched.as_secs_f64().max(1e-12);
+    let json = format!(
+        "{{\"batch\": {batch}, \"db\": {n}, \"k\": {k}, \
+         \"per_query_heap_us\": {}, \"batched_blocked_us\": {}, \"speedup\": {speedup:.2}}}",
+        t_reference.as_micros(),
+        t_batched.as_micros()
+    );
+    (speedup, json)
+}
+
+/// Drives `client_threads` closed-loop clients against `router` while a
+/// ParMAC training runs, then checks post-training exactness.
+#[allow(clippy::too_many_arguments)]
+fn serving_run(
+    label: &'static str,
+    backend: ServerBackend,
+    router: QueryRouter,
+    train: &Mat,
+    cfg: ParMacConfig,
+    query_batch: usize,
+    client_threads: usize,
+    admitted: bool,
+) -> ServingRun {
+    let mut trainer = ParMacTrainer::new(cfg, train, backend);
+    let query_rows: Vec<usize> = (0..query_batch).map(|i| (i * 13) % train.rows()).collect();
+    let queries = Arc::new(trainer.model().encode(&train.select_rows(&query_rows)));
+    let k = 10usize;
+    let done = AtomicBool::new(false);
+    let start = Instant::now();
+    let (latencies, answered, shed, train_wall) = std::thread::scope(|scope| {
+        // The PR-4 shape sends one query per call; build those single-query
+        // batches once, outside every timed window, so both arms time only
+        // the serving path itself.
+        let singles: Arc<Vec<BinaryCodes>> = Arc::new(
+            (0..queries.len())
+                .map(|q| {
+                    let row: Vec<bool> = (0..queries.n_bits()).map(|b| queries.bit(q, b)).collect();
+                    BinaryCodes::from_bools(&[row])
+                })
+                .collect(),
+        );
+        let clients: Vec<_> = (0..client_threads)
+            .map(|_| {
+                let router = router.clone();
+                let queries = Arc::clone(&queries);
+                let singles = Arc::clone(&singles);
+                let done = &done;
+                scope.spawn(move || {
+                    let mut latencies: Vec<u128> = Vec::new();
+                    let (mut answered, mut shed) = (0u64, 0u64);
+                    while !done.load(Ordering::Acquire) {
+                        if admitted {
+                            let call = Instant::now();
+                            match router.knn_admitted(Arc::clone(&queries), k) {
+                                Ok(hits) => {
+                                    assert_eq!(hits.len(), queries.len());
+                                    answered += queries.len() as u64;
+                                    latencies.push(call.elapsed().as_micros());
+                                }
+                                Err(_) => shed += queries.len() as u64,
+                            }
+                        } else {
+                            // One query per call, one fan-out per query.
+                            for single in singles.iter() {
+                                if done.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                let one = Instant::now();
+                                let hits = router.knn(single, k);
+                                assert_eq!(hits.len(), 1);
+                                answered += 1;
+                                latencies.push(one.elapsed().as_micros());
+                            }
+                        }
+                    }
+                    (latencies, answered, shed)
+                })
+            })
+            .collect();
+        let train_start = Instant::now();
+        trainer.run(train);
+        let train_wall = train_start.elapsed();
+        done.store(true, Ordering::Release);
+        let mut all = Vec::new();
+        let (mut answered, mut shed) = (0u64, 0u64);
+        for client in clients {
+            let (lat, a, s) = client.join().expect("client thread panicked");
+            all.extend(lat);
+            answered += a;
+            shed += s;
+        }
+        (all, answered, shed, train_wall)
+    });
+    let wall = start.elapsed();
+
+    // Post-training exactness: the serving path answers exactly like the
+    // single-process search over the trainer's final codes.
+    let final_queries = Arc::new(trainer.model().encode(&train.select_rows(&query_rows)));
+    let expected = hamming_knn(trainer.codes(), &final_queries, k);
+    assert_eq!(
+        router.knn_shared(&final_queries, k),
+        expected,
+        "{label}: direct fan-out diverged post-training"
+    );
+    assert_eq!(
+        router
+            .knn_admitted(Arc::clone(&final_queries), k)
+            .expect("quiesced admission queue accepts"),
+        expected,
+        "{label}: admitted path diverged post-training"
+    );
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    ServingRun {
+        label,
+        queries_answered: answered,
+        queries_shed: shed,
+        wall,
+        p50_us: percentile(&sorted, 50),
+        p99_us: percentile(&sorted, 99),
+        train_wall,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (speedup, kernel_json) = kernel_comparison(smoke);
+    eprintln!("kernel: batched/blocked vs per-query heap speedup {speedup:.2}x");
+
+    let n_points = if smoke { 1200 } else { 4000 };
+    let iterations = if smoke { 3 } else { 8 };
+    let machines = 6usize;
+    let data = gaussian_mixture(&MixtureConfig::new(n_points, 64, 8).with_seed(23));
+    let train = data.train_features();
+    let ba = BaConfig::new(12)
+        .with_mu_schedule(0.01, 2.0, iterations)
+        .with_epochs(2)
+        .with_seed(23);
+    let cfg = ParMacConfig::new(ba, machines);
+    let clients = 4usize;
+    let batch = 8usize;
+
+    // PR-4 baseline: per-query fan-out, single scan thread per machine.
+    let baseline_backend = ServerBackend::new().with_scan_workers(1);
+    let baseline_router = baseline_backend.query_router();
+    let baseline = serving_run(
+        "per_query_single_actor (PR-4 baseline)",
+        baseline_backend,
+        baseline_router,
+        &train,
+        cfg,
+        batch,
+        clients,
+        false,
+    );
+    eprintln!(
+        "{}: {:.0} qps, p50 {} us, p99 {} us",
+        baseline.label,
+        baseline.qps(),
+        baseline.p50_us,
+        baseline.p99_us
+    );
+
+    // The new path: batched admission + multi-worker scans, at the default
+    // sizing (queue capacity 256, 256-query coalescing budget).
+    let batched_backend = ServerBackend::new().with_admission_config(AdmissionConfig::default());
+    let batched_router = batched_backend.query_router();
+    let batched = serving_run(
+        "batched_admission_multi_worker",
+        batched_backend,
+        batched_router.clone(),
+        &train,
+        cfg,
+        batch,
+        clients,
+        true,
+    );
+    eprintln!(
+        "{}: {:.0} qps, p50 {} us, p99 {} us, shed {}",
+        batched.label,
+        batched.qps(),
+        batched.p50_us,
+        batched.p99_us,
+        batched.queries_shed
+    );
+
+    // Every admitted query is accounted for: answered + shed == submitted.
+    let stats = batched_router.serving_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.answered + stats.shed,
+        "admission accounting must balance: {stats:?}"
+    );
+
+    if smoke {
+        // The smoke gate: the invariants above (bitwise kernel equivalence,
+        // post-training exactness on both paths, shed accounting) all held.
+        eprintln!("serving smoke: PASS (accounting {stats:?})");
+    }
+
+    println!("{{");
+    println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!("  \"kernel_64q\": {kernel_json},");
+    println!("  \"serving\": [");
+    println!("    {},", baseline.to_json());
+    println!("    {}", batched.to_json());
+    println!("  ],");
+    println!(
+        "  \"admission_stats\": {{\"submitted\": {}, \"answered\": {}, \"shed\": {}, \
+         \"batches\": {}, \"coalesced\": {}}}",
+        stats.submitted, stats.answered, stats.shed, stats.batches, stats.coalesced
+    );
+    println!("}}");
+}

@@ -58,7 +58,8 @@ pub use cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
 pub use pool::PoolBackend;
 pub use server::{
-    MachineMsg, Query, QueryResult, QueryRouter, ServerBackend, ZShardUpdates, ZStepRequest,
+    AdmissionConfig, AdmissionError, MachineMsg, Query, QueryResult, QueryRouter, ServerBackend,
+    ServingStats, ZShardUpdates, ZStepRequest,
 };
 pub use sim::{Fault, SimCluster};
 pub use threaded::run_w_step_threaded;

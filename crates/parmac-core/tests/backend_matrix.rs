@@ -320,42 +320,100 @@ fn server_backend_serves_knn_equal_to_single_process_search() {
     // The train-and-serve acceptance: mid-training (after each MAC
     // iteration), the ServerBackend's QueryRouter must answer Hamming k-NN
     // exactly like a single-process hamming_knn over the concatenated shards
-    // — which partition the whole dataset, i.e. the trainer's codes.
+    // — which partition the whole dataset, i.e. the trainer's codes. All
+    // three entry points (per-call fan-out, Arc-shared fan-out, and the
+    // batched admission queue) must agree with it bitwise.
     let x = dataset(29, 180);
     let cfg = quick_cfg(6, 3);
     let backend = ServerBackend::new();
     let router = backend.query_router();
     let mut trainer = ParMacTrainer::new(cfg, &x, backend);
-    let queries = trainer.model().encode(&x.select_rows(&[3, 50, 99]));
+    let queries = std::sync::Arc::new(trainer.model().encode(&x.select_rows(&[3, 50, 99])));
     for (iteration, mu) in [(0usize, 0.05f64), (1, 0.1)] {
         trainer.w_step(&x, iteration);
         trainer.z_step(&x, mu);
         for k in [1usize, 10, 180] {
+            let expected = hamming_knn(trainer.codes(), &queries, k);
             assert_eq!(
                 router.knn(&queries, k),
-                hamming_knn(trainer.codes(), &queries, k),
-                "iteration {iteration}, k={k}"
+                expected,
+                "knn: iteration {iteration}, k={k}"
+            );
+            assert_eq!(
+                router.knn_shared(&queries, k),
+                expected,
+                "knn_shared: iteration {iteration}, k={k}"
+            );
+            assert_eq!(
+                router
+                    .knn_admitted(std::sync::Arc::clone(&queries), k)
+                    .expect("uncontended admission queue accepts"),
+                expected,
+                "knn_admitted: iteration {iteration}, k={k}"
             );
         }
+    }
+    let stats = router.serving_stats();
+    assert_eq!(stats.submitted, stats.answered + stats.shed);
+    assert_eq!(stats.shed, 0, "uncontended queue never sheds");
+}
+
+#[test]
+fn batched_serving_path_is_exact_after_a_machine_fault() {
+    // §4.3 fault/streaming: a machine leaves the ring mid-training. Serving
+    // machines keep their shard when they leave (the fleet still covers
+    // every point), so the batched admission path must keep answering
+    // exactly like the single-process search over the trainer's codes.
+    let x_initial = dataset(31, 160);
+    let extra = dataset(32, 40);
+    let x_extended = x_initial.vstack(&extra).unwrap();
+    let cfg = quick_cfg(5, 4);
+    let backend = ServerBackend::new();
+    let router = backend.query_router();
+    let mut t = ParMacTrainer::new(cfg, &x_initial, backend);
+    t.w_step(&x_initial, 0);
+    t.z_step(&x_initial, 0.05);
+    t.add_streaming_machine(&x_extended, 1);
+    t.remove_machine(0); // the "fault": machine 0 is routed around from now on
+    t.w_step(&x_extended, 1);
+    t.z_step(&x_extended, 0.1);
+    let queries = std::sync::Arc::new(t.model().encode(&x_extended.select_rows(&[0, 42, 170])));
+    for k in [1usize, 10, 64] {
+        let expected = hamming_knn(t.codes(), &queries, k);
+        assert_eq!(
+            router
+                .knn_admitted(std::sync::Arc::clone(&queries), k)
+                .expect("admission queue accepts"),
+            expected,
+            "admitted after fault, k={k}"
+        );
+        assert_eq!(
+            router.knn_shared(&queries, k),
+            expected,
+            "shared fan-out after fault, k={k}"
+        );
     }
 }
 
 #[test]
 fn server_backend_answers_queries_while_training_runs() {
-    // Liveness of the serving path *during* training: a query thread hammers
-    // the router while the trainer runs; every answer must be well-formed
-    // (k hits, valid indices), and once training finishes the router agrees
-    // with the single-process search over the final codes.
+    // Liveness of the serving path *during* training: one thread hammers the
+    // direct fan-out and two more hammer the batched admission queue while
+    // the trainer runs; every answer must be well-formed (k hits, valid
+    // indices), every admitted submission must be accounted for
+    // (answered + shed == submitted), and once training finishes every entry
+    // point agrees with the single-process search over the final codes.
     use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
     let x = dataset(30, 150);
     let cfg = quick_cfg(5, 3);
     let backend = ServerBackend::new();
     let router = backend.query_router();
     let mut trainer = ParMacTrainer::new(cfg, &x, backend);
-    let queries = trainer.model().encode(&x.select_rows(&[0, 42]));
+    let queries = Arc::new(trainer.model().encode(&x.select_rows(&[0, 42])));
     let n_points = x.rows();
     let done = AtomicBool::new(false);
-    let queries_served = std::thread::scope(|scope| {
+    let (queries_served, admitted_ok, admitted_shed) = std::thread::scope(|scope| {
         let prober = scope.spawn(|| {
             let mut served = 0usize;
             while !done.load(Ordering::Acquire) {
@@ -369,14 +427,65 @@ fn server_backend_answers_queries_while_training_runs() {
             }
             served
         });
+        let admitters: Vec<_> = (0..2)
+            .map(|_| {
+                let router = router.clone();
+                let queries = Arc::clone(&queries);
+                let done = &done;
+                scope.spawn(move || {
+                    let (mut ok, mut shed) = (0u64, 0u64);
+                    while !done.load(Ordering::Acquire) {
+                        match router.knn_admitted(Arc::clone(&queries), 5) {
+                            Ok(answers) => {
+                                assert_eq!(answers.len(), 2);
+                                for hits in &answers {
+                                    assert_eq!(hits.len(), 5);
+                                    assert!(hits.iter().all(|&i| i < n_points));
+                                }
+                                ok += 1;
+                            }
+                            Err(_) => shed += 1,
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
         trainer.run(&x);
         done.store(true, Ordering::Release);
-        prober.join().expect("query thread panicked")
+        let served = prober.join().expect("query thread panicked");
+        let (mut ok, mut shed) = (0u64, 0u64);
+        for admitter in admitters {
+            let (a, s) = admitter.join().expect("admitted-query thread panicked");
+            ok += a;
+            shed += s;
+        }
+        (served, ok, shed)
     });
     assert!(queries_served > 0, "no query was served during training");
+    assert!(
+        admitted_ok > 0,
+        "no admitted query was answered during training"
+    );
+    let stats = router.serving_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.answered + stats.shed,
+        "every admitted query accounted for: {stats:?}"
+    );
+    assert_eq!(stats.answered, admitted_ok);
+    assert_eq!(stats.shed, admitted_shed);
+    let expected = hamming_knn(trainer.codes(), &queries, 10);
     assert_eq!(
         router.knn(&queries, 10),
-        hamming_knn(trainer.codes(), &queries, 10),
+        expected,
         "post-training serving state must match the trainer's codes"
+    );
+    assert_eq!(
+        router
+            .knn_admitted(Arc::clone(&queries), 10)
+            .expect("quiesced admission queue accepts"),
+        expected,
+        "post-training admitted path must match the trainer's codes"
     );
 }

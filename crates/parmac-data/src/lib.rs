@@ -18,6 +18,9 @@
 //! * [`partition`] — splitting the points over `P` machines, equally or
 //!   proportionally to per-machine speed (load balancing, §4.3).
 //! * [`minibatch`] — minibatch index iteration with optional shuffling.
+//! * [`vecs`] — loaders/writers for the TEXMEX `.fvecs`/`.bvecs` files the
+//!   real SIFT datasets ship as; `.bvecs` feeds the byte-quantised storage
+//!   directly.
 
 #![warn(missing_docs)]
 
@@ -26,8 +29,10 @@ pub mod minibatch;
 pub mod partition;
 pub mod quantized;
 pub mod synthetic;
+pub mod vecs;
 
 pub use dataset::{Dataset, SplitSpec};
 pub use minibatch::MinibatchIter;
 pub use partition::{partition_equal, partition_proportional, Partition};
 pub use quantized::QuantizedDataset;
+pub use vecs::{read_bvecs, read_fvecs, write_bvecs, write_fvecs};

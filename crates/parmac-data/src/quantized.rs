@@ -84,6 +84,12 @@ impl QuantizedDataset {
         self.dim
     }
 
+    /// The raw quantised bytes, row-major (`len() * dim()` of them). This is
+    /// what `.bvecs` export writes verbatim.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Memory used by the quantised features, in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.data.len()

@@ -1,0 +1,306 @@
+//! Loaders for the TEXMEX `.fvecs` / `.bvecs` formats — the on-disk layout of
+//! the paper's real benchmark datasets (SIFT-10K/1M in `fvecs`, the SIFT-1B
+//! learn set in `bvecs`, §8).
+//!
+//! Both formats are a flat sequence of records with no header: each record is
+//! the dimensionality `d` as a little-endian `i32`, followed by `d` component
+//! values — little-endian `f32` for `fvecs`, raw `u8` for `bvecs`. `bvecs`
+//! files load straight into the byte-per-feature
+//! [`QuantizedDataset`](crate::QuantizedDataset) storage (identity
+//! dequantisation: the paper's SIFT-1B features *are* bytes), so a billion
+//! points never materialise as floats; `fvecs` files load into a dense
+//! [`Mat`].
+//!
+//! Writers for both formats are provided for round-trip tests and for
+//! exporting synthetic stand-ins in the real layout.
+
+use crate::QuantizedDataset;
+use bytes::Bytes;
+use parmac_linalg::Mat;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reports a mid-record EOF as `InvalidData` (the file really is truncated);
+/// any other I/O error — transient disk failure, revoked permission —
+/// propagates unchanged rather than masquerading as file corruption.
+fn truncated(err: io::Error, msg: impl FnOnce() -> String) -> io::Error {
+    if err.kind() == io::ErrorKind::UnexpectedEof {
+        bad_data(msg())
+    } else {
+        err
+    }
+}
+
+/// Reads one little-endian `i32` dimension header; `Ok(None)` at clean EOF.
+fn read_dim(reader: &mut impl Read) -> io::Result<Option<usize>> {
+    let mut buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(bad_data("truncated record header".into())),
+            Ok(n) => filled += n,
+            // Retry interrupted reads like read_exact does for the payloads.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let dim = i32::from_le_bytes(buf);
+    if dim <= 0 {
+        return Err(bad_data(format!("non-positive dimensionality {dim}")));
+    }
+    Ok(Some(dim as usize))
+}
+
+/// Checks a record's dimensionality against the file's first record.
+fn check_dim(dim: usize, expected: Option<usize>, record: usize) -> io::Result<()> {
+    match expected {
+        Some(e) if e != dim => Err(bad_data(format!(
+            "record {record} has dimensionality {dim}, expected {e}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Reads an `.fvecs` file (`d: i32 LE`, then `d` little-endian `f32`s, per
+/// record) into an `N × D` matrix, one row per vector.
+///
+/// # Errors
+///
+/// I/O errors, plus `InvalidData` for truncated records, non-positive or
+/// inconsistent dimensionalities, and empty files.
+pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<Mat> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut values: Vec<f64> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut rows = 0usize;
+    // One scratch buffer for every record (d is constant after record 0).
+    let mut payload: Vec<u8> = Vec::new();
+    while let Some(d) = read_dim(&mut reader)? {
+        check_dim(d, dim, rows)?;
+        dim = Some(d);
+        payload.resize(4 * d, 0);
+        reader.read_exact(&mut payload).map_err(|e| {
+            truncated(e, || {
+                format!("record {rows}: truncated f32 payload (dim {d})")
+            })
+        })?;
+        values.extend(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64),
+        );
+        rows += 1;
+    }
+    let dim = dim.ok_or_else(|| bad_data("empty fvecs file".into()))?;
+    Ok(Mat::from_vec(rows, dim, values))
+}
+
+/// Reads a `.bvecs` file (`d: i32 LE`, then `d` raw bytes, per record)
+/// directly into the byte-per-feature [`QuantizedDataset`] storage with
+/// identity dequantisation (`scale = 1`, `offset = 0`): a loaded value *is*
+/// its byte, exactly as the paper stores SIFT-1B (§8.4).
+///
+/// # Errors
+///
+/// I/O errors, plus `InvalidData` for truncated records, non-positive or
+/// inconsistent dimensionalities, and empty files.
+pub fn read_bvecs(path: impl AsRef<Path>) -> io::Result<QuantizedDataset> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let mut data: Vec<u8> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut rows = 0usize;
+    while let Some(d) = read_dim(&mut reader)? {
+        check_dim(d, dim, rows)?;
+        dim = Some(d);
+        let start = data.len();
+        data.resize(start + d, 0);
+        reader.read_exact(&mut data[start..]).map_err(|e| {
+            truncated(e, || {
+                format!("record {rows}: truncated byte payload (dim {d})")
+            })
+        })?;
+        rows += 1;
+    }
+    let dim = dim.ok_or_else(|| bad_data("empty bvecs file".into()))?;
+    Ok(QuantizedDataset::from_bytes(
+        Bytes::from(data),
+        rows,
+        dim,
+        1.0,
+        0.0,
+    ))
+}
+
+/// Writes a matrix as an `.fvecs` file, one record per row (values narrowed
+/// to `f32`, the format's precision).
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` if the matrix has no columns.
+pub fn write_fvecs(path: impl AsRef<Path>, m: &Mat) -> io::Result<()> {
+    if m.cols() == 0 {
+        return Err(bad_data("cannot write 0-dimensional fvecs".into()));
+    }
+    let mut writer = BufWriter::new(File::create(path)?);
+    let dim_header = (m.cols() as i32).to_le_bytes();
+    for i in 0..m.rows() {
+        writer.write_all(&dim_header)?;
+        for &v in m.row(i) {
+            writer.write_all(&(v as f32).to_le_bytes())?;
+        }
+    }
+    writer.flush()
+}
+
+/// Writes a byte-quantised dataset as a `.bvecs` file, one record per point
+/// (the stored bytes verbatim; the dataset's affine dequantisation parameters
+/// are *not* representable in the format, so use identity-scaled data —
+/// e.g. from [`read_bvecs`] or `QuantizedDataset::quantize` of `[0, 255]`
+/// features — when the bytes must mean the same on the way back in).
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` for an empty dataset.
+pub fn write_bvecs(path: impl AsRef<Path>, q: &QuantizedDataset) -> io::Result<()> {
+    if q.dim() == 0 || q.is_empty() {
+        return Err(bad_data("cannot write empty bvecs".into()));
+    }
+    let mut writer = BufWriter::new(File::create(path)?);
+    let dim_header = (q.dim() as i32).to_le_bytes();
+    let bytes = q.as_bytes();
+    for i in 0..q.len() {
+        writer.write_all(&dim_header)?;
+        writer.write_all(&bytes[i * q.dim()..(i + 1) * q.dim()])?;
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    /// A unique temp path that cleans itself up.
+    struct TempFile(PathBuf);
+
+    impl TempFile {
+        fn new(name: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!("parmac-vecs-{}-{name}", std::process::id()));
+            TempFile(path)
+        }
+    }
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn fvecs_round_trip_is_exact_at_f32_precision() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let x = Mat::random_normal(7, 5, &mut rng).scale(10.0);
+        let file = TempFile::new("roundtrip.fvecs");
+        write_fvecs(&file.0, &x).expect("write");
+        let back = read_fvecs(&file.0).expect("read");
+        assert_eq!(back.rows(), 7);
+        assert_eq!(back.cols(), 5);
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert_eq!(*a, *b as f32 as f64, "f32 narrowing is the only loss");
+        }
+    }
+
+    #[test]
+    fn bvecs_round_trip_preserves_every_byte() {
+        // Identity-scaled byte data (the format's own semantics): the written
+        // bytes equal the features and survive the round trip exactly.
+        let raw: Vec<u8> = (0..24).map(|v| ((v * 31) % 256) as u8).collect();
+        let q = QuantizedDataset::from_bytes(Bytes::from(raw), 4, 6, 1.0, 0.0);
+        let file = TempFile::new("roundtrip.bvecs");
+        write_bvecs(&file.0, &q).expect("write");
+        let back = read_bvecs(&file.0).expect("read");
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.dim(), 6);
+        assert_eq!(back.as_bytes(), q.as_bytes());
+        // Identity dequantisation: the loaded rows are the stored bytes.
+        assert_eq!(back.to_dense(), q.to_dense());
+    }
+
+    #[test]
+    fn fvecs_known_bytes_parse_exactly() {
+        // Two 2-d records written by hand: [1.5, -2.0] and [0.0, 3.25].
+        let mut raw: Vec<u8> = Vec::new();
+        for rec in [[1.5f32, -2.0], [0.0, 3.25]] {
+            raw.extend_from_slice(&2i32.to_le_bytes());
+            for v in rec {
+                raw.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let file = TempFile::new("known.fvecs");
+        std::fs::write(&file.0, &raw).expect("write raw");
+        let m = read_fvecs(&file.0).expect("read");
+        assert_eq!(m.as_slice(), &[1.5, -2.0, 0.0, 3.25]);
+    }
+
+    #[test]
+    fn truncated_and_inconsistent_files_are_rejected() {
+        let file = TempFile::new("bad.fvecs");
+        // Header promises 3 floats, payload has 1.
+        let mut raw: Vec<u8> = 3i32.to_le_bytes().to_vec();
+        raw.extend_from_slice(&1.0f32.to_le_bytes());
+        std::fs::write(&file.0, &raw).expect("write raw");
+        assert_eq!(
+            read_fvecs(&file.0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // Record 1 changes dimensionality.
+        let mut raw: Vec<u8> = Vec::new();
+        raw.extend_from_slice(&1i32.to_le_bytes());
+        raw.push(7);
+        raw.extend_from_slice(&2i32.to_le_bytes());
+        raw.extend_from_slice(&[1, 2]);
+        let file = TempFile::new("bad.bvecs");
+        std::fs::write(&file.0, &raw).expect("write raw");
+        assert_eq!(
+            read_bvecs(&file.0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // Empty file.
+        let file = TempFile::new("empty.fvecs");
+        std::fs::write(&file.0, b"").expect("write raw");
+        assert_eq!(
+            read_fvecs(&file.0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+
+        // Negative dimensionality.
+        let file = TempFile::new("negdim.fvecs");
+        std::fs::write(&file.0, (-1i32).to_le_bytes()).expect("write raw");
+        assert_eq!(
+            read_fvecs(&file.0).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn bvecs_feeds_quantized_storage_without_float_blowup() {
+        let vals: Vec<f64> = (0..64).map(|v| (v * 4 % 256) as f64).collect();
+        let q = QuantizedDataset::quantize(&Mat::from_vec(8, 8, vals));
+        let file = TempFile::new("storage.bvecs");
+        write_bvecs(&file.0, &q).expect("write");
+        let back = read_bvecs(&file.0).expect("read");
+        assert_eq!(back.memory_bytes(), 64);
+        assert_eq!(back.dense_memory_bytes(), 64 * 8);
+    }
+}

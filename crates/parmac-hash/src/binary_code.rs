@@ -112,9 +112,34 @@ impl BinaryCodes {
         }
     }
 
+    /// Number of `u64` words used per code: `⌈L/64⌉`.
+    pub fn words_per_code(&self) -> usize {
+        self.words_per_code
+    }
+
     /// The packed words of code `i`.
     pub fn code_words(&self, i: usize) -> &[u64] {
         &self.data[i * self.words_per_code..(i + 1) * self.words_per_code]
+    }
+
+    /// All packed words, row-major: code `i` occupies
+    /// `words[i * words_per_code() .. (i + 1) * words_per_code()]`. This is
+    /// the layout batched scan kernels walk directly instead of calling
+    /// [`code_words`](Self::code_words) per pair.
+    pub fn as_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Appends every code of `other`, in order, to this collection — a word
+    /// `memcpy`, not a per-bit rebuild. Used to coalesce concurrently
+    /// admitted query batches into one fan-out batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths differ.
+    pub fn append_codes(&mut self, other: &BinaryCodes) {
+        assert_eq!(self.n_bits, other.n_bits, "bit-width mismatch");
+        self.data.extend_from_slice(&other.data);
     }
 
     /// Hamming distance between code `i` of `self` and code `j` of `other`.
@@ -309,6 +334,40 @@ mod tests {
         let a = BinaryCodes::zeros(1, 8);
         let b = BinaryCodes::zeros(1, 16);
         let _ = a.hamming(0, &b, 0);
+    }
+
+    #[test]
+    fn as_words_exposes_the_row_major_packed_layout() {
+        let mut c = BinaryCodes::zeros(3, 70); // two words per code
+        c.set_bit(1, 0, true);
+        c.set_bit(2, 69, true);
+        assert_eq!(c.words_per_code(), 2);
+        let words = c.as_words();
+        assert_eq!(words.len(), 6);
+        assert_eq!(&words[2..4], c.code_words(1));
+        assert_eq!(words[2], 1);
+        assert_eq!(words[5], 1 << 5); // bit 69 = word 1, bit 5
+    }
+
+    #[test]
+    fn append_codes_concatenates_without_rebuilding() {
+        let a0 = BinaryCodes::from_bools(&[vec![true, false, true]]);
+        let b = BinaryCodes::from_bools(&[vec![false, true, true], vec![true, true, false]]);
+        let mut a = a0.clone();
+        a.append_codes(&b);
+        assert_eq!(a.len(), 3);
+        for bit in 0..3 {
+            assert_eq!(a.bit(0, bit), a0.bit(0, bit));
+            assert_eq!(a.bit(1, bit), b.bit(0, bit));
+            assert_eq!(a.bit(2, bit), b.bit(1, bit));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width mismatch")]
+    fn append_codes_rejects_mismatched_widths() {
+        let mut a = BinaryCodes::zeros(1, 8);
+        a.append_codes(&BinaryCodes::zeros(1, 9));
     }
 
     #[test]

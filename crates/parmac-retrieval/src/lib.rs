@@ -21,4 +21,7 @@ pub mod search;
 
 pub use ground_truth::euclidean_knn;
 pub use metrics::{precision, recall_at_r, recall_curve};
-pub use search::{hamming_knn, merge_shard_topk, shard_hamming_topk};
+pub use search::{
+    hamming_knn, merge_shard_topk, merge_shard_topk_hits, shard_hamming_topk,
+    shard_hamming_topk_batched, shard_hamming_topk_chunk,
+};

@@ -1,9 +1,19 @@
 //! Hamming-space k-nearest-neighbour search over binary codes.
 //!
-//! `hamming_knn` selects the top `k` with a bounded max-heap — `O(N log k)`
-//! per query instead of the `O(N log N)` full sort — reusing one heap
-//! allocation across queries. The selection is ordered by `(distance, index)`
-//! so results are identical to sorting the full distance list.
+//! The workhorse is [`shard_hamming_topk_batched`]: a batched, cache-blocked
+//! top-`k` scan. A batch of `B` queries is answered in one walk over the
+//! database, processed in *point-blocks* sized so the block's packed words
+//! stay L1-resident while every query streams them (blocks outer, queries
+//! per block, points within the block; word-level XOR+popcount on the raw
+//! [`code_words`](parmac_hash::BinaryCodes::code_words) layout). Each query
+//! keeps a bounded max-heap of its `k` best `(distance, index)` pairs and the
+//! running k-th distance as an early-skip bound: once a candidate's partial
+//! word count exceeds the bound it can neither enter the heap nor change the
+//! result, so the scan skips the heap entirely (and, for multi-word codes,
+//! stops counting mid-code). Selection is ordered by `(distance, index)`, so
+//! results are identical to sorting the full distance list — the single-query
+//! entry points [`hamming_knn`] and [`shard_hamming_topk`] are routed through
+//! the same implementation.
 //!
 //! For sharded databases (ParMAC machines each keep their shard), the same
 //! selection is *mergeable*: [`shard_hamming_topk`] returns each shard's top
@@ -11,90 +21,123 @@
 //! per-shard lists into the global top `k`. Because every per-shard list is
 //! the exact `(distance, index)`-minimal prefix of its shard, merging the
 //! lists and truncating at `k` is exactly the top `k` of the concatenated
-//! shards — the invariant `ServerBackend`'s query fan-out relies on.
+//! shards — the invariant `ServerBackend`'s query fan-out relies on. The same
+//! argument applies *within* a shard: [`shard_hamming_topk_chunk`] scans a
+//! contiguous row range, so a machine can split its shard over several scan
+//! workers and merge the per-chunk lists ([`merge_shard_topk_hits`]) into
+//! exactly its shard top-`k`.
 
 use parmac_hash::BinaryCodes;
 use std::collections::BinaryHeap;
+use std::ops::Range;
 
-/// For each query code, returns the indices of the `k` database codes with the
-/// smallest Hamming distance, closest first (ties broken by index).
-///
-/// # Panics
-///
-/// Panics if the code widths differ or `k == 0`.
-pub fn hamming_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> Vec<Vec<usize>> {
-    assert_eq!(
-        database.n_bits(),
-        queries.n_bits(),
-        "database and query codes must have the same width"
-    );
-    assert!(k > 0, "k must be positive");
-    let k = k.min(database.len());
-    // The heap keeps the k best (distance, index) pairs with the *worst* on
-    // top; it is allocated once and reused as the per-query scratch buffer.
-    let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
-    (0..queries.len())
-        .map(|q| {
-            heap.clear();
-            for i in 0..database.len() {
-                let candidate = (queries.hamming(q, database, i), i);
-                if heap.len() < k {
-                    heap.push(candidate);
-                } else if candidate < *heap.peek().expect("heap is non-empty when full") {
-                    heap.pop();
-                    heap.push(candidate);
-                }
-            }
-            let mut neighbours = vec![0usize; heap.len()];
-            for slot in neighbours.iter_mut().rev() {
-                *slot = heap.pop().expect("heap holds one entry per slot").1;
-            }
-            neighbours
-        })
-        .collect()
+/// Shard words per point-block of the batched scan: 32 KiB, sized to sit in
+/// L1 while a whole query batch revisits the block.
+const BLOCK_WORDS: usize = 4096;
+
+/// Offers `candidate` to a bounded max-heap holding the `k` best pairs and
+/// returns the updated early-skip bound (the k-th best distance once the heap
+/// is full, `u32::MAX` before).
+#[inline]
+fn offer(
+    heap: &mut BinaryHeap<(u32, usize)>,
+    k: usize,
+    candidate: (u32, usize),
+    bound: u32,
+) -> u32 {
+    if heap.len() < k {
+        heap.push(candidate);
+        if heap.len() == k {
+            heap.peek().expect("heap is full").0
+        } else {
+            bound
+        }
+    } else if candidate < *heap.peek().expect("heap is non-empty when full") {
+        heap.pop();
+        heap.push(candidate);
+        heap.peek().expect("heap refilled").0
+    } else {
+        bound
+    }
 }
 
-/// Per-shard top-`k`: for each query, the `k` codes of `shard` (a database
-/// fragment whose row `i` is the code of global point `global_ids[i]`) with
-/// the smallest Hamming distance, as `(distance, global index)` pairs sorted
-/// ascending. The per-shard lists of several disjoint shards can be combined
-/// with [`merge_shard_topk`] into exactly the global top `k`.
+/// The batched, cache-blocked top-`k` kernel over one row range of a shard.
+/// `global_ids`, when present, maps *absolute* row indices to global point
+/// ids; `None` means rows are their own ids (the single-database case).
 ///
-/// # Panics
-///
-/// Panics if the code widths differ, `k == 0`, or `global_ids` does not have
-/// one entry per shard code.
-pub fn shard_hamming_topk(
+/// Loop structure: the shard rows are walked once in point-blocks of
+/// [`BLOCK_WORDS`] packed words; within a block every query streams the
+/// block's words with its own code, running bound and heap register-/L1-hot.
+/// Per query, rows are visited in ascending order — the exact operation
+/// sequence of the per-query reference scan — so the output is bitwise
+/// identical to [`reference::per_query_shard_topk`] on the same rows.
+fn batched_topk(
     shard: &BinaryCodes,
-    global_ids: &[usize],
+    rows: Range<usize>,
+    global_ids: Option<&[usize]>,
     queries: &BinaryCodes,
     k: usize,
 ) -> Vec<Vec<(u32, usize)>> {
-    assert_eq!(
-        shard.n_bits(),
-        queries.n_bits(),
-        "shard and query codes must have the same width"
-    );
-    assert!(k > 0, "k must be positive");
-    assert_eq!(
-        global_ids.len(),
-        shard.len(),
-        "one global id per shard code"
-    );
-    let k = k.min(shard.len());
-    let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
-    (0..queries.len())
-        .map(|q| {
-            heap.clear();
-            for (i, &global) in global_ids.iter().enumerate() {
-                let candidate = (queries.hamming(q, shard, i), global);
-                if heap.len() < k {
-                    heap.push(candidate);
-                } else if candidate < *heap.peek().expect("heap is non-empty when full") {
-                    heap.pop();
-                    heap.push(candidate);
+    let k = k.min(rows.len());
+    let b = queries.len();
+    if k == 0 || b == 0 {
+        return vec![Vec::new(); b];
+    }
+    let wpc = shard.words_per_code();
+    debug_assert_eq!(wpc, queries.words_per_code());
+    let shard_words = shard.as_words();
+    let query_words = queries.as_words();
+    let mut heaps: Vec<BinaryHeap<(u32, usize)>> =
+        (0..b).map(|_| BinaryHeap::with_capacity(k)).collect();
+    // Per-query early-skip bound: the current k-th (worst kept) distance,
+    // `u32::MAX` until the heap has k entries.
+    let mut bounds: Vec<u32> = vec![u32::MAX; b];
+    let block_points = (BLOCK_WORDS / wpc).max(1);
+    let mut block_start = rows.start;
+    while block_start < rows.end {
+        let block_end = (block_start + block_points).min(rows.end);
+        let block_words = &shard_words[block_start * wpc..block_end * wpc];
+        for (q, heap) in heaps.iter_mut().enumerate() {
+            let qw = &query_words[q * wpc..(q + 1) * wpc];
+            let mut bound = bounds[q];
+            if wpc == 1 {
+                let q_word = qw[0];
+                for (j, &p_word) in block_words.iter().enumerate() {
+                    let dist = (p_word ^ q_word).count_ones();
+                    if dist > bound {
+                        continue;
+                    }
+                    let p = block_start + j;
+                    let id = global_ids.map_or(p, |ids| ids[p]);
+                    bound = offer(heap, k, (dist, id), bound);
+                }
+            } else {
+                for (j, pw) in block_words.chunks_exact(wpc).enumerate() {
+                    // Word-level distance with an early exit: popcounts only
+                    // accumulate, so crossing the bound mid-code already
+                    // disqualifies the candidate.
+                    let mut dist = 0u32;
+                    for w in 0..wpc {
+                        dist += (pw[w] ^ qw[w]).count_ones();
+                        if dist > bound {
+                            break;
+                        }
+                    }
+                    if dist > bound {
+                        continue;
+                    }
+                    let p = block_start + j;
+                    let id = global_ids.map_or(p, |ids| ids[p]);
+                    bound = offer(heap, k, (dist, id), bound);
                 }
             }
+            bounds[q] = bound;
+        }
+        block_start = block_end;
+    }
+    heaps
+        .into_iter()
+        .map(|mut heap| {
             let mut hits = vec![(0u32, 0usize); heap.len()];
             for slot in hits.iter_mut().rev() {
                 *slot = heap.pop().expect("heap holds one entry per slot");
@@ -104,11 +147,106 @@ pub fn shard_hamming_topk(
         .collect()
 }
 
-/// Merges per-shard top-`k` lists (each sorted ascending by `(distance,
-/// global index)`, as produced by [`shard_hamming_topk`]) into the global top
-/// `k` indices for one query. Shards must be disjoint, so `(distance, index)`
-/// keys are unique and the merge is deterministic.
-pub fn merge_shard_topk(per_shard: &[Vec<(u32, usize)>], k: usize) -> Vec<usize> {
+fn assert_query_shapes(shard: &BinaryCodes, queries: &BinaryCodes, k: usize) {
+    assert_eq!(
+        shard.n_bits(),
+        queries.n_bits(),
+        "database and query codes must have the same width"
+    );
+    assert!(k > 0, "k must be positive");
+}
+
+/// For each query code, returns the indices of the `k` database codes with the
+/// smallest Hamming distance, closest first (ties broken by index). Runs on
+/// the batched, cache-blocked kernel ([`shard_hamming_topk_batched`]); a
+/// one-query batch is simply `B = 1`.
+///
+/// # Panics
+///
+/// Panics if the code widths differ or `k == 0`.
+pub fn hamming_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) -> Vec<Vec<usize>> {
+    assert_query_shapes(database, queries, k);
+    batched_topk(database, 0..database.len(), None, queries, k)
+        .into_iter()
+        .map(|hits| hits.into_iter().map(|(_, i)| i).collect())
+        .collect()
+}
+
+/// Batched per-shard top-`k`: for each query, the `k` codes of `shard` (a
+/// database fragment whose row `i` is the code of global point
+/// `global_ids[i]`) with the smallest Hamming distance, as `(distance, global
+/// index)` pairs sorted ascending. One cache-blocked walk over the shard
+/// answers the whole query batch (see the module docs for the loop
+/// structure). The per-shard lists of several disjoint shards can be combined
+/// with [`merge_shard_topk`] into exactly the global top `k`.
+///
+/// # Panics
+///
+/// Panics if the code widths differ, `k == 0`, or `global_ids` does not have
+/// one entry per shard code.
+pub fn shard_hamming_topk_batched(
+    shard: &BinaryCodes,
+    global_ids: &[usize],
+    queries: &BinaryCodes,
+    k: usize,
+) -> Vec<Vec<(u32, usize)>> {
+    assert_query_shapes(shard, queries, k);
+    assert_eq!(
+        global_ids.len(),
+        shard.len(),
+        "one global id per shard code"
+    );
+    batched_topk(shard, 0..shard.len(), Some(global_ids), queries, k)
+}
+
+/// Per-shard top-`k` (see [`shard_hamming_topk_batched`], which this routes
+/// through — kept as the stable name the serving backends call).
+///
+/// # Panics
+///
+/// As for [`shard_hamming_topk_batched`].
+pub fn shard_hamming_topk(
+    shard: &BinaryCodes,
+    global_ids: &[usize],
+    queries: &BinaryCodes,
+    k: usize,
+) -> Vec<Vec<(u32, usize)>> {
+    shard_hamming_topk_batched(shard, global_ids, queries, k)
+}
+
+/// Top-`k` over one contiguous row range of a shard: the unit of work of a
+/// per-machine scan worker. `global_ids` is the *whole* shard's id list
+/// (indexed by absolute row, like the shard itself); only rows in `rows` are
+/// scanned. Per-chunk lists over a partition of the shard's rows merge via
+/// [`merge_shard_topk_hits`] into exactly the shard's top-`k`.
+///
+/// # Panics
+///
+/// Panics if the code widths differ, `k == 0`, `global_ids` does not have one
+/// entry per shard code, or `rows` exceeds the shard.
+pub fn shard_hamming_topk_chunk(
+    shard: &BinaryCodes,
+    rows: Range<usize>,
+    global_ids: &[usize],
+    queries: &BinaryCodes,
+    k: usize,
+) -> Vec<Vec<(u32, usize)>> {
+    assert_query_shapes(shard, queries, k);
+    assert_eq!(
+        global_ids.len(),
+        shard.len(),
+        "one global id per shard code"
+    );
+    assert!(rows.end <= shard.len(), "row range exceeds the shard");
+    batched_topk(shard, rows, Some(global_ids), queries, k)
+}
+
+/// Merges per-shard (or per-chunk) top-`k` lists — each sorted ascending by
+/// `(distance, global index)`, as produced by [`shard_hamming_topk_batched`]
+/// — into the global top `k` for one query, keeping the distances. Shards
+/// must be disjoint, so `(distance, index)` keys are unique and the merge is
+/// deterministic.
+pub fn merge_shard_topk_hits(per_shard: &[Vec<(u32, usize)>], k: usize) -> Vec<(u32, usize)> {
     // k-way merge by a min-heap over (head element, shard, offset); Reverse
     // turns the max-heap into a min-heap.
     use std::cmp::Reverse;
@@ -121,15 +259,24 @@ pub fn merge_shard_topk(per_shard: &[Vec<(u32, usize)>], k: usize) -> Vec<usize>
         .collect();
     let mut merged = Vec::with_capacity(k);
     while merged.len() < k {
-        let Some(Reverse(((_, global), shard, offset))) = heap.pop() else {
+        let Some(Reverse((hit, shard, offset))) = heap.pop() else {
             break;
         };
-        merged.push(global);
+        merged.push(hit);
         if let Some(&next) = per_shard[shard].get(offset + 1) {
             heap.push(Reverse((next, shard, offset + 1)));
         }
     }
     merged
+}
+
+/// Merges per-shard top-`k` lists into the global top `k` *indices* for one
+/// query (see [`merge_shard_topk_hits`] for the distance-keeping variant).
+pub fn merge_shard_topk(per_shard: &[Vec<(u32, usize)>], k: usize) -> Vec<usize> {
+    merge_shard_topk_hits(per_shard, k)
+        .into_iter()
+        .map(|(_, i)| i)
+        .collect()
 }
 
 /// The pre-optimisation k-NN reference: full `O(N log N)` sort per query.
@@ -147,6 +294,83 @@ pub fn full_sort_knn(database: &BinaryCodes, queries: &BinaryCodes, k: usize) ->
             dists.into_iter().take(k).map(|(_, i)| i).collect()
         })
         .collect()
+}
+
+/// The PR-2 per-query bounded-heap scans, kept verbatim as the pinned
+/// baseline: the bitwise-equivalence tests compare the batched blocked kernel
+/// against these, and the before/after benches measure both in the same run,
+/// so the baseline cannot drift from what the tests verify.
+pub mod reference {
+    use super::BinaryHeap;
+    use parmac_hash::BinaryCodes;
+
+    /// One query at a time, one bounded max-heap, one `hamming` call per
+    /// (query, point) pair — `hamming_knn` as shipped by PR 2.
+    pub fn per_query_heap_knn(
+        database: &BinaryCodes,
+        queries: &BinaryCodes,
+        k: usize,
+    ) -> Vec<Vec<usize>> {
+        super::assert_query_shapes(database, queries, k);
+        let k = k.min(database.len());
+        let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
+        (0..queries.len())
+            .map(|q| {
+                heap.clear();
+                for i in 0..database.len() {
+                    let candidate = (queries.hamming(q, database, i), i);
+                    if heap.len() < k {
+                        heap.push(candidate);
+                    } else if candidate < *heap.peek().expect("heap is non-empty when full") {
+                        heap.pop();
+                        heap.push(candidate);
+                    }
+                }
+                let mut neighbours = vec![0usize; heap.len()];
+                for slot in neighbours.iter_mut().rev() {
+                    *slot = heap.pop().expect("heap holds one entry per slot").1;
+                }
+                neighbours
+            })
+            .collect()
+    }
+
+    /// Per-shard top-`k` via the per-query heap scan — `shard_hamming_topk`
+    /// as shipped by PR 4.
+    pub fn per_query_shard_topk(
+        shard: &BinaryCodes,
+        global_ids: &[usize],
+        queries: &BinaryCodes,
+        k: usize,
+    ) -> Vec<Vec<(u32, usize)>> {
+        super::assert_query_shapes(shard, queries, k);
+        assert_eq!(
+            global_ids.len(),
+            shard.len(),
+            "one global id per shard code"
+        );
+        let k = k.min(shard.len());
+        let mut heap: BinaryHeap<(u32, usize)> = BinaryHeap::with_capacity(k);
+        (0..queries.len())
+            .map(|q| {
+                heap.clear();
+                for (i, &global) in global_ids.iter().enumerate() {
+                    let candidate = (queries.hamming(q, shard, i), global);
+                    if heap.len() < k {
+                        heap.push(candidate);
+                    } else if candidate < *heap.peek().expect("heap is non-empty when full") {
+                        heap.pop();
+                        heap.push(candidate);
+                    }
+                }
+                let mut hits = vec![(0u32, 0usize); heap.len()];
+                for slot in hits.iter_mut().rev() {
+                    *slot = heap.pop().expect("heap holds one entry per slot");
+                }
+                hits
+            })
+            .collect()
+    }
 }
 
 /// Returns, for one query code, the database indices ordered by increasing
@@ -212,18 +436,52 @@ mod tests {
     #[test]
     fn heap_selection_matches_full_sort_on_random_codes() {
         // Many duplicate distances (16-bit codes over 400 points) exercise the
-        // tie-breaking; the bounded-heap result must equal the full sort for
-        // every k.
+        // tie-breaking; the batched blocked kernel must equal the full sort
+        // and the PR-2 per-query heap scan for every k.
         let mut rng = SmallRng::seed_from_u64(0);
         let db = BinaryCodes::from_matrix(&Mat::random_uniform(400, 16, 0.0, 1.0, &mut rng));
         let q = BinaryCodes::from_matrix(&Mat::random_uniform(9, 16, 0.0, 1.0, &mut rng));
         for k in [1, 3, 10, 100, 400, 1000] {
+            let batched = hamming_knn(&db, &q, k);
+            assert_eq!(batched, full_sort_knn(&db, &q, k), "k = {k}");
             assert_eq!(
-                hamming_knn(&db, &q, k),
-                full_sort_knn(&db, &q, k),
+                batched,
+                reference::per_query_heap_knn(&db, &q, k),
                 "k = {k}"
             );
         }
+    }
+
+    #[test]
+    fn batched_kernel_handles_multi_word_codes() {
+        // 130-bit codes span three words: the word-level early-exit path must
+        // still match the references exactly.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(300, 130, 0.0, 1.0, &mut rng));
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(8, 130, 0.0, 1.0, &mut rng));
+        for k in [1, 7, 64, 300] {
+            let batched = hamming_knn(&db, &q, k);
+            assert_eq!(batched, full_sort_knn(&db, &q, k), "k = {k}");
+            assert_eq!(
+                batched,
+                reference::per_query_heap_knn(&db, &q, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_kernel_crosses_block_boundaries() {
+        // More points than one 32 KiB block holds (4096 single-word rows), so
+        // the scan spans several blocks; results must be order-independent of
+        // the blocking.
+        let mut rng = SmallRng::seed_from_u64(12);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(10_000, 24, 0.0, 1.0, &mut rng));
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(3, 24, 0.0, 1.0, &mut rng));
+        assert_eq!(
+            hamming_knn(&db, &q, 50),
+            reference::per_query_heap_knn(&db, &q, 50)
+        );
     }
 
     #[test]
@@ -278,11 +536,54 @@ mod tests {
     }
 
     #[test]
+    fn chunked_scan_merges_to_the_whole_shard_topk() {
+        // Split one shard's rows into uneven chunks (the scan-worker unit of
+        // work); merging the per-chunk hits must reproduce the whole-shard
+        // scan exactly, distances included.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let shard = BinaryCodes::from_matrix(&Mat::random_uniform(200, 16, 0.0, 1.0, &mut rng));
+        // Shuffled, non-contiguous global ids, as after streaming.
+        let ids: Vec<usize> = (0..200).map(|i| (i * 37 + 5) % 1000).collect();
+        let q = BinaryCodes::from_matrix(&Mat::random_uniform(6, 16, 0.0, 1.0, &mut rng));
+        for k in [1usize, 9, 200, 500] {
+            let whole = shard_hamming_topk_batched(&shard, &ids, &q, k);
+            let chunks = [0..70, 70..75, 75..200];
+            let per_chunk: Vec<Vec<Vec<(u32, usize)>>> = chunks
+                .iter()
+                .map(|r| shard_hamming_topk_chunk(&shard, r.clone(), &ids, &q, k))
+                .collect();
+            for query in 0..q.len() {
+                let lists: Vec<Vec<(u32, usize)>> =
+                    per_chunk.iter().map(|c| c[query].clone()).collect();
+                assert_eq!(
+                    merge_shard_topk_hits(&lists, k),
+                    whole[query],
+                    "k={k}, query={query}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn merge_handles_empty_and_short_shards() {
         let lists = vec![vec![], vec![(0u32, 3usize), (2, 5)], vec![(1, 0)]];
         assert_eq!(merge_shard_topk(&lists, 2), vec![3, 0]);
         assert_eq!(merge_shard_topk(&lists, 10), vec![3, 0, 5]);
         assert!(merge_shard_topk(&[], 4).is_empty());
+        assert_eq!(
+            merge_shard_topk_hits(&lists, 2),
+            vec![(0u32, 3usize), (1, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_database_and_empty_query_batch() {
+        let db = codes(&[vec![true, false]]);
+        let empty_queries = BinaryCodes::zeros(0, 2);
+        assert!(hamming_knn(&db, &empty_queries, 3).is_empty());
+        let empty_db = BinaryCodes::zeros(0, 2);
+        let q = codes(&[vec![true, false]]);
+        assert_eq!(hamming_knn(&empty_db, &q, 3), vec![Vec::<usize>::new()]);
     }
 
     #[test]
@@ -291,6 +592,14 @@ mod tests {
         let db = codes(&[vec![true, false]]);
         let q = codes(&[vec![true, false]]);
         let _ = shard_hamming_topk(&db, &[0, 1], &q, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range exceeds the shard")]
+    fn chunk_scan_rejects_out_of_range_rows() {
+        let db = codes(&[vec![true, false]]);
+        let q = codes(&[vec![true, false]]);
+        let _ = shard_hamming_topk_chunk(&db, 0..2, &[0], &q, 1);
     }
 
     #[test]

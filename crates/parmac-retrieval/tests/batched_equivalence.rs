@@ -1,0 +1,132 @@
+//! Property-based bitwise equivalence of the batched, cache-blocked top-k
+//! kernel against its pinned references: the full-sort selection and the PR-2
+//! per-query heap scans kept verbatim in `search::reference`.
+//!
+//! The generators deliberately hit the hard cases: tiny code widths (1-16
+//! bits over dozens of points, so distances collide constantly and the
+//! `(distance, index)` tie-break decides everything), multi-word codes
+//! (`L > 64`, exercising the word-level early-exit), `k ≥ N` (heaps that
+//! never fill, so the early-skip bound stays disabled), shuffled
+//! non-contiguous global ids (post-streaming shards), and random shard /
+//! chunk partitions whose merged top-k must equal the single-process scan.
+
+use parmac_hash::BinaryCodes;
+use parmac_retrieval::search::{full_sort_knn, reference};
+use parmac_retrieval::{
+    hamming_knn, merge_shard_topk, merge_shard_topk_hits, shard_hamming_topk_batched,
+    shard_hamming_topk_chunk,
+};
+use proptest::prelude::*;
+
+/// A database, a query batch (same width) and a `k` that may exceed `N`.
+/// Widths up to 130 bits span one to three packed words.
+fn instance() -> impl Strategy<Value = (Vec<Vec<bool>>, Vec<Vec<bool>>, usize)> {
+    (1usize..50, 1usize..130, 1usize..6).prop_flat_map(|(n, l, b)| {
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), l), n),
+            prop::collection::vec(prop::collection::vec(any::<bool>(), l), b),
+            1usize..(2 * n + 2),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn batched_knn_is_bitwise_identical_to_both_references(
+        inst in instance()
+    ) {
+        let (db, queries, k) = inst;
+        let db = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        let batched = hamming_knn(&db, &queries, k);
+        prop_assert_eq!(&batched, &full_sort_knn(&db, &queries, k));
+        prop_assert_eq!(&batched, &reference::per_query_heap_knn(&db, &queries, k));
+    }
+
+    #[test]
+    fn batched_shard_topk_matches_the_per_query_scan_on_shuffled_ids(
+        inst in instance(),
+        id_seed in 0usize..1000,
+    ) {
+        let (db, queries, k) = inst;
+        let shard = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        // Non-contiguous, shuffled-looking global ids (coprime stride walk:
+        // distinct by construction), as a shard looks after streaming.
+        let ids: Vec<usize> = (0..shard.len())
+            .map(|i| (i * 7919 + id_seed) % 99991)
+            .collect();
+        prop_assert_eq!(
+            shard_hamming_topk_batched(&shard, &ids, &queries, k),
+            reference::per_query_shard_topk(&shard, &ids, &queries, k)
+        );
+    }
+
+    #[test]
+    fn merged_shard_topk_equals_single_process_knn(
+        inst in instance(),
+        cut_a in 0usize..50,
+        cut_b in 0usize..50,
+    ) {
+        let (db, queries, k) = inst;
+        let db_codes = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        // Split the database into up to three contiguous shards (possibly
+        // empty ones are dropped).
+        let n = db.len();
+        let (lo, hi) = {
+            let a = cut_a % (n + 1);
+            let b = cut_b % (n + 1);
+            (a.min(b), a.max(b))
+        };
+        let ranges = [0..lo, lo..hi, hi..n];
+        let per_shard: Vec<Vec<Vec<(u32, usize)>>> = ranges
+            .iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| {
+                let rows: Vec<Vec<bool>> = db[r.clone()].to_vec();
+                let ids: Vec<usize> = r.clone().collect();
+                shard_hamming_topk_batched(
+                    &BinaryCodes::from_bools(&rows),
+                    &ids,
+                    &queries,
+                    k,
+                )
+            })
+            .collect();
+        let reference = hamming_knn(&db_codes, &queries, k);
+        for q in 0..queries.len() {
+            let lists: Vec<Vec<(u32, usize)>> =
+                per_shard.iter().map(|s| s[q].clone()).collect();
+            prop_assert_eq!(&merge_shard_topk(&lists, k), &reference[q], "query {}", q);
+        }
+    }
+
+    #[test]
+    fn chunked_scan_merges_to_the_whole_shard_answer(
+        inst in instance(),
+        n_chunks in 1usize..5,
+    ) {
+        let (db, queries, k) = inst;
+        let shard = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        let ids: Vec<usize> = (0..shard.len()).map(|i| i * 3 + 1).collect();
+        let whole = shard_hamming_topk_batched(&shard, &ids, &queries, k);
+        let chunk = shard.len().div_ceil(n_chunks);
+        let per_chunk: Vec<Vec<Vec<(u32, usize)>>> = (0..n_chunks)
+            .filter(|c| c * chunk < shard.len())
+            .map(|c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(shard.len());
+                shard_hamming_topk_chunk(&shard, lo..hi, &ids, &queries, k)
+            })
+            .collect();
+        for q in 0..queries.len() {
+            let lists: Vec<Vec<(u32, usize)>> =
+                per_chunk.iter().map(|c| c[q].clone()).collect();
+            prop_assert_eq!(&merge_shard_topk_hits(&lists, k), &whole[q], "query {}", q);
+        }
+    }
+}

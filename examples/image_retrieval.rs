@@ -6,28 +6,58 @@
 //! retrieval precision and the memory footprint of the binary index against
 //! the raw floating-point features.
 //!
-//! Run with `cargo run --release --example image_retrieval`.
+//! Run with `cargo run --release --example image_retrieval`. Pass a path to
+//! a real dataset in the TEXMEX layout (`.fvecs` float features or `.bvecs`
+//! byte features, e.g. SIFT-10K's `siftsmall_base.fvecs`) to index it instead
+//! of the synthetic GIST-like mixture; the last 10% of its vectors (up to
+//! 100) are held out as queries.
 
 use parmac::core::mac::RetrievalEval;
 use parmac::core::{BaConfig, MacTrainer};
 use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
+use parmac::data::{read_bvecs, read_fvecs};
 use parmac::hash::{Itq, TpcaHash};
+use parmac::linalg::Mat;
+
+/// Loads features from an `.fvecs`/`.bvecs` file (by extension) and splits
+/// off a held-out query set: the last 10% of vectors, at most 100.
+fn load_real_dataset(path: &str) -> (Mat, Mat) {
+    let features = if path.ends_with(".bvecs") {
+        read_bvecs(path).expect("read .bvecs file").to_dense()
+    } else {
+        read_fvecs(path).expect("read .fvecs file")
+    };
+    let n = features.rows();
+    let n_queries = (n / 10).clamp(1, 100);
+    assert!(n > n_queries, "dataset too small to split off queries");
+    let database = features.select_rows(&(0..n - n_queries).collect::<Vec<_>>());
+    let queries = features.select_rows(&(n - n_queries..n).collect::<Vec<_>>());
+    (database, queries)
+}
 
 fn main() {
     let bits = 16;
-    let data = gaussian_mixture(
-        &MixtureConfig::new(2000, 320, 10)
-            .with_intrinsic_dim(24)
-            .with_seed(7),
-    );
-    let database = data.train_features();
-    let queries = data.query_features();
-    let eval = RetrievalEval::new(database.clone(), queries, 20, 20);
+    let (database, queries) = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("loading real dataset from {path}");
+            load_real_dataset(&path)
+        }
+        None => {
+            let data = gaussian_mixture(
+                &MixtureConfig::new(2000, 320, 10)
+                    .with_intrinsic_dim(24)
+                    .with_seed(7),
+            );
+            (data.train_features(), data.query_features())
+        }
+    };
+    let true_k = (database.rows() / 100).clamp(5, 20);
+    let eval = RetrievalEval::new(database.clone(), queries, true_k, true_k);
 
     println!(
-        "database: {} points x {} GIST-like features",
+        "database: {} points x {} features",
         database.rows(),
-        database.cols()
+        database.cols(),
     );
     let dense_bytes = database.rows() * database.cols() * std::mem::size_of::<f64>();
 

@@ -1,9 +1,10 @@
 //! Minimal offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
 //!
-//! Only the unbounded MPSC surface the workspace uses is provided: `unbounded`,
-//! cloneable `Sender`, single-consumer `Receiver`, and `Result`-returning
-//! `send`/`recv`. The real crate's `Receiver` is additionally cloneable
-//! (MPMC); nothing in-tree relies on that.
+//! Only the MPSC surface the workspace uses is provided: `unbounded` and
+//! `bounded` constructors, cloneable `Sender` with `Result`-returning
+//! `send`/`try_send`, and a single-consumer `Receiver` with `recv`/`try_recv`.
+//! The real crate's `Receiver` is additionally cloneable (MPMC); nothing
+//! in-tree relies on that.
 
 use std::sync::mpsc;
 
@@ -23,6 +24,47 @@ impl<T> std::fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]: the channel is at capacity, or the
+/// receiver is gone. Carries the unsent message like the real crate's error.
+pub enum TrySendError<T> {
+    /// A bounded channel is at capacity.
+    Full(T),
+    /// The receiver has been dropped.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Returns `true` for the at-capacity case.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(m) | TrySendError::Disconnected(m) => m,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when every sender is gone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
@@ -33,30 +75,58 @@ impl std::fmt::Display for RecvError {
     }
 }
 
-/// The sending half of an unbounded channel.
+#[derive(Debug)]
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// The sending half of a channel.
 #[derive(Debug)]
 pub struct Sender<T> {
-    inner: mpsc::Sender<T>,
+    inner: SenderInner<T>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         Sender {
-            inner: self.inner.clone(),
+            inner: match &self.inner {
+                SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+                SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+            },
         }
     }
 }
 
 impl<T> Sender<T> {
-    /// Sends a message, failing if the receiver has been dropped.
+    /// Sends a message, failing if the receiver has been dropped. On a
+    /// bounded channel at capacity this blocks until space frees up
+    /// (backpressure).
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-        self.inner
-            .send(msg)
-            .map_err(|mpsc::SendError(m)| SendError(m))
+        match &self.inner {
+            SenderInner::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+        }
+    }
+
+    /// Sends without blocking: fails with [`TrySendError::Full`] if a bounded
+    /// channel is at capacity (the load-shedding primitive) and
+    /// [`TrySendError::Disconnected`] if the receiver is gone. On an
+    /// unbounded channel, equivalent to [`send`](Self::send).
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        match &self.inner {
+            SenderInner::Unbounded(tx) => tx
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+            SenderInner::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            }),
+        }
     }
 }
 
-/// The receiving half of an unbounded channel.
+/// The receiving half of a channel.
 #[derive(Debug)]
 pub struct Receiver<T> {
     inner: mpsc::Receiver<T>,
@@ -90,7 +160,24 @@ pub enum TryRecvError {
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
-    (Sender { inner: tx }, Receiver { inner: rx })
+    (
+        Sender {
+            inner: SenderInner::Unbounded(tx),
+        },
+        Receiver { inner: rx },
+    )
+}
+
+/// Creates a bounded channel holding at most `cap` queued messages. `send`
+/// blocks when full; `try_send` fails with [`TrySendError::Full`] instead.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (
+        Sender {
+            inner: SenderInner::Bounded(tx),
+        },
+        Receiver { inner: rx },
+    )
 }
 
 #[cfg(test)]
@@ -106,5 +193,36 @@ mod tests {
         let sum = rx.recv().unwrap() + rx.recv().unwrap();
         assert_eq!(sum, 42);
         assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn bounded_try_send_sheds_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1usize).unwrap();
+        tx.try_send(2usize).unwrap();
+        let err = tx.try_send(3usize).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 3);
+        assert_eq!(rx.recv().unwrap(), 1);
+        // Space freed: the next try_send succeeds.
+        tx.try_send(4usize).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn try_send_reports_disconnection() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(7usize),
+            Err(TrySendError::Disconnected(7))
+        ));
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(7usize),
+            Err(TrySendError::Disconnected(7))
+        ));
     }
 }
