@@ -309,6 +309,7 @@ fn main() {
 
     println!("{{");
     println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!("  \"host\": {},", parmac_bench::host_info_json());
     println!("  \"kernel_64q\": {kernel_json},");
     println!("  \"serving\": [");
     println!("    {},", baseline.to_json());

@@ -17,6 +17,19 @@ use parmac_data::synthetic::{gaussian_mixture, MixtureConfig};
 use parmac_data::{Dataset, SplitSpec};
 use parmac_linalg::Mat;
 
+/// The measuring host's parallelism, architecture and active popcount
+/// kernel, as a JSON object fragment — recorded by every bench binary so a
+/// BENCH entry is self-describing (single-core container numbers read very
+/// differently from multicore ones, and scalar-popcount numbers from AVX2).
+pub fn host_info_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    format!(
+        "{{\"cores\": {cores}, \"arch\": \"{}\", \"popcount\": \"{}\"}}",
+        std::env::consts::ARCH,
+        parmac_hash::popcount::simd_backend()
+    )
+}
+
 /// Prints a header line followed by rows, all tab-separated, to stdout.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("# {title}");
@@ -159,6 +172,17 @@ pub fn scaled_parmac_config(ba: BaConfig, machines: usize) -> ParMacConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_info_reports_cores_arch_and_kernel() {
+        let json = host_info_json();
+        assert!(json.contains("\"cores\": "), "{json}");
+        assert!(json.contains(std::env::consts::ARCH), "{json}");
+        assert!(
+            json.contains("\"popcount\": \"avx2\"") || json.contains("\"popcount\": \"scalar\""),
+            "{json}"
+        );
+    }
 
     #[test]
     fn cell_formats_decimals() {

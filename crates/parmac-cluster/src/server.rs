@@ -24,10 +24,16 @@
 //!   every machine and merges the per-shard top-k
 //!   ([`parmac_retrieval::merge_shard_topk`]) into exactly the answer a
 //!   single-process [`hamming_knn`](parmac_retrieval::hamming_knn) over the
-//!   concatenated shards would give. Each machine scans its shard with the
-//!   batched cache-blocked kernel, split over a small pool of *scan workers*
-//!   (per-chunk top-k lists merge exactly, so a machine's queries no longer
-//!   serialise on one thread); the [`knn_admitted`](QueryRouter::knn_admitted)
+//!   concatenated shards would give. Each machine serves from a multi-probe
+//!   [`PrefixIndex`] built at `LoadShard` and refreshed incrementally on
+//!   `ApplyUpdates`: queries probe code-prefix buckets in increasing Hamming
+//!   radius instead of walking the whole shard, terminating provably exact
+//!   (the default) or after an optional *probe budget*
+//!   ([`knn_budgeted`](QueryRouter::knn_budgeted)) that trades recall for
+//!   throughput. Query batches split over a small pool of *scan workers*
+//!   (each worker probes for a contiguous sub-range of the batch, so
+//!   per-query answers are independent of the split); the
+//!   [`knn_admitted`](QueryRouter::knn_admitted)
 //!   entry additionally runs queries through a **bounded admission queue**
 //!   that coalesces concurrently arriving submissions into one fan-out batch
 //!   and sheds load explicitly ([`AdmissionError::Shed`], counted in
@@ -60,20 +66,18 @@ use crate::sim::{Fault, SimCluster};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
 use parmac_hash::BinaryCodes;
-use parmac_retrieval::{
-    merge_shard_topk, merge_shard_topk_hits, shard_hamming_topk_batched, shard_hamming_topk_chunk,
-};
+use parmac_retrieval::{merge_shard_topk, PrefixIndex};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
-/// Minimum rows per scan chunk: a shard only splits over scan workers when
-/// every chunk gets at least this many points, so the dispatch/merge overhead
-/// stays well under the scan cost and small shards scan serially on the
+/// Minimum queries per scan task: a batch only splits over scan workers when
+/// every worker gets at least this many queries, so the dispatch overhead
+/// stays well under the probe cost and small batches run serially on the
 /// actor thread.
-const MIN_SCAN_CHUNK_POINTS: usize = 2048;
+const MIN_QUERIES_PER_SCAN_TASK: usize = 4;
 
 /// Default number of scan workers per serving actor: the host's parallelism,
 /// capped so a many-machine fleet does not oversubscribe the box.
@@ -92,6 +96,10 @@ pub struct Query {
     pub queries: Arc<BinaryCodes>,
     /// How many neighbours each machine should return (its shard top-k).
     pub k: usize,
+    /// Per-query probe budget for the machine's prefix index: `None` is
+    /// exact mode, `Some(b)` stops each query after `b` non-empty buckets
+    /// (see [`PrefixIndex::topk_batched`]).
+    pub probes: Option<usize>,
     /// Where the machine sends its [`QueryResult`].
     pub reply: Sender<QueryResult>,
 }
@@ -146,14 +154,15 @@ pub enum MachineMsg<S> {
 /// One chunk's scan result: `(chunk index, per-query top-k hits)`.
 type ChunkHits = (usize, Vec<Vec<(u32, usize)>>);
 
-/// A chunk-scan work order for one persistent scan worker: scan `rows` of
-/// the shard snapshot and send the chunk's per-query top-k back.
+/// A scan work order for one persistent scan worker: probe the index
+/// snapshot for the queries in `q_rows` and send that chunk's per-query
+/// top-k back.
 struct ScanTask {
-    codes: Arc<BinaryCodes>,
-    points: Arc<Vec<usize>>,
+    index: Arc<PrefixIndex>,
     queries: Arc<BinaryCodes>,
-    rows: std::ops::Range<usize>,
+    q_rows: std::ops::Range<usize>,
     k: usize,
+    probes: Option<usize>,
     chunk: usize,
     reply: Sender<ChunkHits>,
 }
@@ -177,12 +186,11 @@ impl ScanPool {
                 .name(format!("parmac-scan-{machine}-{w}"))
                 .spawn(move || {
                     while let Ok(task) = rx.recv() {
-                        let hits = shard_hamming_topk_chunk(
-                            &task.codes,
-                            task.rows.clone(),
-                            &task.points,
+                        let hits = task.index.topk_batched_range(
                             &task.queries,
+                            task.q_rows.clone(),
                             task.k,
+                            task.probes,
                         );
                         let _ = task.reply.send((task.chunk, hits));
                     }
@@ -203,19 +211,20 @@ impl Drop for ScanPool {
     }
 }
 
-/// State owned by one long-lived serving actor: the machine's resident shard
-/// and the binary codes it serves queries from. The shard data lives behind
-/// `Arc`s so scan workers can hold a consistent snapshot while the actor
-/// waits for their chunk replies; code refreshes between scans mutate in
-/// place via `Arc::make_mut` (the Arcs are unique again by then, except in
-/// the brief window where a worker has replied but not yet dropped its task
-/// — then `make_mut` copies once and correctness is unaffected).
+/// State owned by one long-lived serving actor: the machine's resident
+/// multi-probe [`PrefixIndex`] over its shard codes. The index lives behind
+/// an `Arc` so scan workers can hold a consistent snapshot while the actor
+/// waits for their chunk replies; refreshes between scans mutate in place
+/// via `Arc::make_mut` (the Arc is unique again by then, except in the brief
+/// window where a worker has replied but not yet dropped its task — then
+/// `make_mut` copies once and correctness is unaffected). Same-prefix
+/// updates rewrite their bucket row; bucket-moving ones ride the index's
+/// delta region until it recompacts, so a Z step costs per-update work, not
+/// a rebuild.
 struct ServingShard {
     machine: usize,
-    points: Arc<Vec<usize>>,
-    index_of: HashMap<usize, usize>,
-    codes: Option<Arc<BinaryCodes>>,
-    /// How many scan workers split this shard's top-k scans (1 = serial).
+    index: Option<Arc<PrefixIndex>>,
+    /// How many scan workers split this machine's query batches (1 = serial).
     scan_workers: usize,
     /// Lazily spawned persistent workers (`scan_workers - 1` threads; the
     /// actor itself scans chunk 0).
@@ -224,26 +233,18 @@ struct ServingShard {
 
 impl ServingShard {
     fn load(&mut self, points: Vec<usize>, codes: BinaryCodes) {
-        self.index_of = points.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-        self.points = Arc::new(points);
-        self.codes = Some(Arc::new(codes));
+        self.index = Some(Arc::new(PrefixIndex::build(&codes, &points)));
     }
 
     fn apply(&mut self, updates: Vec<ZUpdate>) {
         for update in updates {
-            let codes = self
-                .codes
-                .get_or_insert_with(|| Arc::new(BinaryCodes::zeros(0, update.code.len().max(1))));
-            let codes = Arc::make_mut(codes);
-            match self.index_of.get(&update.point) {
-                Some(&local) => codes.set_code(local, &update.code),
-                None => {
-                    // A streamed-in point this machine now owns.
-                    self.index_of.insert(update.point, self.points.len());
-                    Arc::make_mut(&mut self.points).push(update.point);
-                    codes.push_code(&update.code);
-                }
-            }
+            let index = self.index.get_or_insert_with(|| {
+                Arc::new(PrefixIndex::build(
+                    &BinaryCodes::zeros(0, update.code.len().max(1)),
+                    &[],
+                ))
+            });
+            Arc::make_mut(index).upsert(update.point, &update.code);
         }
     }
 
@@ -252,14 +253,14 @@ impl ServingShard {
         // answer instead of panicking: a panic here would kill the detached
         // actor and leave every later caller blocked on a reply that never
         // comes.
-        let servable = match &self.codes {
-            Some(codes) => {
-                !self.points.is_empty() && query.k > 0 && codes.n_bits() == query.queries.n_bits()
+        let servable = match &self.index {
+            Some(index) => {
+                !index.is_empty() && query.k > 0 && index.n_bits() == query.queries.n_bits()
             }
             None => false,
         };
         let hits = if servable {
-            self.scan(&query.queries, query.k)
+            self.scan(&query.queries, query.k, query.probes)
         } else {
             vec![Vec::new(); query.queries.len()]
         };
@@ -270,58 +271,56 @@ impl ServingShard {
     }
 
     /// The shard's batched top-k, split over this machine's scan workers:
-    /// each worker scans a contiguous row chunk with the cache-blocked kernel
-    /// and the per-chunk lists merge into exactly the whole-shard answer
-    /// (disjoint chunks make `(distance, id)` keys unique, so the merge is
-    /// the same invariant the cross-machine fan-out relies on). Chunks stay
-    /// at least [`MIN_SCAN_CHUNK_POINTS`] long — small shards scan serially
+    /// each worker probes the shared index snapshot for a contiguous
+    /// sub-range of the query *batch*, so concatenating the chunks in order
+    /// is exactly the whole-batch answer (per-query probing is independent —
+    /// no merge needed). Each worker keeps at least
+    /// [`MIN_QUERIES_PER_SCAN_TASK`] queries — small batches probe serially
     /// on the actor thread regardless of the worker count.
-    fn scan(&mut self, queries: &Arc<BinaryCodes>, k: usize) -> Vec<Vec<(u32, usize)>> {
-        let codes = Arc::clone(self.codes.as_ref().expect("scan requires codes"));
-        let max_useful = (codes.len() / MIN_SCAN_CHUNK_POINTS).max(1);
+    fn scan(
+        &mut self,
+        queries: &Arc<BinaryCodes>,
+        k: usize,
+        probes: Option<usize>,
+    ) -> Vec<Vec<(u32, usize)>> {
+        let index = Arc::clone(self.index.as_ref().expect("scan requires an index"));
+        let batch = queries.len();
+        let max_useful = (batch / MIN_QUERIES_PER_SCAN_TASK).max(1);
         let workers = self.scan_workers.min(max_useful).max(1);
         if workers == 1 {
-            return shard_hamming_topk_batched(&codes, &self.points, queries, k);
+            return index.topk_batched(queries, k, probes);
         }
         let pool = self.pool.get_or_insert_with(|| {
             // Sized once for the configured maximum; smaller scans simply use
             // a prefix of the workers.
             ScanPool::new(self.machine, self.scan_workers - 1)
         });
-        let chunk_len = codes.len().div_ceil(workers);
+        let chunk_len = batch.div_ceil(workers);
         let (reply_tx, reply_rx) = unbounded();
         for c in 1..workers {
-            let lo = c * chunk_len;
-            let hi = ((c + 1) * chunk_len).min(codes.len());
+            let lo = (c * chunk_len).min(batch);
+            let hi = ((c + 1) * chunk_len).min(batch);
             pool.txs[c - 1]
                 .send(ScanTask {
-                    codes: Arc::clone(&codes),
-                    points: Arc::clone(&self.points),
+                    index: Arc::clone(&index),
                     queries: Arc::clone(queries),
-                    rows: lo..hi,
+                    q_rows: lo..hi,
                     k,
+                    probes,
                     chunk: c,
                     reply: reply_tx.clone(),
                 })
                 .expect("scan worker alive");
         }
         drop(reply_tx);
-        // The actor scans chunk 0 itself while the workers scan the rest.
+        // The actor probes chunk 0 itself while the workers probe the rest.
         let mut per_chunk: Vec<Vec<Vec<(u32, usize)>>> = vec![Vec::new(); workers];
-        per_chunk[0] = shard_hamming_topk_chunk(&codes, 0..chunk_len, &self.points, queries, k);
+        per_chunk[0] = index.topk_batched_range(queries, 0..chunk_len.min(batch), k, probes);
         for _ in 1..workers {
             let (chunk, hits) = reply_rx.recv().expect("scan worker replies");
             per_chunk[chunk] = hits;
         }
-        (0..queries.len())
-            .map(|q| {
-                let lists: Vec<Vec<(u32, usize)>> = per_chunk
-                    .iter_mut()
-                    .map(|c| std::mem::take(&mut c[q]))
-                    .collect();
-                merge_shard_topk_hits(&lists, k)
-            })
-            .collect()
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -331,9 +330,7 @@ impl ServingShard {
 fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usize) {
     let mut shard = ServingShard {
         machine,
-        points: Arc::new(Vec::new()),
-        index_of: HashMap::new(),
-        codes: None,
+        index: None,
         scan_workers,
         pool: None,
     };
@@ -428,6 +425,7 @@ fn fan_out_topk(
     fleet: &Fleet,
     queries: &Arc<BinaryCodes>,
     k: usize,
+    probes: Option<usize>,
 ) -> Vec<Vec<Vec<(u32, usize)>>> {
     let senders = fleet.senders();
     let (reply_tx, reply_rx) = unbounded();
@@ -436,6 +434,7 @@ fn fan_out_topk(
         let sent = tx.send(MachineMsg::Query(Query {
             queries: Arc::clone(queries),
             k,
+            probes,
             reply: reply_tx.clone(),
         }));
         if sent.is_ok() {
@@ -552,6 +551,7 @@ impl std::error::Error for AdmissionError {}
 struct Pending {
     queries: Arc<BinaryCodes>,
     k: usize,
+    probes: Option<usize>,
     reply: Sender<Vec<Vec<usize>>>,
 }
 
@@ -619,8 +619,11 @@ impl Drop for Admission {
 
 /// The admission loop: blocks for one submission, opportunistically drains
 /// whatever else arrived concurrently (until the batch holds `max_batch`
-/// queries), groups runs of equal code width, and serves each group with one
-/// coalesced fan-out.
+/// queries), groups runs of equal code width *and* probe budget, and serves
+/// each group with one coalesced fan-out. The probed-bucket set of a
+/// budgeted query is a fixed function of the query prefix and the budget —
+/// never of `k` — so coalescing submissions with different `k` at the same
+/// budget cannot change any submission's answer.
 fn admission_loop(
     fleet: &Fleet,
     rx: &Receiver<Pending>,
@@ -642,8 +645,12 @@ fn admission_loop(
         let mut start = 0;
         while start < batch.len() {
             let width = batch[start].queries.n_bits();
+            let probes = batch[start].probes;
             let mut end = start + 1;
-            while end < batch.len() && batch[end].queries.n_bits() == width {
+            while end < batch.len()
+                && batch[end].queries.n_bits() == width
+                && batch[end].probes == probes
+            {
                 end += 1;
             }
             serve_coalesced(fleet, counters, &batch[start..end]);
@@ -652,10 +659,11 @@ fn admission_loop(
     }
 }
 
-/// Serves a group of equal-width submissions with one fan-out at the group's
-/// largest `k`: each per-shard list is the exact ascending prefix of its
-/// shard's ranking, so merging to any smaller `k` is that submission's exact
-/// top-k — coalescing changes batching, never answers.
+/// Serves a group of equal-width, equal-budget submissions with one fan-out
+/// at the group's largest `k`: each per-shard list is the ascending prefix
+/// of its shard's ranking over the probed candidate set (all of it in exact
+/// mode), so merging to any smaller `k` is that submission's own answer —
+/// coalescing changes batching, never answers.
 fn serve_coalesced(fleet: &Fleet, counters: &AdmissionCounters, group: &[Pending]) {
     counters.batches.fetch_add(1, Ordering::Relaxed);
     if group.len() > 1 {
@@ -673,7 +681,7 @@ fn serve_coalesced(fleet: &Fleet, counters: &AdmissionCounters, group: &[Pending
         }
         Arc::new(all)
     };
-    let mut per_shard = fan_out_topk(fleet, &queries, k_max);
+    let mut per_shard = fan_out_topk(fleet, &queries, k_max, group[0].probes);
     let mut offset = 0usize;
     for pending in group {
         let answers: Vec<Vec<usize>> = (offset..offset + pending.queries.len())
@@ -732,8 +740,36 @@ impl QueryRouter {
     ///
     /// Panics if `k == 0`.
     pub fn knn_shared(&self, queries: &Arc<BinaryCodes>, k: usize) -> Vec<Vec<usize>> {
+        self.knn_with_probes(queries, k, None)
+    }
+
+    /// Budgeted retrieval: each machine stops a query's index probing after
+    /// `probes` non-empty prefix buckets instead of running to provable
+    /// exactness, trading recall for throughput (the recall-vs-qps knob of
+    /// the serving stack; see [`PrefixIndex::topk_batched`]). Recall against
+    /// the exact answer is monotone non-decreasing in `probes`; a budget of
+    /// at least every machine's occupied-bucket count is exact mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn knn_budgeted(
+        &self,
+        queries: &Arc<BinaryCodes>,
+        k: usize,
+        probes: usize,
+    ) -> Vec<Vec<usize>> {
+        self.knn_with_probes(queries, k, Some(probes))
+    }
+
+    fn knn_with_probes(
+        &self,
+        queries: &Arc<BinaryCodes>,
+        k: usize,
+        probes: Option<usize>,
+    ) -> Vec<Vec<usize>> {
         assert!(k > 0, "k must be positive");
-        let mut per_shard = fan_out_topk(&self.fleet, queries, k);
+        let mut per_shard = fan_out_topk(&self.fleet, queries, k, probes);
         (0..queries.len())
             .map(|q| {
                 let lists: Vec<Vec<(u32, usize)>> = per_shard
@@ -765,6 +801,32 @@ impl QueryRouter {
         queries: Arc<BinaryCodes>,
         k: usize,
     ) -> Result<Vec<Vec<usize>>, AdmissionError> {
+        self.admit(queries, k, None)
+    }
+
+    /// [`knn_budgeted`](Self::knn_budgeted) through the bounded admission
+    /// queue: the admission loop only coalesces submissions with the *same*
+    /// probe budget into a shared fan-out (the probed-bucket set depends on
+    /// the budget, never on `k`), so answers equal the direct budgeted call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn knn_admitted_budgeted(
+        &self,
+        queries: Arc<BinaryCodes>,
+        k: usize,
+        probes: usize,
+    ) -> Result<Vec<Vec<usize>>, AdmissionError> {
+        self.admit(queries, k, Some(probes))
+    }
+
+    fn admit(
+        &self,
+        queries: Arc<BinaryCodes>,
+        k: usize,
+        probes: Option<usize>,
+    ) -> Result<Vec<Vec<usize>>, AdmissionError> {
         assert!(k > 0, "k must be positive");
         let counters = &self.admission.counters;
         counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -773,6 +835,7 @@ impl QueryRouter {
         let pending = Pending {
             queries,
             k,
+            probes,
             reply: reply_tx,
         };
         if let Err(err) = tx.try_send(pending) {
@@ -835,11 +898,12 @@ impl ServerBackend {
         self
     }
 
-    /// Sets how many scan workers each serving actor splits its shard scans
-    /// over (default: the host's parallelism, capped at 4). Per-chunk top-k
-    /// lists merge exactly, so the worker count never changes answers. Call
-    /// before the fleet spawns (i.e. before the first `publish_codes`): each
-    /// actor captures the count when it starts.
+    /// Sets how many scan workers each serving actor splits its query
+    /// batches over (default: the host's parallelism, capped at 4). Workers
+    /// probe the shared index snapshot for disjoint sub-ranges of the batch
+    /// and per-query answers are independent, so the worker count never
+    /// changes answers. Call before the fleet spawns (i.e. before the first
+    /// `publish_codes`): each actor captures the count when it starts.
     pub fn with_scan_workers(self, workers: usize) -> Self {
         self.fleet
             .scan_workers
@@ -1377,23 +1441,65 @@ mod tests {
 
     #[test]
     fn scan_workers_do_not_change_answers() {
-        // Chunked multi-worker shard scans must stay bitwise identical to the
-        // serial scan. MIN_SCAN_CHUNK_POINTS would keep a small shard serial,
-        // so force large-enough shards to actually split.
+        // Query-partitioned multi-worker probing must stay bitwise identical
+        // to the serial scan. MIN_QUERIES_PER_SCAN_TASK would keep a small
+        // batch serial, so use a batch large enough to actually split.
         use parmac_linalg::Mat;
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        let n = 3 * (MIN_SCAN_CHUNK_POINTS * 2);
+        let n = 3000;
+        let batch = 3 * (MIN_QUERIES_PER_SCAN_TASK * 2);
         let mut rng = SmallRng::seed_from_u64(18);
         let db = BinaryCodes::from_matrix(&Mat::random_uniform(n, 16, 0.0, 1.0, &mut rng));
-        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(6, 16, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(batch, 16, 0.0, 1.0, &mut rng));
         let cluster = SimCluster::new(shards(3, n), CostModel::distributed());
         let reference = parmac_retrieval::hamming_knn(&db, &queries, 40);
+        let shared = Arc::new(queries.clone());
+        let mut budgeted_reference = None;
         for workers in [1usize, 3] {
             let backend = ServerBackend::new().with_scan_workers(workers);
             backend.publish_codes(&cluster, &db);
             let router = backend.query_router();
             assert_eq!(router.knn(&queries, 40), reference, "workers={workers}");
+            // The split must also leave budgeted answers independent of the
+            // worker count: probe order is per query, not per worker.
+            let budgeted = router.knn_budgeted(&shared, 40, 1);
+            let pinned = budgeted_reference.get_or_insert_with(|| budgeted.clone());
+            assert_eq!(&budgeted, pinned, "budgeted, workers={workers}");
+        }
+    }
+
+    #[test]
+    fn budgeted_queries_saturate_to_the_exact_answer() {
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(23);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(240, 16, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 240), CostModel::distributed());
+        let backend = ServerBackend::new();
+        backend.publish_codes(&cluster, &db);
+        let router = backend.query_router();
+        let queries = Arc::new(BinaryCodes::from_matrix(&Mat::random_uniform(
+            5, 16, 0.0, 1.0, &mut rng,
+        )));
+        let exact = parmac_retrieval::hamming_knn(&db, &queries, 9);
+        // A budget covering every bucket (2^16 is a safe upper bound here)
+        // must equal exact mode, both direct and through admission.
+        assert_eq!(router.knn_budgeted(&queries, 9, 1 << 16), exact);
+        assert_eq!(
+            router
+                .knn_admitted_budgeted(Arc::clone(&queries), 9, 1 << 16)
+                .expect("admitted"),
+            exact
+        );
+        // A small budget still returns well-formed sorted hit lists with at
+        // most k entries, each a true database point.
+        for answers in router.knn_budgeted(&queries, 9, 1) {
+            assert!(answers.len() <= 9);
+            for &id in &answers {
+                assert!(id < db.len());
+            }
         }
     }
 

@@ -351,6 +351,22 @@ fn server_backend_serves_knn_equal_to_single_process_search() {
                 expected,
                 "knn_admitted: iteration {iteration}, k={k}"
             );
+            // Budgeted probing with a budget covering every possible bucket
+            // (2^16 is the prefix-width ceiling) is exact mode, so the
+            // indexed multi-probe serving path is pinned to the same
+            // single-process search as the exact entry points.
+            assert_eq!(
+                router.knn_budgeted(&queries, k, 1 << 16),
+                expected,
+                "knn_budgeted: iteration {iteration}, k={k}"
+            );
+            assert_eq!(
+                router
+                    .knn_admitted_budgeted(std::sync::Arc::clone(&queries), k, 1 << 16)
+                    .expect("uncontended admission queue accepts"),
+                expected,
+                "knn_admitted_budgeted: iteration {iteration}, k={k}"
+            );
         }
     }
     let stats = router.serving_stats();
@@ -391,6 +407,14 @@ fn batched_serving_path_is_exact_after_a_machine_fault() {
             router.knn_shared(&queries, k),
             expected,
             "shared fan-out after fault, k={k}"
+        );
+        // The surviving machines' prefix indexes (built at load, refreshed
+        // by every ApplyUpdates since) must answer exactly under a
+        // saturating probe budget too.
+        assert_eq!(
+            router.knn_budgeted(&queries, k, 1 << 16),
+            expected,
+            "budgeted after fault, k={k}"
         );
     }
 }

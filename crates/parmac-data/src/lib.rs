@@ -35,4 +35,7 @@ pub use dataset::{Dataset, SplitSpec};
 pub use minibatch::MinibatchIter;
 pub use partition::{partition_equal, partition_proportional, Partition};
 pub use quantized::QuantizedDataset;
-pub use vecs::{read_bvecs, read_fvecs, write_bvecs, write_fvecs};
+pub use vecs::{
+    bvecs_chunks, fvecs_chunks, read_bvecs, read_fvecs, write_bvecs, write_fvecs, BvecsChunks,
+    FvecsChunks,
+};

@@ -11,6 +11,11 @@
 //! points never materialise as floats; `fvecs` files load into a dense
 //! [`Mat`].
 //!
+//! Both formats can also be **streamed** in fixed-size record chunks
+//! ([`fvecs_chunks`] / [`bvecs_chunks`]) so a reader never has to hold more
+//! than one chunk of a SIFT-1B-sized file in memory; the whole-file readers
+//! are thin accumulations of the streaming path, so both share one parser.
+//!
 //! Writers for both formats are provided for round-trip tests and for
 //! exporting synthetic stand-ins in the real layout.
 
@@ -67,35 +72,202 @@ fn check_dim(dim: usize, expected: Option<usize>, record: usize) -> io::Result<(
     }
 }
 
+/// Records per chunk for the whole-file readers: large enough to amortise
+/// per-chunk overhead, small enough that a chunk of SIFT-dimension records
+/// stays comfortably in cache-friendly territory.
+const READ_CHUNK_RECORDS: usize = 4096;
+
+/// Shared streaming state of [`FvecsChunks`] and [`BvecsChunks`]: the open
+/// reader plus the cross-chunk invariants (the file's dimensionality is fixed
+/// by its first record, records are counted across chunks for error
+/// messages, and a stream that has errored or hit EOF stays finished).
+struct ChunkReader {
+    reader: BufReader<File>,
+    chunk_records: usize,
+    dim: Option<usize>,
+    rows_seen: usize,
+    done: bool,
+}
+
+impl ChunkReader {
+    fn open(path: impl AsRef<Path>, chunk_records: usize) -> io::Result<Self> {
+        assert!(chunk_records > 0, "chunk_records must be positive");
+        Ok(ChunkReader {
+            reader: BufReader::new(File::open(path)?),
+            chunk_records,
+            dim: None,
+            rows_seen: 0,
+            done: false,
+        })
+    }
+
+    /// Reads up to `chunk_records` records, handing each payload of
+    /// `bytes_per_value * d` bytes to `consume`. Returns how many records the
+    /// chunk holds — `0` only at clean EOF.
+    fn fill_chunk(
+        &mut self,
+        bytes_per_value: usize,
+        payload: &mut Vec<u8>,
+        mut consume: impl FnMut(&[u8]),
+    ) -> io::Result<usize> {
+        let mut in_chunk = 0usize;
+        while in_chunk < self.chunk_records {
+            let Some(d) = read_dim(&mut self.reader)? else {
+                break;
+            };
+            check_dim(d, self.dim, self.rows_seen)?;
+            self.dim = Some(d);
+            payload.resize(bytes_per_value * d, 0);
+            let record = self.rows_seen;
+            self.reader.read_exact(payload).map_err(|e| {
+                truncated(e, || {
+                    format!("record {record}: truncated payload (dim {d})")
+                })
+            })?;
+            consume(payload);
+            self.rows_seen += 1;
+            in_chunk += 1;
+        }
+        Ok(in_chunk)
+    }
+
+    /// Wraps one chunk-read attempt into an iterator step: finishes the
+    /// stream on clean EOF and after the first error.
+    fn step<T>(
+        &mut self,
+        read: impl FnOnce(&mut Self) -> io::Result<Option<T>>,
+    ) -> Option<io::Result<T>> {
+        if self.done {
+            return None;
+        }
+        match read(self) {
+            Ok(Some(chunk)) => Some(Ok(chunk)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streaming `.fvecs` reader: yields the file as a sequence of `N × D`
+/// matrices of at most `chunk_records` rows each (see [`fvecs_chunks`]).
+pub struct FvecsChunks(ChunkReader);
+
+impl Iterator for FvecsChunks {
+    type Item = io::Result<Mat>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.step(|inner| {
+            let mut values: Vec<f64> = Vec::new();
+            let mut payload: Vec<u8> = Vec::new();
+            let rows = inner.fill_chunk(4, &mut payload, |bytes| {
+                values.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64),
+                );
+            })?;
+            if rows == 0 {
+                return Ok(None);
+            }
+            let dim = inner
+                .dim
+                .expect("a non-empty chunk fixes the dimensionality");
+            Ok(Some(Mat::from_vec(rows, dim, values)))
+        })
+    }
+}
+
+/// Opens an `.fvecs` file for chunked streaming: the returned iterator yields
+/// `chunk_records` records at a time as dense matrices (the final chunk may
+/// be shorter), so arbitrarily large files never materialise at once.
+/// Record dimensionality is checked across the whole stream, not per chunk.
+/// After the first `Err` the iterator is finished.
+///
+/// # Errors
+///
+/// Failure to open the file; per-chunk I/O and `InvalidData` errors are
+/// yielded by the iterator.
+///
+/// # Panics
+///
+/// Panics if `chunk_records == 0`.
+pub fn fvecs_chunks(path: impl AsRef<Path>, chunk_records: usize) -> io::Result<FvecsChunks> {
+    Ok(FvecsChunks(ChunkReader::open(path, chunk_records)?))
+}
+
+/// Streaming `.bvecs` reader: yields the file as a sequence of identity-scaled
+/// [`QuantizedDataset`] chunks of at most `chunk_records` points each (see
+/// [`bvecs_chunks`]).
+pub struct BvecsChunks(ChunkReader);
+
+impl Iterator for BvecsChunks {
+    type Item = io::Result<QuantizedDataset>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.step(|inner| {
+            let mut data: Vec<u8> = Vec::new();
+            let mut payload: Vec<u8> = Vec::new();
+            let rows = inner.fill_chunk(1, &mut payload, |bytes| {
+                data.extend_from_slice(bytes);
+            })?;
+            if rows == 0 {
+                return Ok(None);
+            }
+            let dim = inner
+                .dim
+                .expect("a non-empty chunk fixes the dimensionality");
+            Ok(Some(QuantizedDataset::from_bytes(
+                Bytes::from(data),
+                rows,
+                dim,
+                1.0,
+                0.0,
+            )))
+        })
+    }
+}
+
+/// Opens a `.bvecs` file for chunked streaming, the byte-per-feature analogue
+/// of [`fvecs_chunks`]: each chunk is a [`QuantizedDataset`] with identity
+/// dequantisation, so a SIFT-1B-scale file can be hashed or sharded one chunk
+/// at a time. Record dimensionality is checked across the whole stream.
+/// After the first `Err` the iterator is finished.
+///
+/// # Errors
+///
+/// Failure to open the file; per-chunk I/O and `InvalidData` errors are
+/// yielded by the iterator.
+///
+/// # Panics
+///
+/// Panics if `chunk_records == 0`.
+pub fn bvecs_chunks(path: impl AsRef<Path>, chunk_records: usize) -> io::Result<BvecsChunks> {
+    Ok(BvecsChunks(ChunkReader::open(path, chunk_records)?))
+}
+
 /// Reads an `.fvecs` file (`d: i32 LE`, then `d` little-endian `f32`s, per
-/// record) into an `N × D` matrix, one row per vector.
+/// record) into an `N × D` matrix, one row per vector. Accumulates the
+/// [`fvecs_chunks`] stream, so both paths share one parser.
 ///
 /// # Errors
 ///
 /// I/O errors, plus `InvalidData` for truncated records, non-positive or
 /// inconsistent dimensionalities, and empty files.
 pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<Mat> {
-    let mut reader = BufReader::new(File::open(path)?);
     let mut values: Vec<f64> = Vec::new();
     let mut dim: Option<usize> = None;
     let mut rows = 0usize;
-    // One scratch buffer for every record (d is constant after record 0).
-    let mut payload: Vec<u8> = Vec::new();
-    while let Some(d) = read_dim(&mut reader)? {
-        check_dim(d, dim, rows)?;
-        dim = Some(d);
-        payload.resize(4 * d, 0);
-        reader.read_exact(&mut payload).map_err(|e| {
-            truncated(e, || {
-                format!("record {rows}: truncated f32 payload (dim {d})")
-            })
-        })?;
-        values.extend(
-            payload
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]) as f64),
-        );
-        rows += 1;
+    for chunk in fvecs_chunks(path, READ_CHUNK_RECORDS)? {
+        let chunk = chunk?;
+        dim = Some(chunk.cols());
+        rows += chunk.rows();
+        values.extend_from_slice(chunk.as_slice());
     }
     let dim = dim.ok_or_else(|| bad_data("empty fvecs file".into()))?;
     Ok(Mat::from_vec(rows, dim, values))
@@ -104,28 +276,22 @@ pub fn read_fvecs(path: impl AsRef<Path>) -> io::Result<Mat> {
 /// Reads a `.bvecs` file (`d: i32 LE`, then `d` raw bytes, per record)
 /// directly into the byte-per-feature [`QuantizedDataset`] storage with
 /// identity dequantisation (`scale = 1`, `offset = 0`): a loaded value *is*
-/// its byte, exactly as the paper stores SIFT-1B (§8.4).
+/// its byte, exactly as the paper stores SIFT-1B (§8.4). Accumulates the
+/// [`bvecs_chunks`] stream, so both paths share one parser.
 ///
 /// # Errors
 ///
 /// I/O errors, plus `InvalidData` for truncated records, non-positive or
 /// inconsistent dimensionalities, and empty files.
 pub fn read_bvecs(path: impl AsRef<Path>) -> io::Result<QuantizedDataset> {
-    let mut reader = BufReader::new(File::open(path)?);
     let mut data: Vec<u8> = Vec::new();
     let mut dim: Option<usize> = None;
     let mut rows = 0usize;
-    while let Some(d) = read_dim(&mut reader)? {
-        check_dim(d, dim, rows)?;
-        dim = Some(d);
-        let start = data.len();
-        data.resize(start + d, 0);
-        reader.read_exact(&mut data[start..]).map_err(|e| {
-            truncated(e, || {
-                format!("record {rows}: truncated byte payload (dim {d})")
-            })
-        })?;
-        rows += 1;
+    for chunk in bvecs_chunks(path, READ_CHUNK_RECORDS)? {
+        let chunk = chunk?;
+        dim = Some(chunk.dim());
+        rows += chunk.len();
+        data.extend_from_slice(chunk.as_bytes());
     }
     let dim = dim.ok_or_else(|| bad_data("empty bvecs file".into()))?;
     Ok(QuantizedDataset::from_bytes(
@@ -291,6 +457,86 @@ mod tests {
             read_fvecs(&file.0).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn fvecs_chunked_stream_partitions_the_file() {
+        // 7 records streamed 3 at a time → chunks of 3, 3, 1 whose
+        // concatenation is the whole-file read.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x = Mat::random_normal(7, 4, &mut rng);
+        let file = TempFile::new("chunked.fvecs");
+        write_fvecs(&file.0, &x).expect("write");
+        let whole = read_fvecs(&file.0).expect("read");
+        let chunks: Vec<Mat> = fvecs_chunks(&file.0, 3)
+            .expect("open")
+            .collect::<io::Result<_>>()
+            .expect("chunks");
+        assert_eq!(
+            chunks.iter().map(Mat::rows).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        let streamed: Vec<f64> = chunks
+            .iter()
+            .flat_map(|c| c.as_slice().iter().copied())
+            .collect();
+        assert_eq!(streamed, whole.as_slice());
+        // An empty file yields no chunks (clean EOF) rather than an error:
+        // only the whole-file reader insists on at least one record.
+        let empty = TempFile::new("chunked-empty.fvecs");
+        std::fs::write(&empty.0, b"").expect("write raw");
+        assert_eq!(fvecs_chunks(&empty.0, 3).expect("open").count(), 0);
+    }
+
+    #[test]
+    fn bvecs_chunked_stream_partitions_the_file() {
+        let raw: Vec<u8> = (0..35).map(|v| (v * 13 % 256) as u8).collect();
+        let q = QuantizedDataset::from_bytes(Bytes::from(raw), 7, 5, 1.0, 0.0);
+        let file = TempFile::new("chunked.bvecs");
+        write_bvecs(&file.0, &q).expect("write");
+        let chunks: Vec<QuantizedDataset> = bvecs_chunks(&file.0, 3)
+            .expect("open")
+            .collect::<io::Result<_>>()
+            .expect("chunks");
+        assert_eq!(
+            chunks.iter().map(QuantizedDataset::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        let streamed: Vec<u8> = chunks
+            .iter()
+            .flat_map(|c| c.as_bytes().iter().copied())
+            .collect();
+        assert_eq!(streamed, q.as_bytes());
+        for chunk in &chunks {
+            assert_eq!(chunk.dim(), 5);
+        }
+    }
+
+    #[test]
+    fn chunked_stream_rejects_dim_change_across_chunk_boundaries() {
+        // Records 0-2 are 1-dimensional, record 3 (in the second chunk)
+        // switches to 2: the inconsistency spans a chunk boundary, so the
+        // check must carry state across chunks. The error ends the stream.
+        let mut raw: Vec<u8> = Vec::new();
+        for v in 0u8..3 {
+            raw.extend_from_slice(&1i32.to_le_bytes());
+            raw.push(v);
+        }
+        raw.extend_from_slice(&2i32.to_le_bytes());
+        raw.extend_from_slice(&[9, 9]);
+        let file = TempFile::new("dimchange.bvecs");
+        std::fs::write(&file.0, &raw).expect("write raw");
+        let mut stream = bvecs_chunks(&file.0, 3).expect("open");
+        assert_eq!(stream.next().expect("first chunk").expect("ok").len(), 3);
+        assert_eq!(
+            stream
+                .next()
+                .expect("second step yields the error")
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        assert!(stream.next().is_none(), "errored stream is finished");
     }
 
     #[test]

@@ -236,6 +236,64 @@ impl BinaryCodes {
     pub fn memory_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<u64>()
     }
+
+    /// Overwrites code `dst` of `self` with code `src` of `other` — a word
+    /// `memcpy`. Used by the prefix index to place codes into buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths differ or either index is out of range.
+    pub fn copy_code_from(&mut self, dst: usize, other: &BinaryCodes, src: usize) {
+        assert_eq!(self.n_bits, other.n_bits, "bit-width mismatch");
+        let w = self.words_per_code;
+        self.data[dst * w..(dst + 1) * w].copy_from_slice(&other.data[src * w..(src + 1) * w]);
+    }
+
+    /// Overwrites code `dst` with code `src` of the same collection (`src`
+    /// and `dst` may be equal). Used for within-bucket swap-removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn copy_code_within(&mut self, src: usize, dst: usize) {
+        let w = self.words_per_code;
+        assert!(
+            src < self.len() && dst < self.len(),
+            "code index out of range"
+        );
+        self.data.copy_within(src * w..(src + 1) * w, dst * w);
+    }
+
+    /// Appends a copy of code `src` of `other`, growing the collection by
+    /// one — a word `memcpy`, unlike the bit-by-bit [`push_code`](Self::push_code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit widths differ or `src` is out of range.
+    pub fn push_code_from(&mut self, other: &BinaryCodes, src: usize) {
+        assert_eq!(self.n_bits, other.n_bits, "bit-width mismatch");
+        let w = self.words_per_code;
+        self.data
+            .extend_from_slice(&other.data[src * w..(src + 1) * w]);
+    }
+
+    /// The low `bits` bits of code `i` as an integer: the code's *prefix*,
+    /// the bucketing key of the multi-probe index. Bits past `n_bits()` read
+    /// as zero (padding bits of the first word are never set), so a prefix
+    /// wider than the code simply returns the whole first word's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 64, or `i` is out of range.
+    pub fn prefix_bits(&self, i: usize, bits: usize) -> u64 {
+        assert!((1..=64).contains(&bits), "prefix must be 1..=64 bits");
+        let word = self.data[i * self.words_per_code];
+        if bits == 64 {
+            word
+        } else {
+            word & ((1u64 << bits) - 1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,6 +426,39 @@ mod tests {
     fn append_codes_rejects_mismatched_widths() {
         let mut a = BinaryCodes::zeros(1, 8);
         a.append_codes(&BinaryCodes::zeros(1, 9));
+    }
+
+    #[test]
+    fn copy_and_push_codes_move_whole_words() {
+        let src = BinaryCodes::from_bools(&[vec![true; 70], vec![false; 70]]);
+        let mut dst = BinaryCodes::zeros(2, 70);
+        dst.copy_code_from(1, &src, 0);
+        assert_eq!(dst.code_words(1), src.code_words(0));
+        assert_eq!(dst.code_words(0), &[0, 0]);
+        dst.copy_code_within(1, 0);
+        assert_eq!(dst.code_words(0), src.code_words(0));
+        dst.push_code_from(&src, 1);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.code_words(2), src.code_words(1));
+    }
+
+    #[test]
+    fn prefix_bits_reads_the_low_bits_and_pads_with_zero() {
+        let mut c = BinaryCodes::zeros(1, 6);
+        c.set_code(0, &[1.0, 0.0, 1.0, 0.0, 0.0, 1.0]); // word 0 = 0b100101
+        assert_eq!(c.prefix_bits(0, 3), 0b101);
+        assert_eq!(c.prefix_bits(0, 6), 0b100101);
+        // Wider than the code: padding bits read as zero.
+        assert_eq!(c.prefix_bits(0, 16), 0b100101);
+        assert_eq!(c.prefix_bits(0, 64), 0b100101);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit-width mismatch")]
+    fn copy_code_from_rejects_mismatched_widths() {
+        let mut a = BinaryCodes::zeros(1, 8);
+        let b = BinaryCodes::zeros(1, 16);
+        a.copy_code_from(0, &b, 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod binary_code;
 pub mod decoder;
 pub mod encoder;
 pub mod itq;
+pub mod popcount;
 pub mod tpca;
 
 pub use binary_code::BinaryCodes;

@@ -16,10 +16,12 @@
 #![warn(missing_docs)]
 
 pub mod ground_truth;
+pub mod index;
 pub mod metrics;
 pub mod search;
 
 pub use ground_truth::euclidean_knn;
+pub use index::PrefixIndex;
 pub use metrics::{precision, recall_at_r, recall_curve};
 pub use search::{
     hamming_knn, merge_shard_topk, merge_shard_topk_hits, shard_hamming_topk,

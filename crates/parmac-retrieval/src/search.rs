@@ -27,7 +27,7 @@
 //! workers and merge the per-chunk lists ([`merge_shard_topk_hits`]) into
 //! exactly its shard top-`k`.
 
-use parmac_hash::BinaryCodes;
+use parmac_hash::{popcount, BinaryCodes};
 use std::collections::BinaryHeap;
 use std::ops::Range;
 
@@ -35,11 +35,113 @@ use std::ops::Range;
 /// L1 while a whole query batch revisits the block.
 const BLOCK_WORDS: usize = 4096;
 
+/// One query's bounded-heap scan over a contiguous row range: the unit every
+/// retrieval path — the blocked full scan below and the multi-probe bucket
+/// scans of [`crate::index`] — is built from. Holds the reusable distance
+/// buffer of the SIMD path so per-range calls do not allocate.
+///
+/// Both paths visit rows in ascending order and offer `(distance, id)` pairs
+/// through the same bounded max-heap, so the selected top-`k` is bitwise
+/// identical regardless of the kernel: the SIMD path computes every distance
+/// in the range up front ([`popcount::block_hamming`]) and the scalar path
+/// skips popcount work the running bound has already disqualified, but a
+/// skipped candidate is by definition one that cannot enter the heap.
+pub(crate) struct RangeScanner {
+    dists: Vec<u32>,
+    simd: bool,
+}
+
+impl RangeScanner {
+    pub(crate) fn new() -> Self {
+        RangeScanner {
+            dists: Vec::new(),
+            simd: popcount::simd_active(),
+        }
+    }
+
+    /// Scans rows `rows` of `shard_words` (`wpc` packed words per row) for
+    /// one query, offering every candidate within the current bound to
+    /// `heap` (bounded at `k`) in ascending row order; returns the updated
+    /// bound. `global_ids`, when present, maps absolute row indices to global
+    /// point ids.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn scan_range(
+        &mut self,
+        shard_words: &[u64],
+        wpc: usize,
+        rows: Range<usize>,
+        global_ids: Option<&[usize]>,
+        query_words: &[u64],
+        k: usize,
+        heap: &mut BinaryHeap<(u32, usize)>,
+        mut bound: u32,
+    ) -> u32 {
+        let n = rows.len();
+        if n == 0 || k == 0 {
+            return bound;
+        }
+        let range_words = &shard_words[rows.start * wpc..rows.end * wpc];
+        if self.simd {
+            if self.dists.len() < n {
+                self.dists.resize(n, 0);
+            }
+            popcount::block_hamming(range_words, query_words, &mut self.dists[..n]);
+            for (j, &dist) in self.dists[..n].iter().enumerate() {
+                if dist > bound {
+                    continue;
+                }
+                let p = rows.start + j;
+                let id = global_ids.map_or(p, |ids| ids[p]);
+                bound = offer(heap, k, (dist, id), bound);
+            }
+        } else if let [q_word] = *query_words {
+            for (j, &p_word) in range_words.iter().enumerate() {
+                let dist = (p_word ^ q_word).count_ones();
+                if dist > bound {
+                    continue;
+                }
+                let p = rows.start + j;
+                let id = global_ids.map_or(p, |ids| ids[p]);
+                bound = offer(heap, k, (dist, id), bound);
+            }
+        } else {
+            for (j, pw) in range_words.chunks_exact(wpc).enumerate() {
+                // Word-level distance with an early exit: popcounts only
+                // accumulate, so crossing the bound mid-code already
+                // disqualifies the candidate.
+                let mut dist = 0u32;
+                for w in 0..wpc {
+                    dist += (pw[w] ^ query_words[w]).count_ones();
+                    if dist > bound {
+                        break;
+                    }
+                }
+                if dist > bound {
+                    continue;
+                }
+                let p = rows.start + j;
+                let id = global_ids.map_or(p, |ids| ids[p]);
+                bound = offer(heap, k, (dist, id), bound);
+            }
+        }
+        bound
+    }
+}
+
+/// Drains a bounded max-heap into an ascending `(distance, id)` list.
+pub(crate) fn drain_heap(heap: &mut BinaryHeap<(u32, usize)>) -> Vec<(u32, usize)> {
+    let mut hits = vec![(0u32, 0usize); heap.len()];
+    for slot in hits.iter_mut().rev() {
+        *slot = heap.pop().expect("heap holds one entry per slot");
+    }
+    hits
+}
+
 /// Offers `candidate` to a bounded max-heap holding the `k` best pairs and
 /// returns the updated early-skip bound (the k-th best distance once the heap
 /// is full, `u32::MAX` before).
 #[inline]
-fn offer(
+pub(crate) fn offer(
     heap: &mut BinaryHeap<(u32, usize)>,
     k: usize,
     candidate: (u32, usize),
@@ -92,58 +194,29 @@ fn batched_topk(
     // Per-query early-skip bound: the current k-th (worst kept) distance,
     // `u32::MAX` until the heap has k entries.
     let mut bounds: Vec<u32> = vec![u32::MAX; b];
+    let mut scanner = RangeScanner::new();
     let block_points = (BLOCK_WORDS / wpc).max(1);
     let mut block_start = rows.start;
     while block_start < rows.end {
         let block_end = (block_start + block_points).min(rows.end);
-        let block_words = &shard_words[block_start * wpc..block_end * wpc];
         for (q, heap) in heaps.iter_mut().enumerate() {
             let qw = &query_words[q * wpc..(q + 1) * wpc];
-            let mut bound = bounds[q];
-            if wpc == 1 {
-                let q_word = qw[0];
-                for (j, &p_word) in block_words.iter().enumerate() {
-                    let dist = (p_word ^ q_word).count_ones();
-                    if dist > bound {
-                        continue;
-                    }
-                    let p = block_start + j;
-                    let id = global_ids.map_or(p, |ids| ids[p]);
-                    bound = offer(heap, k, (dist, id), bound);
-                }
-            } else {
-                for (j, pw) in block_words.chunks_exact(wpc).enumerate() {
-                    // Word-level distance with an early exit: popcounts only
-                    // accumulate, so crossing the bound mid-code already
-                    // disqualifies the candidate.
-                    let mut dist = 0u32;
-                    for w in 0..wpc {
-                        dist += (pw[w] ^ qw[w]).count_ones();
-                        if dist > bound {
-                            break;
-                        }
-                    }
-                    if dist > bound {
-                        continue;
-                    }
-                    let p = block_start + j;
-                    let id = global_ids.map_or(p, |ids| ids[p]);
-                    bound = offer(heap, k, (dist, id), bound);
-                }
-            }
-            bounds[q] = bound;
+            bounds[q] = scanner.scan_range(
+                shard_words,
+                wpc,
+                block_start..block_end,
+                global_ids,
+                qw,
+                k,
+                heap,
+                bounds[q],
+            );
         }
         block_start = block_end;
     }
     heaps
         .into_iter()
-        .map(|mut heap| {
-            let mut hits = vec![(0u32, 0usize); heap.len()];
-            for slot in hits.iter_mut().rev() {
-                *slot = heap.pop().expect("heap holds one entry per slot");
-            }
-            hits
-        })
+        .map(|mut heap| drain_heap(&mut heap))
         .collect()
 }
 

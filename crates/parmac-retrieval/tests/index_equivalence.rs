@@ -1,0 +1,140 @@
+//! Property-based contracts of the multi-probe prefix index against the
+//! pinned reference scans.
+//!
+//! Three contracts (module docs of `index` for the proofs):
+//!
+//! * **exact mode** (`probe_budget = None`) is bitwise identical to the PR-2
+//!   per-query heap scan, including `(distance, index)` tie-breaks — the
+//!   generators force tiny widths (constant distance collisions), multi-word
+//!   codes (`L > 64`), `k ≥ N`, shuffled non-contiguous global ids, and
+//!   requested prefix widths wider than the code;
+//! * **budgeted mode** has recall monotone non-decreasing in the probe
+//!   budget, and saturates to the exact answer once the budget covers every
+//!   occupied bucket;
+//! * **incremental upserts** leave the index answering exactly like a fresh
+//!   build over the final codes, whatever mix of inserts and overwrites (and
+//!   however many delta rebuilds) produced it.
+
+use parmac_hash::BinaryCodes;
+use parmac_retrieval::search::reference;
+use parmac_retrieval::PrefixIndex;
+use proptest::prelude::*;
+
+/// A database, a query batch (same width), a `k` that may exceed `N`, and a
+/// requested prefix width that may exceed the code width. Widths up to 130
+/// bits span one to three packed words.
+fn instance() -> impl Strategy<Value = (Vec<Vec<bool>>, Vec<Vec<bool>>, usize, usize)> {
+    (1usize..40, 1usize..130, 1usize..5).prop_flat_map(|(n, l, b)| {
+        (
+            prop::collection::vec(prop::collection::vec(any::<bool>(), l), n),
+            prop::collection::vec(prop::collection::vec(any::<bool>(), l), b),
+            1usize..(2 * n + 2),
+            1usize..20,
+        )
+    })
+}
+
+/// Shuffled-looking distinct global ids (coprime stride walk), as a shard
+/// looks after streaming.
+fn stride_ids(n: usize, seed: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7919 + seed) % 99991).collect()
+}
+
+/// Fraction of a query's exact top-k hits present in the budgeted answer.
+fn recall(budgeted: &[(u32, usize)], exact: &[(u32, usize)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hit = exact.iter().filter(|e| budgeted.contains(e)).count();
+    hit as f64 / exact.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn exact_multi_probe_is_bitwise_identical_to_the_reference_scan(
+        inst in instance(),
+        id_seed in 0usize..1000,
+    ) {
+        let (db, queries, k, bits) = inst;
+        let shard = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        let ids = stride_ids(shard.len(), id_seed);
+        let index = PrefixIndex::with_prefix_bits(&shard, &ids, bits);
+        prop_assert_eq!(
+            index.topk_batched(&queries, k, None),
+            reference::per_query_shard_topk(&shard, &ids, &queries, k)
+        );
+    }
+
+    #[test]
+    fn budgeted_recall_is_monotone_and_saturates(
+        inst in instance(),
+        budget_lo in 0usize..6,
+        budget_step in 0usize..6,
+    ) {
+        let (db, queries, k, bits) = inst;
+        let shard = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        let ids: Vec<usize> = (0..shard.len()).collect();
+        let index = PrefixIndex::with_prefix_bits(&shard, &ids, bits);
+        let exact = index.topk_batched(&queries, k, None);
+        let lo = index.topk_batched(&queries, k, Some(budget_lo));
+        let hi = index.topk_batched(&queries, k, Some(budget_lo + budget_step));
+        for q in 0..queries.len() {
+            let r_lo = recall(&lo[q], &exact[q]);
+            let r_hi = recall(&hi[q], &exact[q]);
+            prop_assert!(
+                r_hi >= r_lo,
+                "query {}: recall {} at budget {} fell below {} at budget {}",
+                q, r_hi, budget_lo + budget_step, r_lo, budget_lo
+            );
+        }
+        // A budget covering every occupied bucket is exact mode.
+        prop_assert_eq!(
+            index.topk_batched(&queries, k, Some(index.occupied_buckets())),
+            exact
+        );
+    }
+
+    #[test]
+    fn incremental_upserts_match_a_fresh_build(
+        inst in instance(),
+        overwrites in prop::collection::vec((0usize..40, prop::collection::vec(any::<bool>(), 130)), 0..30),
+    ) {
+        let (db, queries, k, bits) = inst;
+        let l = db[0].len();
+        let shard = BinaryCodes::from_bools(&db);
+        let queries = BinaryCodes::from_bools(&queries);
+        // Seed the index with the first half of the shard, stream in the
+        // rest, then overwrite random rows — some moving buckets, some not.
+        let half = shard.len() / 2;
+        let seed_rows: Vec<Vec<bool>> = db[..half].to_vec();
+        let seed_ids: Vec<usize> = (0..half).collect();
+        let mut index = if half == 0 {
+            PrefixIndex::with_prefix_bits(&BinaryCodes::zeros(0, l), &[], bits)
+        } else {
+            PrefixIndex::with_prefix_bits(&BinaryCodes::from_bools(&seed_rows), &seed_ids, bits)
+        };
+        let mut live: Vec<Vec<bool>> = db.clone();
+        for row in half..shard.len() {
+            index.upsert_code(row, &shard, row);
+        }
+        for (slot, code) in &overwrites {
+            let id = slot % live.len();
+            let code: Vec<bool> = code[..l].to_vec();
+            let as_f64: Vec<f64> = code.iter().map(|&b| f64::from(u8::from(b))).collect();
+            index.upsert(id, &as_f64);
+            live[id] = code;
+        }
+        let final_codes = BinaryCodes::from_bools(&live);
+        let ids: Vec<usize> = (0..live.len()).collect();
+        let fresh = PrefixIndex::with_prefix_bits(&final_codes, &ids, bits);
+        prop_assert_eq!(index.len(), fresh.len());
+        prop_assert_eq!(
+            index.topk_batched(&queries, k, None),
+            fresh.topk_batched(&queries, k, None)
+        );
+    }
+}

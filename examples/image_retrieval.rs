@@ -10,7 +10,9 @@
 //! a real dataset in the TEXMEX layout (`.fvecs` float features or `.bvecs`
 //! byte features, e.g. SIFT-10K's `siftsmall_base.fvecs`) to index it instead
 //! of the synthetic GIST-like mixture; the last 10% of its vectors (up to
-//! 100) are held out as queries.
+//! 100) are held out as queries. Pass `--probes N` to also search through
+//! the multi-probe prefix index with an `N`-bucket probe budget and report
+//! its recall against the exact scan.
 
 use parmac::core::mac::RetrievalEval;
 use parmac::core::{BaConfig, MacTrainer};
@@ -18,6 +20,7 @@ use parmac::data::synthetic::{gaussian_mixture, MixtureConfig};
 use parmac::data::{read_bvecs, read_fvecs};
 use parmac::hash::{Itq, TpcaHash};
 use parmac::linalg::Mat;
+use parmac::retrieval::PrefixIndex;
 
 /// Loads features from an `.fvecs`/`.bvecs` file (by extension) and splits
 /// off a held-out query set: the last 10% of vectors, at most 100.
@@ -35,9 +38,30 @@ fn load_real_dataset(path: &str) -> (Mat, Mat) {
     (database, queries)
 }
 
+/// Splits the command line into an optional dataset path and an optional
+/// `--probes N` budget (any order).
+fn parse_args() -> (Option<String>, Option<usize>) {
+    let mut path = None;
+    let mut probes = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--probes" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--probes takes a positive bucket count");
+            probes = Some(n);
+        } else {
+            path = Some(arg);
+        }
+    }
+    (path, probes)
+}
+
 fn main() {
     let bits = 16;
-    let (database, queries) = match std::env::args().nth(1) {
+    let (dataset_path, probes) = parse_args();
+    let (database, queries) = match dataset_path {
         Some(path) => {
             println!("loading real dataset from {path}");
             load_real_dataset(&path)
@@ -90,4 +114,39 @@ fn main() {
     println!("  truncated PCA        {tpca_precision:.3}");
     println!("  ITQ                  {itq_precision:.3}");
     println!("  binary autoencoder   {ba_precision:.3}");
+
+    // Sublinear search: the multi-probe prefix index over the BA codes.
+    // Exact mode (no budget) is bitwise identical to the flat scan; a probe
+    // budget caps how many buckets each query visits, trading recall for
+    // scan work.
+    let ids: Vec<usize> = (0..codes.len()).collect();
+    let index = PrefixIndex::build(&codes, &ids);
+    let query_codes = trainer.model().encode(&eval.queries);
+    let exact = index.topk_batched(&query_codes, true_k, None);
+    println!(
+        "\nprefix index: {}-bit prefix, {} of {} buckets occupied",
+        index.prefix_bits(),
+        index.occupied_buckets(),
+        index.n_buckets()
+    );
+    if let Some(budget) = probes {
+        let budgeted = index.topk_batched(&query_codes, true_k, Some(budget));
+        let mut recall = 0.0;
+        for (b, e) in budgeted.iter().zip(&exact) {
+            if e.is_empty() {
+                recall += 1.0;
+            } else {
+                let hit = e.iter().filter(|pair| b.contains(pair)).count();
+                recall += hit as f64 / e.len() as f64;
+            }
+        }
+        recall /= exact.len().max(1) as f64;
+        println!(
+            "  probe budget {budget}: recall {recall:.3} of the exact top-{true_k} \
+             (budget >= {} is exact here)",
+            index.occupied_buckets()
+        );
+    } else {
+        println!("  exact multi-probe search (pass --probes N to budget the probes)");
+    }
 }
