@@ -358,7 +358,7 @@ fn bench_server_query_routing(c: &mut Criterion) {
         let router = backend.query_router();
         c.bench_function(
             &format!("server knn fan-out + merge (20 q x 50k db, k=100, P={p})"),
-            |b| b.iter(|| router.knn(&queries, 100)),
+            |b| b.iter(|| router.knn(&queries, 100).expect_full()),
         );
     }
     c.bench_function(

@@ -1,0 +1,332 @@
+//! Chaos serving benchmark (perf-trajectory entry, `BENCH_chaos.json`).
+//!
+//! Measures the cost of availability: sustained closed-loop `knn_admitted`
+//! throughput and p50/p99 latency at replication R=1 vs R=2, each in a
+//! clean window and in a window where a scripted killer takes one machine
+//! down halfway through. Every window also checks the availability
+//! contract, so the benchmark doubles as a chaos gate:
+//!
+//! * R=2 + kill: every answer full-coverage and bitwise identical to the
+//!   single-process reference (failover, not degradation), and the fleet
+//!   re-converges to full replication after the restore;
+//! * R=1 + kill: every answer either full and exact, or flagged degraded
+//!   and exact over the surviving shards — never a silent shrink;
+//! * stats invariant-clean at every sample point and balanced
+//!   (`answered + shed == submitted`) once the clients quiesce.
+//!
+//! Run with `cargo run --release -p parmac-bench --bin chaos_serving`;
+//! pass `--smoke` for the bounded fast mode CI runs on every push (smaller
+//! database, shorter windows, same asserts — any violation exits nonzero).
+
+use parmac_cluster::{ClusterBackend, CostModel, ServerBackend, SimCluster};
+use parmac_hash::{BinaryCodes, HashFunction, LinearHash};
+use parmac_linalg::Mat;
+use parmac_retrieval::hamming_knn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MACHINES: usize = 6;
+const CLIENTS: usize = 4;
+const K: usize = 10;
+
+fn shards(p: usize, n: usize) -> Vec<Vec<usize>> {
+    let base = n / p;
+    (0..p)
+        .map(|i| (i * base..(i + 1) * base).collect())
+        .collect()
+}
+
+/// Single-process reference over the database minus the points in `lost`,
+/// answers mapped back to global point ids.
+fn knn_excluding(
+    db: &BinaryCodes,
+    queries: &BinaryCodes,
+    k: usize,
+    lost: std::ops::Range<usize>,
+) -> Vec<Vec<usize>> {
+    let keep: Vec<usize> = (0..db.len()).filter(|i| !lost.contains(i)).collect();
+    let mut sub = BinaryCodes::zeros(0, db.n_bits());
+    for &i in &keep {
+        sub.push_code(&db.to_f64_row(i));
+    }
+    hamming_knn(&sub, queries, k)
+        .into_iter()
+        .map(|row| row.into_iter().map(|r| keep[r]).collect())
+        .collect()
+}
+
+fn percentile(sorted: &[u128], pct: usize) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() * pct / 100).min(sorted.len() - 1)]
+}
+
+/// One measurement window's results.
+struct WindowRun {
+    label: String,
+    replicas: usize,
+    killed_mid_window: bool,
+    queries_answered: u64,
+    queries_shed: u64,
+    degraded_answers: u64,
+    failovers: u64,
+    min_coverage: f64,
+    wall: Duration,
+    p50_us: u128,
+    p99_us: u128,
+}
+
+impl WindowRun {
+    fn qps(&self) -> f64 {
+        self.queries_answered as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"replicas\": {}, \"killed_mid_window\": {}, \
+             \"queries_answered\": {}, \"queries_shed\": {}, \"degraded_answers\": {}, \
+             \"failovers\": {}, \"min_coverage\": {:.4}, \"wall_s\": {:.3}, \
+             \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+            self.label,
+            self.replicas,
+            self.killed_mid_window,
+            self.queries_answered,
+            self.queries_shed,
+            self.degraded_answers,
+            self.failovers,
+            self.min_coverage,
+            self.wall.as_secs_f64(),
+            self.qps(),
+            self.p50_us,
+            self.p99_us
+        )
+    }
+}
+
+/// Drives closed-loop clients against a fresh fleet for one window,
+/// optionally killing (and afterwards restoring) one machine halfway in.
+#[allow(clippy::too_many_arguments)]
+fn window(
+    label: &str,
+    replicas: usize,
+    kill: bool,
+    db: &BinaryCodes,
+    cluster: &SimCluster,
+    queries: &Arc<BinaryCodes>,
+    window_len: Duration,
+    degraded_expected: &[Vec<usize>],
+) -> WindowRun {
+    let expected = hamming_knn(db, queries, K);
+    let backend = ServerBackend::new().with_replication(replicas);
+    backend.publish_codes(cluster, db);
+    let done = AtomicBool::new(false);
+    let victim = MACHINES / 2;
+
+    let start = Instant::now();
+    let (latencies, answered, shed, degraded_answers, min_coverage) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let router = backend.query_router();
+                let queries = Arc::clone(queries);
+                let (expected, degraded_expected) = (&expected, degraded_expected);
+                let done = &done;
+                scope.spawn(move || {
+                    let mut latencies: Vec<u128> = Vec::new();
+                    let (mut answered, mut shed, mut degraded) = (0u64, 0u64, 0u64);
+                    let mut min_coverage = 1.0f64;
+                    while !done.load(Ordering::Acquire) {
+                        let call = Instant::now();
+                        match router.knn_admitted(Arc::clone(&queries), K) {
+                            Ok(response) => {
+                                latencies.push(call.elapsed().as_micros());
+                                answered += queries.len() as u64;
+                                min_coverage = min_coverage.min(response.coverage.fraction());
+                                if response.coverage.is_full() {
+                                    assert_eq!(
+                                        &response.answers, expected,
+                                        "{label}: full-coverage answer diverged"
+                                    );
+                                } else {
+                                    degraded += 1;
+                                    assert!(
+                                        replicas == 1 && kill,
+                                        "{label}: degraded answer where none is \
+                                             allowed: {:?}",
+                                        response.coverage
+                                    );
+                                    assert_eq!(
+                                        &response.answers, degraded_expected,
+                                        "{label}: degraded answer must equal the \
+                                             surviving-shard reference"
+                                    );
+                                }
+                            }
+                            Err(_) => shed += queries.len() as u64,
+                        }
+                    }
+                    (latencies, answered, shed, degraded, min_coverage)
+                })
+            })
+            .collect();
+
+        if kill {
+            std::thread::sleep(window_len / 2);
+            backend.kill_machine(victim);
+            std::thread::sleep(window_len / 2);
+        } else {
+            std::thread::sleep(window_len);
+        }
+        // Mid-drive sample: every submission is answered, shed, or one of
+        // the at-most-CLIENTS in-flight calls — nothing is ever lost.
+        let sample = backend.query_router().serving_stats();
+        assert!(
+            sample.answered + sample.shed <= sample.submitted
+                && sample.submitted <= sample.answered + sample.shed + CLIENTS as u64,
+            "{label}: unclean stats under load: {sample:?}"
+        );
+        done.store(true, Ordering::Release);
+
+        let mut all = Vec::new();
+        let (mut answered, mut shed, mut degraded) = (0u64, 0u64, 0u64);
+        let mut min_coverage = 1.0f64;
+        for client in clients {
+            let (lat, a, s, d, m) = client.join().expect("client panicked");
+            all.extend(lat);
+            answered += a;
+            shed += s;
+            degraded += d;
+            min_coverage = min_coverage.min(m);
+        }
+        (all, answered, shed, degraded, min_coverage)
+    });
+    let wall = start.elapsed();
+
+    // Quiesced: the books balance exactly, and availability matches the
+    // replication level.
+    let stats = backend.query_router().serving_stats();
+    assert_eq!(
+        stats.submitted,
+        stats.answered + stats.shed,
+        "{label}: accounting must balance: {stats:?}"
+    );
+    if replicas >= 2 {
+        assert_eq!(
+            stats.degraded, 0,
+            "{label}: R>=2 must absorb a single kill without degrading: {stats:?}"
+        );
+    }
+    if kill {
+        // Restore + reconverge: the fleet heals back to full replication.
+        assert!(
+            backend.restore_machine(victim),
+            "{label}: restore probe failed"
+        );
+        backend.rebalance();
+        if replicas == 1 {
+            // The shard died with its only host; republish brings it back.
+            backend.publish_codes(cluster, db);
+        }
+        let status = backend.fleet_status();
+        assert_eq!(status.dead_machines, 0, "{label}: {status:?}");
+        assert!(
+            status.is_fully_replicated(),
+            "{label}: not fully replicated after restore: {status:?}"
+        );
+        let healed = backend.query_router().knn(queries, K);
+        assert!(healed.coverage.is_full(), "{label}: {:?}", healed.coverage);
+        assert_eq!(healed.answers, expected, "{label}: healed answers diverged");
+    }
+
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    WindowRun {
+        label: label.to_string(),
+        replicas,
+        killed_mid_window: kill,
+        queries_answered: answered,
+        queries_shed: shed,
+        degraded_answers,
+        failovers: stats.failovers,
+        min_coverage,
+        wall,
+        p50_us: percentile(&sorted, 50),
+        p99_us: percentile(&sorted, 99),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 6_000 } else { 30_000 };
+    let window_len = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let batch = 8usize;
+
+    let mut rng = SmallRng::seed_from_u64(47);
+    let hash = LinearHash::random(64, 128, &mut rng);
+    let db = hash.encode(&Mat::random_normal(n, 128, &mut rng));
+    let queries = Arc::new(hash.encode(&Mat::random_normal(batch, 128, &mut rng)));
+    let cluster = SimCluster::new(shards(MACHINES, n), CostModel::distributed());
+    // At R=1 the killed machine (MACHINES/2) hosts exactly its own shard.
+    let victim = MACHINES / 2;
+    let base = n / MACHINES;
+    let degraded_expected = knn_excluding(&db, &queries, K, victim * base..(victim + 1) * base);
+
+    let runs = [
+        ("r1_clean", 1, false),
+        ("r1_kill_mid_window", 1, true),
+        ("r2_clean", 2, false),
+        ("r2_kill_mid_window", 2, true),
+    ]
+    .map(|(label, replicas, kill)| {
+        let run = window(
+            label,
+            replicas,
+            kill,
+            &db,
+            &cluster,
+            &queries,
+            window_len,
+            &degraded_expected,
+        );
+        eprintln!(
+            "{label}: {:.0} qps, p50 {} us, p99 {} us, shed {}, degraded {}, \
+             failovers {}, min coverage {:.2}",
+            run.qps(),
+            run.p50_us,
+            run.p99_us,
+            run.queries_shed,
+            run.degraded_answers,
+            run.failovers,
+            run.min_coverage
+        );
+        run
+    });
+
+    if smoke {
+        eprintln!("chaos smoke: PASS (all windows invariant-clean)");
+    }
+
+    println!("{{");
+    println!("  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    println!(
+        "  \"note\": \"closed-loop knn_admitted, {CLIENTS} clients, batch {batch}, k {K}, \
+         {MACHINES} machines on one host — single-core-class container, so qps measures \
+         protocol+scan cost, not parallel speedup\","
+    );
+    println!("  \"host\": {},", parmac_bench::host_info_json());
+    println!("  \"db\": {n},");
+    println!("  \"windows\": [");
+    for (i, run) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        println!("    {}{comma}", run.to_json());
+    }
+    println!("  ]");
+    println!("}}");
+}

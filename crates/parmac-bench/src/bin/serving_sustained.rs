@@ -160,7 +160,8 @@ fn serving_run(
                         if admitted {
                             let call = Instant::now();
                             match router.knn_admitted(Arc::clone(&queries), k) {
-                                Ok(hits) => {
+                                Ok(response) => {
+                                    let hits = response.expect_full();
                                     assert_eq!(hits.len(), queries.len());
                                     answered += queries.len() as u64;
                                     latencies.push(call.elapsed().as_micros());
@@ -174,7 +175,7 @@ fn serving_run(
                                     break;
                                 }
                                 let one = Instant::now();
-                                let hits = router.knn(single, k);
+                                let hits = router.knn(single, k).expect_full();
                                 assert_eq!(hits.len(), 1);
                                 answered += 1;
                                 latencies.push(one.elapsed().as_micros());
@@ -206,14 +207,15 @@ fn serving_run(
     let final_queries = Arc::new(trainer.model().encode(&train.select_rows(&query_rows)));
     let expected = hamming_knn(trainer.codes(), &final_queries, k);
     assert_eq!(
-        router.knn_shared(&final_queries, k),
+        router.knn_shared(&final_queries, k).expect_full(),
         expected,
         "{label}: direct fan-out diverged post-training"
     );
     assert_eq!(
         router
             .knn_admitted(Arc::clone(&final_queries), k)
-            .expect("quiesced admission queue accepts"),
+            .expect("quiesced admission queue accepts")
+            .expect_full(),
         expected,
         "{label}: admitted path diverged post-training"
     );

@@ -26,7 +26,11 @@
 //!   visit lists (§4.3), the Z step as request/reply exchanges, and a
 //!   resident serving fleet answering Hamming k-NN queries *during* training
 //!   through a [`QueryRouter`] — training and retrieval from the same
-//!   processes.
+//!   processes. The fleet is replicated and self-healing: a replication
+//!   factor places each shard on several machines, the router fails over
+//!   across live replicas under a bounded deadline, answers carry explicit
+//!   coverage, and a health-tracker-driven rebalancer re-replicates shards
+//!   when machines die or join.
 //!
 //! Supporting modules: [`topology`] (the circular topology, including the
 //!   random re-wiring used for cross-machine shuffling), [`envelope`] (the
@@ -58,8 +62,9 @@ pub use cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
 pub use pool::PoolBackend;
 pub use server::{
-    AdmissionConfig, AdmissionError, MachineMsg, Query, QueryResult, QueryRouter, ServerBackend,
-    ServingStats, ZShardUpdates, ZStepRequest,
+    AdmissionConfig, AdmissionError, Coverage, FleetStatus, KnnResponse, MachineMsg, Query,
+    QueryReply, QueryRouter, ReplicationConfig, ServerBackend, ServingStats, ShardHits,
+    ZShardUpdates, ZStepRequest,
 };
 pub use sim::{Fault, SimCluster};
 pub use threaded::run_w_step_threaded;

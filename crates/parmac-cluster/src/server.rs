@@ -1,5 +1,6 @@
 //! Sharded-server backend: machines as long-lived actors that serve
-//! **training and retrieval from the same processes**.
+//! **training and retrieval from the same processes**, with shard
+//! replication, failover routing and health-tracked self-healing.
 //!
 //! ParMAC's data layout — every machine keeps its shard and its slice of the
 //! auxiliary codes forever, only submodels move — is exactly the shape of a
@@ -18,44 +19,57 @@
 //!   own shard and answers with the changed codes ([`ZShardUpdates`]), which
 //!   are applied in deterministic topology order — bitwise identical to
 //!   [`SimBackend`](crate::backend::SimBackend).
-//! * **Retrieval** — [`Query`]/[`QueryResult`]: the resident serving fleet
+//! * **Retrieval** — [`Query`]/[`QueryReply`]: the resident serving fleet
 //!   owns a copy of each shard's binary codes and answers Hamming k-NN
 //!   queries *while training runs*. [`QueryRouter`] fans a query batch out to
-//!   every machine and merges the per-shard top-k
+//!   the machines hosting the shards and merges the per-shard top-k
 //!   ([`parmac_retrieval::merge_shard_topk`]) into exactly the answer a
 //!   single-process [`hamming_knn`](parmac_retrieval::hamming_knn) over the
-//!   concatenated shards would give. Each machine serves from a multi-probe
-//!   [`PrefixIndex`] built at `LoadShard` and refreshed incrementally on
-//!   `ApplyUpdates`: queries probe code-prefix buckets in increasing Hamming
-//!   radius instead of walking the whole shard, terminating provably exact
-//!   (the default) or after an optional *probe budget*
-//!   ([`knn_budgeted`](QueryRouter::knn_budgeted)) that trades recall for
-//!   throughput. Query batches split over a small pool of *scan workers*
-//!   (each worker probes for a contiguous sub-range of the batch, so
-//!   per-query answers are independent of the split); the
-//!   [`knn_admitted`](QueryRouter::knn_admitted)
-//!   entry additionally runs queries through a **bounded admission queue**
-//!   that coalesces concurrently arriving submissions into one fan-out batch
-//!   and sheds load explicitly ([`AdmissionError::Shed`], counted in
-//!   [`ServingStats`]) when saturated.
+//!   concatenated shards would give.
+//!
+//! # Replication and failover
+//!
+//! A [`ReplicationConfig`] places each shard's codes on `replicas` distinct
+//! machine actors. The same `LoadShard`/`ApplyUpdates` messages that keep a
+//! single copy fresh through training publishes flow to *every* host of the
+//! shard, so replicas stay bitwise identical. The router's fan-out
+//! read-balances across live replicas (a rotating cursor) and **fails over**
+//! to an alternate replica when a machine is dead (its mailbox is
+//! disconnected — detected instantly) or wedged (no reply within
+//! `replica_timeout`); the whole fan-out is bounded by `query_deadline`, so
+//! a wedged actor can never hang a query. Consecutive failures mark a
+//! machine dead in the health tracker; a dead machine is only tried as a
+//! last resort, and any successful reply (or an explicit
+//! [`ServerBackend::restore_machine`] probe) revives it.
+//!
+//! Every `knn`-family answer is **coverage-aware**: a [`KnnResponse`]
+//! carries [`Coverage`] (shards answered / shards total), so a degraded
+//! answer is explicit, never a silently shorter candidate list.
+//!
+//! Machine deaths wake a rebalancer that re-replicates under-replicated
+//! shards onto the least-loaded live machines: the new host is told to
+//! expect the shard (`ExpectReplica`), the assignment is recorded so
+//! concurrent training publishes start flowing to it (stashed until the
+//! snapshot lands), a live replica donates a snapshot (`FetchShard`), and
+//! `InstallReplica` installs it and replays the stash. Because the trainer
+//! publishes from a single thread and mailboxes are FIFO, the replayed
+//! stream is a contiguous suffix of the update stream — stale re-applications
+//! are always superseded, so a rebalanced replica converges to the same
+//! bytes as its donor even when the copy races training.
 //!
 //! # Thread structure
 //!
 //! The *serving fleet* is genuinely long-lived: one detached thread per
 //! machine, spawned on first [`publish_codes`] and kept until the backend is
-//! dropped, processing `Query`/`LoadShard`/`ApplyUpdates` messages in arrival
-//! order (each answer is a consistent snapshot of that shard). The *step
-//! protocol* runs on scoped per-machine threads inside `run_w_step` /
-//! `run_z_step`: the trainer's update/solve closures borrow step-local state
-//! (the `ClusterBackend` contract gives them non-`'static` lifetimes), so the
-//! borrow checker requires the threads executing them to be joined before the
-//! step returns. Both populations share machine ids and shard layout — one
-//! process, training and serving concurrently.
+//! dropped (the drop path is bounded: a wedged actor is abandoned after a
+//! grace period, never joined forever). The *step protocol* runs on scoped
+//! per-machine threads inside `run_w_step` / `run_z_step`. Both populations
+//! share machine ids and shard layout — one process, training and serving
+//! concurrently.
 //!
 //! Trained weights and codes are bitwise identical to every other backend:
-//! submodels visit machines in the same order (seeded round-robin, then ring
-//! order), submodels are mutually independent during a W step, and Z updates
-//! are collected per shard and applied in topology order.
+//! submodels visit machines in the same order, and Z updates are collected
+//! per shard and applied in topology order.
 //!
 //! [`publish_codes`]: crate::backend::ClusterBackend::publish_codes
 
@@ -63,21 +77,26 @@ use crate::backend::{z_stats, ClusterBackend, ZUpdate};
 use crate::cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 use crate::envelope::SubmodelEnvelope;
 use crate::sim::{Fault, SimCluster};
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use parmac_hash::BinaryCodes;
 use parmac_retrieval::{merge_shard_topk, PrefixIndex};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Minimum queries per scan task: a batch only splits over scan workers when
 /// every worker gets at least this many queries, so the dispatch overhead
 /// stays well under the probe cost and small batches run serially on the
 /// actor thread.
 const MIN_QUERIES_PER_SCAN_TASK: usize = 4;
+
+/// How long the drop/kill paths wait for an actor thread to exit before
+/// abandoning it. A wedged actor (sleeping in a scan, or chaos-wedged) must
+/// never block shutdown forever.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
 
 /// Default number of scan workers per serving actor: the host's parallelism,
 /// capped so a many-machine fleet does not oversubscribe the box.
@@ -87,31 +106,137 @@ fn default_scan_workers() -> usize {
         .min(4)
 }
 
-/// A Hamming k-NN query fanned out to the machines that own the codes.
+/// Replication and failover knobs of the serving fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// How many distinct machines host each shard's codes (capped at the
+    /// fleet size). 1 is the unreplicated layout: a dead machine degrades
+    /// coverage until the trainer republishes.
+    pub replicas: usize,
+    /// How long one failover wave waits for a machine's reply before trying
+    /// the next replica. A *dead* machine (disconnected mailbox) is detected
+    /// instantly and never costs this wait; only a wedged-but-alive actor
+    /// does.
+    pub replica_timeout: Duration,
+    /// Total budget of one fan-out across all failover waves: a query
+    /// returns (possibly with degraded coverage) within this bound no matter
+    /// how many machines are wedged.
+    pub query_deadline: Duration,
+    /// Consecutive failures (timeouts on a fan-out wave, or a failed probe)
+    /// after which a machine is marked dead. Dead machines are skipped by
+    /// read-balancing (tried only as a last resort) and trigger the
+    /// rebalancer.
+    pub failure_threshold: u32,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            replicas: 1,
+            replica_timeout: Duration::from_millis(250),
+            query_deadline: Duration::from_secs(2),
+            failure_threshold: 2,
+        }
+    }
+}
+
+/// How much of the fleet answered one fan-out: `shards_answered` of
+/// `shards_total` resident shards contributed their top-k to the merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shards that contributed an answer.
+    pub shards_answered: usize,
+    /// Shards the fleet holds (the denominator of the coverage contract).
+    pub shards_total: usize,
+}
+
+impl Coverage {
+    /// `true` when every resident shard answered — the result is exactly the
+    /// single-process answer. Vacuously `true` on an empty fleet.
+    pub fn is_full(&self) -> bool {
+        self.shards_answered == self.shards_total
+    }
+
+    /// Answered fraction in `[0, 1]` (1.0 on an empty fleet).
+    pub fn fraction(&self) -> f64 {
+        if self.shards_total == 0 {
+            1.0
+        } else {
+            self.shards_answered as f64 / self.shards_total as f64
+        }
+    }
+}
+
+/// A coverage-aware k-NN answer: the per-query neighbour lists plus how much
+/// of the fleet produced them. A degraded answer (machines down past the
+/// replication factor) is explicit — callers that require exactness gate on
+/// [`Coverage::is_full`] or use [`expect_full`](Self::expect_full).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnnResponse {
+    /// Per query: the merged global top-k over every answering shard.
+    pub answers: Vec<Vec<usize>>,
+    /// How many shards answered.
+    pub coverage: Coverage,
+}
+
+impl KnnResponse {
+    /// The answers, asserting full coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the answer is degraded (some shard did not answer).
+    pub fn expect_full(self) -> Vec<Vec<usize>> {
+        assert!(
+            self.coverage.is_full(),
+            "degraded k-NN answer: coverage {}/{}",
+            self.coverage.shards_answered,
+            self.coverage.shards_total
+        );
+        self.answers
+    }
+
+    /// `true` when at least one resident shard did not answer.
+    pub fn is_degraded(&self) -> bool {
+        !self.coverage.is_full()
+    }
+}
+
+/// A Hamming k-NN query fanned out to machines hosting the requested shards.
 ///
 /// The wire-serialisable request payload is [`wire`](crate::wire)'s
 /// `WireQuery`; in-process the query carries its reply channel.
 pub struct Query {
     /// The query codes (shared across the fan-out, one allocation total).
     pub queries: Arc<BinaryCodes>,
-    /// How many neighbours each machine should return (its shard top-k).
+    /// Which resident shards this machine should answer for. Shards it does
+    /// not host come back in [`QueryReply::missing`] so the router can retry
+    /// them on another replica.
+    pub shards: Vec<usize>,
+    /// How many neighbours each shard should return (its shard top-k).
     pub k: usize,
     /// Per-query probe budget for the machine's prefix index: `None` is
     /// exact mode, `Some(b)` stops each query after `b` non-empty buckets
     /// (see [`PrefixIndex::topk_batched`]).
     pub probes: Option<usize>,
-    /// Where the machine sends its [`QueryResult`].
-    pub reply: Sender<QueryResult>,
+    /// Where the machine sends its [`QueryReply`].
+    pub reply: Sender<QueryReply>,
 }
 
-/// One machine's answer to a [`Query`]: its shard's top-k per query.
+/// One shard's per-query hit lists: ascending `(Hamming distance, global
+/// point index)` pairs, at most `k` per query.
+pub type ShardHits = Vec<Vec<(u32, usize)>>;
+
+/// One machine's answer to a [`Query`]: per requested shard, either that
+/// shard's top-k per query or a "not resident here" marker.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryResult {
-    /// The answering machine.
+pub struct QueryReply {
+    /// The answering machine (the replica identity).
     pub machine: usize,
-    /// Per query: ascending `(Hamming distance, global point index)` pairs,
-    /// at most `k` of them (fewer if the shard is smaller).
-    pub hits: Vec<Vec<(u32, usize)>>,
+    /// Per answered shard: `(shard id, per-query hits)`.
+    pub answered: Vec<(usize, ShardHits)>,
+    /// Requested shards this machine does not host (the router retries them
+    /// on an alternate replica).
+    pub missing: Vec<usize>,
 }
 
 /// A Z-step work order: "solve your shard, reply with the changed codes".
@@ -136,17 +261,62 @@ pub enum MachineMsg<S> {
     Envelope(SubmodelEnvelope<S>),
     /// Z step: solve the local shard and reply.
     ZStepRequest(ZStepRequest),
-    /// Retrieval: answer a Hamming k-NN query from the local shard codes.
+    /// Retrieval: answer a Hamming k-NN query from the requested shards.
     Query(Query),
-    /// Replace the shard this machine serves (points and their codes).
+    /// Authoritatively (re)place one shard's codes on this machine. Clears
+    /// any pending replica-installation state for the shard.
     LoadShard {
-        /// Global indices of the points this machine owns.
+        /// The shard being placed.
+        shard: usize,
+        /// Global indices of the points in the shard.
         points: Vec<usize>,
         /// Their binary codes, one row per point, in `points` order.
         codes: BinaryCodes,
     },
-    /// Apply incremental Z-step code updates to the served shard.
-    ApplyUpdates(Vec<ZUpdate>),
+    /// Rebalancer: a replica snapshot fetched from a live donor. Installs it
+    /// and replays updates stashed since the matching `ExpectReplica`.
+    InstallReplica {
+        /// The shard being installed.
+        shard: usize,
+        /// Global indices of the points in the snapshot.
+        points: Vec<usize>,
+        /// Their binary codes, in `points` order.
+        codes: BinaryCodes,
+    },
+    /// Rebalancer: this machine is about to receive `InstallReplica` for the
+    /// shard; stash (do not apply) updates for it until the snapshot lands.
+    ExpectReplica {
+        /// The shard to expect.
+        shard: usize,
+    },
+    /// Stop hosting a shard (over-replication trim, or a cancelled install).
+    DropShard {
+        /// The shard to drop.
+        shard: usize,
+    },
+    /// Apply incremental Z-step code updates to one hosted shard.
+    ApplyUpdates {
+        /// The shard the updates belong to.
+        shard: usize,
+        /// The changed codes.
+        updates: Vec<ZUpdate>,
+    },
+    /// Rebalancer: reply with a snapshot of one hosted shard (`None` if not
+    /// hosted), so it can be installed on an under-replicated peer.
+    FetchShard {
+        /// The shard to snapshot.
+        shard: usize,
+        /// Where to send the `(points, codes)` snapshot.
+        reply: Sender<Option<(Vec<usize>, BinaryCodes)>>,
+    },
+    /// Health probe: reply with the machine id.
+    Ping {
+        /// Where to send the pong.
+        reply: Sender<usize>,
+    },
+    /// Chaos: block the actor thread for the duration (simulates a wedged —
+    /// alive but unresponsive — machine).
+    Wedge(Duration),
     /// Stop the actor.
     Shutdown,
 }
@@ -192,7 +362,12 @@ impl ScanPool {
                             task.k,
                             task.probes,
                         );
-                        let _ = task.reply.send((task.chunk, hits));
+                        let reply = task.reply.clone();
+                        let chunk = task.chunk;
+                        // Drop the task (and its query/index Arcs) before
+                        // replying, so batch ownership reverts to the caller.
+                        drop(task);
+                        let _ = reply.send((chunk, hits));
                     }
                 })
                 .expect("spawn scan worker");
@@ -211,19 +386,59 @@ impl Drop for ScanPool {
     }
 }
 
-/// State owned by one long-lived serving actor: the machine's resident
-/// multi-probe [`PrefixIndex`] over its shard codes. The index lives behind
-/// an `Arc` so scan workers can hold a consistent snapshot while the actor
-/// waits for their chunk replies; refreshes between scans mutate in place
-/// via `Arc::make_mut` (the Arc is unique again by then, except in the brief
-/// window where a worker has replied but not yet dropped its task — then
-/// `make_mut` copies once and correctness is unaffected). Same-prefix
-/// updates rewrite their bucket row; bucket-moving ones ride the index's
-/// delta region until it recompacts, so a Z step costs per-update work, not
-/// a rebuild.
-struct ServingShard {
+/// One hosted replica of a shard: the multi-probe index the actor serves
+/// from, plus the materialised `(points, codes)` pair so the shard can be
+/// donated to an under-replicated peer (`FetchShard`) without reverse-
+/// engineering the index. `row_of` maps global point id → row, so an update
+/// to an existing point rewrites its row instead of appending.
+struct ReplicaShard {
+    points: Vec<usize>,
+    codes: BinaryCodes,
+    row_of: HashMap<usize, usize>,
+    index: Arc<PrefixIndex>,
+}
+
+impl ReplicaShard {
+    fn build(points: Vec<usize>, codes: BinaryCodes) -> Self {
+        let index = Arc::new(PrefixIndex::build(&codes, &points));
+        let row_of = points.iter().enumerate().map(|(r, &p)| (p, r)).collect();
+        ReplicaShard {
+            points,
+            codes,
+            row_of,
+            index,
+        }
+    }
+
+    fn apply(&mut self, update: &ZUpdate) {
+        match self.row_of.get(&update.point) {
+            Some(&row) => self.codes.set_code(row, &update.code),
+            None => {
+                self.row_of.insert(update.point, self.points.len());
+                self.points.push(update.point);
+                self.codes.push_code(&update.code);
+            }
+        }
+        // Same-prefix updates rewrite their bucket row; bucket-moving ones
+        // ride the index's delta region until it recompacts, so a Z step
+        // costs per-update work, not a rebuild. `make_mut` copies only in
+        // the brief window where a scan worker still holds a snapshot.
+        Arc::make_mut(&mut self.index).upsert(update.point, &update.code);
+    }
+}
+
+/// State owned by one long-lived serving actor: every shard replica this
+/// machine hosts, plus the replica-installation protocol state — shards it
+/// has been told to *expect* (`ExpectReplica` arrived, snapshot still in
+/// flight) and the updates stashed for them. Mailbox FIFO plus the
+/// single-threaded publisher make the stash a contiguous suffix of the
+/// update stream, so replaying it over the installed snapshot converges to
+/// the donor's bytes.
+struct MachineState {
     machine: usize,
-    index: Option<Arc<PrefixIndex>>,
+    shards: BTreeMap<usize, ReplicaShard>,
+    expecting: BTreeSet<usize>,
+    pending: BTreeMap<usize, Vec<ZUpdate>>,
     /// How many scan workers split this machine's query batches (1 = serial).
     scan_workers: usize,
     /// Lazily spawned persistent workers (`scan_workers - 1` threads; the
@@ -231,116 +446,200 @@ struct ServingShard {
     pool: Option<ScanPool>,
 }
 
-impl ServingShard {
-    fn load(&mut self, points: Vec<usize>, codes: BinaryCodes) {
-        self.index = Some(Arc::new(PrefixIndex::build(&codes, &points)));
-    }
-
-    fn apply(&mut self, updates: Vec<ZUpdate>) {
-        for update in updates {
-            let index = self.index.get_or_insert_with(|| {
-                Arc::new(PrefixIndex::build(
-                    &BinaryCodes::zeros(0, update.code.len().max(1)),
-                    &[],
-                ))
-            });
-            Arc::make_mut(index).upsert(update.point, &update.code);
-        }
-    }
-
-    fn answer(&mut self, query: &Query) -> QueryResult {
-        // Tolerate malformed queries (width mismatch, k = 0) with an empty
-        // answer instead of panicking: a panic here would kill the detached
-        // actor and leave every later caller blocked on a reply that never
-        // comes.
-        let servable = match &self.index {
-            Some(index) => {
-                !index.is_empty() && query.k > 0 && index.n_bits() == query.queries.n_bits()
+impl MachineState {
+    fn install(&mut self, shard: usize, points: Vec<usize>, codes: BinaryCodes) {
+        let mut replica = ReplicaShard::build(points, codes);
+        if let Some(stash) = self.pending.remove(&shard) {
+            // Replay updates that raced the snapshot fetch. Stale
+            // re-applications (updates the donor already folded into the
+            // snapshot) are idempotent overwrites.
+            for update in &stash {
+                replica.apply(update);
             }
-            None => false,
-        };
-        let hits = if servable {
-            self.scan(&query.queries, query.k, query.probes)
+        }
+        self.expecting.remove(&shard);
+        self.shards.insert(shard, replica);
+    }
+
+    fn apply_updates(&mut self, shard: usize, updates: Vec<ZUpdate>) {
+        if let Some(replica) = self.shards.get_mut(&shard) {
+            for update in &updates {
+                replica.apply(update);
+            }
+        } else if self.expecting.contains(&shard) {
+            self.pending.entry(shard).or_default().extend(updates);
         } else {
-            vec![Vec::new(); query.queries.len()]
-        };
-        QueryResult {
-            machine: self.machine,
-            hits,
+            // Legacy incremental path: updates to a shard this machine never
+            // loaded create it from scratch (streaming `publish_point_codes`
+            // to a brand-new machine).
+            let width = updates.first().map_or(1, |u| u.code.len().max(1));
+            let mut replica = ReplicaShard::build(Vec::new(), BinaryCodes::zeros(0, width));
+            for update in &updates {
+                replica.apply(update);
+            }
+            self.shards.insert(shard, replica);
         }
     }
 
-    /// The shard's batched top-k, split over this machine's scan workers:
-    /// each worker probes the shared index snapshot for a contiguous
-    /// sub-range of the query *batch*, so concatenating the chunks in order
-    /// is exactly the whole-batch answer (per-query probing is independent —
-    /// no merge needed). Each worker keeps at least
-    /// [`MIN_QUERIES_PER_SCAN_TASK`] queries — small batches probe serially
-    /// on the actor thread regardless of the worker count.
-    fn scan(
-        &mut self,
-        queries: &Arc<BinaryCodes>,
-        k: usize,
-        probes: Option<usize>,
-    ) -> Vec<Vec<(u32, usize)>> {
-        let index = Arc::clone(self.index.as_ref().expect("scan requires an index"));
-        let batch = queries.len();
-        let max_useful = (batch / MIN_QUERIES_PER_SCAN_TASK).max(1);
-        let workers = self.scan_workers.min(max_useful).max(1);
-        if workers == 1 {
-            return index.topk_batched(queries, k, probes);
+    fn answer(&mut self, query: &Query) -> QueryReply {
+        let mut answered = Vec::new();
+        let mut missing = Vec::new();
+        for &shard in &query.shards {
+            // Tolerate malformed queries (width mismatch, k = 0) with an
+            // empty answer instead of panicking: a panic here would kill the
+            // detached actor and leave the router failing over for nothing.
+            // A resident-but-unservable shard counts as *answered* (empty),
+            // never missing: its replicas are identical, so retrying
+            // elsewhere cannot do better.
+            match self.shards.get(&shard) {
+                Some(replica) => {
+                    let servable = !replica.index.is_empty()
+                        && query.k > 0
+                        && replica.index.n_bits() == query.queries.n_bits();
+                    let hits = if servable {
+                        let index = Arc::clone(&replica.index);
+                        scan_index(
+                            &index,
+                            self.machine,
+                            self.scan_workers,
+                            &mut self.pool,
+                            &query.queries,
+                            query.k,
+                            query.probes,
+                        )
+                    } else {
+                        vec![Vec::new(); query.queries.len()]
+                    };
+                    answered.push((shard, hits));
+                }
+                None => missing.push(shard),
+            }
         }
-        let pool = self.pool.get_or_insert_with(|| {
-            // Sized once for the configured maximum; smaller scans simply use
-            // a prefix of the workers.
-            ScanPool::new(self.machine, self.scan_workers - 1)
-        });
-        let chunk_len = batch.div_ceil(workers);
-        let (reply_tx, reply_rx) = unbounded();
-        for c in 1..workers {
-            let lo = (c * chunk_len).min(batch);
-            let hi = ((c + 1) * chunk_len).min(batch);
-            pool.txs[c - 1]
-                .send(ScanTask {
-                    index: Arc::clone(&index),
-                    queries: Arc::clone(queries),
-                    q_rows: lo..hi,
-                    k,
-                    probes,
-                    chunk: c,
-                    reply: reply_tx.clone(),
-                })
-                .expect("scan worker alive");
+        QueryReply {
+            machine: self.machine,
+            answered,
+            missing,
         }
-        drop(reply_tx);
-        // The actor probes chunk 0 itself while the workers probe the rest.
-        let mut per_chunk: Vec<Vec<Vec<(u32, usize)>>> = vec![Vec::new(); workers];
-        per_chunk[0] = index.topk_batched_range(queries, 0..chunk_len.min(batch), k, probes);
-        for _ in 1..workers {
-            let (chunk, hits) = reply_rx.recv().expect("scan worker replies");
-            per_chunk[chunk] = hits;
-        }
-        per_chunk.into_iter().flatten().collect()
     }
 }
 
-/// The long-lived serving actor loop: `Query`/`LoadShard`/`ApplyUpdates`
-/// until `Shutdown`. Step messages never reach this loop (the step protocol
-/// runs on the scoped per-step actors), so they are ignored defensively.
+/// The shard's batched top-k, split over this machine's scan workers: each
+/// worker probes the shared index snapshot for a contiguous sub-range of the
+/// query *batch*, so concatenating the chunks in order is exactly the
+/// whole-batch answer (per-query probing is independent — no merge needed).
+/// Each worker keeps at least [`MIN_QUERIES_PER_SCAN_TASK`] queries — small
+/// batches probe serially on the actor thread regardless of the worker
+/// count.
+fn scan_index(
+    index: &Arc<PrefixIndex>,
+    machine: usize,
+    scan_workers: usize,
+    pool: &mut Option<ScanPool>,
+    queries: &Arc<BinaryCodes>,
+    k: usize,
+    probes: Option<usize>,
+) -> Vec<Vec<(u32, usize)>> {
+    let batch = queries.len();
+    let max_useful = (batch / MIN_QUERIES_PER_SCAN_TASK).max(1);
+    let workers = scan_workers.min(max_useful).max(1);
+    if workers == 1 {
+        return index.topk_batched(queries, k, probes);
+    }
+    let pool = pool.get_or_insert_with(|| {
+        // Sized once for the configured maximum; smaller scans simply use
+        // a prefix of the workers.
+        ScanPool::new(machine, scan_workers - 1)
+    });
+    let chunk_len = batch.div_ceil(workers);
+    let (reply_tx, reply_rx) = unbounded();
+    for c in 1..workers {
+        let lo = (c * chunk_len).min(batch);
+        let hi = ((c + 1) * chunk_len).min(batch);
+        pool.txs[c - 1]
+            .send(ScanTask {
+                index: Arc::clone(index),
+                queries: Arc::clone(queries),
+                q_rows: lo..hi,
+                k,
+                probes,
+                chunk: c,
+                reply: reply_tx.clone(),
+            })
+            .expect("scan worker alive");
+    }
+    drop(reply_tx);
+    // The actor probes chunk 0 itself while the workers probe the rest.
+    let mut per_chunk: Vec<Vec<Vec<(u32, usize)>>> = vec![Vec::new(); workers];
+    per_chunk[0] = index.topk_batched_range(queries, 0..chunk_len.min(batch), k, probes);
+    for _ in 1..workers {
+        let (chunk, hits) = reply_rx.recv().expect("scan worker replies");
+        per_chunk[chunk] = hits;
+    }
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// The long-lived serving actor loop: retrieval, shard placement and the
+/// replica-installation protocol until `Shutdown`. Step messages never reach
+/// this loop (the step protocol runs on the scoped per-step actors), so they
+/// are ignored defensively.
 fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usize) {
-    let mut shard = ServingShard {
+    let mut state = MachineState {
         machine,
-        index: None,
+        shards: BTreeMap::new(),
+        expecting: BTreeSet::new(),
+        pending: BTreeMap::new(),
         scan_workers,
         pool: None,
     };
     while let Ok(msg) = rx.recv() {
         match msg {
             MachineMsg::Query(query) => {
-                let _ = query.reply.send(shard.answer(&query));
+                let reply = query.reply.clone();
+                let answer = state.answer(&query);
+                // Release the shared query batch before replying so the
+                // router's caller sees its Arc unique again on return.
+                drop(query);
+                let _ = reply.send(answer);
             }
-            MachineMsg::LoadShard { points, codes } => shard.load(points, codes),
-            MachineMsg::ApplyUpdates(updates) => shard.apply(updates),
+            MachineMsg::LoadShard {
+                shard,
+                points,
+                codes,
+            } => {
+                // Authoritative: discard any in-flight install state.
+                state.pending.remove(&shard);
+                state.expecting.remove(&shard);
+                state
+                    .shards
+                    .insert(shard, ReplicaShard::build(points, codes));
+            }
+            MachineMsg::InstallReplica {
+                shard,
+                points,
+                codes,
+            } => state.install(shard, points, codes),
+            MachineMsg::ExpectReplica { shard } => {
+                if !state.shards.contains_key(&shard) {
+                    state.expecting.insert(shard);
+                }
+            }
+            MachineMsg::DropShard { shard } => {
+                state.shards.remove(&shard);
+                state.expecting.remove(&shard);
+                state.pending.remove(&shard);
+            }
+            MachineMsg::ApplyUpdates { shard, updates } => state.apply_updates(shard, updates),
+            MachineMsg::FetchShard { shard, reply } => {
+                let snapshot = state
+                    .shards
+                    .get(&shard)
+                    .map(|r| (r.points.clone(), r.codes.clone()));
+                let _ = reply.send(snapshot);
+            }
+            MachineMsg::Ping { reply } => {
+                let _ = reply.send(machine);
+            }
+            MachineMsg::Wedge(duration) => thread::sleep(duration),
             MachineMsg::Shutdown => break,
             MachineMsg::Envelope(_) | MachineMsg::ZStepRequest(_) => {}
         }
@@ -352,12 +651,81 @@ struct MachineHandle {
     thread: Option<JoinHandle<()>>,
 }
 
+/// Per-machine health as seen by the router's failover path.
+#[derive(Debug, Clone, Copy, Default)]
+struct MachineHealth {
+    consecutive_failures: u32,
+    dead: bool,
+}
+
+/// A snapshot of the fleet's replication health (see
+/// [`ServerBackend::fleet_status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// The configured replication factor.
+    pub target_replicas: usize,
+    /// Machines with a live (not dead-marked) actor.
+    pub live_machines: usize,
+    /// Machines marked dead by the health tracker (killed, or past the
+    /// failure threshold).
+    pub dead_machines: usize,
+    /// Resident shards (the coverage denominator).
+    pub shards: usize,
+    /// Shards with fewer live hosts than `min(target_replicas,
+    /// live_machines)` — what the rebalancer works through.
+    pub under_replicated: Vec<usize>,
+}
+
+impl FleetStatus {
+    /// `true` once every shard has its target number of live replicas.
+    pub fn is_fully_replicated(&self) -> bool {
+        self.under_replicated.is_empty()
+    }
+}
+
+/// Joins a finished actor thread, abandoning it after `grace` if it is
+/// wedged. Returns `true` if the thread actually exited.
+fn join_bounded(thread: JoinHandle<()>, grace: Duration) -> bool {
+    let deadline = Instant::now() + grace;
+    while Instant::now() < deadline {
+        if thread.is_finished() {
+            let _ = thread.join();
+            return true;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    // Abandon: the thread keeps running detached until its mailbox
+    // disconnects (all senders dropped) and it drains to Shutdown.
+    false
+}
+
 /// The resident machine fleet: one long-lived actor per machine, shared by
-/// the backend and every [`QueryRouter`] cloned from it.
+/// the backend and every [`QueryRouter`] cloned from it, plus the
+/// replication state — which machines host which shard, per-machine health,
+/// and the failover/degraded counters.
+///
+/// Lock order (outer to inner): `rebalance_lock` → `assignments` →
+/// `machines` → `health`. Most paths take one lock at a time.
 struct Fleet {
     machines: Mutex<BTreeMap<usize, MachineHandle>>,
     /// Scan workers per serving actor, captured when each actor spawns.
     scan_workers: AtomicUsize,
+    replication: Mutex<ReplicationConfig>,
+    /// shard → hosting machines. The publisher reads this to fan updates to
+    /// every replica; the router reads it to plan fan-outs.
+    assignments: Mutex<BTreeMap<usize, Vec<usize>>>,
+    health: Mutex<BTreeMap<usize, MachineHealth>>,
+    /// Serialises the rebalancer against publishes and kill/restore, so a
+    /// snapshot fetched from a donor can never overwrite a newer
+    /// authoritative `LoadShard`.
+    rebalance_lock: Mutex<()>,
+    /// Read-balancing cursor: successive fan-outs rotate which replica of a
+    /// shard is tried first.
+    rr: AtomicUsize,
+    /// Shard attempts that were retried on an alternate replica.
+    failovers: AtomicU64,
+    /// Fan-outs that returned with partial coverage.
+    degraded: AtomicU64,
 }
 
 impl Default for Fleet {
@@ -365,40 +733,392 @@ impl Default for Fleet {
         Fleet {
             machines: Mutex::new(BTreeMap::new()),
             scan_workers: AtomicUsize::new(default_scan_workers()),
+            replication: Mutex::new(ReplicationConfig::default()),
+            assignments: Mutex::new(BTreeMap::new()),
+            health: Mutex::new(BTreeMap::new()),
+            rebalance_lock: Mutex::new(()),
+            rr: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 }
 
 impl Fleet {
-    /// Sends `msg` to `machine`, spawning its actor on first contact.
-    fn send(&self, machine: usize, msg: MachineMsg<()>) {
+    /// Sends `msg` to `machine`, spawning its actor on first contact. Only
+    /// the *publish* paths use this: an authoritative `LoadShard` (or the
+    /// legacy streaming path) legitimately brings a machine into existence.
+    fn send_spawning(&self, machine: usize, msg: MachineMsg<()>) {
         let mut map = self.machines.lock();
         let scan_workers = self.scan_workers.load(Ordering::Relaxed);
-        let handle = map.entry(machine).or_insert_with(|| {
-            let (tx, rx) = unbounded();
-            let thread = thread::Builder::new()
-                .name(format!("parmac-serve-{machine}"))
-                .spawn(move || serving_actor(machine, rx, scan_workers))
-                .expect("spawn serving actor");
-            MachineHandle {
-                tx,
-                thread: Some(thread),
-            }
-        });
-        handle.tx.send(msg).expect("serving actor alive");
+        let handle = map
+            .entry(machine)
+            .or_insert_with(|| spawn_actor(machine, scan_workers));
+        let _ = handle.tx.send(msg);
     }
 
-    /// Snapshot of the senders of every resident machine.
-    fn senders(&self) -> Vec<Sender<MachineMsg<()>>> {
-        self.machines
-            .lock()
-            .values()
-            .map(|h| h.tx.clone())
-            .collect()
+    /// Sends `msg` to `machine` only if its actor exists. The query/update
+    /// fan-outs use this: a killed machine must *not* be resurrected as an
+    /// empty actor that would serve partial shards as complete.
+    fn send_if_resident(&self, machine: usize, msg: MachineMsg<()>) -> Result<(), ()> {
+        let map = self.machines.lock();
+        match map.get(&machine) {
+            Some(handle) => handle.tx.send(msg).map_err(|_| ()),
+            None => Err(()),
+        }
     }
 
     fn n_machines(&self) -> usize {
         self.machines.lock().len()
+    }
+
+    // ---- health tracking ----
+
+    /// Records one failed interaction. Returns `true` if this crossed the
+    /// failure threshold and newly marked the machine dead.
+    fn record_failure(&self, machine: usize) -> bool {
+        let threshold = self.replication.lock().failure_threshold;
+        let mut health = self.health.lock();
+        let entry = health.entry(machine).or_default();
+        entry.consecutive_failures = entry.consecutive_failures.saturating_add(1);
+        if !entry.dead && entry.consecutive_failures >= threshold {
+            entry.dead = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a successful interaction: clears the failure streak and
+    /// revives a dead-marked machine (probe-based recovery — a wedged actor
+    /// that answers again is live again).
+    fn record_success(&self, machine: usize) {
+        let mut health = self.health.lock();
+        let entry = health.entry(machine).or_default();
+        entry.consecutive_failures = 0;
+        entry.dead = false;
+    }
+
+    fn mark_dead(&self, machine: usize) {
+        let threshold = self.replication.lock().failure_threshold;
+        let mut health = self.health.lock();
+        let entry = health.entry(machine).or_default();
+        entry.consecutive_failures = threshold;
+        entry.dead = true;
+    }
+
+    fn dead_set(&self) -> BTreeSet<usize> {
+        self.health
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.dead)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Machines with a resident actor that are not dead-marked.
+    fn live_set(&self) -> BTreeSet<usize> {
+        let with_handle: BTreeSet<usize> = self.machines.lock().keys().copied().collect();
+        let dead = self.dead_set();
+        with_handle.difference(&dead).copied().collect()
+    }
+
+    // ---- replication plumbing ----
+
+    /// Fans one shard's incremental updates to every host of the shard. If
+    /// the shard has no assignment yet (legacy streaming to a brand-new
+    /// machine), the shard's namesake machine becomes its first host.
+    fn publish_shard_updates(&self, shard: usize, mut updates: Vec<ZUpdate>) {
+        let (hosts, fresh) = {
+            let mut assignments = self.assignments.lock();
+            match assignments.get(&shard) {
+                Some(hosts) => (hosts.clone(), false),
+                None => {
+                    assignments.insert(shard, vec![shard]);
+                    (vec![shard], true)
+                }
+            }
+        };
+        for (i, &host) in hosts.iter().enumerate() {
+            let payload = if i + 1 == hosts.len() {
+                std::mem::take(&mut updates)
+            } else {
+                updates.clone()
+            };
+            let msg = MachineMsg::ApplyUpdates {
+                shard,
+                updates: payload,
+            };
+            if fresh {
+                // The legacy streaming path may be creating this machine.
+                self.send_spawning(host, msg);
+            } else {
+                let _ = self.send_if_resident(host, msg);
+            }
+        }
+    }
+
+    /// Computes the fleet's replication status snapshot.
+    fn status(&self) -> FleetStatus {
+        let target_replicas = self.replication.lock().replicas;
+        let live = self.live_set();
+        let dead = self.dead_set();
+        let assignments = self.assignments.lock().clone();
+        let under_replicated = assignments
+            .iter()
+            .filter(|(_, hosts)| {
+                let live_hosts = hosts.iter().filter(|h| live.contains(h)).count();
+                live_hosts < target_replicas.min(live.len())
+            })
+            .map(|(&shard, _)| shard)
+            .collect();
+        FleetStatus {
+            target_replicas,
+            live_machines: live.len(),
+            dead_machines: dead.len(),
+            shards: assignments.len(),
+            under_replicated,
+        }
+    }
+
+    /// Wakes the self-healing rebalancer on a detached one-shot thread. The
+    /// thread holds only a weak reference, so it cannot keep a dropped
+    /// backend's fleet alive indefinitely.
+    fn notify_rebalance(self: &Arc<Self>) {
+        let weak = Arc::downgrade(self);
+        let _ = thread::Builder::new()
+            .name("parmac-rebalance".into())
+            .spawn(move || {
+                if let Some(fleet) = weak.upgrade() {
+                    fleet.rebalance_once();
+                }
+            });
+    }
+
+    /// One rebalancing pass: prune hosts whose actor is gone, re-replicate
+    /// every under-replicated shard from a live donor onto the least-loaded
+    /// live machine, and trim over-replicated shards. Serialised against
+    /// publishes and kill/restore by `rebalance_lock`.
+    fn rebalance_once(self: &Arc<Self>) {
+        let _guard = self.rebalance_lock.lock();
+        let config = *self.replication.lock();
+        let shard_list: Vec<usize> = self.assignments.lock().keys().copied().collect();
+        for shard in shard_list {
+            self.rebalance_shard(shard, &config);
+        }
+    }
+
+    fn rebalance_shard(self: &Arc<Self>, shard: usize, config: &ReplicationConfig) {
+        // Prune hosts whose actor no longer exists (killed machines were
+        // already purged, but a failed install can leave strays).
+        let with_handle: BTreeSet<usize> = self.machines.lock().keys().copied().collect();
+        {
+            let mut assignments = self.assignments.lock();
+            if let Some(hosts) = assignments.get_mut(&shard) {
+                hosts.retain(|h| with_handle.contains(h));
+            }
+        }
+        loop {
+            let live = self.live_set();
+            let target = config.replicas.min(live.len());
+            let hosts = self
+                .assignments
+                .lock()
+                .get(&shard)
+                .cloned()
+                .unwrap_or_default();
+            let live_hosts = hosts.iter().filter(|h| live.contains(h)).count();
+            if hosts.len() > target.max(live_hosts) {
+                // Over-replicated: drop a dead-marked host first, else the
+                // most recently added one.
+                let victim = hosts
+                    .iter()
+                    .copied()
+                    .find(|h| !live.contains(h))
+                    .unwrap_or(*hosts.last().expect("hosts non-empty"));
+                if let Some(hosts) = self.assignments.lock().get_mut(&shard) {
+                    hosts.retain(|&h| h != victim);
+                }
+                let _ = self.send_if_resident(victim, MachineMsg::DropShard { shard });
+                continue;
+            }
+            if live_hosts >= target {
+                return;
+            }
+            // Under-replicated: pick the live machine hosting the fewest
+            // shards that does not already host this one (smallest id wins
+            // ties — deterministic placement).
+            let load: BTreeMap<usize, usize> = {
+                let assignments = self.assignments.lock();
+                let mut load: BTreeMap<usize, usize> = live.iter().map(|&m| (m, 0usize)).collect();
+                for hosts in assignments.values() {
+                    for h in hosts {
+                        if let Some(count) = load.get_mut(h) {
+                            *count += 1;
+                        }
+                    }
+                }
+                load
+            };
+            let candidate = load
+                .iter()
+                .filter(|(m, _)| !hosts.contains(m))
+                .min_by_key(|(&m, &count)| (count, m))
+                .map(|(&m, _)| m);
+            let Some(candidate) = candidate else { return };
+            // Prefer a live donor; a dead-marked one (wedged, not killed)
+            // still holds correct bytes and is better than losing the shard.
+            let donor = hosts
+                .iter()
+                .copied()
+                .find(|h| live.contains(h))
+                .or_else(|| hosts.first().copied());
+            let Some(donor) = donor else { return };
+            if !self.replicate(shard, donor, candidate, config) {
+                return;
+            }
+        }
+    }
+
+    /// Copies `shard` from `donor` onto `candidate` with the stash-and-replay
+    /// protocol: `ExpectReplica` first, *then* record the assignment (so
+    /// every update published from now on reaches the candidate's stash),
+    /// then fetch the donor's snapshot and install it. Returns `false` if
+    /// the copy failed (the assignment is rolled back).
+    fn replicate(
+        self: &Arc<Self>,
+        shard: usize,
+        donor: usize,
+        candidate: usize,
+        config: &ReplicationConfig,
+    ) -> bool {
+        if self
+            .send_if_resident(candidate, MachineMsg::ExpectReplica { shard })
+            .is_err()
+        {
+            return false;
+        }
+        if let Some(hosts) = self.assignments.lock().get_mut(&shard) {
+            hosts.push(candidate);
+        }
+        let rollback = |fleet: &Fleet| {
+            if let Some(hosts) = fleet.assignments.lock().get_mut(&shard) {
+                if let Some(pos) = hosts.iter().rposition(|&h| h == candidate) {
+                    hosts.remove(pos);
+                }
+            }
+            let _ = fleet.send_if_resident(candidate, MachineMsg::DropShard { shard });
+        };
+        let (snap_tx, snap_rx) = unbounded();
+        if self
+            .send_if_resident(
+                donor,
+                MachineMsg::FetchShard {
+                    shard,
+                    reply: snap_tx,
+                },
+            )
+            .is_err()
+        {
+            rollback(self);
+            return false;
+        }
+        match snap_rx.recv_timeout(config.query_deadline) {
+            Ok(Some((points, codes))) => {
+                if self
+                    .send_if_resident(
+                        candidate,
+                        MachineMsg::InstallReplica {
+                            shard,
+                            points,
+                            codes,
+                        },
+                    )
+                    .is_err()
+                {
+                    rollback(self);
+                    return false;
+                }
+                self.record_success(donor);
+                true
+            }
+            Ok(None) => {
+                rollback(self);
+                false
+            }
+            Err(_) => {
+                if self.record_failure(donor) {
+                    self.notify_rebalance();
+                }
+                rollback(self);
+                false
+            }
+        }
+    }
+
+    // ---- chaos / lifecycle controls ----
+
+    /// Kills a machine: its actor is shut down (bounded join) and it is
+    /// removed from every shard assignment and marked dead, so no query or
+    /// update is routed to a resurrected empty actor. Wakes the rebalancer.
+    fn kill_machine(self: &Arc<Self>, machine: usize) {
+        let handle = self.machines.lock().remove(&machine);
+        if let Some(mut handle) = handle {
+            let _ = handle.tx.send(MachineMsg::Shutdown);
+            drop(handle.tx);
+            if let Some(thread) = handle.thread.take() {
+                join_bounded(thread, SHUTDOWN_GRACE);
+            }
+        }
+        for hosts in self.assignments.lock().values_mut() {
+            hosts.retain(|&h| h != machine);
+        }
+        self.mark_dead(machine);
+        self.notify_rebalance();
+    }
+
+    /// Restores a machine: spawns a fresh actor if none exists, probes it
+    /// (`Ping` with the replica timeout), and on a pong marks it live and
+    /// runs a synchronous rebalance so under-replicated shards land on it.
+    /// Returns `false` if the probe timed out (the machine stays dead).
+    fn restore_machine(self: &Arc<Self>, machine: usize) -> bool {
+        {
+            let mut map = self.machines.lock();
+            let scan_workers = self.scan_workers.load(Ordering::Relaxed);
+            map.entry(machine)
+                .or_insert_with(|| spawn_actor(machine, scan_workers));
+        }
+        let (pong_tx, pong_rx) = unbounded();
+        let timeout = self.replication.lock().replica_timeout;
+        if self
+            .send_if_resident(machine, MachineMsg::Ping { reply: pong_tx })
+            .is_err()
+        {
+            return false;
+        }
+        match pong_rx.recv_timeout(timeout) {
+            Ok(_) => {
+                self.record_success(machine);
+                self.rebalance_once();
+                true
+            }
+            Err(_) => {
+                self.mark_dead(machine);
+                false
+            }
+        }
+    }
+}
+
+fn spawn_actor(machine: usize, scan_workers: usize) -> MachineHandle {
+    let (tx, rx) = unbounded();
+    let thread = thread::Builder::new()
+        .name(format!("parmac-serve-{machine}"))
+        .spawn(move || serving_actor(machine, rx, scan_workers))
+        .expect("spawn serving actor");
+    MachineHandle {
+        tx,
+        thread: Some(thread),
     }
 }
 
@@ -408,48 +1128,227 @@ impl Drop for Fleet {
         for handle in map.values() {
             let _ = handle.tx.send(MachineMsg::Shutdown);
         }
+        // Bounded shutdown: join actors that exit within the grace period,
+        // abandon the wedged ones (their mailboxes disconnect when the
+        // handles drop, so they exit on their own once they wake).
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
         for (_, mut handle) in std::mem::take(&mut *map) {
+            drop(handle.tx);
             if let Some(thread) = handle.thread.take() {
-                let _ = thread.join();
+                let grace = deadline.saturating_duration_since(Instant::now());
+                join_bounded(thread, grace);
             }
         }
     }
 }
 
-/// One fan-out: every resident machine scans its shard, the replies are
-/// collected unordered (the per-query merge re-establishes determinism).
-/// Dropping the fan-out's own sender clone means `recv` errors out (instead
-/// of blocking forever) if an actor dies without replying — that machine's
-/// shard simply drops out of the merge.
+/// The result of one fan-out: per answering shard (ascending shard order)
+/// the per-query hit lists, plus the coverage achieved.
+struct FanOut {
+    per_shard: Vec<Vec<Vec<(u32, usize)>>>,
+    coverage: Coverage,
+}
+
+/// Per-shard failover state inside one fan-out.
+struct ShardAttempt {
+    shard: usize,
+    /// Replica candidates in try-order: hosts rotated by the read-balancing
+    /// cursor, live ones first, dead-marked ones as a last resort.
+    candidates: Vec<usize>,
+    /// Next candidate index.
+    cursor: usize,
+    /// The machine currently asked, if an attempt is outstanding this wave.
+    in_flight: Option<usize>,
+    answered: bool,
+}
+
+/// One coverage-aware fan-out with replica failover. Shards are dispatched
+/// to their read-balanced first replica; a dead machine (disconnected
+/// mailbox) cascades to the next replica instantly, a wedged one after
+/// `replica_timeout`; the whole fan-out is bounded by `query_deadline`.
+/// Every shard that cannot be answered within the budget is simply absent
+/// from the merge — and visible in the returned [`Coverage`].
 fn fan_out_topk(
-    fleet: &Fleet,
+    fleet: &Arc<Fleet>,
     queries: &Arc<BinaryCodes>,
     k: usize,
     probes: Option<usize>,
-) -> Vec<Vec<Vec<(u32, usize)>>> {
-    let senders = fleet.senders();
-    let (reply_tx, reply_rx) = unbounded();
-    let mut fanout = 0usize;
-    for tx in &senders {
-        let sent = tx.send(MachineMsg::Query(Query {
-            queries: Arc::clone(queries),
-            k,
-            probes,
-            reply: reply_tx.clone(),
-        }));
-        if sent.is_ok() {
-            fanout += 1;
+) -> FanOut {
+    let config = *fleet.replication.lock();
+    let plan: BTreeMap<usize, Vec<usize>> = fleet.assignments.lock().clone();
+    let total = plan.len();
+    if total == 0 {
+        return FanOut {
+            per_shard: Vec::new(),
+            coverage: Coverage {
+                shards_answered: 0,
+                shards_total: 0,
+            },
+        };
+    }
+    let dead = fleet.dead_set();
+    let rr = fleet.rr.fetch_add(1, Ordering::Relaxed);
+    let mut attempts: Vec<ShardAttempt> = plan
+        .into_iter()
+        .map(|(shard, mut hosts)| {
+            if !hosts.is_empty() {
+                let shift = rr % hosts.len();
+                hosts.rotate_left(shift);
+            }
+            // Stable partition: live replicas first, dead ones last resort.
+            let mut candidates: Vec<usize> = hosts
+                .iter()
+                .copied()
+                .filter(|h| !dead.contains(h))
+                .collect();
+            candidates.extend(hosts.iter().copied().filter(|h| dead.contains(h)));
+            ShardAttempt {
+                shard,
+                candidates,
+                cursor: 0,
+                in_flight: None,
+                answered: false,
+            }
+        })
+        .collect();
+    let mut hits_by_shard: BTreeMap<usize, Vec<Vec<(u32, usize)>>> = BTreeMap::new();
+    let (reply_tx, reply_rx) = unbounded::<QueryReply>();
+    let overall_deadline = Instant::now() + config.query_deadline;
+
+    'outer: loop {
+        // Dispatch phase: give every unanswered shard without an outstanding
+        // attempt its next candidate, grouping shards by machine so each
+        // machine scans one batch. A disconnected mailbox cascades
+        // immediately to the next candidate.
+        loop {
+            let mut by_machine: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (i, attempt) in attempts.iter_mut().enumerate() {
+                if attempt.answered || attempt.in_flight.is_some() {
+                    continue;
+                }
+                if attempt.cursor >= attempt.candidates.len() {
+                    continue; // exhausted: stays unanswered
+                }
+                let machine = attempt.candidates[attempt.cursor];
+                if attempt.cursor > 0 {
+                    fleet.failovers.fetch_add(1, Ordering::Relaxed);
+                }
+                attempt.cursor += 1;
+                attempt.in_flight = Some(machine);
+                by_machine.entry(machine).or_default().push(i);
+            }
+            if by_machine.is_empty() {
+                break;
+            }
+            let mut cascaded = false;
+            for (machine, idxs) in by_machine {
+                let shards: Vec<usize> = idxs.iter().map(|&i| attempts[i].shard).collect();
+                let sent = fleet.send_if_resident(
+                    machine,
+                    MachineMsg::Query(Query {
+                        queries: Arc::clone(queries),
+                        shards,
+                        k,
+                        probes,
+                        reply: reply_tx.clone(),
+                    }),
+                );
+                if sent.is_err() {
+                    // Dead machine: instant failover, plus a health strike.
+                    if fleet.record_failure(machine) {
+                        fleet.notify_rebalance();
+                    }
+                    for i in idxs {
+                        attempts[i].in_flight = None;
+                    }
+                    cascaded = true;
+                }
+            }
+            if !cascaded {
+                break;
+            }
+        }
+        if attempts.iter().all(|a| a.answered || a.in_flight.is_none()) {
+            // Nothing outstanding: everything is answered or exhausted.
+            break 'outer;
+        }
+
+        // Wait phase: collect replies until the wave times out. Late replies
+        // from earlier waves still count (first answer wins per shard).
+        let wave_deadline = (Instant::now() + config.replica_timeout).min(overall_deadline);
+        loop {
+            let now = Instant::now();
+            if now >= wave_deadline {
+                // Penalise every machine that left an attempt hanging, free
+                // the shards for the next wave.
+                let mut blamed: BTreeSet<usize> = BTreeSet::new();
+                for attempt in attempts.iter_mut() {
+                    if let Some(machine) = attempt.in_flight.take() {
+                        if !attempt.answered {
+                            blamed.insert(machine);
+                        }
+                    }
+                }
+                for machine in blamed {
+                    if fleet.record_failure(machine) {
+                        fleet.notify_rebalance();
+                    }
+                }
+                if now >= overall_deadline {
+                    break 'outer;
+                }
+                continue 'outer;
+            }
+            match reply_rx.recv_timeout(wave_deadline - now) {
+                Ok(reply) => {
+                    fleet.record_success(reply.machine);
+                    let mut freed = false;
+                    for (shard, hits) in reply.answered {
+                        if let Some(attempt) = attempts.iter_mut().find(|a| a.shard == shard) {
+                            if !attempt.answered {
+                                attempt.answered = true;
+                                attempt.in_flight = None;
+                                hits_by_shard.insert(shard, hits);
+                            }
+                        }
+                    }
+                    for shard in reply.missing {
+                        if let Some(attempt) = attempts.iter_mut().find(|a| a.shard == shard) {
+                            if !attempt.answered && attempt.in_flight == Some(reply.machine) {
+                                attempt.in_flight = None;
+                                freed = true;
+                            }
+                        }
+                    }
+                    // Settled = answered, or out of candidates with nothing
+                    // in flight (a lost shard must not make every fan-out
+                    // wait out the wave timeout — degraded, but fast).
+                    if attempts.iter().all(|a| {
+                        a.answered || (a.in_flight.is_none() && a.cursor >= a.candidates.len())
+                    }) {
+                        break 'outer;
+                    }
+                    if freed {
+                        continue 'outer;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {} // re-check the deadline
+                Err(RecvTimeoutError::Disconnected) => break 'outer,
+            }
         }
     }
-    drop(reply_tx);
-    let mut per_shard: Vec<Vec<Vec<(u32, usize)>>> = Vec::with_capacity(fanout);
-    for _ in 0..fanout {
-        match reply_rx.recv() {
-            Ok(result) => per_shard.push(result.hits),
-            Err(_) => break,
-        }
+
+    let coverage = Coverage {
+        shards_answered: hits_by_shard.len(),
+        shards_total: total,
+    };
+    if !coverage.is_full() {
+        fleet.degraded.fetch_add(1, Ordering::Relaxed);
     }
-    per_shard
+    FanOut {
+        per_shard: hits_by_shard.into_values().collect(),
+        coverage,
+    }
 }
 
 /// Sizing of the batched admission queue (see [`QueryRouter::knn_admitted`]).
@@ -478,9 +1377,9 @@ impl Default for AdmissionConfig {
     }
 }
 
-/// Snapshot of the admission/shedding counters. At every quiesce point (no
-/// `knn_admitted` call in flight) `submitted == answered + shed`: every query
-/// is accounted for.
+/// Snapshot of the admission/shedding and availability counters. At every
+/// quiesce point (no `knn_admitted` call in flight) `submitted == answered +
+/// shed`: every query is accounted for, whatever the fleet's health.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServingStats {
     /// Submissions to [`QueryRouter::knn_admitted`].
@@ -494,6 +1393,12 @@ pub struct ServingStats {
     pub batches: u64,
     /// Submissions that shared a fan-out with at least one other submission.
     pub coalesced: u64,
+    /// Shard attempts retried on an alternate replica (dead or timed-out
+    /// machine). Counts every fan-out, admitted or direct.
+    pub failovers: u64,
+    /// Fan-outs that returned with partial coverage (the response's
+    /// [`Coverage`] said so too — degradation is never silent).
+    pub degraded: u64,
 }
 
 #[derive(Default)]
@@ -506,13 +1411,15 @@ struct AdmissionCounters {
 }
 
 impl AdmissionCounters {
-    fn snapshot(&self) -> ServingStats {
+    fn snapshot(&self, fleet: &Fleet) -> ServingStats {
         ServingStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            failovers: fleet.failovers.load(Ordering::Relaxed),
+            degraded: fleet.degraded.load(Ordering::Relaxed),
         }
     }
 }
@@ -552,7 +1459,7 @@ struct Pending {
     queries: Arc<BinaryCodes>,
     k: usize,
     probes: Option<usize>,
-    reply: Sender<Vec<Vec<usize>>>,
+    reply: Sender<KnnResponse>,
 }
 
 struct AdmissionHandle {
@@ -608,10 +1515,12 @@ impl Drop for Admission {
         if let Some(mut handle) = self.handle.lock().take() {
             // Dropping the mailbox sender disconnects the loop; it drains the
             // already-admitted queue (answering every blocked caller) and
-            // exits.
+            // exits. The join is bounded: a fan-out already cannot outlive
+            // its query deadline, but a pathological pile-up is abandoned
+            // rather than hanging the drop.
             drop(handle.tx);
             if let Some(thread) = handle.thread.take() {
-                let _ = thread.join();
+                join_bounded(thread, SHUTDOWN_GRACE.max(Duration::from_secs(3)));
             }
         }
     }
@@ -625,7 +1534,7 @@ impl Drop for Admission {
 /// never of `k` — so coalescing submissions with different `k` at the same
 /// budget cannot change any submission's answer.
 fn admission_loop(
-    fleet: &Fleet,
+    fleet: &Arc<Fleet>,
     rx: &Receiver<Pending>,
     counters: &AdmissionCounters,
     max_batch: usize,
@@ -663,8 +1572,9 @@ fn admission_loop(
 /// at the group's largest `k`: each per-shard list is the ascending prefix
 /// of its shard's ranking over the probed candidate set (all of it in exact
 /// mode), so merging to any smaller `k` is that submission's own answer —
-/// coalescing changes batching, never answers.
-fn serve_coalesced(fleet: &Fleet, counters: &AdmissionCounters, group: &[Pending]) {
+/// coalescing changes batching, never answers. Every submission in the
+/// group shares the fan-out's coverage.
+fn serve_coalesced(fleet: &Arc<Fleet>, counters: &AdmissionCounters, group: &[Pending]) {
     counters.batches.fetch_add(1, Ordering::Relaxed);
     if group.len() > 1 {
         counters
@@ -681,12 +1591,13 @@ fn serve_coalesced(fleet: &Fleet, counters: &AdmissionCounters, group: &[Pending
         }
         Arc::new(all)
     };
-    let mut per_shard = fan_out_topk(fleet, &queries, k_max, group[0].probes);
+    let mut fan = fan_out_topk(fleet, &queries, k_max, group[0].probes);
     let mut offset = 0usize;
     for pending in group {
         let answers: Vec<Vec<usize>> = (offset..offset + pending.queries.len())
             .map(|q| {
-                let lists: Vec<Vec<(u32, usize)>> = per_shard
+                let lists: Vec<Vec<(u32, usize)>> = fan
+                    .per_shard
                     .iter_mut()
                     .map(|hits| std::mem::take(&mut hits[q]))
                     .collect();
@@ -695,19 +1606,23 @@ fn serve_coalesced(fleet: &Fleet, counters: &AdmissionCounters, group: &[Pending
             .collect();
         offset += pending.queries.len();
         counters.answered.fetch_add(1, Ordering::Relaxed);
-        let _ = pending.reply.send(answers);
+        let _ = pending.reply.send(KnnResponse {
+            answers,
+            coverage: fan.coverage,
+        });
     }
 }
 
-/// Front-end that fans Hamming k-NN queries out to the machines that own the
-/// codes and merges the per-shard top-k into the global answer. Cheap to
+/// Front-end that fans Hamming k-NN queries out to the machines hosting the
+/// shards and merges the per-shard top-k into the global answer. Cheap to
 /// clone; can be handed to request threads while training runs.
 ///
 /// Two entry points: [`knn`](Self::knn)/[`knn_shared`](Self::knn_shared)
 /// fan out immediately (one fan-out per call), and
 /// [`knn_admitted`](Self::knn_admitted) goes through the bounded admission
 /// queue, which coalesces concurrently arriving submissions into shared
-/// fan-out batches and sheds load explicitly when saturated.
+/// fan-out batches and sheds load explicitly when saturated. Every answer is
+/// a coverage-aware [`KnnResponse`].
 #[derive(Clone)]
 pub struct QueryRouter {
     fleet: Arc<Fleet>,
@@ -717,11 +1632,12 @@ pub struct QueryRouter {
 impl QueryRouter {
     /// For each query code, the indices of the `k` resident database codes
     /// with the smallest Hamming distance, closest first (ties broken by
-    /// global index) — exactly what a single-process
+    /// global index) — with full coverage, exactly what a single-process
     /// [`hamming_knn`](parmac_retrieval::hamming_knn) over the concatenated
     /// shards returns. Queries are answered from each machine's current
     /// shard snapshot, so calling concurrently with training is safe; an
-    /// empty fleet (nothing published yet) yields empty result lists.
+    /// empty fleet (nothing published yet) yields empty result lists with
+    /// vacuously full `0/0` coverage.
     ///
     /// Copies the query batch once to share it across the fan-out; callers
     /// that already hold an `Arc` should use [`knn_shared`](Self::knn_shared).
@@ -729,7 +1645,7 @@ impl QueryRouter {
     /// # Panics
     ///
     /// Panics if `k == 0`.
-    pub fn knn(&self, queries: &BinaryCodes, k: usize) -> Vec<Vec<usize>> {
+    pub fn knn(&self, queries: &BinaryCodes, k: usize) -> KnnResponse {
         self.knn_shared(&Arc::new(queries.clone()), k)
     }
 
@@ -739,7 +1655,7 @@ impl QueryRouter {
     /// # Panics
     ///
     /// Panics if `k == 0`.
-    pub fn knn_shared(&self, queries: &Arc<BinaryCodes>, k: usize) -> Vec<Vec<usize>> {
+    pub fn knn_shared(&self, queries: &Arc<BinaryCodes>, k: usize) -> KnnResponse {
         self.knn_with_probes(queries, k, None)
     }
 
@@ -753,12 +1669,7 @@ impl QueryRouter {
     /// # Panics
     ///
     /// Panics if `k == 0`.
-    pub fn knn_budgeted(
-        &self,
-        queries: &Arc<BinaryCodes>,
-        k: usize,
-        probes: usize,
-    ) -> Vec<Vec<usize>> {
+    pub fn knn_budgeted(&self, queries: &Arc<BinaryCodes>, k: usize, probes: usize) -> KnnResponse {
         self.knn_with_probes(queries, k, Some(probes))
     }
 
@@ -767,18 +1678,23 @@ impl QueryRouter {
         queries: &Arc<BinaryCodes>,
         k: usize,
         probes: Option<usize>,
-    ) -> Vec<Vec<usize>> {
+    ) -> KnnResponse {
         assert!(k > 0, "k must be positive");
-        let mut per_shard = fan_out_topk(&self.fleet, queries, k, probes);
-        (0..queries.len())
+        let mut fan = fan_out_topk(&self.fleet, queries, k, probes);
+        let answers = (0..queries.len())
             .map(|q| {
-                let lists: Vec<Vec<(u32, usize)>> = per_shard
+                let lists: Vec<Vec<(u32, usize)>> = fan
+                    .per_shard
                     .iter_mut()
                     .map(|hits| std::mem::take(&mut hits[q]))
                     .collect();
                 merge_shard_topk(&lists, k)
             })
-            .collect()
+            .collect();
+        KnnResponse {
+            answers,
+            coverage: fan.coverage,
+        }
     }
 
     /// Submits a query batch through the bounded admission queue. Under
@@ -791,7 +1707,7 @@ impl QueryRouter {
     /// [`ServingStats`]: `answered + shed == submitted`.
     ///
     /// Answers are identical to [`knn_shared`](Self::knn_shared) with the
-    /// same arguments.
+    /// same arguments, including the coverage.
     ///
     /// # Panics
     ///
@@ -800,7 +1716,7 @@ impl QueryRouter {
         &self,
         queries: Arc<BinaryCodes>,
         k: usize,
-    ) -> Result<Vec<Vec<usize>>, AdmissionError> {
+    ) -> Result<KnnResponse, AdmissionError> {
         self.admit(queries, k, None)
     }
 
@@ -817,7 +1733,7 @@ impl QueryRouter {
         queries: Arc<BinaryCodes>,
         k: usize,
         probes: usize,
-    ) -> Result<Vec<Vec<usize>>, AdmissionError> {
+    ) -> Result<KnnResponse, AdmissionError> {
         self.admit(queries, k, Some(probes))
     }
 
@@ -826,7 +1742,7 @@ impl QueryRouter {
         queries: Arc<BinaryCodes>,
         k: usize,
         probes: Option<usize>,
-    ) -> Result<Vec<Vec<usize>>, AdmissionError> {
+    ) -> Result<KnnResponse, AdmissionError> {
         assert!(k > 0, "k must be positive");
         let counters = &self.admission.counters;
         counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -848,7 +1764,7 @@ impl QueryRouter {
             });
         }
         match reply_rx.recv() {
-            Ok(answers) => Ok(answers),
+            Ok(response) => Ok(response),
             Err(_) => {
                 counters.shed.fetch_add(1, Ordering::Relaxed);
                 Err(AdmissionError::Closed)
@@ -856,14 +1772,20 @@ impl QueryRouter {
         }
     }
 
-    /// Snapshot of the admission/shedding counters.
+    /// Snapshot of the admission/shedding and availability counters.
     pub fn serving_stats(&self) -> ServingStats {
-        self.admission.counters.snapshot()
+        self.admission.counters.snapshot(&self.fleet)
     }
 
-    /// Number of resident machines currently serving queries.
+    /// Number of resident machine actors (live or wedged; killed machines
+    /// are gone).
     pub fn n_machines(&self) -> usize {
         self.fleet.n_machines()
+    }
+
+    /// Snapshot of the fleet's replication health.
+    pub fn fleet_status(&self) -> FleetStatus {
+        self.fleet.status()
     }
 }
 
@@ -871,8 +1793,9 @@ impl QueryRouter {
 ///
 /// Training steps run the typed mailbox protocol over per-machine actors and
 /// stay bitwise identical to [`SimBackend`](crate::backend::SimBackend); the
-/// resident serving fleet answers retrieval queries concurrently (see the
-/// module docs for the full picture). Cloning the backend shares the fleet.
+/// resident serving fleet answers retrieval queries concurrently, with shard
+/// replication and failover (see the module docs for the full picture).
+/// Cloning the backend shares the fleet.
 #[derive(Clone)]
 pub struct ServerBackend {
     cost: CostModel,
@@ -911,6 +1834,35 @@ impl ServerBackend {
         self
     }
 
+    /// Sets the replication factor: each shard's codes live on `replicas`
+    /// distinct machines (capped at the fleet size), so any single machine
+    /// failure leaves every shard answerable at `replicas >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn with_replication(self, replicas: usize) -> Self {
+        assert!(replicas > 0, "replication factor must be positive");
+        self.fleet.replication.lock().replicas = replicas;
+        self
+    }
+
+    /// Sets the full replication/failover configuration (factor, per-wave
+    /// replica timeout, total query deadline, failure threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `failure_threshold` is zero.
+    pub fn with_replication_config(self, config: ReplicationConfig) -> Self {
+        assert!(config.replicas > 0, "replication factor must be positive");
+        assert!(
+            config.failure_threshold > 0,
+            "failure threshold must be positive"
+        );
+        *self.fleet.replication.lock() = config;
+        self
+    }
+
     /// Sets the admission-queue sizing (default: capacity 256, a 256-query
     /// budget per coalesced fan-out). Call before the first
     /// [`QueryRouter::knn_admitted`]: the admission loop captures the
@@ -935,6 +1887,43 @@ impl ServerBackend {
             admission: Arc::clone(&self.admission),
         }
     }
+
+    /// Chaos/lifecycle: kills a machine — its actor shuts down (bounded,
+    /// never hangs on a wedged thread), it leaves every shard assignment and
+    /// is marked dead. In-flight queries fail over to the surviving
+    /// replicas; the rebalancer re-replicates what it hosted.
+    pub fn kill_machine(&self, machine: usize) {
+        self.fleet.kill_machine(machine);
+    }
+
+    /// Chaos/lifecycle: restores a machine — a fresh actor is spawned if
+    /// needed and probed (`Ping`); on a pong the machine is marked live and
+    /// a synchronous rebalance re-replicates under-replicated shards onto
+    /// it. Returns `false` if the probe timed out.
+    pub fn restore_machine(&self, machine: usize) -> bool {
+        self.fleet.restore_machine(machine)
+    }
+
+    /// Chaos: blocks a machine's actor thread for `duration`, simulating a
+    /// wedged (alive but unresponsive) machine. Returns `false` if the
+    /// machine has no actor.
+    pub fn wedge_machine(&self, machine: usize, duration: Duration) -> bool {
+        self.fleet
+            .send_if_resident(machine, MachineMsg::Wedge(duration))
+            .is_ok()
+    }
+
+    /// Runs one synchronous rebalancing pass (the same work the self-healing
+    /// background pass does): prunes gone hosts, re-replicates
+    /// under-replicated shards from live donors, trims over-replication.
+    pub fn rebalance(&self) {
+        self.fleet.rebalance_once();
+    }
+
+    /// Snapshot of the fleet's replication health.
+    pub fn fleet_status(&self) -> FleetStatus {
+        self.fleet.status()
+    }
 }
 
 impl Default for ServerBackend {
@@ -953,28 +1942,43 @@ impl ClusterBackend for ServerBackend {
     }
 
     /// Loads every machine's shard codes into the resident serving fleet
-    /// (spawning actors on first publish). Machines keep their shard even
-    /// when they leave the ring — "returning machine p to the cluster"
-    /// (§4.3) does not unload its data.
+    /// (spawning actors on first publish), placing each shard on
+    /// `replicas` distinct machines: shard `s` goes to machines `s, s+1,
+    /// ... (mod P)`. A publish is authoritative — it refreshes the
+    /// assignments, revives dead-marked machines (they receive complete
+    /// state), and is how an unreplicated fleet recovers a lost shard.
     fn publish_codes(&self, cluster: &SimCluster, codes: &BinaryCodes) {
-        for machine in 0..cluster.n_machines() {
-            let points = cluster.shard(machine).to_vec();
+        let _guard = self.fleet.rebalance_lock.lock();
+        let p = cluster.n_machines();
+        if p == 0 {
+            return;
+        }
+        let replicas = self.fleet.replication.lock().replicas.min(p);
+        for shard in 0..p {
+            let points = cluster.shard(shard).to_vec();
             let mut shard_codes = BinaryCodes::zeros(points.len(), codes.n_bits());
             for (local, &global) in points.iter().enumerate() {
                 shard_codes.set_code(local, &codes.to_f64_row(global));
             }
-            self.fleet.send(
-                machine,
-                MachineMsg::LoadShard {
-                    points,
-                    codes: shard_codes,
-                },
-            );
+            let hosts: Vec<usize> = (0..replicas).map(|j| (shard + j) % p).collect();
+            self.fleet.assignments.lock().insert(shard, hosts.clone());
+            for &host in &hosts {
+                self.fleet.send_spawning(
+                    host,
+                    MachineMsg::LoadShard {
+                        shard,
+                        points: points.clone(),
+                        codes: shard_codes.clone(),
+                    },
+                );
+                self.fleet.record_success(host);
+            }
         }
     }
 
-    /// Streams just the new points' codes to the one machine that ingested
-    /// them (an incremental `ApplyUpdates`, not a full fleet reload).
+    /// Streams just the new points' codes to every host of the ingesting
+    /// machine's shard (an incremental `ApplyUpdates`, not a full fleet
+    /// reload). A brand-new machine becomes its own shard's first host.
     fn publish_point_codes(&self, machine: usize, points: &[usize], codes: &BinaryCodes) {
         if points.is_empty() {
             return;
@@ -986,7 +1990,7 @@ impl ClusterBackend for ServerBackend {
                 code: codes.to_f64_row(point),
             })
             .collect();
-        self.fleet.send(machine, MachineMsg::ApplyUpdates(updates));
+        self.fleet.publish_shard_updates(machine, updates);
     }
 
     /// The asynchronous ring of §4.1 with §4.3's list-driven routing: every
@@ -1117,8 +2121,9 @@ impl ClusterBackend for ServerBackend {
     /// The Z step as a request/reply exchange: every machine actor receives a
     /// [`ZStepRequest`], solves its own shard, and answers with its
     /// [`ZShardUpdates`]. Replies are assembled in topology order (bitwise
-    /// identical to the serial sweep) and mirrored into the serving fleet so
-    /// concurrent queries see the freshest codes.
+    /// identical to the serial sweep) and mirrored into the serving fleet —
+    /// to *every* replica of each shard — so concurrent queries see the
+    /// freshest codes whichever replica answers them.
     fn run_z_step<F>(
         &self,
         cluster: &SimCluster,
@@ -1167,10 +2172,10 @@ impl ClusterBackend for ServerBackend {
         for &machine in &machines {
             let shard_updates = per_machine.remove(&machine).expect("one reply per machine");
             // Keep the serving fleet fresh: queries issued from now on see
-            // this machine's post-step codes.
+            // this machine's post-step codes on every replica.
             if !shard_updates.is_empty() {
                 self.fleet
-                    .send(machine, MachineMsg::ApplyUpdates(shard_updates.clone()));
+                    .publish_shard_updates(machine, shard_updates.clone());
             }
             updates.extend(shard_updates);
         }
@@ -1200,6 +2205,26 @@ mod tests {
                 point: n,
                 code: vec![machine as f64, n as f64],
             })
+            .collect()
+    }
+
+    /// Single-process reference over the database minus the points in
+    /// `lost`, with answers mapped back to global point indices — what a
+    /// degraded fleet that lost exactly those shards should answer.
+    fn knn_excluding(
+        db: &BinaryCodes,
+        queries: &BinaryCodes,
+        k: usize,
+        lost: std::ops::Range<usize>,
+    ) -> Vec<Vec<usize>> {
+        let keep: Vec<usize> = (0..db.len()).filter(|i| !lost.contains(i)).collect();
+        let mut sub = BinaryCodes::zeros(0, db.n_bits());
+        for &i in &keep {
+            sub.push_code(&db.to_f64_row(i));
+        }
+        parmac_retrieval::hamming_knn(&sub, queries, k)
+            .into_iter()
+            .map(|row| row.into_iter().map(|r| keep[r]).collect())
             .collect()
     }
 
@@ -1317,11 +2342,306 @@ mod tests {
         assert_eq!(router.n_machines(), 3);
         for k in [1usize, 7, 60] {
             assert_eq!(
-                router.knn(&queries, k),
+                router.knn(&queries, k).expect_full(),
                 parmac_retrieval::hamming_knn(&db, &queries, k),
                 "k={k}"
             );
         }
+    }
+
+    #[test]
+    fn replicated_publish_matches_single_process_knn() {
+        // R = 2 places every shard on two machines; a healthy fleet must
+        // answer exactly like the unreplicated one (read balancing only
+        // changes which replica answers, never the answer).
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(29);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(6, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 60), CostModel::distributed());
+        let backend = ServerBackend::new().with_replication(2);
+        backend.publish_codes(&cluster, &db);
+        let router = backend.query_router();
+        let status = router.fleet_status();
+        assert!(status.is_fully_replicated(), "{status:?}");
+        assert_eq!(status.target_replicas, 2);
+        let reference = parmac_retrieval::hamming_knn(&db, &queries, 7);
+        // Several calls, so the read-balancing cursor rotates through every
+        // replica choice.
+        for _ in 0..4 {
+            assert_eq!(router.knn(&queries, 7).expect_full(), reference);
+        }
+        assert_eq!(router.serving_stats().degraded, 0);
+    }
+
+    #[test]
+    fn kill_at_r2_fails_over_with_full_coverage() {
+        // The tentpole guarantee: at R = 2, killing *any single machine*
+        // leaves every shard answerable — answers stay bitwise identical to
+        // the single-process reference, coverage stays full.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(31);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(5, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 60), CostModel::distributed());
+        for victim in 0..3 {
+            let backend = ServerBackend::new().with_replication(2);
+            backend.publish_codes(&cluster, &db);
+            backend.kill_machine(victim);
+            let router = backend.query_router();
+            for k in [1usize, 7, 60] {
+                let response = router.knn(&queries, k);
+                assert!(response.coverage.is_full(), "victim={victim} k={k}");
+                assert_eq!(
+                    response.answers,
+                    parmac_retrieval::hamming_knn(&db, &queries, k),
+                    "victim={victim} k={k}"
+                );
+            }
+            let status = router.fleet_status();
+            assert_eq!(status.dead_machines, 1, "victim={victim}");
+        }
+    }
+
+    #[test]
+    fn killed_machine_no_longer_shrinks_answers_silently() {
+        // Regression for the pre-replication bug: a killed machine dropped
+        // its shard from every answer with no signal to the caller. At R = 1
+        // the shard *is* lost, but the response now says so: coverage is
+        // degraded and the answers equal the reference over the surviving
+        // shards — never a silently shorter candidate set.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(37);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(5, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 60), CostModel::distributed());
+        let backend = ServerBackend::new(); // R = 1
+        backend.publish_codes(&cluster, &db);
+        backend.kill_machine(1); // shard 1 = points 20..40, now lost
+        let router = backend.query_router();
+        let response = router.knn(&queries, 9);
+        assert!(response.is_degraded(), "lost shard must be flagged");
+        assert_eq!(
+            response.coverage,
+            Coverage {
+                shards_answered: 2,
+                shards_total: 3
+            }
+        );
+        assert_eq!(response.answers, knn_excluding(&db, &queries, 9, 20..40));
+        let stats = router.serving_stats();
+        assert!(stats.degraded >= 1, "{stats:?}");
+        // A republish is authoritative: it restores the machine's actor and
+        // the lost shard, and coverage returns to full.
+        backend.publish_codes(&cluster, &db);
+        assert_eq!(
+            router.knn(&queries, 9).expect_full(),
+            parmac_retrieval::hamming_knn(&db, &queries, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degraded")]
+    fn expect_full_panics_on_degraded_coverage() {
+        KnnResponse {
+            answers: Vec::new(),
+            coverage: Coverage {
+                shards_answered: 1,
+                shards_total: 2,
+            },
+        }
+        .expect_full();
+    }
+
+    #[test]
+    fn wedged_machine_fails_over_within_deadline_and_recovers() {
+        // A wedged (alive but unresponsive) machine must cost at most the
+        // replica timeout per wave, never a hang: queries fail over to the
+        // other replica, the health tracker marks the machine dead after
+        // consecutive failures, and a probe after it recovers revives it.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(41);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(4, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 60), CostModel::distributed());
+        let backend = ServerBackend::new().with_replication_config(ReplicationConfig {
+            replicas: 2,
+            replica_timeout: Duration::from_millis(100),
+            query_deadline: Duration::from_secs(5),
+            failure_threshold: 2,
+        });
+        backend.publish_codes(&cluster, &db);
+        let router = backend.query_router();
+        let reference = parmac_retrieval::hamming_knn(&db, &queries, 7);
+        assert!(backend.wedge_machine(0, Duration::from_millis(600)));
+        let start = Instant::now();
+        // Every fan-out during the wedge must still produce the exact
+        // full-coverage answer via the surviving replicas, within the
+        // deadline. Repeated queries rack up consecutive failures on the
+        // wedged machine until it is marked dead.
+        for _ in 0..4 {
+            assert_eq!(router.knn(&queries, 7).expect_full(), reference);
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "queries must not hang on a wedged actor"
+        );
+        let stats = router.serving_stats();
+        assert!(stats.failovers >= 1, "{stats:?}");
+        assert_eq!(stats.degraded, 0, "R=2 must hide a single wedge");
+        // Let the wedge pass, then probe: the machine answers again and is
+        // marked live; the fleet converges back to full replication.
+        thread::sleep(Duration::from_millis(700));
+        let mut restored = false;
+        for _ in 0..50 {
+            if backend.restore_machine(0) {
+                restored = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(20));
+        }
+        assert!(restored, "recovered machine must pass the probe");
+        let status = backend.fleet_status();
+        assert_eq!(status.dead_machines, 0, "{status:?}");
+        assert!(status.is_fully_replicated(), "{status:?}");
+        assert_eq!(router.knn(&queries, 7).expect_full(), reference);
+    }
+
+    #[test]
+    fn rebalance_reconverges_after_kill() {
+        // Self-healing: after a kill, the rebalancer re-replicates the dead
+        // machine's shards from the surviving replicas. Killing the *other*
+        // original host afterwards must then still leave full coverage —
+        // proof the new replica really exists and serves.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(43);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(80, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(5, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(4, 80), CostModel::distributed());
+        let backend = ServerBackend::new().with_replication(2);
+        backend.publish_codes(&cluster, &db);
+        backend.kill_machine(0);
+        backend.rebalance();
+        let status = backend.fleet_status();
+        assert!(status.is_fully_replicated(), "{status:?}");
+        assert_eq!(status.live_machines, 3);
+        // Shard 0's original hosts were machines 0 and 1. With 0 dead and
+        // the fleet rebalanced, killing 1 as well must not lose the shard.
+        backend.kill_machine(1);
+        let router = backend.query_router();
+        let response = router.knn(&queries, 9);
+        assert!(response.coverage.is_full(), "{:?}", response.coverage);
+        assert_eq!(
+            response.answers,
+            parmac_retrieval::hamming_knn(&db, &queries, 9)
+        );
+    }
+
+    #[test]
+    fn rebalanced_replicas_stay_fresh_through_z_updates() {
+        // A replica created by the rebalancer must keep receiving training
+        // publishes like an original: updates published after the rebalance
+        // are visible even when every original host of the shard is gone.
+        let cluster = SimCluster::new(shards(3, 12), CostModel::distributed());
+        let backend = ServerBackend::new().with_replication(2);
+        backend.publish_codes(&cluster, &BinaryCodes::zeros(12, 2));
+        backend.kill_machine(0);
+        backend.rebalance();
+        assert!(backend.fleet_status().is_fully_replicated());
+        // Point 2 lives in shard 0 (originally hosted on machines 0 and 1).
+        backend.run_z_step(&cluster, 1, |_, shard| {
+            shard
+                .iter()
+                .filter(|&&n| n == 2)
+                .map(|&n| ZUpdate {
+                    point: n,
+                    code: vec![1.0, 1.0],
+                })
+                .collect()
+        });
+        backend.kill_machine(1);
+        let router = backend.query_router();
+        let q = BinaryCodes::from_bools(&[vec![true, true]]);
+        let response = router.knn(&q, 1);
+        assert!(response.coverage.is_full(), "{:?}", response.coverage);
+        assert_eq!(response.answers, vec![vec![2]]);
+    }
+
+    #[test]
+    fn restore_after_kill_requires_republish_at_r1() {
+        // At R = 1 a killed machine's shard has no surviving replica: the
+        // rebalancer cannot recreate data that no longer exists anywhere.
+        // Restoring the machine brings back an *empty* actor — coverage
+        // stays (correctly) degraded until the trainer republishes.
+        let cluster = SimCluster::new(shards(2, 8), CostModel::distributed());
+        let backend = ServerBackend::new();
+        let codes = BinaryCodes::zeros(8, 2);
+        backend.publish_codes(&cluster, &codes);
+        backend.kill_machine(0);
+        assert!(backend.restore_machine(0), "fresh actor must answer a ping");
+        let router = backend.query_router();
+        let q = BinaryCodes::from_bools(&[vec![false, false]]);
+        let response = router.knn(&q, 3);
+        assert!(response.is_degraded(), "lost shard cannot come back alone");
+        assert_eq!(
+            response.coverage,
+            Coverage {
+                shards_answered: 1,
+                shards_total: 2
+            }
+        );
+        backend.publish_codes(&cluster, &codes);
+        let response = router.knn(&q, 3);
+        assert!(response.coverage.is_full(), "{:?}", response.coverage);
+        assert_eq!(response.answers, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn wedged_actor_drop_is_bounded() {
+        // Satellite regression: dropping the backend used to join every
+        // actor unconditionally, so a wedged actor blocked the drop for as
+        // long as it stayed wedged. The drop path must abandon it after the
+        // shutdown grace instead.
+        let cluster = SimCluster::new(shards(2, 8), CostModel::distributed());
+        let backend = ServerBackend::new();
+        backend.publish_codes(&cluster, &BinaryCodes::zeros(8, 2));
+        assert!(backend.wedge_machine(0, Duration::from_secs(10)));
+        let start = Instant::now();
+        drop(backend);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must not wait out a 10s wedge (took {:?})",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn fleet_status_reports_replication_health() {
+        let cluster = SimCluster::new(shards(3, 12), CostModel::distributed());
+        let backend = ServerBackend::new().with_replication(2);
+        backend.publish_codes(&cluster, &BinaryCodes::zeros(12, 2));
+        let status = backend.fleet_status();
+        assert_eq!(status.target_replicas, 2);
+        assert_eq!(status.live_machines, 3);
+        assert_eq!(status.dead_machines, 0);
+        assert_eq!(status.shards, 3);
+        assert!(status.is_fully_replicated());
+        backend.kill_machine(2);
+        backend.rebalance();
+        let status = backend.fleet_status();
+        assert_eq!(status.live_machines, 2);
+        assert_eq!(status.dead_machines, 1);
+        assert!(status.is_fully_replicated(), "{status:?}");
     }
 
     #[test]
@@ -1343,7 +2663,7 @@ mod tests {
                 .collect()
         });
         let q = BinaryCodes::from_bools(&[vec![true, true]]);
-        assert_eq!(router.knn(&q, 1), vec![vec![5]]);
+        assert_eq!(router.knn(&q, 1).expect_full(), vec![vec![5]]);
     }
 
     #[test]
@@ -1378,15 +2698,20 @@ mod tests {
     fn mismatched_query_width_yields_empty_answers_not_a_dead_actor() {
         // Regression: a width-mismatched query used to panic inside the
         // detached serving actor, leaving every later call blocked forever.
+        // The shard is resident, so it counts as answered (empty), with full
+        // coverage — retrying another replica could not do better.
         let cluster = SimCluster::new(shards(2, 8), CostModel::distributed());
         let backend = ServerBackend::new();
         backend.publish_codes(&cluster, &BinaryCodes::zeros(8, 4));
         let router = backend.query_router();
         let wrong_width = BinaryCodes::from_bools(&[vec![true, false]]);
-        assert_eq!(router.knn(&wrong_width, 3), vec![Vec::<usize>::new()]);
+        assert_eq!(
+            router.knn(&wrong_width, 3).expect_full(),
+            vec![Vec::<usize>::new()]
+        );
         // The fleet is still alive and serves well-formed queries.
         let ok = BinaryCodes::from_bools(&[vec![false, false, false, false]]);
-        assert_eq!(router.knn(&ok, 1), vec![vec![0]]);
+        assert_eq!(router.knn(&ok, 1).expect_full(), vec![vec![0]]);
     }
 
     #[test]
@@ -1402,7 +2727,7 @@ mod tests {
         let router = backend.query_router();
         assert_eq!(router.n_machines(), 3);
         let q = BinaryCodes::from_bools(&[vec![true, true]]);
-        assert_eq!(router.knn(&q, 1), vec![vec![8]]);
+        assert_eq!(router.knn(&q, 1).expect_full(), vec![vec![8]]);
     }
 
     #[test]
@@ -1410,7 +2735,9 @@ mod tests {
         let backend = ServerBackend::new();
         let router = backend.query_router();
         let q = BinaryCodes::from_bools(&[vec![true, false]]);
-        assert_eq!(router.knn(&q, 3), vec![Vec::<usize>::new()]);
+        let response = router.knn(&q, 3);
+        assert!(response.coverage.is_full(), "0/0 is vacuously full");
+        assert_eq!(response.answers, vec![Vec::<usize>::new()]);
         assert_eq!(router.n_machines(), 0);
     }
 
@@ -1433,7 +2760,10 @@ mod tests {
         )));
         let shared = router.knn_shared(&queries, 5);
         assert_eq!(shared, router.knn(&queries, 5));
-        assert_eq!(shared, parmac_retrieval::hamming_knn(&db, &queries, 5));
+        assert_eq!(
+            shared.expect_full(),
+            parmac_retrieval::hamming_knn(&db, &queries, 5)
+        );
         // Every fan-out clone has been released: the caller's Arc is unique
         // again, so no machine kept (or copied into) a private batch.
         assert_eq!(Arc::strong_count(&queries), 1);
@@ -1460,7 +2790,11 @@ mod tests {
             let backend = ServerBackend::new().with_scan_workers(workers);
             backend.publish_codes(&cluster, &db);
             let router = backend.query_router();
-            assert_eq!(router.knn(&queries, 40), reference, "workers={workers}");
+            assert_eq!(
+                router.knn(&queries, 40).expect_full(),
+                reference,
+                "workers={workers}"
+            );
             // The split must also leave budgeted answers independent of the
             // worker count: probe order is per query, not per worker.
             let budgeted = router.knn_budgeted(&shared, 40, 1);
@@ -1486,16 +2820,20 @@ mod tests {
         let exact = parmac_retrieval::hamming_knn(&db, &queries, 9);
         // A budget covering every bucket (2^16 is a safe upper bound here)
         // must equal exact mode, both direct and through admission.
-        assert_eq!(router.knn_budgeted(&queries, 9, 1 << 16), exact);
+        assert_eq!(
+            router.knn_budgeted(&queries, 9, 1 << 16).expect_full(),
+            exact
+        );
         assert_eq!(
             router
                 .knn_admitted_budgeted(Arc::clone(&queries), 9, 1 << 16)
-                .expect("admitted"),
+                .expect("admitted")
+                .expect_full(),
             exact
         );
         // A small budget still returns well-formed sorted hit lists with at
         // most k entries, each a true database point.
-        for answers in router.knn_budgeted(&queries, 9, 1) {
+        for answers in router.knn_budgeted(&queries, 9, 1).answers {
             assert!(answers.len() <= 9);
             for &id in &answers {
                 assert!(id < db.len());
@@ -1521,7 +2859,8 @@ mod tests {
             assert_eq!(
                 router
                     .knn_admitted(Arc::clone(&queries), k)
-                    .expect("admitted"),
+                    .expect("admitted")
+                    .expect_full(),
                 parmac_retrieval::hamming_knn(&db, &queries, k),
                 "k={k}"
             );
@@ -1568,7 +2907,11 @@ mod tests {
                     let got = router
                         .knn_admitted(Arc::clone(q), *k)
                         .expect("default queue is large enough");
-                    assert_eq!(got, parmac_retrieval::hamming_knn(db, q, *k), "k={k}");
+                    assert_eq!(
+                        got.expect_full(),
+                        parmac_retrieval::hamming_knn(db, q, *k),
+                        "k={k}"
+                    );
                 });
             }
         });
@@ -1611,8 +2954,12 @@ mod tests {
                         let (mut ok, mut shed) = (0u64, 0u64);
                         for _ in 0..per_client {
                             match router.knn_admitted(Arc::clone(&queries), 9) {
-                                Ok(answers) => {
-                                    assert_eq!(&answers, reference, "answered must be exact");
+                                Ok(response) => {
+                                    assert!(response.coverage.is_full());
+                                    assert_eq!(
+                                        &response.answers, reference,
+                                        "answered must be exact"
+                                    );
                                     ok += 1;
                                 }
                                 Err(AdmissionError::Shed { queue_capacity }) => {
@@ -1650,10 +2997,9 @@ mod tests {
         let backend = ServerBackend::new();
         let router = backend.query_router();
         let q = Arc::new(BinaryCodes::from_bools(&[vec![true, false]]));
-        assert_eq!(
-            router.knn_admitted(q, 3).expect("admitted"),
-            vec![Vec::<usize>::new()]
-        );
+        let response = router.knn_admitted(q, 3).expect("admitted");
+        assert!(response.coverage.is_full(), "0/0 is vacuously full");
+        assert_eq!(response.answers, vec![Vec::<usize>::new()]);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! `vendor/README.md`). A wire format cannot wait for that, so [`WireCode`]
 //! provides the actual bytes today: a little-endian, length-prefixed
 //! encoding of exactly the payloads a multi-process ring needs — submodel
-//! envelopes, Z-step updates, and the retrieval query/result pair of the
-//! [`server`](crate::server) mailbox protocol. When real serde lands, these
+//! envelopes, Z-step updates, and the retrieval query/reply pair of the
+//! [`server`](crate::server) mailbox protocol (a reply carries the
+//! answering machine's id — the replica identity the failover router
+//! attributes health to). When real serde lands, these
 //! codecs become its regression baseline (the round-trip tests pin the
 //! semantics, not the byte layout).
 //!
@@ -20,7 +22,7 @@
 
 use crate::backend::ZUpdate;
 use crate::envelope::SubmodelEnvelope;
-use crate::server::{QueryResult, ZShardUpdates};
+use crate::server::{QueryReply, ZShardUpdates};
 use parmac_hash::BinaryCodes;
 use std::fmt;
 
@@ -156,6 +158,28 @@ impl<T: WireCode> WireCode for Vec<T> {
     }
 }
 
+/// `None`/`Some` as a one-byte-word tag (0/1) followed by the value — the
+/// encoding of an optional probe budget.
+impl<T: WireCode> WireCode for Option<T> {
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => 0u64.encode_wire(buf),
+            Some(value) => {
+                1u64.encode_wire(buf);
+                value.encode_wire(buf);
+            }
+        }
+    }
+
+    fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
+        match u64::decode_wire(bytes)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_wire(bytes)?)),
+            _ => Err(WireError::Malformed("option tag must be 0 or 1")),
+        }
+    }
+}
+
 impl<A: WireCode, B: WireCode> WireCode for (A, B) {
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.0.encode_wire(buf);
@@ -254,34 +278,45 @@ impl WireCode for BinaryCodes {
 pub struct WireQuery {
     /// The query codes.
     pub queries: BinaryCodes,
+    /// Which of the machine's resident shards should answer (the failover
+    /// router asks each replica only for the shards it routed there).
+    pub shards: Vec<usize>,
     /// Neighbours requested per query.
     pub k: usize,
+    /// Probe budget per query (`None` = exact mode).
+    pub probes: Option<usize>,
 }
 
 impl WireCode for WireQuery {
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.queries.encode_wire(buf);
+        self.shards.encode_wire(buf);
         self.k.encode_wire(buf);
+        self.probes.encode_wire(buf);
     }
 
     fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
         Ok(WireQuery {
             queries: BinaryCodes::decode_wire(bytes)?,
+            shards: Vec::decode_wire(bytes)?,
             k: usize::decode_wire(bytes)?,
+            probes: Option::decode_wire(bytes)?,
         })
     }
 }
 
-impl WireCode for QueryResult {
+impl WireCode for QueryReply {
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.machine.encode_wire(buf);
-        self.hits.encode_wire(buf);
+        self.answered.encode_wire(buf);
+        self.missing.encode_wire(buf);
     }
 
     fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
-        Ok(QueryResult {
+        Ok(QueryReply {
             machine: usize::decode_wire(bytes)?,
-            hits: Vec::decode_wire(bytes)?,
+            answered: Vec::decode_wire(bytes)?,
+            missing: Vec::decode_wire(bytes)?,
         })
     }
 }
@@ -313,7 +348,7 @@ mod tests {
     fn wire_types_satisfy_the_serde_shim_bounds() {
         assert_serde_bounds::<SubmodelEnvelope<Vec<f64>>>();
         assert_serde_bounds::<ZUpdate>();
-        assert_serde_bounds::<QueryResult>();
+        assert_serde_bounds::<QueryReply>();
         assert_serde_bounds::<ZShardUpdates>();
         assert_serde_bounds::<WireQuery>();
         assert_serde_bounds::<BinaryCodes>();
@@ -364,16 +399,38 @@ mod tests {
     }
 
     #[test]
-    fn query_and_result_round_trip() {
+    fn query_and_reply_round_trip() {
         let queries = BinaryCodes::from_bools(&[
             vec![true, false, true, true, false],
             vec![false, false, false, false, true],
         ]);
-        round_trip(&WireQuery { queries, k: 10 });
-        round_trip(&QueryResult {
-            machine: 1,
-            hits: vec![vec![(0, 4), (2, 17)], vec![]],
+        round_trip(&WireQuery {
+            queries: queries.clone(),
+            shards: vec![0, 2],
+            k: 10,
+            probes: None,
         });
+        round_trip(&WireQuery {
+            queries,
+            shards: vec![1],
+            k: 3,
+            probes: Some(8),
+        });
+        round_trip(&QueryReply {
+            machine: 1,
+            answered: vec![
+                (0, vec![vec![(0, 4), (2, 17)], vec![]]),
+                (2, vec![vec![], vec![]]),
+            ],
+            missing: vec![5],
+        });
+        // A corrupt option tag is malformed, not a bogus budget.
+        let mut bad = Vec::new();
+        7u64.encode_wire(&mut bad);
+        assert_eq!(
+            Option::<usize>::from_wire(&bad),
+            Err(WireError::Malformed("option tag must be 0 or 1"))
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Chaos harness for the replicated serving fleet (ISSUE 7 tentpole cap).
+//!
+//! Closed-loop clients hammer `knn_admitted` while a scripted killer kills
+//! and restores machines. The assertions are the availability contract:
+//!
+//! * at R = 2 every answer under any *single* failure is bitwise identical
+//!   to the single-process reference with full coverage — failover, not
+//!   degradation;
+//! * at R = 1 a kill degrades coverage *monotonically* per client and every
+//!   degraded answer is flagged and equals the reference over the surviving
+//!   shards — degradation, never silence;
+//! * the admission stats stay invariant-clean at every sample point
+//!   (`answered + shed <= submitted <= answered + shed + in-flight`) and
+//!   balance exactly once the clients quiesce;
+//! * the fleet converges back to full replication after a restore.
+
+use parmac_cluster::{ClusterBackend, CostModel, ServerBackend, SimCluster};
+use parmac_hash::BinaryCodes;
+use parmac_linalg::Mat;
+use parmac_retrieval::hamming_knn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn shards(p: usize, n: usize) -> Vec<Vec<usize>> {
+    let base = n / p;
+    (0..p)
+        .map(|i| (i * base..(i + 1) * base).collect())
+        .collect()
+}
+
+/// Single-process reference over the database minus the points in `lost`,
+/// answers mapped back to global point ids — what a degraded fleet that
+/// lost exactly those shards must answer.
+fn knn_excluding(
+    db: &BinaryCodes,
+    queries: &BinaryCodes,
+    k: usize,
+    lost: std::ops::Range<usize>,
+) -> Vec<Vec<usize>> {
+    let keep: Vec<usize> = (0..db.len()).filter(|i| !lost.contains(i)).collect();
+    let mut sub = BinaryCodes::zeros(0, db.n_bits());
+    for &i in &keep {
+        sub.push_code(&db.to_f64_row(i));
+    }
+    hamming_knn(&sub, queries, k)
+        .into_iter()
+        .map(|row| row.into_iter().map(|r| keep[r]).collect())
+        .collect()
+}
+
+/// Sampled-stats invariant: every submission is somewhere — already
+/// answered, already shed, or still in flight (at most one per closed-loop
+/// client). Exact balance is asserted once the clients quiesce.
+fn assert_stats_clean(backend: &ServerBackend, clients: u64, when: &str) {
+    let stats = backend.query_router().serving_stats();
+    assert!(
+        stats.answered + stats.shed <= stats.submitted,
+        "{when}: over-accounted stats {stats:?}"
+    );
+    assert!(
+        stats.submitted <= stats.answered + stats.shed + clients,
+        "{when}: lost submissions (more in flight than clients) {stats:?}"
+    );
+}
+
+/// Spins until `cond` holds, panicking after `deadline`.
+fn wait_until(deadline: Duration, what: &str, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn r2_kill_restore_cycle_under_load_keeps_answers_exact_and_reconverges() {
+    const MACHINES: usize = 4;
+    const CLIENTS: usize = 3;
+    let mut rng = SmallRng::seed_from_u64(71);
+    let db = BinaryCodes::from_matrix(&Mat::random_uniform(96, 16, 0.0, 1.0, &mut rng));
+    let queries = Arc::new(BinaryCodes::from_matrix(&Mat::random_uniform(
+        6, 16, 0.0, 1.0, &mut rng,
+    )));
+    let k = 10usize;
+    let expected = hamming_knn(&db, &queries, k);
+
+    let cluster = SimCluster::new(shards(MACHINES, db.len()), CostModel::distributed());
+    let backend = ServerBackend::new().with_replication(2);
+    backend.publish_codes(&cluster, &db);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Closed-loop clients: every answered call must be full-coverage and
+        // bitwise identical to the single-process reference — under load,
+        // mid-kill, mid-rebalance, always.
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let router = backend.query_router();
+                let queries = Arc::clone(&queries);
+                let expected = &expected;
+                let done = &done;
+                scope.spawn(move || {
+                    let (mut answered, mut shed) = (0u64, 0u64);
+                    while !done.load(Ordering::Acquire) {
+                        match router.knn_admitted(Arc::clone(&queries), k) {
+                            Ok(response) => {
+                                assert!(
+                                    response.coverage.is_full(),
+                                    "client {c}: degraded answer at R=2 under a single \
+                                     failure: {:?}",
+                                    response.coverage
+                                );
+                                assert_eq!(
+                                    &response.answers, expected,
+                                    "client {c}: inexact answer at R=2"
+                                );
+                                answered += 1;
+                            }
+                            Err(_) => shed += 1,
+                        }
+                    }
+                    (answered, shed)
+                })
+            })
+            .collect();
+
+        // Scripted killer: kill *every* machine in turn (one at a time — the
+        // single-failure contract), re-replicate, restore, reconverge.
+        for victim in 0..MACHINES {
+            backend.kill_machine(victim);
+            std::thread::sleep(Duration::from_millis(20));
+            assert_stats_clean(&backend, CLIENTS as u64, "after kill");
+            // The kill notifies the rebalancer; force a pass too so
+            // convergence does not depend on thread scheduling.
+            backend.rebalance();
+            wait_until(Duration::from_secs(5), "re-replication after kill", || {
+                backend.fleet_status().is_fully_replicated()
+            });
+            wait_until(Duration::from_secs(5), "restore", || {
+                backend.restore_machine(victim)
+            });
+            backend.rebalance();
+            let status = backend.fleet_status();
+            assert_eq!(status.dead_machines, 0, "victim={victim} still marked dead");
+            assert!(
+                status.is_fully_replicated(),
+                "victim={victim}: not fully replicated after restore: {status:?}"
+            );
+            assert_stats_clean(&backend, CLIENTS as u64, "after restore");
+        }
+
+        done.store(true, Ordering::Release);
+        let (mut answered, mut shed) = (0u64, 0u64);
+        for client in clients {
+            let (a, s) = client.join().expect("client panicked");
+            answered += a;
+            shed += s;
+        }
+        assert!(answered > 0, "clients never got an answer");
+
+        // Quiesced: the books balance exactly.
+        let stats = backend.query_router().serving_stats();
+        assert_eq!(
+            stats.submitted,
+            stats.answered + stats.shed,
+            "accounting must balance once quiesced: {stats:?}"
+        );
+        assert_eq!(stats.answered, answered, "{stats:?}");
+        assert_eq!(stats.shed, shed, "{stats:?}");
+        assert_eq!(
+            stats.degraded, 0,
+            "no fan-out may degrade at R=2 under single failures: {stats:?}"
+        );
+    });
+}
+
+#[test]
+fn r1_kill_degrades_monotonically_and_flags_every_answer() {
+    const MACHINES: usize = 3;
+    const CLIENTS: usize = 2;
+    let mut rng = SmallRng::seed_from_u64(73);
+    let db = BinaryCodes::from_matrix(&Mat::random_uniform(60, 16, 0.0, 1.0, &mut rng));
+    let queries = Arc::new(BinaryCodes::from_matrix(&Mat::random_uniform(
+        5, 16, 0.0, 1.0, &mut rng,
+    )));
+    let k = 8usize;
+    let full_expected = hamming_knn(&db, &queries, k);
+    // Machine 1 hosts shard 1 (points 20..40) at R=1; that shard is lost
+    // after the kill until a republish.
+    let degraded_expected = knn_excluding(&db, &queries, k, 20..40);
+
+    let cluster = SimCluster::new(shards(MACHINES, db.len()), CostModel::distributed());
+    let backend = ServerBackend::new(); // R = 1: no replica to fail over to.
+    backend.publish_codes(&cluster, &db);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let router = backend.query_router();
+                let queries = Arc::clone(&queries);
+                let (full_expected, degraded_expected) = (&full_expected, &degraded_expected);
+                let done = &done;
+                scope.spawn(move || {
+                    let mut saw_degraded = false;
+                    while !done.load(Ordering::Acquire) {
+                        let Ok(response) = router.knn_admitted(Arc::clone(&queries), k) else {
+                            continue;
+                        };
+                        if response.coverage.is_full() {
+                            // Monotone per client: once this closed-loop
+                            // client has seen the degraded fleet, coverage
+                            // never silently recovers (no republish here).
+                            assert!(
+                                !saw_degraded,
+                                "client {c}: coverage went back up without a republish"
+                            );
+                            assert_eq!(&response.answers, full_expected, "client {c}");
+                        } else {
+                            saw_degraded = true;
+                            assert_eq!(
+                                (
+                                    response.coverage.shards_answered,
+                                    response.coverage.shards_total
+                                ),
+                                (MACHINES - 1, MACHINES),
+                                "client {c}: unexpected coverage"
+                            );
+                            assert_eq!(
+                                &response.answers, degraded_expected,
+                                "client {c}: degraded answer must equal the reference \
+                                 over the surviving shards"
+                            );
+                        }
+                    }
+                    saw_degraded
+                })
+            })
+            .collect();
+
+        std::thread::sleep(Duration::from_millis(20));
+        backend.kill_machine(1);
+        // Give every client time to observe the degraded fleet.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_stats_clean(&backend, CLIENTS as u64, "after R=1 kill");
+        done.store(true, Ordering::Release);
+        let mut any_degraded = false;
+        for client in clients {
+            any_degraded |= client.join().expect("client panicked");
+        }
+        assert!(
+            any_degraded,
+            "no client ever observed the degraded fleet — kill window too short?"
+        );
+
+        let stats = backend.query_router().serving_stats();
+        assert_eq!(stats.submitted, stats.answered + stats.shed, "{stats:?}");
+        assert!(
+            stats.degraded >= 1,
+            "degraded fan-outs must be counted: {stats:?}"
+        );
+
+        // Recovery is a restore *plus* a republish at R=1 (the data died
+        // with the machine); after both, answers are whole again.
+        wait_until(Duration::from_secs(5), "restore", || {
+            backend.restore_machine(1)
+        });
+        backend.publish_codes(&cluster, &db);
+        let response = backend.query_router().knn(&queries, k);
+        assert!(response.coverage.is_full(), "{:?}", response.coverage);
+        assert_eq!(response.answers, full_expected);
+    });
+}

@@ -13,7 +13,9 @@
 //! serial-MAC-shaped whole-dataset Z sweep against each backend's distributed
 //! sweep, and the serving path: `ServerBackend` answers Hamming k-NN queries
 //! during training, equal to a single-process `hamming_knn` over the
-//! concatenated shards.
+//! concatenated shards — including at replication factor 2 with a machine
+//! actor killed between MAC iterations (training stays bitwise identical,
+//! serving keeps full coverage through the surviving replicas).
 
 use parmac_cluster::{
     ClusterBackend, CostModel, PoolBackend, ServerBackend, SimBackend, ThreadedBackend,
@@ -335,19 +337,20 @@ fn server_backend_serves_knn_equal_to_single_process_search() {
         for k in [1usize, 10, 180] {
             let expected = hamming_knn(trainer.codes(), &queries, k);
             assert_eq!(
-                router.knn(&queries, k),
+                router.knn(&queries, k).expect_full(),
                 expected,
                 "knn: iteration {iteration}, k={k}"
             );
             assert_eq!(
-                router.knn_shared(&queries, k),
+                router.knn_shared(&queries, k).expect_full(),
                 expected,
                 "knn_shared: iteration {iteration}, k={k}"
             );
             assert_eq!(
                 router
                     .knn_admitted(std::sync::Arc::clone(&queries), k)
-                    .expect("uncontended admission queue accepts"),
+                    .expect("uncontended admission queue accepts")
+                    .expect_full(),
                 expected,
                 "knn_admitted: iteration {iteration}, k={k}"
             );
@@ -356,14 +359,15 @@ fn server_backend_serves_knn_equal_to_single_process_search() {
             // indexed multi-probe serving path is pinned to the same
             // single-process search as the exact entry points.
             assert_eq!(
-                router.knn_budgeted(&queries, k, 1 << 16),
+                router.knn_budgeted(&queries, k, 1 << 16).expect_full(),
                 expected,
                 "knn_budgeted: iteration {iteration}, k={k}"
             );
             assert_eq!(
                 router
                     .knn_admitted_budgeted(std::sync::Arc::clone(&queries), k, 1 << 16)
-                    .expect("uncontended admission queue accepts"),
+                    .expect("uncontended admission queue accepts")
+                    .expect_full(),
                 expected,
                 "knn_admitted_budgeted: iteration {iteration}, k={k}"
             );
@@ -399,12 +403,13 @@ fn batched_serving_path_is_exact_after_a_machine_fault() {
         assert_eq!(
             router
                 .knn_admitted(std::sync::Arc::clone(&queries), k)
-                .expect("admission queue accepts"),
+                .expect("admission queue accepts")
+                .expect_full(),
             expected,
             "admitted after fault, k={k}"
         );
         assert_eq!(
-            router.knn_shared(&queries, k),
+            router.knn_shared(&queries, k).expect_full(),
             expected,
             "shared fan-out after fault, k={k}"
         );
@@ -412,11 +417,82 @@ fn batched_serving_path_is_exact_after_a_machine_fault() {
         // by every ApplyUpdates since) must answer exactly under a
         // saturating probe budget too.
         assert_eq!(
-            router.knn_budgeted(&queries, k, 1 << 16),
+            router.knn_budgeted(&queries, k, 1 << 16).expect_full(),
             expected,
             "budgeted after fault, k={k}"
         );
     }
+}
+
+#[test]
+fn replicated_server_training_survives_a_mid_run_replica_kill_bitwise() {
+    // The replication satellite: train on a ServerBackend at R = 2, kill one
+    // machine actor between the two MAC iterations, and finish the run. The
+    // trained weights and codes must stay bitwise identical to SimBackend
+    // (the serving fleet is a mirror — losing a replica must never touch the
+    // training path), and after the kill the router must still answer every
+    // k-NN query with full coverage, equal to the single-process search.
+    let x = dataset(33, 160);
+    let cfg = quick_cfg(5, 4);
+
+    fn two_iterations<B: ClusterBackend>(
+        cfg: ParMacConfig,
+        x: &Mat,
+        backend: B,
+        mid: impl FnOnce(),
+    ) -> (Mat, Mat, BinaryCodes) {
+        let mut t = ParMacTrainer::new(cfg, x, backend);
+        t.w_step(x, 0);
+        t.z_step(x, 0.05);
+        mid();
+        t.w_step(x, 1);
+        t.z_step(x, 0.1);
+        (
+            t.model().encoder().weights().clone(),
+            t.model().decoder().weights().clone(),
+            t.codes().clone(),
+        )
+    }
+
+    let sim = two_iterations(cfg, &x, SimBackend::new(CostModel::distributed()), || {});
+
+    let backend = ServerBackend::new().with_replication(2);
+    let router = backend.query_router();
+    let chaos = backend.clone();
+    let mut t = ParMacTrainer::new(cfg, &x, backend);
+    t.w_step(&x, 0);
+    t.z_step(&x, 0.05);
+    chaos.kill_machine(2);
+    t.w_step(&x, 1);
+    t.z_step(&x, 0.1);
+    assert_eq!(
+        sim.0,
+        t.model().encoder().weights().clone(),
+        "encoder weights diverged after the kill"
+    );
+    assert_eq!(
+        sim.1,
+        t.model().decoder().weights().clone(),
+        "decoder weights diverged after the kill"
+    );
+    assert_eq!(sim.2, t.codes().clone(), "codes diverged after the kill");
+
+    // Serving after the kill: every shard still has a live replica at R = 2,
+    // so coverage is full and answers — including codes refreshed by the
+    // post-kill Z step — equal single-process hamming_knn over the trainer's
+    // final codes.
+    let queries = std::sync::Arc::new(t.model().encode(&x.select_rows(&[3, 50, 99])));
+    for k in [1usize, 10, 64] {
+        let expected = hamming_knn(t.codes(), &queries, k);
+        let response = router.knn_shared(&queries, k);
+        assert!(
+            response.coverage.is_full(),
+            "R=2 must survive one kill with full coverage: {:?}",
+            response.coverage
+        );
+        assert_eq!(response.answers, expected, "after kill, k={k}");
+    }
+    assert_eq!(router.fleet_status().dead_machines, 1);
 }
 
 #[test]
@@ -441,7 +517,7 @@ fn server_backend_answers_queries_while_training_runs() {
         let prober = scope.spawn(|| {
             let mut served = 0usize;
             while !done.load(Ordering::Acquire) {
-                let answers = router.knn(&queries, 5);
+                let answers = router.knn(&queries, 5).expect_full();
                 assert_eq!(answers.len(), 2);
                 for hits in &answers {
                     assert_eq!(hits.len(), 5, "mid-training answer must have k hits");
@@ -460,7 +536,8 @@ fn server_backend_answers_queries_while_training_runs() {
                     let (mut ok, mut shed) = (0u64, 0u64);
                     while !done.load(Ordering::Acquire) {
                         match router.knn_admitted(Arc::clone(&queries), 5) {
-                            Ok(answers) => {
+                            Ok(response) => {
+                                let answers = response.expect_full();
                                 assert_eq!(answers.len(), 2);
                                 for hits in &answers {
                                     assert_eq!(hits.len(), 5);
@@ -501,14 +578,15 @@ fn server_backend_answers_queries_while_training_runs() {
     assert_eq!(stats.shed, admitted_shed);
     let expected = hamming_knn(trainer.codes(), &queries, 10);
     assert_eq!(
-        router.knn(&queries, 10),
+        router.knn(&queries, 10).expect_full(),
         expected,
         "post-training serving state must match the trainer's codes"
     );
     assert_eq!(
         router
             .knn_admitted(Arc::clone(&queries), 10)
-            .expect("quiesced admission queue accepts"),
+            .expect("quiesced admission queue accepts")
+            .expect_full(),
         expected,
         "post-training admitted path must match the trainer's codes"
     );

@@ -43,7 +43,9 @@ fn main() {
         let prober = scope.spawn(move || {
             let mut served = 0usize;
             while !done.load(Ordering::Acquire) {
-                let hits = router.knn(queries, 10);
+                // Answers are coverage-aware: a healthy fleet reports full
+                // coverage, so `expect_full` doubles as a liveness assert.
+                let hits = router.knn(queries, 10).expect_full();
                 assert_eq!(hits.len(), 3);
                 served += 1;
                 std::thread::sleep(std::time::Duration::from_micros(200));
@@ -66,7 +68,12 @@ fn main() {
 
     // After training, the fleet serves exactly the trainer's final codes.
     let final_queries = trainer.model().encode(&train.select_rows(&[5, 400, 1111]));
-    let from_fleet = router.knn(&final_queries, 10);
+    let response = router.knn(&final_queries, 10);
+    println!(
+        "coverage: {}/{} shards answered",
+        response.coverage.shards_answered, response.coverage.shards_total
+    );
+    let from_fleet = response.expect_full();
     let single_process = hamming_knn(trainer.codes(), &final_queries, 10);
     assert_eq!(from_fleet, single_process);
     println!(

@@ -75,6 +75,34 @@ impl std::fmt::Display for RecvError {
     }
 }
 
+/// Error returned by [`Receiver::recv_timeout`]: the deadline passed, or the
+/// channel is empty with every sender gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl RecvTimeoutError {
+    /// Returns `true` for the deadline-passed case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, RecvTimeoutError::Timeout)
+    }
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
 #[derive(Debug)]
 enum SenderInner<T> {
     Unbounded(mpsc::Sender<T>),
@@ -137,6 +165,17 @@ impl<T> Receiver<T> {
     /// all senders are dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
         self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses. Fails with
+    /// [`RecvTimeoutError::Disconnected`] once the channel is empty and all
+    /// senders are dropped — the primitive behind bounded failover waits
+    /// (a wedged peer costs at most `timeout`, never a hang).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
     }
 
     /// Returns immediately with a message if one is ready.
@@ -208,6 +247,24 @@ mod tests {
         tx.try_send(4usize).unwrap();
         assert_eq!(rx.recv().unwrap(), 2);
         assert_eq!(rx.recv().unwrap(), 4);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_sees_disconnection() {
+        use std::time::{Duration, Instant};
+        let (tx, rx) = unbounded::<usize>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Disconnected);
+        assert!(!err.is_timeout());
     }
 
     #[test]
