@@ -55,6 +55,7 @@ pub mod sim;
 pub mod streaming;
 pub mod threaded;
 pub mod topology;
+pub(crate) mod waits;
 pub mod wire;
 
 pub use backend::{ClusterBackend, SimBackend, ThreadedBackend, ZUpdate};

@@ -77,6 +77,7 @@ use crate::backend::{z_stats, ClusterBackend, ZUpdate};
 use crate::cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 use crate::envelope::SubmodelEnvelope;
 use crate::sim::{Fault, SimCluster};
+use crate::waits;
 use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use parmac_hash::BinaryCodes;
@@ -351,11 +352,11 @@ impl ScanPool {
         let mut threads = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = unbounded::<ScanTask>();
-            txs.push(tx);
-            let thread = thread::Builder::new()
+            // lint: actor-region — scan workers are detached serving threads
+            let spawned = thread::Builder::new()
                 .name(format!("parmac-scan-{machine}-{w}"))
                 .spawn(move || {
-                    while let Ok(task) = rx.recv() {
+                    while let Ok(task) = waits::recv_bounded(&rx, waits::IDLE_TICK) {
                         let hits = task.index.topk_batched_range(
                             &task.queries,
                             task.q_rows.clone(),
@@ -369,9 +370,18 @@ impl ScanPool {
                         drop(task);
                         let _ = reply.send((chunk, hits));
                     }
-                })
-                .expect("spawn scan worker");
-            threads.push(thread);
+                });
+            // lint: end-actor-region
+            match spawned {
+                Ok(thread) => {
+                    txs.push(tx);
+                    threads.push(thread);
+                }
+                // Spawn failure (thread exhaustion) degrades the pool rather
+                // than panicking the serving actor: `scan_index` falls back
+                // to scanning on the actor thread when the pool is short.
+                Err(_) => break,
+            }
         }
         ScanPool { txs, threads }
     }
@@ -399,6 +409,7 @@ struct ReplicaShard {
 }
 
 impl ReplicaShard {
+    // lint: actor-region — replica maintenance runs on serving-actor threads
     fn build(points: Vec<usize>, codes: BinaryCodes) -> Self {
         let index = Arc::new(PrefixIndex::build(&codes, &points));
         let row_of = points.iter().enumerate().map(|(r, &p)| (p, r)).collect();
@@ -425,6 +436,7 @@ impl ReplicaShard {
         // the brief window where a scan worker still holds a snapshot.
         Arc::make_mut(&mut self.index).upsert(update.point, &update.code);
     }
+    // lint: end-actor-region
 }
 
 /// State owned by one long-lived serving actor: every shard replica this
@@ -447,6 +459,7 @@ struct MachineState {
 }
 
 impl MachineState {
+    // lint: actor-region — every method below runs on a serving-actor thread
     fn install(&mut self, shard: usize, points: Vec<usize>, codes: BinaryCodes) {
         let mut replica = ReplicaShard::build(points, codes);
         if let Some(stash) = self.pending.remove(&shard) {
@@ -521,6 +534,7 @@ impl MachineState {
             missing,
         }
     }
+    // lint: end-actor-region
 }
 
 /// The shard's batched top-k, split over this machine's scan workers: each
@@ -550,32 +564,62 @@ fn scan_index(
         // a prefix of the workers.
         ScanPool::new(machine, scan_workers - 1)
     });
+    // lint: actor-region — runs on the serving-actor thread; must not panic
+    // The pool may be short if worker spawns failed: cap the split to the
+    // workers that actually exist (plus the actor thread itself).
+    let workers = workers.min(pool.txs.len() + 1);
+    if workers == 1 {
+        return index.topk_batched(queries, k, probes);
+    }
     let chunk_len = batch.div_ceil(workers);
     let (reply_tx, reply_rx) = unbounded();
+    let mut outstanding = 0usize;
+    let mut per_chunk: Vec<Option<ShardHits>> = vec![None; workers];
     for c in 1..workers {
         let lo = (c * chunk_len).min(batch);
         let hi = ((c + 1) * chunk_len).min(batch);
-        pool.txs[c - 1]
-            .send(ScanTask {
-                index: Arc::clone(index),
-                queries: Arc::clone(queries),
-                q_rows: lo..hi,
-                k,
-                probes,
-                chunk: c,
-                reply: reply_tx.clone(),
-            })
-            .expect("scan worker alive");
+        let task = ScanTask {
+            index: Arc::clone(index),
+            queries: Arc::clone(queries),
+            q_rows: lo..hi,
+            k,
+            probes,
+            chunk: c,
+            reply: reply_tx.clone(),
+        };
+        if pool.txs[c - 1].send(task).is_ok() {
+            outstanding += 1;
+        }
+        // A dead worker (channel closed) is recovered below: its chunk is
+        // simply scanned on the actor thread like a missing reply.
     }
     drop(reply_tx);
     // The actor probes chunk 0 itself while the workers probe the rest.
-    let mut per_chunk: Vec<Vec<Vec<(u32, usize)>>> = vec![Vec::new(); workers];
-    per_chunk[0] = index.topk_batched_range(queries, 0..chunk_len.min(batch), k, probes);
-    for _ in 1..workers {
-        let (chunk, hits) = reply_rx.recv().expect("scan worker replies");
-        per_chunk[chunk] = hits;
+    per_chunk[0] = Some(index.topk_batched_range(queries, 0..chunk_len.min(batch), k, probes));
+    while outstanding > 0 {
+        match reply_rx.recv_timeout(waits::IDLE_TICK) {
+            Ok((chunk, hits)) => {
+                per_chunk[chunk] = Some(hits);
+                outstanding -= 1;
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            // Remaining workers died mid-scan: their reply senders are gone;
+            // fall through and rescan the missing chunks locally.
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
     }
-    per_chunk.into_iter().flatten().collect()
+    per_chunk
+        .into_iter()
+        .enumerate()
+        .flat_map(|(c, hits)| {
+            hits.unwrap_or_else(|| {
+                let lo = (c * chunk_len).min(batch);
+                let hi = ((c + 1) * chunk_len).min(batch);
+                index.topk_batched_range(queries, lo..hi, k, probes)
+            })
+        })
+        .collect()
+    // lint: end-actor-region
 }
 
 /// The long-lived serving actor loop: retrieval, shard placement and the
@@ -591,7 +635,7 @@ fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usi
         scan_workers,
         pool: None,
     };
-    while let Ok(msg) = rx.recv() {
+    while let Ok(msg) = waits::recv_bounded(&rx, waits::IDLE_TICK) {
         match msg {
             MachineMsg::Query(query) => {
                 let reply = query.reply.clone();
@@ -749,21 +793,32 @@ impl Fleet {
     /// the *publish* paths use this: an authoritative `LoadShard` (or the
     /// legacy streaming path) legitimately brings a machine into existence.
     fn send_spawning(&self, machine: usize, msg: MachineMsg<()>) {
-        let mut map = self.machines.lock();
-        let scan_workers = self.scan_workers.load(Ordering::Relaxed);
-        let handle = map
-            .entry(machine)
-            .or_insert_with(|| spawn_actor(machine, scan_workers));
-        let _ = handle.tx.send(msg);
+        // Clone the mailbox sender inside the guard scope, send after: an
+        // actor blocked on a full downstream channel must never be able to
+        // wedge a thread that is holding the machine-table lock.
+        let tx = {
+            let mut map = self.machines.lock();
+            let scan_workers = self.scan_workers.load(Ordering::Relaxed);
+            map.entry(machine)
+                .or_insert_with(|| spawn_actor(machine, scan_workers))
+                .tx
+                .clone()
+        };
+        let _ = tx.send(msg);
     }
 
     /// Sends `msg` to `machine` only if its actor exists. The query/update
     /// fan-outs use this: a killed machine must *not* be resurrected as an
     /// empty actor that would serve partial shards as complete.
     fn send_if_resident(&self, machine: usize, msg: MachineMsg<()>) -> Result<(), ()> {
-        let map = self.machines.lock();
-        match map.get(&machine) {
-            Some(handle) => handle.tx.send(msg).map_err(|_| ()),
+        // Same guard discipline as `send_spawning`: never send while holding
+        // the machine-table lock.
+        let tx = {
+            let map = self.machines.lock();
+            map.get(&machine).map(|handle| handle.tx.clone())
+        };
+        match tx {
+            Some(tx) => tx.send(msg).map_err(|_| ()),
             None => Err(()),
         }
     }
@@ -895,6 +950,9 @@ impl Fleet {
             });
     }
 
+    // lint: actor-region — the rebalancer runs on a detached thread
+    // (`notify_rebalance`); a panic here silently stops self-healing.
+
     /// One rebalancing pass: prune hosts whose actor is gone, re-replicate
     /// every under-replicated shard from a live donor onto the least-loaded
     /// live machine, and trim over-replicated shards. Serialised against
@@ -931,11 +989,15 @@ impl Fleet {
             if hosts.len() > target.max(live_hosts) {
                 // Over-replicated: drop a dead-marked host first, else the
                 // most recently added one.
+                // `hosts` cannot be empty in this branch (its length exceeds
+                // a non-negative target), but never panic the rebalancer on
+                // it — a missing victim just ends the trim.
                 let victim = hosts
                     .iter()
                     .copied()
                     .find(|h| !live.contains(h))
-                    .unwrap_or(*hosts.last().expect("hosts non-empty"));
+                    .or_else(|| hosts.last().copied());
+                let Some(victim) = victim else { return };
                 if let Some(hosts) = self.assignments.lock().get_mut(&shard) {
                     hosts.retain(|&h| h != victim);
                 }
@@ -1055,6 +1117,7 @@ impl Fleet {
             }
         }
     }
+    // lint: end-actor-region
 
     // ---- chaos / lifecycle controls ----
 
@@ -1112,19 +1175,22 @@ impl Fleet {
 
 fn spawn_actor(machine: usize, scan_workers: usize) -> MachineHandle {
     let (tx, rx) = unbounded();
+    // Spawn failure (thread exhaustion) must not panic the caller — it can
+    // be a serving thread. On failure the closure (owning `rx`) is dropped,
+    // so the mailbox is born disconnected: every send to this machine fails,
+    // the health tracker marks it dead and failover covers its shards.
     let thread = thread::Builder::new()
         .name(format!("parmac-serve-{machine}"))
         .spawn(move || serving_actor(machine, rx, scan_workers))
-        .expect("spawn serving actor");
-    MachineHandle {
-        tx,
-        thread: Some(thread),
-    }
+        .ok();
+    MachineHandle { tx, thread }
 }
 
 impl Drop for Fleet {
     fn drop(&mut self) {
-        let mut map = self.machines.lock();
+        // Take ownership of the machine table first so no lock is held
+        // across the shutdown sends and joins.
+        let map = std::mem::take(&mut *self.machines.lock());
         for handle in map.values() {
             let _ = handle.tx.send(MachineMsg::Shutdown);
         }
@@ -1132,7 +1198,7 @@ impl Drop for Fleet {
         // abandon the wedged ones (their mailboxes disconnect when the
         // handles drop, so they exit on their own once they wake).
         let deadline = Instant::now() + SHUTDOWN_GRACE;
-        for (_, mut handle) in std::mem::take(&mut *map) {
+        for (_, mut handle) in map {
             drop(handle.tx);
             if let Some(thread) = handle.thread.take() {
                 let grace = deadline.saturating_duration_since(Instant::now());
@@ -1539,7 +1605,7 @@ fn admission_loop(
     counters: &AdmissionCounters,
     max_batch: usize,
 ) {
-    while let Ok(first) = rx.recv() {
+    while let Ok(first) = waits::recv_bounded(rx, waits::IDLE_TICK) {
         let mut total_queries = first.queries.len();
         let mut batch = vec![first];
         while total_queries < max_batch {
@@ -1575,13 +1641,16 @@ fn admission_loop(
 /// coalescing changes batching, never answers. Every submission in the
 /// group shares the fan-out's coverage.
 fn serve_coalesced(fleet: &Arc<Fleet>, counters: &AdmissionCounters, group: &[Pending]) {
+    // lint: actor-region — runs on the admission thread; must not panic
     counters.batches.fetch_add(1, Ordering::Relaxed);
     if group.len() > 1 {
         counters
             .coalesced
             .fetch_add(group.len() as u64, Ordering::Relaxed);
     }
-    let k_max = group.iter().map(|p| p.k).max().expect("group is non-empty");
+    // An empty group cannot happen (callers slice non-empty runs), but fold
+    // instead of `max().expect` so the admission thread cannot die on it.
+    let k_max = group.iter().map(|p| p.k).fold(0, usize::max);
     let queries = if group.len() == 1 {
         Arc::clone(&group[0].queries)
     } else {
@@ -1611,6 +1680,7 @@ fn serve_coalesced(fleet: &Arc<Fleet>, counters: &AdmissionCounters, group: &[Pe
             coverage: fan.coverage,
         });
     }
+    // lint: end-actor-region
 }
 
 /// Front-end that fans Hamming k-NN queries out to the machines hosting the
@@ -1763,9 +1833,12 @@ impl QueryRouter {
                 TrySendError::Disconnected(_) => AdmissionError::Closed,
             });
         }
-        match reply_rx.recv() {
+        // Heartbeat-bounded wait for the admission worker's reply: if the
+        // worker dies, the reply sender drops and this surfaces as `Closed`
+        // within one tick instead of hanging the caller forever.
+        match waits::recv_bounded(&reply_rx, waits::IDLE_TICK) {
             Ok(response) => Ok(response),
-            Err(_) => {
+            Err(()) => {
                 counters.shed.fetch_add(1, Ordering::Relaxed);
                 Err(AdmissionError::Closed)
             }
@@ -2062,7 +2135,7 @@ impl ClusterBackend for ServerBackend {
                 let update_visits = &update_visits;
                 let relayed = &relayed;
                 scope.spawn(move || {
-                    while let Ok(msg) = rx.recv() {
+                    while let Ok(msg) = waits::recv_bounded(&rx, waits::IDLE_TICK) {
                         let mut env = match msg {
                             MachineMsg::Shutdown => break,
                             MachineMsg::Envelope(env) => env,
@@ -2095,7 +2168,11 @@ impl ClusterBackend for ServerBackend {
             // Collector: once every submodel has finished, shut the ring down.
             let mut finished: Vec<Option<S>> = (0..m_total).map(|_| None).collect();
             for _ in 0..m_total {
-                let env = done_rx.recv().expect("all submodels eventually finish");
+                // Heartbeat-bounded: these are scoped step threads, so a
+                // panic here re-raises at scope join (unlike the detached
+                // serving actors, which must never panic).
+                let env = waits::recv_bounded(&done_rx, waits::IDLE_TICK)
+                    .expect("all submodels eventually finish");
                 finished[env.submodel_id] = Some(env.payload);
             }
             for tx in &senders {
@@ -2143,7 +2220,7 @@ impl ClusterBackend for ServerBackend {
                 let solve = &solve;
                 let shard = cluster.shard(machine);
                 scope.spawn(move || {
-                    while let Ok(msg) = rx.recv() {
+                    while let Ok(msg) = waits::recv_bounded(&rx, waits::IDLE_TICK) {
                         match msg {
                             MachineMsg::ZStepRequest(request) => {
                                 let updates = solve(machine, shard);
@@ -2165,7 +2242,11 @@ impl ClusterBackend for ServerBackend {
 
         let mut per_machine: HashMap<usize, Vec<ZUpdate>> = HashMap::with_capacity(machines.len());
         for _ in 0..machines.len() {
-            let reply = reply_rx.recv().expect("every machine replies");
+            // The scope above has joined: every reply is already queued, so
+            // a non-blocking drain suffices (and can never hang).
+            let reply = reply_rx
+                .try_recv()
+                .expect("every machine replied during the scope");
             per_machine.insert(reply.machine, reply.updates);
         }
         let mut updates = Vec::new();

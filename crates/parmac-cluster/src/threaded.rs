@@ -16,6 +16,7 @@
 use crate::cost::{ring_hops, StepTimings, WStepStats};
 use crate::envelope::SubmodelEnvelope;
 use crate::topology::RingTopology;
+use crate::waits;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::thread;
 use std::time::Instant;
@@ -117,7 +118,7 @@ where
             let machines_ref = &machines;
             let update_visits = &update_visits;
             scope.spawn(move || {
-                while let Ok(msg) = rx.recv() {
+                while let Ok(msg) = waits::recv_bounded(&rx, waits::IDLE_TICK) {
                     let mut env = match msg {
                         Message::Shutdown => break,
                         Message::Envelope(env) => env,
@@ -139,7 +140,11 @@ where
         // Collector: once every submodel has finished, shut the ring down.
         let mut finished: Vec<Option<S>> = (0..m_total).map(|_| None).collect();
         for _ in 0..m_total {
-            let env = done_rx.recv().expect("all submodels eventually finish");
+            // Heartbeat-bounded wait; these are scoped threads, so an
+            // `expect` failure re-raises at scope join rather than dying
+            // silently like a detached actor would.
+            let env = waits::recv_bounded(&done_rx, waits::IDLE_TICK)
+                .expect("all submodels eventually finish");
             finished[env.submodel_id] = Some(env.payload);
         }
         for tx in &senders {

@@ -1,0 +1,58 @@
+//! Bounded-wait helpers: the building blocks behind `parmac-lint`'s
+//! `unbounded-recv` rule.
+//!
+//! PR 7 established the bounded-shutdown contract: no thread in this crate
+//! may block forever on a channel. Actor mailbox loops want to wait
+//! *indefinitely for work* but still notice disconnection promptly and never
+//! wedge a join — so they wait in heartbeat ticks: a `recv_timeout` loop
+//! that swallows timeouts and only surfaces real outcomes. The tick bounds
+//! how stale a loop's view of "my senders are gone" can get; it costs one
+//! wakeup per tick on an idle mailbox.
+
+use std::time::Duration;
+
+use crossbeam_channel::{Receiver, RecvTimeoutError};
+
+/// Heartbeat granularity for idle actor mailboxes: long enough to keep idle
+/// wakeups negligible, short enough that shutdown (sender drop) is observed
+/// well inside the fleet's 500 ms join grace.
+pub(crate) const IDLE_TICK: Duration = Duration::from_millis(100);
+
+/// Waits for a message in bounded ticks. Timeouts are retried, so the overall
+/// wait is unbounded in *time* but every individual block is bounded and the
+/// loop re-checks channel liveness each tick. Returns `Err(())` once the
+/// channel is empty and every sender is gone.
+pub(crate) fn recv_bounded<T>(rx: &Receiver<T>, tick: Duration) -> Result<T, ()> {
+    loop {
+        match rx.recv_timeout(tick) {
+            Ok(msg) => return Ok(msg),
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Err(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::unbounded;
+
+    #[test]
+    fn delivers_messages_across_ticks() {
+        let (tx, rx) = unbounded();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(7usize).unwrap();
+        });
+        // Tick far smaller than the send delay: several timeouts retried.
+        assert_eq!(recv_bounded(&rx, Duration::from_millis(5)), Ok(7));
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn reports_disconnection() {
+        let (tx, rx) = unbounded::<usize>();
+        drop(tx);
+        assert_eq!(recv_bounded(&rx, Duration::from_millis(5)), Err(()));
+    }
+}

@@ -1,0 +1,75 @@
+//! Regression tests for the fleet's lock policy: a panicked thread that held
+//! a shared mutex must not cascade failures into the serving threads
+//! (PR 8's poison-recovery policy — the vendored `parking_lot` shim adopts
+//! real parking_lot's non-poisoning semantics), and the serving fleet as a
+//! whole must keep answering after a thread dies while holding a lock.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use parmac_cluster::{ClusterBackend, CostModel, ServerBackend, SimCluster};
+use parmac_hash::BinaryCodes;
+use parmac_linalg::Mat;
+use parmac_retrieval::hamming_knn;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The primitive itself: lock a shim mutex, panic while holding it, and
+/// verify other threads still acquire it and see consistent data.
+#[test]
+fn poisoned_mutex_recovers_for_other_threads() {
+    let shared = Arc::new(Mutex::new(vec![1u32, 2, 3]));
+    let poisoner = Arc::clone(&shared);
+    let result = std::thread::spawn(move || {
+        let _guard = poisoner.lock();
+        panic!("worker dies while holding the lock");
+    })
+    .join();
+    assert!(result.is_err(), "the worker must actually have panicked");
+    // Under std semantics this lock() would itself panic ("mutex poisoned")
+    // in every thread forever after. The policy is recovery.
+    let guard = shared.lock();
+    assert_eq!(*guard, vec![1, 2, 3]);
+}
+
+/// End-to-end: panic a thread while it holds a shim mutex, then keep driving
+/// queries through a live replicated fleet — serving must be entirely
+/// unaffected (no poison cascade out of the shared shim, no dead actor).
+#[test]
+fn fleet_keeps_serving_after_a_panicked_lock_holder() {
+    const MACHINES: usize = 3;
+    let mut rng = SmallRng::seed_from_u64(88);
+    let db = BinaryCodes::from_matrix(&Mat::random_uniform(48, 16, 0.0, 1.0, &mut rng));
+    let queries = BinaryCodes::from_matrix(&Mat::random_uniform(4, 16, 0.0, 1.0, &mut rng));
+    let k = 5usize;
+    let expected = hamming_knn(&db, &queries, k);
+
+    let base = db.len() / MACHINES;
+    let shards: Vec<Vec<usize>> = (0..MACHINES)
+        .map(|i| (i * base..(i + 1) * base).collect())
+        .collect();
+    let cluster = SimCluster::new(shards, CostModel::distributed());
+    let backend = ServerBackend::new().with_replication(2);
+    backend.publish_codes(&cluster, &db);
+    let router = backend.query_router();
+
+    let before = router.knn(&queries, k);
+    assert!(before.coverage.is_full());
+    assert_eq!(before.answers, expected);
+
+    // A worker dies while holding a shim mutex of its own.
+    let unrelated = Arc::new(Mutex::new(0usize));
+    let holder = Arc::clone(&unrelated);
+    let result = std::thread::spawn(move || {
+        let _guard = holder.lock();
+        panic!("chaos: lock holder dies");
+    })
+    .join();
+    assert!(result.is_err());
+
+    // The fleet must be oblivious: same query, same full-coverage answer.
+    let after = router.knn(&queries, k);
+    assert!(after.coverage.is_full());
+    assert_eq!(after.answers, expected);
+    assert_eq!(*unrelated.lock(), 0, "recovered lock sees consistent data");
+}

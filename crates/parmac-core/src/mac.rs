@@ -247,6 +247,7 @@ impl MacTrainer {
     /// precision curve and (if enabled) early stopping.
     pub fn run_with_eval(&mut self, x: &Mat, eval: Option<&RetrievalEval>) -> MacReport {
         assert_eq!(x.rows(), self.codes.len(), "data/code count mismatch");
+        // lint: allow(wallclock-determinism) — report-only wall-clock for the learning curve; never feeds training
         let start = Instant::now();
         let mut curve = LearningCurve::new();
         let initial_ba_error = self.model.ba_error(x);

@@ -38,6 +38,7 @@ use crate::config::ParMacConfig;
 use crate::curve::{IterationRecord, LearningCurve};
 use crate::mac::{initialize_ba, refit_decoder, MacReport, RetrievalEval};
 use crate::zstep::{self, ZStepProblem};
+use parking_lot::Mutex;
 use parmac_cluster::{
     ClusterBackend, Fault, SimBackend, SimCluster, WStepStats, ZStepStats, ZUpdate,
 };
@@ -191,6 +192,7 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
     /// (for the learning curves and early stopping).
     pub fn run_with_eval(&mut self, x: &Mat, eval: Option<&RetrievalEval>) -> ParMacReport {
         assert_eq!(x.rows(), self.codes.len(), "data/code count mismatch");
+        // lint: allow(wallclock-determinism) — report-only wall-clock for the learning curve; never feeds training
         let start = Instant::now();
         let mut curve = LearningCurve::new();
         let mut w_steps = Vec::new();
@@ -405,15 +407,16 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
         // concurrently-solving worker — not one per chunk — and the per-point
         // kernels allocate nothing regardless of how the backend partitions
         // the work.
-        let workspaces: std::sync::Mutex<Vec<zstep::ZStepWorkspace>> =
-            std::sync::Mutex::new(Vec::new());
+        // parking_lot's non-poisoning lock: a panicked solver in one worker
+        // must not cascade "workspace pool poisoned" panics into the others
+        // (workspaces are checked out whole, so recovery sees a valid pool).
+        let workspaces: Mutex<Vec<zstep::ZStepWorkspace>> = Mutex::new(Vec::new());
         let solve = |_machine: usize, chunk: &[usize]| {
             let hx = zstep::encoder_outputs(x, chunk, model.decoder().n_bits(), |row| {
                 model.encoder().encode_one(row)
             });
             let mut workspace = workspaces
                 .lock()
-                .expect("workspace pool poisoned")
                 .pop()
                 .unwrap_or_else(|| zstep::ZStepWorkspace::new(&problem));
             let mut updates = Vec::new();
@@ -434,10 +437,7 @@ impl<B: ClusterBackend> ParMacTrainer<B> {
                     }
                 },
             );
-            workspaces
-                .lock()
-                .expect("workspace pool poisoned")
-                .push(workspace);
+            workspaces.lock().push(workspace);
             updates
         };
         let (updates, stats) =

@@ -1,0 +1,50 @@
+// Fixture for the `actor-panic` rule. Lines carrying a FIRE marker must be
+// flagged; everything else must stay clean. Linted as if it lived at
+// `crates/parmac-cluster/src/fixture.rs`.
+
+fn serving_actor(x: Option<u32>) {
+    let _ = x.unwrap(); // FIRE: actor-panic
+    let _ = x.expect("present"); // FIRE: actor-panic
+    if x.is_none() {
+        panic!("boom"); // FIRE: actor-panic
+    }
+    match x {
+        Some(_) => {}
+        None => unreachable!(), // FIRE: actor-panic
+    }
+}
+
+fn admission_loop(x: Option<u32>) {
+    let _ = x.unwrap(); // FIRE: actor-panic
+    let _ = x.unwrap_or_default(); // `unwrap_or_default` is not `unwrap`
+}
+
+// A helper outside any actor region: panicking is legal (caller's problem).
+fn plain_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn fenced_scan_worker(x: Option<u32>) {
+    // lint: actor-region
+    let _ = x.unwrap(); // FIRE: actor-panic
+    todo!() // FIRE: actor-panic
+    // lint: end-actor-region
+}
+
+fn after_fence(x: Option<u32>) {
+    let _ = x.unwrap(); // outside the fence again
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt even when the fn name matches the actor pattern.
+    fn in_test_actor(x: Option<u32>) {
+        let _ = x.unwrap();
+    }
+
+    #[test]
+    fn asserts_freely() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture exercising both suppression mechanisms: every violation below is
+// covered either by an inline `// lint: allow(...)` annotation or by the
+// allowlist file entry the test supplies — so the expected finding count is
+// exactly zero.
+
+fn serving_actor(x: Option<u32>) {
+    // lint: allow(actor-panic) — fixture: invariant guarantees Some
+    let _ = x.unwrap();
+    let _ = x.expect("covered inline"); // lint: allow(actor-panic)
+}
+
+fn mailbox(rx: &Receiver<u32>) {
+    // Suppressed by the allowlist-file entry `unbounded-recv <this path>`.
+    let _ = rx.recv();
+}
+
+fn raw_but_annotated() {
+    // lint: allow(raw-spawn) — fixture: demonstrating the annotation
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,49 @@
+// Fixture for the `lock-across-send` rule: a bound mutex guard still live at
+// a channel `send`/`try_send` is flagged; scoped, dropped, chained-temporary
+// and deref-copy patterns are all clean.
+
+fn bad_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let _ = tx.send(*guard); // FIRE: lock-across-send
+}
+
+fn bad_try_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let mut guard = m.lock();
+    *guard += 1;
+    let _ = tx.try_send(*guard); // FIRE: lock-across-send
+}
+
+fn scoped_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let guard = m.lock();
+        *guard
+    };
+    let _ = tx.send(v);
+}
+
+fn dropped_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let v = *guard;
+    drop(guard);
+    let _ = tx.send(v);
+}
+
+fn chained_temporary(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    // The temporary guard dies at the end of this statement.
+    let n = m.lock().len();
+    let _ = tx.send(n);
+}
+
+fn deref_copy(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = *m.lock();
+    let _ = tx.send(v);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_exempt(m: &Mutex<u32>, tx: &Sender<u32>) {
+        let guard = m.lock();
+        let _ = tx.send(*guard);
+    }
+}

@@ -1,0 +1,28 @@
+// Fixture for the `raw-spawn` rule: raw `thread::spawn` is flagged in any
+// crate; named builders and scoped threads are the sanctioned spawn sites.
+
+fn raw() {
+    std::thread::spawn(|| {}); // FIRE: raw-spawn
+    let handle = thread::spawn(worker); // FIRE: raw-spawn
+    let _ = handle;
+}
+
+fn sanctioned() {
+    let _ = std::thread::Builder::new()
+        .name("parmac-scan-0".into())
+        .spawn(|| {});
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+fn worker() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_spawns_freely() {
+        let h = std::thread::spawn(|| 1);
+        assert_eq!(h.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+// Fixture for the `unbounded-recv` rule. Linted as if it lived at
+// `crates/parmac-cluster/src/fixture.rs` — the rule only applies there.
+
+fn mailbox(rx: &Receiver<u32>) {
+    let _ = rx.recv(); // FIRE: unbounded-recv
+    while let Ok(msg) = rx.recv() { // FIRE: unbounded-recv
+        let _ = msg;
+    }
+}
+
+fn bounded(rx: &Receiver<u32>, tick: Duration) {
+    // Deadline-bounded waits are the sanctioned form.
+    let _ = rx.recv_timeout(tick);
+    let _ = rx.try_recv();
+}
+
+// A method *named* recv but taking arguments is not the blocking mpsc wait.
+fn custom(sock: &Socket, buf: &mut [u8]) {
+    let _ = sock.recv(buf);
+}
+
+// Mentions in strings and comments never fire: rx.recv()
+fn in_literals() {
+    let s = "rx.recv()";
+    let r = r#"rx.recv()"#;
+    let _ = (s, r);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block_forever() {
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+// Fixture for the `wallclock-determinism` rule. Linted as if it lived at
+// `crates/parmac-core/src/fixture.rs` — the rule covers the
+// bitwise-deterministic crates (`parmac-core`, `parmac-retrieval`) only.
+
+fn timed_step() {
+    let t0 = Instant::now(); // FIRE: wallclock-determinism
+    let wall = SystemTime::now(); // FIRE: wallclock-determinism
+    let _ = (t0, wall);
+}
+
+fn deterministic_step(seed: u64) -> u64 {
+    // Durations that arrive as *data* are fine; only clock reads are banned.
+    let budget = Duration::from_millis(seed);
+    budget.as_millis() as u64
+}
+
+fn annotated_report_timing() -> Duration {
+    // lint: allow(wallclock-determinism) — report-only timing, never feeds training
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_things() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,1079 @@
+//! `parmac-lint`: a workspace concurrency-invariant analyzer.
+//!
+//! `clippy` cannot see the invariants the serving substrate
+//! (`crates/parmac-cluster/src/server.rs`) rests on: detached actor threads
+//! must never panic, every blocking wait must be deadline- or
+//! heartbeat-bounded, long-lived threads must come from the sanctioned named
+//! spawn sites, bitwise-deterministic training paths must not read wall
+//! clocks, and mutex guards must not be held across channel sends. This crate
+//! is a hand-rolled Rust *token* scanner (offline — no syn, no crates.io)
+//! that walks every non-vendor crate's library sources and enforces those
+//! rules with `file:line` diagnostics.
+//!
+//! # Rules
+//!
+//! | id | scope | invariant |
+//! |----|-------|-----------|
+//! | `actor-panic` | actor regions, all crates | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` inside actor-loop or scan-worker regions — a panic there kills a detached serving thread silently |
+//! | `unbounded-recv` | `parmac-cluster` | no bare `.recv()`: every blocking wait must use `recv_timeout` (deadline- or heartbeat-bounded), per the PR-7 bounded-shutdown contract |
+//! | `raw-spawn` | all crates | no raw `thread::spawn`: long-lived threads come from the sanctioned sites (`thread::Builder` with a name, or scoped `thread::scope`), so every thread is identifiable in a hang dump |
+//! | `wallclock-determinism` | `parmac-core`, `parmac-retrieval` | no `Instant::now` / `SystemTime` in the bitwise-deterministic training/retrieval paths |
+//! | `lock-across-send` | all crates | no mutex guard held across a channel `send`/`try_send` (coarse lexical scope check) — holding a lock while handing work to another thread is the classic priority-inversion/deadlock shape |
+//!
+//! # Regions
+//!
+//! `actor-panic` only applies inside *actor regions*: the body of any
+//! function whose name ends in `_actor` or `_loop`, plus any span fenced by
+//! `// lint: actor-region` … `// lint: end-actor-region` comments.
+//!
+//! # Exemptions
+//!
+//! * Test code — `#[cfg(test)]` items and `#[test]` functions — is exempt
+//!   from every rule, as are `tests/`, `benches/`, `examples/` and `src/bin/`
+//!   targets (only library sources are swept).
+//! * An inline annotation `// lint: allow(rule-a, rule-b) — reason` on the
+//!   offending line, or on the line directly above it, suppresses those
+//!   rules for that line. Always state the reason.
+//! * The allowlist file (`parmac-lint.allow` at the workspace root) holds
+//!   path-prefix suppressions: one `rule path-prefix` pair per line, `#`
+//!   comments allowed. Use it for whole files that are out of a rule's
+//!   jurisdiction; prefer inline annotations for single sites.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every rule the analyzer knows, by stable kebab-case id.
+pub const RULES: [&str; 5] = [
+    "actor-panic",
+    "unbounded-recv",
+    "raw-spawn",
+    "wallclock-determinism",
+    "lock-across-send",
+];
+
+/// One diagnostic: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// Path-prefix suppressions loaded from the workspace allowlist file.
+#[derive(Debug, Default, Clone)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>, // (rule or "*", path prefix)
+}
+
+impl Allowlist {
+    /// Parses the `rule path-prefix` line format (`#` comments, blank lines
+    /// ignored). Unknown rule names are kept verbatim so a stale entry is
+    /// visible in review rather than silently dead.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rule), Some(prefix)) = (parts.next(), parts.next()) {
+                entries.push((rule.to_string(), prefix.to_string()));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads `parmac-lint.allow` from `root`, or an empty list if absent.
+    pub fn load(root: &Path) -> Allowlist {
+        match fs::read_to_string(root.join("parmac-lint.allow")) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    fn suppresses(&self, rule: &str, rel_path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, prefix)| (r == "*" || r == rule) && rel_path.starts_with(prefix.as_str()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Directive {
+    RegionStart(u32),
+    RegionEnd(u32),
+    Allow {
+        line: u32,
+        rules: Vec<String>,
+        /// A standalone `// lint: allow(...)` line covers the *next* line; a
+        /// trailing comment after code covers only its own line.
+        standalone: bool,
+    },
+}
+
+/// Tokenises Rust source: identifiers and punctuation survive; string/char/
+/// numeric literals, comments and lifetimes are consumed (so a `.recv()`
+/// inside a string or doc comment never fires), and `// lint:` directives are
+/// collected on the side.
+fn lex(source: &str) -> (Vec<Token>, Vec<Directive>) {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    fn is_ident_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_'
+    }
+    fn is_ident_cont(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            // Line comment. Plain `//` comments may carry lint directives;
+            // doc comments (`///`, `//!`) never do, so examples in docs
+            // cannot open phantom regions.
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            let is_doc = start < bytes.len() && (bytes[start] == b'/' || bytes[start] == b'!');
+            if !is_doc {
+                let text = source[start..j].trim();
+                if let Some(rest) = text.strip_prefix("lint:") {
+                    let standalone = tokens.last().is_none_or(|t: &Token| t.line != line);
+                    parse_directive(rest.trim(), line, standalone, &mut directives);
+                }
+            }
+            i = j;
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            // Block comment, nesting handled.
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if is_ident_start(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            let ident = &source[start..i];
+            // String-literal prefixes: r"", r#""#, b"", br"", b'c'.
+            let next = bytes.get(i).copied();
+            match (ident, next) {
+                ("r" | "br" | "b" | "rb", Some(b'"')) | ("r" | "br" | "rb", Some(b'#')) => {
+                    skip_string_literal(bytes, &mut i, &mut line, ident.contains('r'));
+                }
+                ("b", Some(b'\'')) => {
+                    i += 1; // consume the quote; skip_char expects to be past it
+                    skip_char_literal(bytes, &mut i, &mut line);
+                }
+                _ => tokens.push(Token {
+                    tok: Tok::Ident(ident.to_string()),
+                    line,
+                }),
+            }
+        } else if b.is_ascii_digit() {
+            // Numeric literal (coarse: digits, underscores, type suffixes,
+            // hex/oct/bin digits, an optional fraction).
+            i += 1;
+            while i < bytes.len() && (is_ident_cont(bytes[i])) {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+            }
+        } else if b == b'"' {
+            skip_string_literal(bytes, &mut i, &mut line, false);
+        } else if b == b'\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            if i + 1 < bytes.len()
+                && bytes[i + 1] != b'\\'
+                && is_ident_start(bytes[i + 1])
+                && bytes.get(i + 2).copied() != Some(b'\'')
+            {
+                // Lifetime: consume the quote and the identifier.
+                i += 1;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                skip_char_literal(bytes, &mut i, &mut line);
+            }
+        } else {
+            tokens.push(Token {
+                tok: Tok::Punct(b as char),
+                line,
+            });
+            i += 1;
+        }
+    }
+    (tokens, directives)
+}
+
+fn parse_directive(text: &str, line: u32, standalone: bool, directives: &mut Vec<Directive>) {
+    if text.starts_with("actor-region") {
+        directives.push(Directive::RegionStart(line));
+    } else if text.starts_with("end-actor-region") {
+        directives.push(Directive::RegionEnd(line));
+    } else if let Some(rest) = text.strip_prefix("allow(") {
+        if let Some(close) = rest.find(')') {
+            let rules = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            directives.push(Directive::Allow {
+                line,
+                rules,
+                standalone,
+            });
+        }
+    }
+}
+
+/// Consumes a (possibly raw) string literal starting at `*i` (which points at
+/// the opening `"` or the first `#` of a raw string).
+fn skip_string_literal(bytes: &[u8], i: &mut usize, line: &mut u32, raw: bool) {
+    let mut hashes = 0usize;
+    while raw && *i < bytes.len() && bytes[*i] == b'#' {
+        hashes += 1;
+        *i += 1;
+    }
+    if *i < bytes.len() && bytes[*i] == b'"' {
+        *i += 1;
+    }
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if b == b'\n' {
+            *line += 1;
+            *i += 1;
+        } else if !raw && b == b'\\' {
+            *i = (*i + 2).min(bytes.len());
+        } else if b == b'"' {
+            *i += 1;
+            if !raw || hashes == 0 {
+                return;
+            }
+            let mut seen = 0usize;
+            while seen < hashes && *i < bytes.len() && bytes[*i] == b'#' {
+                seen += 1;
+                *i += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        } else {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a char literal body; `*i` points at the first byte after the
+/// opening `'`.
+fn skip_char_literal(bytes: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if b == b'\\' {
+            *i = (*i + 2).min(bytes.len());
+        } else if b == b'\'' {
+            *i += 1;
+            return;
+        } else {
+            if b == b'\n' {
+                *line += 1;
+            }
+            *i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regions (actor fences, named-fn bodies, test items)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct LineSet {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl LineSet {
+    fn add(&mut self, start: u32, end: u32) {
+        self.ranges.push((start, end));
+    }
+    fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RegionKind {
+    ActorFn,
+    TestItem,
+}
+
+/// Walks the token stream matching braces to turn "the body of this item"
+/// into line ranges: functions named `*_actor` / `*_loop` become actor
+/// regions, items behind `#[cfg(test)]` / `#[test]` become test regions.
+fn item_regions(tokens: &[Token]) -> (LineSet, LineSet) {
+    let mut actor = LineSet::default();
+    let mut test = LineSet::default();
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    // Regions armed by a preceding attribute / fn name, latched onto the next
+    // `{` at the current nesting (a `;` first means a body-less item).
+    let mut pending: Vec<RegionKind> = Vec::new();
+    let mut open: Vec<(RegionKind, usize, u32)> = Vec::new(); // (kind, body depth, start line)
+
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        match &tokens[idx].tok {
+            Tok::Ident(name) if name == "fn" => {
+                if let Some(Token {
+                    tok: Tok::Ident(fn_name),
+                    ..
+                }) = tokens.get(idx + 1)
+                {
+                    if fn_name.ends_with("_actor") || fn_name.ends_with("_loop") {
+                        pending.push(RegionKind::ActorFn);
+                    }
+                }
+            }
+            Tok::Punct('#') => {
+                // Attribute: `#[...]` — scan the bracket group for `test`.
+                if let Some(Token {
+                    tok: Tok::Punct('['),
+                    ..
+                }) = tokens.get(idx + 1)
+                {
+                    let mut j = idx + 2;
+                    let mut attr_depth = 1usize;
+                    let mut saw_test = false;
+                    while j < tokens.len() && attr_depth > 0 {
+                        match &tokens[j].tok {
+                            Tok::Punct('[') => attr_depth += 1,
+                            Tok::Punct(']') => attr_depth -= 1,
+                            Tok::Ident(w) if w == "test" => saw_test = true,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if saw_test {
+                        pending.push(RegionKind::TestItem);
+                    }
+                    idx = j;
+                    continue;
+                }
+            }
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren = paren.saturating_sub(1),
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket = bracket.saturating_sub(1),
+            Tok::Punct(';') if paren == 0 && bracket == 0 && depth == open_floor(&open) => {
+                // A body-less item (trait method, `#[cfg(test)] use ...;`)
+                // consumes the armed regions.
+                pending.clear();
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                for kind in pending.drain(..) {
+                    open.push((kind, depth, tokens[idx].line));
+                }
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while let Some(&(kind, body_depth, start)) = open.last() {
+                    if body_depth > depth {
+                        open.pop();
+                        let set = match kind {
+                            RegionKind::ActorFn => &mut actor,
+                            RegionKind::TestItem => &mut test,
+                        };
+                        set.add(start, tokens[idx].line);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    // Unclosed regions (truncated file): extend to the end.
+    for (kind, _, start) in open {
+        let set = match kind {
+            RegionKind::ActorFn => &mut actor,
+            RegionKind::TestItem => &mut test,
+        };
+        set.add(start, u32::MAX);
+    }
+    (actor, test)
+}
+
+/// The brace depth at which the innermost open region's body sits — armed
+/// regions are only disarmed by a `;` at their own item level, not by
+/// semicolons inside a deeper body.
+fn open_floor(open: &[(RegionKind, usize, u32)]) -> usize {
+    open.last().map_or(0, |&(_, d, _)| d)
+}
+
+fn fence_regions(directives: &[Directive]) -> LineSet {
+    let mut set = LineSet::default();
+    let mut start: Option<u32> = None;
+    for d in directives {
+        match d {
+            Directive::RegionStart(line) => {
+                if start.is_none() {
+                    start = Some(*line);
+                }
+            }
+            Directive::RegionEnd(line) => {
+                if let Some(s) = start.take() {
+                    set.add(s, *line);
+                }
+            }
+            Directive::Allow { .. } => {}
+        }
+    }
+    if let Some(s) = start {
+        set.add(s, u32::MAX);
+    }
+    set
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis
+// ---------------------------------------------------------------------------
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    krate: Option<&'a str>,
+    tokens: Vec<Token>,
+    actor: LineSet,
+    fence: LineSet,
+    test: LineSet,
+    allows: Vec<(u32, bool, Vec<String>)>,
+}
+
+impl FileCtx<'_> {
+    fn in_actor_region(&self, line: u32) -> bool {
+        self.actor.contains(line) || self.fence.contains(line)
+    }
+    fn in_test(&self, line: u32) -> bool {
+        self.test.contains(line)
+    }
+    /// Inline allow: a trailing `// lint: allow(...)` covers its own line, a
+    /// standalone one covers the line directly below it.
+    fn allowed_inline(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(l, standalone, rules)| {
+            let covers = if *standalone {
+                *l + 1 == line
+            } else {
+                *l == line
+            };
+            covers && rules.iter().any(|r| r == rule || r == "*")
+        })
+    }
+
+    fn ident_at(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => Some(name.as_str()),
+            _ => None,
+        }
+    }
+    fn punct_at(&self, idx: usize) -> Option<char> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+    /// `.name(` — a method call on something.
+    fn is_method_call(&self, idx: usize, name: &str) -> bool {
+        self.ident_at(idx) == Some(name)
+            && idx > 0
+            && self.punct_at(idx - 1) == Some('.')
+            && self.punct_at(idx + 1) == Some('(')
+    }
+    /// `name!` — a macro invocation.
+    fn is_macro(&self, idx: usize, name: &str) -> bool {
+        self.ident_at(idx) == Some(name) && self.punct_at(idx + 1) == Some('!')
+    }
+    /// `a :: b` at `idx` (idx is `a`).
+    fn is_path_pair(&self, idx: usize, a: &str, b: &str) -> bool {
+        self.ident_at(idx) == Some(a)
+            && self.punct_at(idx + 1) == Some(':')
+            && self.punct_at(idx + 2) == Some(':')
+            && self.ident_at(idx + 3) == Some(b)
+    }
+}
+
+/// Lints one file's source. `rel_path` must be workspace-relative with
+/// forward slashes — it decides which crate-scoped rules apply.
+pub fn lint_source(rel_path: &str, source: &str, allowlist: &Allowlist) -> Vec<Finding> {
+    let (tokens, directives) = lex(source);
+    let (actor, test) = item_regions(&tokens);
+    let fence = fence_regions(&directives);
+    let allows = directives
+        .iter()
+        .filter_map(|d| match d {
+            Directive::Allow {
+                line,
+                rules,
+                standalone,
+            } => Some((*line, *standalone, rules.clone())),
+            _ => None,
+        })
+        .collect();
+    let ctx = FileCtx {
+        rel: rel_path,
+        krate: crate_of(rel_path),
+        tokens,
+        actor,
+        fence,
+        test,
+        allows,
+    };
+
+    let mut findings = Vec::new();
+    rule_actor_panic(&ctx, &mut findings);
+    rule_unbounded_recv(&ctx, &mut findings);
+    rule_raw_spawn(&ctx, &mut findings);
+    rule_wallclock(&ctx, &mut findings);
+    rule_lock_across_send(&ctx, &mut findings);
+    findings.retain(|f| !allowlist.suppresses(f.rule, rel_path));
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// `crates/<name>/...` → `<name>`; the facade's own `src/` → `parmac`.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        rest.split('/').next()
+    } else if rel_path.starts_with("src/") {
+        Some("parmac")
+    } else {
+        None
+    }
+}
+
+fn push(
+    ctx: &FileCtx<'_>,
+    findings: &mut Vec<Finding>,
+    rule: &'static str,
+    line: u32,
+    msg: String,
+) {
+    if ctx.in_test(line) || ctx.allowed_inline(rule, line) {
+        return;
+    }
+    findings.push(Finding {
+        rule,
+        path: ctx.rel.to_string(),
+        line,
+        message: msg,
+    });
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+fn rule_actor_panic(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for idx in 0..ctx.tokens.len() {
+        let line = ctx.tokens[idx].line;
+        if !ctx.in_actor_region(line) {
+            continue;
+        }
+        if ctx.is_method_call(idx, "unwrap") || ctx.is_method_call(idx, "expect") {
+            let name = ctx.ident_at(idx).unwrap_or_default();
+            push(
+                ctx,
+                findings,
+                "actor-panic",
+                line,
+                format!(
+                    "`.{name}()` inside an actor region: a panic here kills a detached \
+                     serving thread silently — return a degraded result or bail instead"
+                ),
+            );
+        } else if PANIC_MACROS.iter().any(|m| ctx.is_macro(idx, m)) {
+            let name = ctx.ident_at(idx).unwrap_or_default();
+            push(
+                ctx,
+                findings,
+                "actor-panic",
+                line,
+                format!("`{name}!` inside an actor region: actor threads must not panic"),
+            );
+        }
+    }
+}
+
+fn rule_unbounded_recv(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if ctx.krate != Some("parmac-cluster") {
+        return;
+    }
+    for idx in 0..ctx.tokens.len() {
+        if ctx.is_method_call(idx, "recv") && ctx.punct_at(idx + 2) == Some(')') {
+            push(
+                ctx,
+                findings,
+                "unbounded-recv",
+                ctx.tokens[idx].line,
+                "bare `.recv()` in parmac-cluster: every blocking wait must be bounded \
+                 (`recv_timeout` with a deadline, or the `waits::recv_bounded` heartbeat)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn rule_raw_spawn(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    for idx in 0..ctx.tokens.len() {
+        if ctx.is_path_pair(idx, "thread", "spawn") {
+            push(
+                ctx,
+                findings,
+                "raw-spawn",
+                ctx.tokens[idx].line,
+                "raw `thread::spawn`: long-lived threads must use a sanctioned spawn site \
+                 (`thread::Builder` with a name, or scoped `thread::scope`)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn rule_wallclock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    if !matches!(ctx.krate, Some("parmac-core") | Some("parmac-retrieval")) {
+        return;
+    }
+    for idx in 0..ctx.tokens.len() {
+        let line = ctx.tokens[idx].line;
+        if ctx.is_path_pair(idx, "Instant", "now") {
+            push(
+                ctx,
+                findings,
+                "wallclock-determinism",
+                line,
+                "`Instant::now` in a bitwise-deterministic training path: wall-clock reads \
+                 must not influence training (annotate report-only timing explicitly)"
+                    .to_string(),
+            );
+        } else if ctx.ident_at(idx) == Some("SystemTime") {
+            push(
+                ctx,
+                findings,
+                "wallclock-determinism",
+                line,
+                "`SystemTime` in a bitwise-deterministic training path".to_string(),
+            );
+        }
+    }
+}
+
+#[derive(Debug)]
+struct GuardBinding {
+    name: String,
+    depth: usize,
+    line: u32,
+}
+
+/// Coarse lexical check: a `let <name> = …​.lock();` binding is treated as a
+/// live mutex guard until its block closes or an explicit `drop(<name>)`;
+/// any `.send(` / `.try_send(` while one is live is flagged. Chained
+/// temporaries (`m.lock().len()`) and deref copies (`let x = *m.lock();`)
+/// are not guards and are ignored.
+fn rule_lock_across_send(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
+    let mut depth = 0usize;
+    let mut guards: Vec<GuardBinding> = Vec::new();
+    let mut idx = 0usize;
+    while idx < ctx.tokens.len() {
+        let line = ctx.tokens[idx].line;
+        match &ctx.tokens[idx].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(name) if name == "drop" && ctx.punct_at(idx + 1) == Some('(') => {
+                if let (Some(dropped), Some(')')) = (ctx.ident_at(idx + 2), ctx.punct_at(idx + 3)) {
+                    guards.retain(|g| g.name != dropped);
+                }
+            }
+            Tok::Ident(name) if name == "let" => {
+                if let Some(binding) = guard_binding(ctx, idx, depth) {
+                    guards.push(binding);
+                }
+            }
+            Tok::Ident(name)
+                if (name == "send" || name == "try_send") && ctx.is_method_call(idx, name) =>
+            {
+                if let Some(guard) = guards.last() {
+                    push(
+                        ctx,
+                        findings,
+                        "lock-across-send",
+                        line,
+                        format!(
+                            "channel `{name}` while the mutex guard `{}` (taken at line {}) \
+                             is still held — release or `drop()` the guard before sending",
+                            guard.name, guard.line
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+}
+
+/// Recognises `let [mut] <name> [: T] = <expr ending in .lock()>;` starting
+/// at the `let` token. Returns the binding if the statement binds a guard.
+fn guard_binding(ctx: &FileCtx<'_>, let_idx: usize, depth: usize) -> Option<GuardBinding> {
+    let mut j = let_idx + 1;
+    if ctx.ident_at(j) == Some("mut") {
+        j += 1;
+    }
+    let name = ctx.ident_at(j)?.to_string();
+    // Find the `=` of the initialiser (skipping a `: Type` annotation, whose
+    // generics may nest `< … >` but never contain a bare `=`).
+    let mut eq = j + 1;
+    loop {
+        match ctx.punct_at(eq) {
+            Some('=') => break,
+            Some(';') | None => return None,
+            _ => eq += 1,
+        }
+    }
+    // A deref copy (`let x = *m.lock();`) releases the temporary guard at the
+    // end of the statement — not a held guard.
+    if ctx.punct_at(eq + 1) == Some('*') {
+        return None;
+    }
+    // Scan to the terminating `;` at bracket level 0 relative to the
+    // statement; the binding is a guard iff the initialiser *ends* with
+    // `.lock()` (a further method chain consumes the temporary instead).
+    let mut k = eq + 1;
+    let mut nest = 0usize;
+    while k < ctx.tokens.len() {
+        match ctx.punct_at(k) {
+            Some('(') | Some('[') | Some('{') => nest += 1,
+            Some(')') | Some(']') | Some('}') => {
+                // A closing brace below statement level ends the statement
+                // (e.g. a block expression tail without `;`).
+                if nest == 0 {
+                    return None;
+                }
+                nest -= 1;
+            }
+            Some(';') if nest == 0 => {
+                // Initialiser ends at k: check for `… . lock ( ) ;`.
+                if k >= 4
+                    && ctx.is_method_call(k - 3, "lock")
+                    && ctx.punct_at(k - 1) == Some(')')
+                    && ctx.punct_at(k - 2) == Some('(')
+                {
+                    return Some(GuardBinding {
+                        name,
+                        depth,
+                        line: ctx.tokens[let_idx].line,
+                    });
+                }
+                return None;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Workspace driver
+// ---------------------------------------------------------------------------
+
+/// Library sources the sweep covers: `crates/*/src/**.rs` (excluding
+/// `src/bin/`) plus the facade's own `src/`. Tests, benches, examples and
+/// binaries are exempt by construction; `vendor/` and `target/` are never
+/// visited.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        collect_rs(&facade_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            // `src/bin/` targets are runnable tools, not library code.
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`, loading `parmac-lint.allow`
+/// from there. Findings are sorted by path then line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let allowlist = Allowlist::load(root);
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source, &allowlist));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]` — how the CLI finds the root when run via `cargo run`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_cluster(src: &str) -> Vec<Finding> {
+        lint_source("crates/parmac-cluster/src/x.rs", src, &Allowlist::default())
+    }
+
+    #[test]
+    fn literals_and_comments_never_fire() {
+        let src = r###"
+fn f() {
+    let s = "rx.recv() // not code";
+    let r = r#"rx.recv()"#;
+    // rx.recv() in a comment
+    /* rx.recv() in /* a nested */ block comment */
+    let c = 'r';
+    let lifetime: &'static str = s;
+    let _ = (s, r, c, lifetime);
+}
+"###;
+        assert!(lint_cluster(src).is_empty(), "{:?}", lint_cluster(src));
+    }
+
+    #[test]
+    fn recv_fires_and_recv_timeout_does_not() {
+        let src = "fn f(rx: &Receiver<u32>) { let _ = rx.recv(); let _ = rx.recv_timeout(t); }";
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unbounded-recv");
+        // Same source outside parmac-cluster: clean.
+        assert!(lint_source("crates/parmac-hash/src/x.rs", src, &Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn actor_region_by_name_fence_and_test_exemption() {
+        let src = r#"
+fn serving_actor(x: Option<u32>) {
+    let _ = x.unwrap();
+}
+fn helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn fenced(x: Option<u32>) {
+    // lint: actor-region
+    let _ = x.unwrap();
+    // lint: end-actor-region
+    let _ = x.unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn in_test_actor(x: Option<u32>) {
+        let _ = x.unwrap();
+    }
+}
+"#;
+        let findings = lint_cluster(src);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 10], "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "actor-panic"));
+    }
+
+    #[test]
+    fn inline_allow_suppresses_on_same_or_previous_line() {
+        let src = r#"
+fn serving_actor(x: Option<u32>) {
+    // lint: allow(actor-panic) — invariant: always Some here
+    let _ = x.unwrap();
+    let _ = x.unwrap(); // lint: allow(actor-panic)
+    let _ = x.unwrap();
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn allowlist_file_suppresses_by_path_prefix() {
+        let src = "fn f(rx: &Receiver<u32>) { let _ = rx.recv(); }";
+        let allow = Allowlist::parse("unbounded-recv crates/parmac-cluster/src/x");
+        assert!(lint_source("crates/parmac-cluster/src/x.rs", src, &allow).is_empty());
+        let other = Allowlist::parse("unbounded-recv crates/parmac-cluster/src/y");
+        assert_eq!(
+            lint_source("crates/parmac-cluster/src/x.rs", src, &other).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn guard_across_send_fires_and_scoped_guard_does_not() {
+        let src = r#"
+fn bad(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let _ = tx.send(*guard);
+}
+fn scoped(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let guard = m.lock();
+        *guard
+    };
+    let _ = tx.send(v);
+}
+fn dropped(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let v = *guard;
+    drop(guard);
+    let _ = tx.send(v);
+}
+fn chained(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    let n = m.lock().len();
+    let _ = tx.send(n);
+}
+fn deref_copy(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = *m.lock();
+    let _ = tx.send(v);
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "lock-across-send");
+        assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn raw_spawn_fires_but_builder_and_scope_do_not() {
+        let src = r#"
+fn f() {
+    std::thread::spawn(|| {});
+    thread::spawn(worker);
+    let _ = thread::Builder::new();
+    thread::scope(|s| { s.spawn(|| {}); });
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "raw-spawn"));
+    }
+
+    #[test]
+    fn wallclock_fires_only_in_deterministic_crates() {
+        let src = "fn f() { let t = Instant::now(); let s = SystemTime::now(); }";
+        let core = lint_source("crates/parmac-core/src/x.rs", src, &Allowlist::default());
+        assert_eq!(core.len(), 2, "{core:?}");
+        assert!(
+            lint_source("crates/parmac-cluster/src/x.rs", src, &Allowlist::default()).is_empty()
+        );
+    }
+}

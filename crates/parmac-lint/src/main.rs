@@ -1,0 +1,44 @@
+//! CLI entry point: `cargo run -p parmac-lint [workspace-root]`.
+//!
+//! Prints one `path:line: [rule] message` diagnostic per finding and exits
+//! non-zero if any survive the allowlist — suitable as a named CI step.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().expect("cwd");
+            match parmac_lint::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "parmac-lint: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match parmac_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("parmac-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("parmac-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("parmac-lint: error walking {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Fixture-driven rule tests plus the live-workspace self-check.
+//!
+//! Each fixture under `fixtures/` carries `// FIRE: rule-id` markers on the
+//! exact lines a rule must flag. The test lexes those markers out of the raw
+//! text and demands the engine's findings match them 1:1 — both directions:
+//! a finding without a marker is a false positive, a marker without a
+//! finding is a false negative.
+
+use std::path::{Path, PathBuf};
+
+use parmac_lint::{lint_source, lint_workspace, Allowlist, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Extracts `(line, rule)` expectations from `// FIRE: rule-id` markers.
+fn fire_markers(source: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(pos) = line.find("// FIRE:") {
+            let rule = line[pos + "// FIRE:".len()..].trim().to_string();
+            out.push((i as u32 + 1, rule));
+        }
+    }
+    out
+}
+
+fn check_fixture(name: &str, rel_path: &str, allowlist: &Allowlist) {
+    let source = fixture(name);
+    let expected = fire_markers(&source);
+    let got: Vec<(u32, String)> = lint_source(rel_path, &source, allowlist)
+        .into_iter()
+        .map(|f: Finding| (f.line, f.rule.to_string()))
+        .collect();
+    assert_eq!(
+        got, expected,
+        "fixture {name}: findings (left) diverge from FIRE markers (right)"
+    );
+}
+
+#[test]
+fn actor_panic_fixture() {
+    check_fixture(
+        "actor_panic.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn unbounded_recv_fixture() {
+    check_fixture(
+        "unbounded_recv.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn raw_spawn_fixture() {
+    check_fixture(
+        "raw_spawn.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn wallclock_fixture() {
+    check_fixture(
+        "wallclock.rs",
+        "crates/parmac-core/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn lock_across_send_fixture() {
+    check_fixture(
+        "lock_across_send.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn allowlisted_fixture_is_silent() {
+    // Inline annotations cover the panics and the spawn; the file entry
+    // covers the bare recv. Nothing may survive.
+    let allow = Allowlist::parse(
+        "# fixture allowlist\nunbounded-recv crates/parmac-cluster/src/fixture.rs\n",
+    );
+    check_fixture(
+        "allowlisted.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &allow,
+    );
+}
+
+#[test]
+fn allowlisted_fixture_fires_without_the_file_entry() {
+    // Sanity: with only inline annotations the bare recv DOES fire — the
+    // file entry is load-bearing, not decorative.
+    let source = fixture("allowlisted.rs");
+    let findings = lint_source(
+        "crates/parmac-cluster/src/fixture.rs",
+        &source,
+        &Allowlist::default(),
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "unbounded-recv");
+}
+
+/// The live workspace must be lint-clean: this is the same sweep the CI step
+/// runs, executed as a test so `cargo test` alone catches regressions.
+#[test]
+fn workspace_self_check() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = parmac_lint::find_workspace_root(&manifest).expect("workspace root");
+    let findings = lint_workspace(&root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

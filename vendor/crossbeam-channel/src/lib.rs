@@ -5,8 +5,62 @@
 //! `send`/`try_send`, and a single-consumer `Receiver` with `recv`/`try_recv`.
 //! The real crate's `Receiver` is additionally cloneable (MPMC); nothing
 //! in-tree relies on that.
+//!
+//! # `check` feature — channel-misuse detection
+//!
+//! With `--features check`, every channel gets a process-unique id and each
+//! receive call registers the calling thread as the channel's *drainer*. A
+//! blocking [`Sender::send`] on a **bounded** channel whose registered
+//! drainer is the current thread then panics: at capacity, that send can
+//! only be unblocked by the very thread that is blocked in it — a
+//! self-deadlock that plain testing misses whenever the queue happens to
+//! have room. `try_send` stays exempt (failing with `Full` is the sanctioned
+//! way for an actor to enqueue to itself). CI runs the chaos and
+//! backend-matrix suites once under this mode.
 
 use std::sync::mpsc;
+
+#[cfg(feature = "check")]
+mod misuse {
+    //! Registry mapping channel id → the thread last seen draining it.
+
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock};
+    use std::thread::ThreadId;
+
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+    fn drainers() -> &'static StdMutex<HashMap<usize, ThreadId>> {
+        static DRAINERS: OnceLock<StdMutex<HashMap<usize, ThreadId>>> = OnceLock::new();
+        DRAINERS.get_or_init(|| StdMutex::new(HashMap::new()))
+    }
+
+    pub(crate) fn fresh_id() -> usize {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records the current thread as `id`'s drainer (called on every recv).
+    pub(crate) fn note_drainer(id: usize) {
+        let me = std::thread::current().id();
+        let mut map = drainers().lock().unwrap_or_else(|p| p.into_inner());
+        map.insert(id, me);
+    }
+
+    /// Panics if the current thread is the registered drainer of `id` —
+    /// called before a blocking send on a bounded channel.
+    pub(crate) fn check_blocking_send(id: usize) {
+        let me = std::thread::current().id();
+        let map = drainers().lock().unwrap_or_else(|p| p.into_inner());
+        if map.get(&id) == Some(&me) {
+            panic!(
+                "crossbeam-channel[check]: blocking send on bounded channel {id} from its \
+                 own drainer thread {me:?} — at capacity this self-deadlocks (only the \
+                 blocked thread could free space); use try_send and handle Full instead"
+            );
+        }
+    }
+}
 
 /// Error returned by [`Sender::send`] when the receiver is gone. Carries the
 /// unsent message like the real crate's error.
@@ -113,6 +167,8 @@ enum SenderInner<T> {
 #[derive(Debug)]
 pub struct Sender<T> {
     inner: SenderInner<T>,
+    #[cfg(feature = "check")]
+    id: usize,
 }
 
 impl<T> Clone for Sender<T> {
@@ -122,6 +178,8 @@ impl<T> Clone for Sender<T> {
                 SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
                 SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
             },
+            #[cfg(feature = "check")]
+            id: self.id,
         }
     }
 }
@@ -129,11 +187,17 @@ impl<T> Clone for Sender<T> {
 impl<T> Sender<T> {
     /// Sends a message, failing if the receiver has been dropped. On a
     /// bounded channel at capacity this blocks until space frees up
-    /// (backpressure).
+    /// (backpressure). Under `--features check`, a blocking send to a
+    /// bounded channel drained by the *current* thread panics (self-deadlock
+    /// shape) — use [`try_send`](Self::try_send) there instead.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         match &self.inner {
             SenderInner::Unbounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
-            SenderInner::Bounded(tx) => tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m)),
+            SenderInner::Bounded(tx) => {
+                #[cfg(feature = "check")]
+                misuse::check_blocking_send(self.id);
+                tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            }
         }
     }
 
@@ -158,12 +222,16 @@ impl<T> Sender<T> {
 #[derive(Debug)]
 pub struct Receiver<T> {
     inner: mpsc::Receiver<T>,
+    #[cfg(feature = "check")]
+    id: usize,
 }
 
 impl<T> Receiver<T> {
     /// Blocks until a message arrives, failing once the channel is empty and
     /// all senders are dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
+        #[cfg(feature = "check")]
+        misuse::note_drainer(self.id);
         self.inner.recv().map_err(|_| RecvError)
     }
 
@@ -172,6 +240,8 @@ impl<T> Receiver<T> {
     /// senders are dropped — the primitive behind bounded failover waits
     /// (a wedged peer costs at most `timeout`, never a hang).
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        #[cfg(feature = "check")]
+        misuse::note_drainer(self.id);
         self.inner.recv_timeout(timeout).map_err(|e| match e {
             mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
             mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
@@ -180,6 +250,8 @@ impl<T> Receiver<T> {
 
     /// Returns immediately with a message if one is ready.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        #[cfg(feature = "check")]
+        misuse::note_drainer(self.id);
         self.inner.try_recv().map_err(|e| match e {
             mpsc::TryRecvError::Empty => TryRecvError::Empty,
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
@@ -199,11 +271,19 @@ pub enum TryRecvError {
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
+    #[cfg(feature = "check")]
+    let id = misuse::fresh_id();
     (
         Sender {
             inner: SenderInner::Unbounded(tx),
+            #[cfg(feature = "check")]
+            id,
         },
-        Receiver { inner: rx },
+        Receiver {
+            inner: rx,
+            #[cfg(feature = "check")]
+            id,
+        },
     )
 }
 
@@ -211,11 +291,19 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 /// blocks when full; `try_send` fails with [`TrySendError::Full`] instead.
 pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::sync_channel(cap);
+    #[cfg(feature = "check")]
+    let id = misuse::fresh_id();
     (
         Sender {
             inner: SenderInner::Bounded(tx),
+            #[cfg(feature = "check")]
+            id,
         },
-        Receiver { inner: rx },
+        Receiver {
+            inner: rx,
+            #[cfg(feature = "check")]
+            id,
+        },
     )
 }
 
@@ -265,6 +353,42 @@ mod tests {
         let err = rx.recv_timeout(Duration::from_secs(5)).unwrap_err();
         assert_eq!(err, RecvTimeoutError::Disconnected);
         assert!(!err.is_timeout());
+    }
+
+    #[cfg(feature = "check")]
+    mod check_mode {
+        use super::super::*;
+
+        #[test]
+        #[should_panic(expected = "own drainer thread")]
+        fn blocking_send_to_own_mailbox_panics() {
+            let (tx, rx) = bounded(1);
+            // Register this thread as the channel's drainer, the way an
+            // actor loop would.
+            let _ = rx.try_recv();
+            // An actor blocking-sending to its own bounded mailbox would
+            // self-deadlock at capacity: check mode fails it immediately.
+            tx.send(1u32).unwrap();
+        }
+
+        #[test]
+        fn try_send_to_own_mailbox_is_sanctioned() {
+            let (tx, rx) = bounded(1);
+            let _ = rx.try_recv();
+            tx.try_send(1u32).unwrap();
+            assert!(tx.try_send(2u32).unwrap_err().is_full());
+            assert_eq!(rx.recv().unwrap(), 1);
+        }
+
+        #[test]
+        fn send_from_another_thread_is_quiet() {
+            let (tx, rx) = bounded(4);
+            let _ = rx.try_recv();
+            std::thread::spawn(move || tx.send(7u32).unwrap())
+                .join()
+                .unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+        }
     }
 
     #[test]

@@ -1,13 +1,140 @@
 //! Minimal offline shim for `parking_lot`: a `Mutex` whose `lock()` returns
-//! the guard directly (panicking on poison), which is the only API the
-//! workspace's tests use.
+//! the guard directly, which is the only API the workspace uses.
+//!
+//! # Poison policy
+//!
+//! Real `parking_lot` mutexes do not poison — a panic while holding the lock
+//! simply releases it. The shim mirrors that: `lock()` recovers from std
+//! poisoning via [`std::sync::PoisonError::into_inner`], so one panicked
+//! worker cannot cascade `mutex poisoned` panics through every other serving
+//! thread. Data protected by these locks must therefore be kept consistent
+//! *before* any call that can panic, which is the invariant `parmac-lint`'s
+//! `actor-panic` rule enforces upstream.
+//!
+//! # `check` feature — lock-order cycle detection (loom-lite)
+//!
+//! With `--features check`, every `Mutex` gets a process-unique id and each
+//! acquisition records a `held-lock → acquiring-lock` edge in a global
+//! lock-order graph. Before blocking, the would-be edge is checked against
+//! the graph: if it closes a cycle (some other thread acquires the same
+//! locks in the opposite order), the shim panics with both lock types in the
+//! message — turning a once-in-a-blue-moon deadlock into a deterministic
+//! test failure. Recursive acquisition of the same mutex on one thread also
+//! panics (it would self-deadlock under real `parking_lot`). CI runs the
+//! chaos and backend-matrix suites once under this mode.
 
-use std::sync::{Mutex as StdMutex, MutexGuard};
+use std::sync::Mutex as StdMutex;
+use std::sync::MutexGuard as StdMutexGuard;
 
-/// A mutex with `parking_lot`'s infallible `lock()` signature.
+#[cfg(feature = "check")]
+mod order {
+    //! The global lock-order graph and per-thread held-lock stacks.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+    /// Edges `from → to` with the type names recorded for diagnostics.
+    struct Graph {
+        edges: HashMap<usize, HashSet<usize>>,
+        names: HashMap<usize, &'static str>,
+    }
+
+    fn graph() -> &'static StdMutex<Graph> {
+        static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| {
+            StdMutex::new(Graph {
+                edges: HashMap::new(),
+                names: HashMap::new(),
+            })
+        })
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(crate) fn fresh_id() -> usize {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reachability in the edge set (DFS) — `from` can already reach `to`?
+    fn reaches(edges: &HashMap<usize, HashSet<usize>>, from: usize, to: usize) -> bool {
+        let mut stack = vec![from];
+        let mut seen = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = edges.get(&n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    }
+
+    /// Called before blocking on `id`. Panics on recursive acquisition or if
+    /// the new `held → id` edge would close a cycle in the global graph.
+    pub(crate) fn before_lock(id: usize, type_name: &'static str) {
+        let held: Vec<usize> = HELD.with(|h| h.borrow().clone());
+        if held.contains(&id) {
+            panic!(
+                "parking_lot[check]: recursive lock of Mutex<{type_name}> (id {id}) \
+                 on one thread — this self-deadlocks under real parking_lot"
+            );
+        }
+        if held.is_empty() {
+            return;
+        }
+        let mut g = graph().lock().unwrap_or_else(|p| p.into_inner());
+        g.names.entry(id).or_insert(type_name);
+        for &h in &held {
+            // Adding h → id: a cycle exists iff id already reaches h.
+            if reaches(&g.edges, id, h) {
+                let held_name = g.names.get(&h).copied().unwrap_or("?");
+                panic!(
+                    "parking_lot[check]: lock-order cycle — acquiring Mutex<{type_name}> \
+                     (id {id}) while holding Mutex<{held_name}> (id {h}), but the global \
+                     lock-order graph already orders {id} before {h}; some other code path \
+                     takes these locks in the opposite order (potential deadlock)"
+                );
+            }
+            g.edges.entry(h).or_default().insert(id);
+        }
+    }
+
+    pub(crate) fn after_acquire(id: usize) {
+        HELD.with(|h| h.borrow_mut().push(id));
+    }
+
+    pub(crate) fn on_release(id: usize) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// A mutex with `parking_lot`'s infallible, non-poisoning `lock()` signature.
 #[derive(Debug, Default)]
 pub struct Mutex<T> {
     inner: StdMutex<T>,
+    #[cfg(feature = "check")]
+    id: std::sync::OnceLock<usize>,
+}
+
+/// Guard returned by [`Mutex::lock`]; derefs to the protected value.
+pub struct MutexGuard<'a, T> {
+    inner: StdMutexGuard<'a, T>,
+    #[cfg(feature = "check")]
+    id: usize,
 }
 
 impl<T> Mutex<T> {
@@ -15,17 +142,71 @@ impl<T> Mutex<T> {
     pub fn new(value: T) -> Self {
         Mutex {
             inner: StdMutex::new(value),
+            #[cfg(feature = "check")]
+            id: std::sync::OnceLock::new(),
         }
     }
 
-    /// Acquires the lock, panicking if a previous holder panicked.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("mutex poisoned")
+    #[cfg(feature = "check")]
+    fn id(&self) -> usize {
+        *self.id.get_or_init(order::fresh_id)
     }
 
-    /// Consumes the mutex, returning the inner value.
+    /// Acquires the lock. Recovers the inner value if a previous holder
+    /// panicked (real `parking_lot` does not poison). Under `--features
+    /// check`, verifies the global lock-acquisition order first.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "check")]
+        let id = {
+            let id = self.id();
+            order::before_lock(id, std::any::type_name::<T>());
+            id
+        };
+        let inner = self.inner.lock().unwrap_or_else(|poisoned| {
+            // Poison recovery: adopt parking_lot's semantics — the lock is
+            // released by the panicking thread and stays usable.
+            poisoned.into_inner()
+        });
+        #[cfg(feature = "check")]
+        order::after_acquire(id);
+        MutexGuard {
+            inner,
+            #[cfg(feature = "check")]
+            id,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value (poison recovered).
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().expect("mutex poisoned")
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "check")]
+        order::on_release(self.id);
     }
 }
 
@@ -38,5 +219,67 @@ mod tests {
         let m = Mutex::new(1);
         *m.lock() += 41;
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(10));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("holder dies while holding the lock");
+        })
+        .join();
+        // A poisoning panic in one thread must not poison everyone else.
+        assert_eq!(*m.lock(), 10);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 11);
+    }
+
+    #[cfg(feature = "check")]
+    mod check_mode {
+        use super::Mutex;
+        use std::sync::Arc;
+
+        #[test]
+        fn consistent_order_is_quiet() {
+            let a = Arc::new(Mutex::new(1u32));
+            let b = Arc::new(Mutex::new(2u64));
+            for _ in 0..3 {
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                std::thread::spawn(move || {
+                    let ga = a2.lock();
+                    let gb = b2.lock();
+                    let _ = (*ga, *gb);
+                })
+                .join()
+                .unwrap();
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order cycle")]
+        fn reversed_order_panics() {
+            // Distinct payload types so the diagnostic names both locks.
+            struct First(#[allow(dead_code)] u8);
+            struct Second(#[allow(dead_code)] u8);
+            let a = Mutex::new(First(0));
+            let b = Mutex::new(Second(0));
+            {
+                let _ga = a.lock();
+                let _gb = b.lock(); // records a → b
+            }
+            let _gb = b.lock();
+            let _ga = a.lock(); // b → a closes the cycle: panic
+        }
+
+        #[test]
+        #[should_panic(expected = "recursive lock")]
+        fn recursive_lock_panics() {
+            let m = Mutex::new(0i128);
+            let _g1 = m.lock();
+            let _g2 = m.lock();
+        }
     }
 }
