@@ -84,7 +84,7 @@ use parmac_hash::BinaryCodes;
 use parmac_retrieval::{merge_shard_topk, PrefixIndex};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -98,6 +98,13 @@ const MIN_QUERIES_PER_SCAN_TASK: usize = 4;
 /// abandoning it. A wedged actor (sleeping in a scan, or chaos-wedged) must
 /// never block shutdown forever.
 const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+
+/// How long a synchronous rebalance (`rebalance_once`) waits for the
+/// rebalance actor to acknowledge its pass. A pass is internally bounded by
+/// the replication config's timeouts, so this only trips when the fleet is
+/// pathologically wedged — the caller then proceeds and the pass completes
+/// asynchronously.
+const REBALANCE_SYNC_GRACE: Duration = Duration::from_secs(10);
 
 /// Default number of scan workers per serving actor: the host's parallelism,
 /// capped so a many-machine fleet does not oversubscribe the box.
@@ -257,12 +264,22 @@ pub struct ZShardUpdates {
 
 /// The typed mailbox protocol of a ParMAC server machine. `S` is the
 /// circulating submodel type (the serving fleet instantiates it at `()`).
+// lint: wire-protocol — every variant must be codec'd, declared tag-only,
+// or explicitly local-only (checked by the wire-symmetry pass).
 pub enum MachineMsg<S> {
-    /// W step: a submodel envelope hopping the ring.
+    /// W step: a submodel envelope hopping the ring. The step protocol runs
+    /// on scoped in-process actors (the serving loop ignores it), so the
+    /// envelope never crosses the serving wire.
+    // lint: local-only — scoped step protocol, not a serving-wire message
     Envelope(SubmodelEnvelope<S>),
-    /// Z step: solve the local shard and reply.
+    /// Z step: solve the local shard and reply. Same scoped step protocol
+    /// as `Envelope`; the reply channel is in-process.
+    // lint: local-only — scoped step protocol, not a serving-wire message
     ZStepRequest(ZStepRequest),
     /// Retrieval: answer a Hamming k-NN query from the requested shards.
+    /// Crosses the wire as [`WireQuery`](crate::wire::WireQuery); the reply
+    /// channel is transport-level routing.
+    // lint: wire(WireQuery)
     Query(Query),
     /// Authoritatively (re)place one shard's codes on this machine. Clears
     /// any pending replica-installation state for the shard.
@@ -273,6 +290,9 @@ pub enum MachineMsg<S> {
         points: Vec<usize>,
         /// Their binary codes, one row per point, in `points` order.
         codes: BinaryCodes,
+        /// The publish-sequence stamp (see `Fleet::publish_seq`). An actor
+        /// ignores a `LoadShard` older than the shard data it already holds.
+        seq: u64,
     },
     /// Rebalancer: a replica snapshot fetched from a live donor. Installs it
     /// and replays updates stashed since the matching `ExpectReplica`.
@@ -283,6 +303,11 @@ pub enum MachineMsg<S> {
         points: Vec<usize>,
         /// Their binary codes, in `points` order.
         codes: BinaryCodes,
+        /// The publish seq of the donor data the snapshot captured. An
+        /// install that raced a newer authoritative `LoadShard` is ignored
+        /// — ordering, not a publish-wide lock, keeps donors from
+        /// overwriting fresher publishes.
+        seq: u64,
     },
     /// Rebalancer: this machine is about to receive `InstallReplica` for the
     /// shard; stash (do not apply) updates for it until the snapshot lands.
@@ -304,19 +329,23 @@ pub enum MachineMsg<S> {
     },
     /// Rebalancer: reply with a snapshot of one hosted shard (`None` if not
     /// hosted), so it can be installed on an under-replicated peer.
+    // lint: wire(tag-only) — a shard id; the reply channel is routing
     FetchShard {
         /// The shard to snapshot.
         shard: usize,
-        /// Where to send the `(points, codes)` snapshot.
-        reply: Sender<Option<(Vec<usize>, BinaryCodes)>>,
+        /// Where to send the `(points, codes, seq)` snapshot — `seq` is the
+        /// publish stamp of the donated data.
+        reply: Sender<Option<(Vec<usize>, BinaryCodes, u64)>>,
     },
     /// Health probe: reply with the machine id.
+    // lint: wire(tag-only) — a bare probe; the reply channel is routing
     Ping {
         /// Where to send the pong.
         reply: Sender<usize>,
     },
     /// Chaos: block the actor thread for the duration (simulates a wedged —
     /// alive but unresponsive — machine).
+    // lint: local-only — chaos-harness control, never crosses a wire
     Wedge(Duration),
     /// Stop the actor.
     Shutdown,
@@ -406,11 +435,14 @@ struct ReplicaShard {
     codes: BinaryCodes,
     row_of: HashMap<usize, usize>,
     index: Arc<PrefixIndex>,
+    /// Publish stamp of the authoritative data this replica derives from
+    /// (0 = created by the streaming path, before any full publish).
+    seq: u64,
 }
 
 impl ReplicaShard {
     // lint: actor-region — replica maintenance runs on serving-actor threads
-    fn build(points: Vec<usize>, codes: BinaryCodes) -> Self {
+    fn build(points: Vec<usize>, codes: BinaryCodes, seq: u64) -> Self {
         let index = Arc::new(PrefixIndex::build(&codes, &points));
         let row_of = points.iter().enumerate().map(|(r, &p)| (p, r)).collect();
         ReplicaShard {
@@ -418,6 +450,7 @@ impl ReplicaShard {
             codes,
             row_of,
             index,
+            seq,
         }
     }
 
@@ -460,8 +493,16 @@ struct MachineState {
 
 impl MachineState {
     // lint: actor-region — every method below runs on a serving-actor thread
-    fn install(&mut self, shard: usize, points: Vec<usize>, codes: BinaryCodes) {
-        let mut replica = ReplicaShard::build(points, codes);
+    fn install(&mut self, shard: usize, points: Vec<usize>, codes: BinaryCodes, seq: u64) {
+        // A newer authoritative publish already landed: the snapshot is
+        // stale, and installing it would roll the shard back. The install
+        // attempt is over either way, so drop its protocol state too.
+        if self.shards.get(&shard).is_some_and(|r| r.seq > seq) {
+            self.expecting.remove(&shard);
+            self.pending.remove(&shard);
+            return;
+        }
+        let mut replica = ReplicaShard::build(points, codes, seq);
         if let Some(stash) = self.pending.remove(&shard) {
             // Replay updates that raced the snapshot fetch. Stale
             // re-applications (updates the donor already folded into the
@@ -486,7 +527,7 @@ impl MachineState {
             // loaded create it from scratch (streaming `publish_point_codes`
             // to a brand-new machine).
             let width = updates.first().map_or(1, |u| u.code.len().max(1));
-            let mut replica = ReplicaShard::build(Vec::new(), BinaryCodes::zeros(0, width));
+            let mut replica = ReplicaShard::build(Vec::new(), BinaryCodes::zeros(0, width), 0);
             for update in &updates {
                 replica.apply(update);
             }
@@ -649,19 +690,25 @@ fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usi
                 shard,
                 points,
                 codes,
+                seq,
             } => {
-                // Authoritative: discard any in-flight install state.
-                state.pending.remove(&shard);
-                state.expecting.remove(&shard);
-                state
-                    .shards
-                    .insert(shard, ReplicaShard::build(points, codes));
+                // Authoritative for its seq: a load that raced a newer
+                // publish must not roll the shard back.
+                if state.shards.get(&shard).is_none_or(|r| r.seq <= seq) {
+                    // Discard any in-flight install state.
+                    state.pending.remove(&shard);
+                    state.expecting.remove(&shard);
+                    state
+                        .shards
+                        .insert(shard, ReplicaShard::build(points, codes, seq));
+                }
             }
             MachineMsg::InstallReplica {
                 shard,
                 points,
                 codes,
-            } => state.install(shard, points, codes),
+                seq,
+            } => state.install(shard, points, codes, seq),
             MachineMsg::ExpectReplica { shard } => {
                 if !state.shards.contains_key(&shard) {
                     state.expecting.insert(shard);
@@ -677,7 +724,7 @@ fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usi
                 let snapshot = state
                     .shards
                     .get(&shard)
-                    .map(|r| (r.points.clone(), r.codes.clone()));
+                    .map(|r| (r.points.clone(), r.codes.clone(), r.seq));
                 let _ = reply.send(snapshot);
             }
             MachineMsg::Ping { reply } => {
@@ -693,6 +740,49 @@ fn serving_actor(machine: usize, rx: Receiver<MachineMsg<()>>, scan_workers: usi
 struct MachineHandle {
     tx: Sender<MachineMsg<()>>,
     thread: Option<JoinHandle<()>>,
+}
+
+/// One trigger for the rebalance actor. `ack` carries the synchronous
+/// callers (`rebalance_once`): the actor signals it after the pass that
+/// served the trigger completes.
+struct RebalanceCmd {
+    ack: Option<Sender<()>>,
+}
+
+/// The lazily spawned rebalance actor: its mailbox plus the join handle the
+/// fleet uses for bounded shutdown.
+struct RebalanceHandle {
+    tx: Sender<RebalanceCmd>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// The self-healing rebalance actor loop: every pass runs on this one
+/// long-lived thread, so passes are serialised by construction — no mutex
+/// is held across the snapshot fetches and installs a pass performs.
+/// Triggers that arrive while a pass runs coalesce into the next pass (each
+/// keeps its ack). Holds only a weak fleet reference, so it can never keep
+/// a dropped backend's fleet alive; it exits when the fleet is gone or
+/// every trigger sender has been dropped.
+fn rebalance_actor(fleet: &Weak<Fleet>, rx: &Receiver<RebalanceCmd>) {
+    while let Ok(first) = waits::recv_bounded(rx, waits::IDLE_TICK) {
+        let mut acks = Vec::new();
+        let mut next = Some(first);
+        while let Some(cmd) = next {
+            if let Some(ack) = cmd.ack {
+                acks.push(ack);
+            }
+            next = rx.try_recv().ok();
+        }
+        let Some(fleet) = fleet.upgrade() else { return };
+        fleet.rebalance_pass();
+        // The pass may have upgraded the last reference; dropping it here
+        // runs `Fleet::drop` on this very thread, which is why that drop
+        // never joins the rebalance thread from itself.
+        drop(fleet);
+        for ack in acks {
+            let _ = ack.send(());
+        }
+    }
 }
 
 /// Per-machine health as seen by the router's failover path.
@@ -748,8 +838,9 @@ fn join_bounded(thread: JoinHandle<()>, grace: Duration) -> bool {
 /// replication state — which machines host which shard, per-machine health,
 /// and the failover/degraded counters.
 ///
-/// Lock order (outer to inner): `rebalance_lock` → `assignments` →
-/// `machines` → `health`. Most paths take one lock at a time.
+/// Lock order (outer to inner): `assignments` → `machines` → `health`.
+/// Most paths take one lock at a time, and no lock is ever held across a
+/// blocking channel operation.
 struct Fleet {
     machines: Mutex<BTreeMap<usize, MachineHandle>>,
     /// Scan workers per serving actor, captured when each actor spawns.
@@ -759,10 +850,16 @@ struct Fleet {
     /// every replica; the router reads it to plan fan-outs.
     assignments: Mutex<BTreeMap<usize, Vec<usize>>>,
     health: Mutex<BTreeMap<usize, MachineHealth>>,
-    /// Serialises the rebalancer against publishes and kill/restore, so a
-    /// snapshot fetched from a donor can never overwrite a newer
-    /// authoritative `LoadShard`.
-    rebalance_lock: Mutex<()>,
+    /// The lazily spawned self-healing rebalance actor. Passes run only on
+    /// its thread, which serialises them by construction; the lock guards
+    /// only the handle, never a pass.
+    rebalancer: Mutex<Option<RebalanceHandle>>,
+    /// Publish-sequence clock. Every `publish_codes` pass stamps its
+    /// `LoadShard`s with the next value; replica snapshots inherit the seq
+    /// of the data they captured, so an actor can reject an install that
+    /// raced a newer authoritative publish — ordering replaces the old
+    /// publish-vs-rebalance mutex.
+    publish_seq: AtomicU64,
     /// Read-balancing cursor: successive fan-outs rotate which replica of a
     /// shard is tried first.
     rr: AtomicUsize,
@@ -780,7 +877,8 @@ impl Default for Fleet {
             replication: Mutex::new(ReplicationConfig::default()),
             assignments: Mutex::new(BTreeMap::new()),
             health: Mutex::new(BTreeMap::new()),
-            rebalance_lock: Mutex::new(()),
+            rebalancer: Mutex::new(None),
+            publish_seq: AtomicU64::new(0),
             rr: AtomicUsize::new(0),
             failovers: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
@@ -936,29 +1034,49 @@ impl Fleet {
         }
     }
 
-    /// Wakes the self-healing rebalancer on a detached one-shot thread. The
+    /// The rebalance actor's mailbox, spawning the actor on first use. The
     /// thread holds only a weak reference, so it cannot keep a dropped
     /// backend's fleet alive indefinitely.
-    fn notify_rebalance(self: &Arc<Self>) {
-        let weak = Arc::downgrade(self);
-        let _ = thread::Builder::new()
-            .name("parmac-rebalance".into())
-            .spawn(move || {
-                if let Some(fleet) = weak.upgrade() {
-                    fleet.rebalance_once();
-                }
-            });
+    fn rebalance_tx(self: &Arc<Self>) -> Sender<RebalanceCmd> {
+        let mut guard = self.rebalancer.lock();
+        let handle = guard.get_or_insert_with(|| {
+            let weak = Arc::downgrade(self);
+            let (tx, rx) = unbounded();
+            let thread = thread::Builder::new()
+                .name("parmac-rebalance".into())
+                .spawn(move || rebalance_actor(&weak, &rx))
+                .ok();
+            RebalanceHandle { tx, thread }
+        });
+        handle.tx.clone()
     }
 
-    // lint: actor-region — the rebalancer runs on a detached thread
-    // (`notify_rebalance`); a panic here silently stops self-healing.
+    /// Wakes the self-healing rebalancer (fire-and-forget). Back-to-back
+    /// notifications coalesce into a single pass on the rebalance actor.
+    fn notify_rebalance(self: &Arc<Self>) {
+        let _ = self.rebalance_tx().send(RebalanceCmd { ack: None });
+    }
+
+    /// One synchronous rebalancing pass: triggers the rebalance actor and
+    /// waits (bounded) for it to acknowledge a pass that started after this
+    /// call. If the fleet is badly wedged the wait gives up — the pass
+    /// still happens, just asynchronously.
+    fn rebalance_once(self: &Arc<Self>) {
+        let (ack_tx, ack_rx) = unbounded();
+        let _ = self.rebalance_tx().send(RebalanceCmd { ack: Some(ack_tx) });
+        let _ = ack_rx.recv_timeout(REBALANCE_SYNC_GRACE);
+    }
+
+    // lint: actor-region — the rebalancer runs on the dedicated rebalance
+    // actor thread; a panic here silently stops self-healing.
 
     /// One rebalancing pass: prune hosts whose actor is gone, re-replicate
     /// every under-replicated shard from a live donor onto the least-loaded
-    /// live machine, and trim over-replicated shards. Serialised against
-    /// publishes and kill/restore by `rebalance_lock`.
-    fn rebalance_once(self: &Arc<Self>) {
-        let _guard = self.rebalance_lock.lock();
+    /// live machine, and trim over-replicated shards. Runs only on the
+    /// rebalance actor thread, which serialises passes against each other;
+    /// racing a publish is safe because installs are seq-ordered (see
+    /// `Fleet::publish_seq`).
+    fn rebalance_pass(self: &Arc<Self>) {
         let config = *self.replication.lock();
         let shard_list: Vec<usize> = self.assignments.lock().keys().copied().collect();
         for shard in shard_list {
@@ -1086,7 +1204,7 @@ impl Fleet {
             return false;
         }
         match snap_rx.recv_timeout(config.query_deadline) {
-            Ok(Some((points, codes))) => {
+            Ok(Some((points, codes, seq))) => {
                 if self
                     .send_if_resident(
                         candidate,
@@ -1094,6 +1212,7 @@ impl Fleet {
                             shard,
                             points,
                             codes,
+                            seq,
                         },
                     )
                     .is_err()
@@ -1188,8 +1307,24 @@ fn spawn_actor(machine: usize, scan_workers: usize) -> MachineHandle {
 
 impl Drop for Fleet {
     fn drop(&mut self) {
-        // Take ownership of the machine table first so no lock is held
-        // across the shutdown sends and joins.
+        // Stop the rebalance actor first so no pass races the machine
+        // teardown. The handle is hoisted out of the lock (an `if let`
+        // scrutinee would keep `rebalancer` locked across the join), and
+        // the join is skipped when this drop runs *on* the rebalance thread
+        // itself — the pass that upgraded the last weak reference drops it
+        // there, and a self-join would deadlock. In that case the thread is
+        // detached and exits on its own once its mailbox disconnects.
+        let rebalancer = self.rebalancer.lock().take();
+        if let Some(mut handle) = rebalancer {
+            drop(handle.tx);
+            if let Some(thread) = handle.thread.take() {
+                if thread.thread().id() != thread::current().id() {
+                    join_bounded(thread, SHUTDOWN_GRACE);
+                }
+            }
+        }
+        // Take ownership of the machine table so no lock is held across the
+        // shutdown sends and joins.
         let map = std::mem::take(&mut *self.machines.lock());
         for handle in map.values() {
             let _ = handle.tx.send(MachineMsg::Shutdown);
@@ -1578,7 +1713,11 @@ impl Admission {
 
 impl Drop for Admission {
     fn drop(&mut self) {
-        if let Some(mut handle) = self.handle.lock().take() {
+        // Take the handle out in its own statement: an `if let` scrutinee
+        // temporary lives for the whole block (Rust 2021 scoping), which
+        // would keep `self.handle` locked across the bounded join below.
+        let handle = self.handle.lock().take();
+        if let Some(mut handle) = handle {
             // Dropping the mailbox sender disconnects the loop; it drains the
             // already-admitted queue (answering every blocked caller) and
             // exits. The join is bounded: a fan-out already cannot outlive
@@ -2020,12 +2159,17 @@ impl ClusterBackend for ServerBackend {
     /// ... (mod P)`. A publish is authoritative — it refreshes the
     /// assignments, revives dead-marked machines (they receive complete
     /// state), and is how an unreplicated fleet recovers a lost shard.
+    ///
+    /// Holds no lock across the sends: every `LoadShard` of this pass is
+    /// stamped with a fresh publish seq, and actors reject any replica
+    /// install (or older load) that would roll a shard back past it — so a
+    /// concurrently running rebalance pass cannot clobber the publish.
     fn publish_codes(&self, cluster: &SimCluster, codes: &BinaryCodes) {
-        let _guard = self.fleet.rebalance_lock.lock();
         let p = cluster.n_machines();
         if p == 0 {
             return;
         }
+        let seq = self.fleet.publish_seq.fetch_add(1, Ordering::SeqCst) + 1;
         let replicas = self.fleet.replication.lock().replicas.min(p);
         for shard in 0..p {
             let points = cluster.shard(shard).to_vec();
@@ -2042,6 +2186,7 @@ impl ClusterBackend for ServerBackend {
                         shard,
                         points: points.clone(),
                         codes: shard_codes.clone(),
+                        seq,
                     },
                 );
                 self.fleet.record_success(host);
@@ -3091,6 +3236,161 @@ mod tests {
         assert_eq!(
             ServerBackend::default().cost_model(),
             CostModel::distributed()
+        );
+    }
+
+    /// Fetches `(points, codes, seq)` for `shard` from `machine`'s actor.
+    fn fetch_shard(
+        fleet: &Arc<Fleet>,
+        machine: usize,
+        shard: usize,
+    ) -> Option<(Vec<usize>, BinaryCodes, u64)> {
+        let (tx, rx) = unbounded();
+        fleet
+            .send_if_resident(machine, MachineMsg::FetchShard { shard, reply: tx })
+            .ok()?;
+        rx.recv_timeout(Duration::from_secs(5)).ok().flatten()
+    }
+
+    #[test]
+    fn stale_install_replica_cannot_roll_back_a_newer_publish() {
+        // Regression for the lock that used to serialise publishes against
+        // the rebalancer: ordering replaced it. A replica snapshot fetched
+        // before a publish (low seq) must be rejected by an actor that
+        // already holds the publish's authoritative data (higher seq).
+        let fleet = Arc::new(Fleet::default());
+        let mut v1 = BinaryCodes::zeros(2, 8);
+        v1.set_code(0, &[1.0; 8]);
+        let mut v2 = BinaryCodes::zeros(2, 8);
+        v2.set_code(1, &[1.0; 8]);
+
+        fleet.send_spawning(
+            0,
+            MachineMsg::LoadShard {
+                shard: 0,
+                points: vec![4, 5],
+                codes: v2.clone(),
+                seq: 2,
+            },
+        );
+        fleet.send_spawning(
+            0,
+            MachineMsg::InstallReplica {
+                shard: 0,
+                points: vec![4, 5],
+                codes: v1.clone(),
+                seq: 1,
+            },
+        );
+        let (_, codes, seq) = fetch_shard(&fleet, 0, 0).expect("shard hosted");
+        assert_eq!(seq, 2, "stale install must not displace the publish");
+        assert_eq!(codes, v2);
+
+        // An older LoadShard is equally stale.
+        fleet.send_spawning(
+            0,
+            MachineMsg::LoadShard {
+                shard: 0,
+                points: vec![4, 5],
+                codes: v1.clone(),
+                seq: 1,
+            },
+        );
+        let (_, codes, seq) = fetch_shard(&fleet, 0, 0).expect("shard hosted");
+        assert_eq!((seq, codes), (2, v2));
+
+        // On a machine with nothing newer the same install is welcome.
+        fleet.send_spawning(
+            1,
+            MachineMsg::InstallReplica {
+                shard: 0,
+                points: vec![4, 5],
+                codes: v1.clone(),
+                seq: 1,
+            },
+        );
+        let (_, codes, seq) = fetch_shard(&fleet, 1, 0).expect("shard hosted");
+        assert_eq!((seq, codes), (1, v1));
+    }
+
+    #[test]
+    fn publish_racing_rebalance_converges_to_the_latest_publish() {
+        // The old design held `rebalance_lock` across every publish and
+        // every rebalance pass. Now they genuinely overlap; seq ordering
+        // must still make the newest publish win on every assigned host.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(41);
+        let v1 = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let v2 = BinaryCodes::from_matrix(&Mat::random_uniform(60, 12, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(5, 12, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 60), CostModel::distributed());
+
+        let backend = ServerBackend::new().with_replication(2);
+        backend.publish_codes(&cluster, &v1);
+        backend.kill_machine(1); // give the racing passes real work
+        thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..3 {
+                    backend.rebalance();
+                }
+            });
+            backend.publish_codes(&cluster, &v2);
+        });
+        backend.rebalance();
+
+        let status = backend.fleet_status();
+        assert!(status.is_fully_replicated(), "{status:?}");
+        // Every assigned host must serve the v2 publish — nothing rolled
+        // back by a racing install, nothing left at the v1 seq.
+        let assignments = backend.fleet.assignments.lock().clone();
+        assert_eq!(assignments.len(), 3);
+        for (&shard, hosts) in &assignments {
+            let expected: Vec<usize> = cluster.shard(shard).to_vec();
+            for &host in hosts {
+                let (points, codes, seq) =
+                    fetch_shard(&backend.fleet, host, shard).expect("assigned host hosts shard");
+                assert_eq!(seq, 2, "shard {shard} on machine {host}");
+                assert_eq!(points, expected, "shard {shard} on machine {host}");
+                for (row, &point) in expected.iter().enumerate() {
+                    assert_eq!(
+                        codes.to_f64_row(row),
+                        v2.to_f64_row(point),
+                        "shard {shard} host {host} point {point}"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            backend.query_router().knn(&queries, 7).expect_full(),
+            parmac_retrieval::hamming_knn(&v2, &queries, 7)
+        );
+    }
+
+    #[test]
+    fn admission_drop_joins_its_loop_without_holding_the_handle_lock() {
+        // Regression for the `if let Some(h) = self.handle.lock().take()`
+        // scrutinee: under Rust 2021 scoping that guard lived across the
+        // bounded join. The drop must complete promptly even when another
+        // thread pokes the handle lock concurrently.
+        use parmac_linalg::Mat;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(43);
+        let db = BinaryCodes::from_matrix(&Mat::random_uniform(30, 8, 0.0, 1.0, &mut rng));
+        let queries = BinaryCodes::from_matrix(&Mat::random_uniform(2, 8, 0.0, 1.0, &mut rng));
+        let cluster = SimCluster::new(shards(3, 30), CostModel::distributed());
+        let backend = ServerBackend::new();
+        backend.publish_codes(&cluster, &db);
+        let router = backend.query_router();
+        let _ = router.knn_admitted(Arc::new(queries), 3).expect("admitted");
+        let started = Instant::now();
+        drop(backend);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "drop wedged: {:?}",
+            started.elapsed()
         );
     }
 }

@@ -1,0 +1,88 @@
+// Fixture for the `blocking-while-locked` rule: no blocking operation —
+// direct, or a call to a blocking-classified function — while a mutex guard
+// is live. Guards come from `let` bindings AND from `match` / `if let` /
+// `while let` / `for` scrutinees (edition-2021 temporaries live for the
+// whole block). `try_send` is not blocking and is clean; work handed to
+// `spawn(...)` runs on another thread and neither blocks nor holds guards.
+
+fn bad_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let _ = tx.send(*guard); // FIRE: blocking-while-locked
+}
+
+fn waits(rx: &Receiver<u32>) -> u32 {
+    rx.recv_timeout(TICK).unwrap_or(0)
+}
+
+fn bad_through_helper(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let guard = m.lock();
+    let _ = waits(rx) + *guard; // FIRE: blocking-while-locked
+}
+
+fn bad_scrutinee_join(handle: &Mutex<Option<JoinHandle<()>>>) {
+    if let Some(h) = handle.lock().take() {
+        let _ = h.join(); // FIRE: blocking-while-locked
+    }
+}
+
+fn ok_try_send(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let mut guard = m.lock();
+    *guard += 1;
+    let _ = tx.try_send(*guard);
+}
+
+fn scoped_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let v = {
+        let guard = m.lock();
+        *guard
+    };
+    let _ = tx.send(v);
+}
+
+fn dropped_guard(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    let v = *guard;
+    drop(guard);
+    let _ = tx.send(v);
+}
+
+fn chained_temporary(m: &Mutex<Vec<u32>>, tx: &Sender<usize>) {
+    // The temporary guard dies at the end of this statement.
+    let n = m.lock().len();
+    let _ = tx.send(n);
+}
+
+fn scrutinee_body_only_returns(m: &Mutex<VecDeque<u32>>) -> Option<u32> {
+    if let Some(v) = m.lock().pop_front() {
+        return Some(v);
+    }
+    None
+}
+
+fn spawned_work_is_another_thread(m: &Mutex<u32>, rx: &Receiver<u32>, s: &Scope) {
+    let guard = m.lock();
+    s.spawn(move || {
+        let _ = waits(rx);
+    });
+    let _ = *guard;
+}
+
+// lint: non-blocking
+fn best_effort_notify(tx: &Sender<u32>) {
+    let _ = tx.send(1);
+}
+
+fn override_respected(m: &Mutex<u32>, tx: &Sender<u32>) {
+    let guard = m.lock();
+    best_effort_notify(tx);
+    let _ = *guard;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_exempt(m: &Mutex<u32>, tx: &Sender<u32>) {
+        let guard = m.lock();
+        let _ = tx.send(*guard);
+    }
+}

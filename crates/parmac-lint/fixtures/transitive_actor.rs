@@ -1,0 +1,57 @@
+// Fixture for transitive actor-region inheritance: a helper reachable ONLY
+// from actor regions inherits the actor rules through the call graph —
+// including through recursion — while one non-actor call site anywhere
+// demotes it, `// lint: non-actor` opts it out, and test-only callers do
+// not count as call sites.
+
+fn pump_actor(x: Option<u32>, v: Vec<u32>) {
+    let _ = step_one(x);
+    let _ = shared_helper(x);
+    let _ = opted_out(x);
+    descend(v, 0);
+}
+
+fn step_one(x: Option<u32>) -> u32 {
+    step_two(x)
+}
+
+fn step_two(x: Option<u32>) -> u32 {
+    x.unwrap() // FIRE: actor-panic
+}
+
+fn descend(v: Vec<u32>, depth: usize) -> usize {
+    if depth < v.len() {
+        descend(v, depth + 1)
+    } else {
+        v.first().copied().expect("nonempty") as usize // FIRE: actor-panic
+    }
+}
+
+fn shared_helper(x: Option<u32>) -> u32 {
+    // Also called from `plain_entry`, so it does NOT inherit.
+    x.unwrap()
+}
+
+// lint: non-actor
+fn opted_out(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn plain_entry(x: Option<u32>) -> u32 {
+    shared_helper(x)
+}
+
+fn test_only_helper(x: Option<u32>) -> u32 {
+    // Only called from test code below: no non-test call site, no
+    // inheritance.
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercises_helpers() {
+        let _ = super::test_only_helper(Some(1));
+        let _ = super::step_one(Some(1));
+    }
+}

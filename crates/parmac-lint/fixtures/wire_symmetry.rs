@@ -1,0 +1,63 @@
+// Fixture for the `wire-symmetry` rule, all three checks:
+//   1. pairing — `encode_wire` without `decode_wire` (or vice versa);
+//   2. protocol coverage — every variant of a `// lint: wire-protocol`
+//      enum is codec'd, declared `wire(T)` / `wire(tag-only)`, or
+//      `local-only`;
+//   3. round-trip coverage — every codec'd workspace type is named in a
+//      round-trip test.
+
+struct Good(u32);
+
+struct Untested(u32);
+
+struct NotCodecd(u32);
+
+struct OneSided(u32);
+
+impl WireCode for Good {
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn decode_wire(buf: &[u8]) -> Option<Good> {
+        Some(Good(0))
+    }
+}
+
+impl WireCode for Untested { // FIRE: wire-symmetry
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+    fn decode_wire(buf: &[u8]) -> Option<Untested> {
+        Some(Untested(0))
+    }
+}
+
+impl OneSided { // FIRE: wire-symmetry
+    fn encode_wire(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0.to_le_bytes());
+    }
+}
+
+// lint: wire-protocol
+enum FixtureMsg {
+    Payload(Good),
+    Carry(Sender<u32>), // FIRE: wire-symmetry
+    Named(NotCodecd), // FIRE: wire-symmetry
+    Declared(Sender<u32>), // lint: wire(Good)
+    // lint: wire(Missing)
+    Phantom(Receiver<u32>), // FIRE: wire-symmetry
+    Ping, // lint: wire(tag-only)
+    Wedge(Duration), // lint: local-only — chaos injection, never crosses
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn good_round_trips() {
+        let mut buf = Vec::new();
+        Good(7).encode_wire(&mut buf);
+        let back = Good::decode_wire(&buf);
+        assert!(back.is_some());
+    }
+}

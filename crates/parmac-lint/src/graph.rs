@@ -1,0 +1,350 @@
+//! Pass 2: workspace call-graph propagation.
+//!
+//! Two fixpoints over the per-file models from pass 1:
+//!
+//! * **Actor inheritance** (greatest fixpoint, by demotion): a function is
+//!   *reachable only from actor regions* iff it has at least one non-test
+//!   call site and every non-test call site sits in actor context — a named
+//!   `*_actor` / `*_loop` body, a `// lint: actor-region` fence, or another
+//!   inherited function. Starting from "every candidate inherits" and
+//!   demoting on each non-actor call site handles recursion and cycles: a
+//!   mutually-recursive helper pair reachable only from an actor loop stays
+//!   inherited, one plain call site anywhere demotes the whole component.
+//!   `// lint: non-actor` opts a function out.
+//!
+//! * **Blocking classification** (least fixpoint): a function blocks if its
+//!   body contains a blocking operation (`.recv()` / `.recv_timeout(..)` /
+//!   `.send(..)` / `.join()` / `.wait(..)` / `thread::sleep`) outside test
+//!   code and outside `spawn(...)` arguments, or if it calls a function
+//!   classified as blocking. Call resolution is by name across the
+//!   workspace (deliberately over-approximate; `// lint: non-blocking`
+//!   corrects a misclassification, `// lint: blocking` declares a wrapper
+//!   the scanner cannot see through).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::parse::{FileModel, LineSet};
+
+/// The outcome of the propagation pass, consumed by the token rules.
+pub(crate) struct WsAnalysis {
+    /// Per file: fn indices that inherit actor membership transitively.
+    pub inherited: Vec<HashSet<usize>>,
+    /// Per file: witness caller name for each inherited fn (for messages).
+    pub witness: Vec<HashMap<usize, String>>,
+    /// Per file: full actor region (named bodies + fences + inherited fns).
+    pub effective_actor: Vec<LineSet>,
+    /// Bare names of every workspace fn classified as blocking (used for
+    /// method calls and module-path calls, which carry no type).
+    pub blocking_bare: HashSet<String>,
+    /// Owner type → blocking fn names, for type-qualified calls.
+    pub blocking_qualified: HashMap<String, HashSet<String>>,
+    /// Owner type → every fn name defined on it in the workspace.
+    pub qualified_known: HashMap<String, HashSet<String>>,
+}
+
+impl WsAnalysis {
+    /// The inherited fn (if any) whose body span contains `line` in `file`.
+    pub fn inherited_fn_at(&self, files: &[FileModel], file: usize, line: u32) -> Option<usize> {
+        self.inherited[file].iter().copied().find(|&f| {
+            files[file].fns[f]
+                .span
+                .is_some_and(|(s, e)| s <= line && line <= e)
+        })
+    }
+
+    /// Does this call site resolve to a blocking-classified function? Same
+    /// resolution the propagation fixpoint uses: type-qualified calls match
+    /// only that type's workspace impls, everything else matches by name;
+    /// `drop(x)` never matches (guard-release idiom).
+    pub fn call_blocks(&self, c: &crate::parse::CallSite) -> bool {
+        if c.callee == "drop" {
+            return false;
+        }
+        match &c.qualifier {
+            Some(q) if q != "Self" && q.starts_with(char::is_uppercase) => {
+                match self.qualified_known.get(q) {
+                    Some(defined) if defined.contains(&c.callee) => self
+                        .blocking_qualified
+                        .get(q)
+                        .is_some_and(|s| s.contains(&c.callee)),
+                    _ => false,
+                }
+            }
+            _ => self.blocking_bare.contains(&c.callee),
+        }
+    }
+}
+
+/// Blocking-operation tokens: `(method name, requires empty parens)`.
+/// `try_send` / `try_recv` are deliberately absent — they cannot block.
+const BLOCKING_METHODS: [(&str, bool); 6] = [
+    ("recv", true),
+    ("recv_timeout", false),
+    ("recv_deadline", false),
+    ("send", false),
+    ("join", true),
+    ("wait", false),
+];
+
+/// Does this token index hit a direct blocking operation? Returns a short
+/// operation name for diagnostics.
+pub(crate) fn blocking_op_at(m: &FileModel, idx: usize) -> Option<&'static str> {
+    for (name, empty) in BLOCKING_METHODS {
+        if m.is_method_call(idx, name) && (!empty || m.punct_at(idx + 2) == Some(')')) {
+            return Some(name);
+        }
+    }
+    if m.is_path_pair(idx, "thread", "sleep") || m.is_method_call(idx, "sleep") {
+        return Some("sleep");
+    }
+    None
+}
+
+pub(crate) fn analyze(files: &[FileModel]) -> WsAnalysis {
+    // name -> every (file, fn) with that name.
+    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, m) in files.iter().enumerate() {
+        for (i, f) in m.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push((fi, i));
+        }
+    }
+
+    // ----- actor inheritance (demotion to fixpoint) ------------------------
+    // Candidates: non-root, non-test, not opted out, and actually called
+    // from somewhere outside test code.
+    let mut called: HashSet<&str> = HashSet::new();
+    for m in files {
+        for c in &m.calls {
+            if !m.in_test(c.line) {
+                called.insert(c.callee.as_str());
+            }
+        }
+    }
+    let mut inherited: Vec<HashSet<usize>> = files
+        .iter()
+        .map(|m| {
+            m.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    !f.actor_name
+                        && !f.in_test
+                        && !f.non_actor
+                        && f.body.is_some()
+                        && called.contains(f.name.as_str())
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    loop {
+        let mut demote: HashSet<&str> = HashSet::new();
+        for (fi, m) in files.iter().enumerate() {
+            for c in &m.calls {
+                if m.in_test(c.line) {
+                    continue;
+                }
+                let in_actor_ctx = m.fence.contains(c.line)
+                    || m.actor.contains(c.line)
+                    || c.caller
+                        .is_some_and(|caller| inherited[fi].contains(&caller));
+                if !in_actor_ctx {
+                    demote.insert(c.callee.as_str());
+                }
+            }
+        }
+        let mut changed = false;
+        for (fi, m) in files.iter().enumerate() {
+            let before = inherited[fi].len();
+            inherited[fi].retain(|&i| !demote.contains(m.fns[i].name.as_str()));
+            changed |= inherited[fi].len() != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Witnesses: one actor-context caller per inherited fn, for diagnostics.
+    let mut inherited_names: HashSet<&str> = HashSet::new();
+    for (fi, m) in files.iter().enumerate() {
+        for &i in &inherited[fi] {
+            inherited_names.insert(m.fns[i].name.as_str());
+        }
+    }
+    let mut witness_by_name: HashMap<&str, String> = HashMap::new();
+    for (fi, m) in files.iter().enumerate() {
+        for c in &m.calls {
+            if m.in_test(c.line) || !inherited_names.contains(c.callee.as_str()) {
+                continue;
+            }
+            let from = match c.caller {
+                Some(caller) if m.fns[caller].actor_name || inherited[fi].contains(&caller) => {
+                    m.fns[caller].name.clone()
+                }
+                _ if m.fence.contains(c.line) || m.actor.contains(c.line) => {
+                    "a fenced actor region".to_string()
+                }
+                _ => continue,
+            };
+            witness_by_name.entry(c.callee.as_str()).or_insert(from);
+        }
+    }
+    let witness: Vec<HashMap<usize, String>> = files
+        .iter()
+        .enumerate()
+        .map(|(fi, m)| {
+            inherited[fi]
+                .iter()
+                .filter_map(|&i| {
+                    witness_by_name
+                        .get(m.fns[i].name.as_str())
+                        .map(|w| (i, w.clone()))
+                })
+                .collect()
+        })
+        .collect();
+
+    let effective_actor: Vec<LineSet> = files
+        .iter()
+        .enumerate()
+        .map(|(fi, m)| {
+            let mut set = LineSet {
+                ranges: m.actor.ranges.clone(),
+            };
+            for &(s, e) in &m.fence.ranges {
+                set.add(s, e);
+            }
+            for &i in &inherited[fi] {
+                if let Some((s, e)) = m.fns[i].span {
+                    set.add(s, e);
+                }
+            }
+            set
+        })
+        .collect();
+
+    // ----- blocking classification (least fixpoint) ------------------------
+    let mut blocking: Vec<HashSet<usize>> = files
+        .iter()
+        .map(|m| {
+            m.fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.blocking_override != Some(false))
+                .filter(|(_, f)| {
+                    f.blocking_override == Some(true) || {
+                        let Some((s, e)) = f.body else { return false };
+                        (s..=e).any(|idx| {
+                            blocking_op_at(m, idx).is_some()
+                                && !m.in_spawn(idx)
+                                && !m.in_test(m.tokens[idx].line)
+                        })
+                    }
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    // Every (owner type, fn name) pair the workspace defines: a call
+    // qualified by a workspace type resolves against exactly these, so
+    // `Builder::new(...)` (std) never matches a workspace `fn new`.
+    let mut qualified_known: HashMap<String, HashSet<String>> = HashMap::new();
+    for m in files {
+        for f in &m.fns {
+            if let Some(owner) = &f.owner {
+                qualified_known
+                    .entry(owner.clone())
+                    .or_default()
+                    .insert(f.name.clone());
+            }
+        }
+    }
+
+    loop {
+        let mut bare: HashSet<&str> = HashSet::new();
+        let mut qual: HashMap<&str, HashSet<&str>> = HashMap::new();
+        for (fi, m) in files.iter().enumerate() {
+            for &i in &blocking[fi] {
+                let f = &m.fns[i];
+                bare.insert(f.name.as_str());
+                if let Some(owner) = &f.owner {
+                    qual.entry(owner.as_str())
+                        .or_default()
+                        .insert(f.name.as_str());
+                }
+            }
+        }
+        let call_blocks = |c: &crate::parse::CallSite| -> bool {
+            // `drop(x)` is the guard-release idiom; which `Drop::drop` runs
+            // is type-dependent, so name resolution on `drop` would poison
+            // every explicit drop with the blocking Drop impls (thread
+            // joins). Excluded from transitive matching.
+            if c.callee == "drop" {
+                return false;
+            }
+            match &c.qualifier {
+                // A CamelCase qualifier names a type: match only that type's
+                // workspace impls; an unknown type (std, vendored) cannot be
+                // seen blocking. `Self::f` and module paths (`waits::f`)
+                // fall back to bare-name matching.
+                Some(q) if q != "Self" && q.starts_with(char::is_uppercase) => {
+                    match qualified_known.get(q.as_str()) {
+                        Some(defined) if defined.contains(c.callee.as_str()) => qual
+                            .get(q.as_str())
+                            .is_some_and(|s| s.contains(c.callee.as_str())),
+                        _ => false,
+                    }
+                }
+                _ => bare.contains(c.callee.as_str()),
+            }
+        };
+        let mut grow: Vec<(usize, usize)> = Vec::new();
+        for (fi, m) in files.iter().enumerate() {
+            for c in &m.calls {
+                if c.in_spawn || m.in_test(c.line) {
+                    continue;
+                }
+                let Some(caller) = c.caller else { continue };
+                if blocking[fi].contains(&caller) || m.fns[caller].blocking_override == Some(false)
+                {
+                    continue;
+                }
+                if call_blocks(c) {
+                    grow.push((fi, caller));
+                }
+            }
+        }
+        if grow.is_empty() {
+            break;
+        }
+        for (fi, caller) in grow {
+            blocking[fi].insert(caller);
+        }
+    }
+
+    let mut blocking_bare: HashSet<String> = HashSet::new();
+    let mut blocking_qualified: HashMap<String, HashSet<String>> = HashMap::new();
+    for (fi, m) in files.iter().enumerate() {
+        for &i in &blocking[fi] {
+            let f = &m.fns[i];
+            blocking_bare.insert(f.name.clone());
+            if let Some(owner) = &f.owner {
+                blocking_qualified
+                    .entry(owner.clone())
+                    .or_default()
+                    .insert(f.name.clone());
+            }
+        }
+    }
+
+    WsAnalysis {
+        inherited,
+        witness,
+        effective_actor,
+        blocking_bare,
+        blocking_qualified,
+        qualified_known,
+    }
+}

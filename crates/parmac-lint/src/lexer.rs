@@ -1,0 +1,323 @@
+//! Pass 0: tokenisation.
+//!
+//! Rust source is reduced to identifiers and single-char punctuation;
+//! string/char/numeric literals, comments and lifetimes are consumed so a
+//! `.recv()` inside a string or doc comment never fires. `// lint:`
+//! directives are collected on the side, tagged standalone (own line) or
+//! trailing (after code), because the two cover different lines.
+
+/// One surviving token: an identifier, a punctuation character, or an inert
+/// literal marker. `Lit` keeps call-argument shape visible: `.join()` (a
+/// thread join, empty parens) stays distinguishable from `.join("\n")` (a
+/// string join) after the literal's text is consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Punct(char),
+    Lit,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A wire-form declaration on a protocol-enum variant (see `// lint: wire`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum WireAnn {
+    /// `wire(TypeName)`: the variant crosses the wire as `TypeName`, which
+    /// must have a `WireCode` impl.
+    Form(String),
+    /// `wire(tag-only)`: the variant crosses the wire as its discriminant tag
+    /// plus primitive fields; reply channels are transport-level routing.
+    TagOnly,
+    /// `local-only`: the variant never crosses a process boundary.
+    LocalOnly,
+}
+
+/// Item-level classification directives (standalone above the item, possibly
+/// above its attributes, or trailing on the declaration line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ItemFlag {
+    /// Opt a function out of transitive actor-region inheritance.
+    NonActor,
+    /// Force a function into / out of the blocking classification.
+    Blocking,
+    NonBlocking,
+    /// Mark an enum as a wire-protocol surface: every variant must be
+    /// codec'd, tag-only, or explicitly local-only.
+    WireProtocol,
+    /// Declare a variant's wire form (see [`WireAnn`]).
+    Wire(WireAnn),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Directive {
+    RegionStart(u32),
+    RegionEnd(u32),
+    Allow {
+        line: u32,
+        rules: Vec<String>,
+        /// A standalone `// lint: allow(...)` line covers the next *code*
+        /// line (attributes skipped); a trailing comment covers its own line.
+        standalone: bool,
+    },
+    Item {
+        line: u32,
+        standalone: bool,
+        flag: ItemFlag,
+    },
+}
+
+/// Tokenises Rust source, collecting `// lint:` directives on the side.
+pub(crate) fn lex(source: &str) -> (Vec<Token>, Vec<Directive>) {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut directives = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    fn is_ident_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_'
+    }
+    fn is_ident_cont(b: u8) -> bool {
+        b.is_ascii_alphanumeric() || b == b'_'
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            // Line comment. Plain `//` comments may carry lint directives;
+            // doc comments (`///`, `//!`) never do, so examples in docs
+            // cannot open phantom regions.
+            let start = i + 2;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'\n' {
+                j += 1;
+            }
+            let is_doc = start < bytes.len() && (bytes[start] == b'/' || bytes[start] == b'!');
+            if !is_doc {
+                let text = source[start..j].trim();
+                if let Some(rest) = text.strip_prefix("lint:") {
+                    let standalone = tokens.last().is_none_or(|t: &Token| t.line != line);
+                    parse_directive(rest.trim(), line, standalone, &mut directives);
+                }
+            }
+            i = j;
+        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            // Block comment, nesting handled.
+            let mut depth = 1usize;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        } else if is_ident_start(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_cont(bytes[i]) {
+                i += 1;
+            }
+            let ident = &source[start..i];
+            // String-literal prefixes: r"", r#""#, b"", br"", b'c'.
+            let next = bytes.get(i).copied();
+            match (ident, next) {
+                ("r" | "br" | "b" | "rb", Some(b'"')) | ("r" | "br" | "rb", Some(b'#')) => {
+                    let start_line = line;
+                    skip_string_literal(bytes, &mut i, &mut line, ident.contains('r'));
+                    tokens.push(Token {
+                        tok: Tok::Lit,
+                        line: start_line,
+                    });
+                }
+                ("b", Some(b'\'')) => {
+                    i += 1; // consume the quote; skip_char expects to be past it
+                    skip_char_literal(bytes, &mut i, &mut line);
+                    tokens.push(Token {
+                        tok: Tok::Lit,
+                        line,
+                    });
+                }
+                _ => tokens.push(Token {
+                    tok: Tok::Ident(ident.to_string()),
+                    line,
+                }),
+            }
+        } else if b.is_ascii_digit() {
+            // Numeric literal (coarse: digits, underscores, type suffixes,
+            // hex/oct/bin digits, an optional fraction).
+            i += 1;
+            while i < bytes.len() && (is_ident_cont(bytes[i])) {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+            }
+            tokens.push(Token {
+                tok: Tok::Lit,
+                line,
+            });
+        } else if b == b'"' {
+            let start_line = line;
+            skip_string_literal(bytes, &mut i, &mut line, false);
+            tokens.push(Token {
+                tok: Tok::Lit,
+                line: start_line,
+            });
+        } else if b == b'\'' {
+            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+            if i + 1 < bytes.len()
+                && bytes[i + 1] != b'\\'
+                && is_ident_start(bytes[i + 1])
+                && bytes.get(i + 2).copied() != Some(b'\'')
+            {
+                // Lifetime: consume the quote and the identifier.
+                i += 1;
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                skip_char_literal(bytes, &mut i, &mut line);
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+        } else {
+            tokens.push(Token {
+                tok: Tok::Punct(b as char),
+                line,
+            });
+            i += 1;
+        }
+    }
+    (tokens, directives)
+}
+
+fn parse_directive(text: &str, line: u32, standalone: bool, directives: &mut Vec<Directive>) {
+    // First word, clipped at whitespace or '(' — the directive name; the
+    // remainder (reason text after an em-dash, arguments) is free-form.
+    let word_end = text
+        .find(|c: char| c.is_whitespace() || c == '(')
+        .unwrap_or(text.len());
+    let word = &text[..word_end];
+    let item = |flag| Directive::Item {
+        line,
+        standalone,
+        flag,
+    };
+    match word {
+        "actor-region" => directives.push(Directive::RegionStart(line)),
+        "end-actor-region" => directives.push(Directive::RegionEnd(line)),
+        "allow" => {
+            if let Some(rest) = text[word_end..].strip_prefix('(') {
+                if let Some(close) = rest.find(')') {
+                    let rules = rest[..close]
+                        .split(',')
+                        .map(|r| r.trim().to_string())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    directives.push(Directive::Allow {
+                        line,
+                        rules,
+                        standalone,
+                    });
+                }
+            }
+        }
+        "non-actor" => directives.push(item(ItemFlag::NonActor)),
+        "blocking" => directives.push(item(ItemFlag::Blocking)),
+        "non-blocking" => directives.push(item(ItemFlag::NonBlocking)),
+        "wire-protocol" => directives.push(item(ItemFlag::WireProtocol)),
+        "local-only" => directives.push(item(ItemFlag::Wire(WireAnn::LocalOnly))),
+        "wire" => {
+            if let Some(rest) = text[word_end..].strip_prefix('(') {
+                if let Some(close) = rest.find(')') {
+                    let arg = rest[..close].trim();
+                    let ann = if arg == "tag-only" {
+                        WireAnn::TagOnly
+                    } else {
+                        WireAnn::Form(arg.to_string())
+                    };
+                    directives.push(item(ItemFlag::Wire(ann)));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Consumes a (possibly raw) string literal starting at `*i` (which points at
+/// the opening `"` or the first `#` of a raw string).
+fn skip_string_literal(bytes: &[u8], i: &mut usize, line: &mut u32, raw: bool) {
+    let mut hashes = 0usize;
+    while raw && *i < bytes.len() && bytes[*i] == b'#' {
+        hashes += 1;
+        *i += 1;
+    }
+    if *i < bytes.len() && bytes[*i] == b'"' {
+        *i += 1;
+    }
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if b == b'\n' {
+            *line += 1;
+            *i += 1;
+        } else if !raw && b == b'\\' {
+            *i = (*i + 2).min(bytes.len());
+        } else if b == b'"' {
+            *i += 1;
+            if !raw || hashes == 0 {
+                return;
+            }
+            let mut seen = 0usize;
+            while seen < hashes && *i < bytes.len() && bytes[*i] == b'#' {
+                seen += 1;
+                *i += 1;
+            }
+            if seen == hashes {
+                return;
+            }
+        } else {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a char literal body; `*i` points at the first byte after the
+/// opening `'`.
+fn skip_char_literal(bytes: &[u8], i: &mut usize, line: &mut u32) {
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if b == b'\\' {
+            *i = (*i + 2).min(bytes.len());
+        } else if b == b'\'' {
+            *i += 1;
+            return;
+        } else {
+            if b == b'\n' {
+                *line += 1;
+            }
+            *i += 1;
+        }
+    }
+}

@@ -1,56 +1,93 @@
-//! `parmac-lint`: a workspace concurrency-invariant analyzer.
+//! `parmac-lint`: a multi-pass workspace concurrency-invariant analyzer.
 //!
 //! `clippy` cannot see the invariants the serving substrate
 //! (`crates/parmac-cluster/src/server.rs`) rests on: detached actor threads
 //! must never panic, every blocking wait must be deadline- or
 //! heartbeat-bounded, long-lived threads must come from the sanctioned named
 //! spawn sites, bitwise-deterministic training paths must not read wall
-//! clocks, and mutex guards must not be held across channel sends. This crate
-//! is a hand-rolled Rust *token* scanner (offline — no syn, no crates.io)
-//! that walks every non-vendor crate's library sources and enforces those
-//! rules with `file:line` diagnostics.
+//! clocks, mutex guards must not be held across blocking work, and the wire
+//! codecs the ProcessBackend will live on must be complete and round-trip
+//! tested. This crate is a hand-rolled Rust analyzer (offline — no syn, no
+//! crates.io) that enforces those rules with `file:line` diagnostics.
+//!
+//! # Passes
+//!
+//! 1. **Lex + parse** ([`lexer`], [`parse`]): tokenise each file, then one
+//!    brace-matching walk extracts `fn` / `impl` / `enum` items with spans,
+//!    call sites, `spawn(...)` ranges, and the region line-sets.
+//! 2. **Propagate** ([`graph`]): actor-region membership propagates
+//!    transitively through the workspace call graph (a helper reachable only
+//!    from actor regions inherits the actor rules), and functions are
+//!    classified *blocking* via summaries (direct blocking ops, propagated
+//!    caller-ward to a fixpoint).
+//! 3. **Check** ([`rules`], [`wiresym`]): token rules driven by the
+//!    propagated regions, the `blocking-while-locked` guard dataflow, and
+//!    the wire-codec symmetry pass.
 //!
 //! # Rules
 //!
 //! | id | scope | invariant |
 //! |----|-------|-----------|
-//! | `actor-panic` | actor regions, all crates | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` inside actor-loop or scan-worker regions — a panic there kills a detached serving thread silently |
-//! | `unbounded-recv` | `parmac-cluster` | no bare `.recv()`: every blocking wait must use `recv_timeout` (deadline- or heartbeat-bounded), per the PR-7 bounded-shutdown contract |
-//! | `raw-spawn` | all crates | no raw `thread::spawn`: long-lived threads come from the sanctioned sites (`thread::Builder` with a name, or scoped `thread::scope`), so every thread is identifiable in a hang dump |
-//! | `wallclock-determinism` | `parmac-core`, `parmac-retrieval` | no `Instant::now` / `SystemTime` in the bitwise-deterministic training/retrieval paths |
-//! | `lock-across-send` | all crates | no mutex guard held across a channel `send`/`try_send` (coarse lexical scope check) — holding a lock while handing work to another thread is the classic priority-inversion/deadlock shape |
+//! | `actor-panic` | actor regions (named, fenced, or inherited), all crates | no `unwrap()` / `expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` — a panic kills a detached serving thread silently |
+//! | `unbounded-recv` | `parmac-cluster`, plus inherited actor regions anywhere | no bare `.recv()`: every blocking wait must be deadline- or heartbeat-bounded |
+//! | `raw-spawn` | all crates | no raw `thread::spawn`: named `thread::Builder` or scoped `thread::scope` only |
+//! | `wallclock-determinism` | `parmac-core`, `parmac-retrieval` | no `Instant::now` / `SystemTime` in the bitwise-deterministic paths |
+//! | `blocking-while-locked` | all crates | no blocking operation — direct (`recv` / `recv_timeout` / `send` / `join` / `wait` / `sleep`) or a call to a blocking-classified function — while a mutex guard is live, including `match` / `if let` / `for` scrutinee guards (edition-2021 temporary extension) |
+//! | `wire-symmetry` | all crates | every `encode_wire` has `decode_wire`, every `// lint: wire-protocol` enum variant is codec'd / tag-only / local-only, every codec'd workspace type is named in a round-trip test |
+//! | `stale-suppression` | all crates | an allowlist entry or inline `// lint: allow(...)` that suppresses nothing is itself reported |
 //!
-//! # Regions
+//! # Regions and escape hatches
 //!
-//! `actor-panic` only applies inside *actor regions*: the body of any
-//! function whose name ends in `_actor` or `_loop`, plus any span fenced by
-//! `// lint: actor-region` … `// lint: end-actor-region` comments.
+//! Actor regions are the bodies of functions named `*_actor` / `*_loop`,
+//! spans fenced by `// lint: actor-region` … `// lint: end-actor-region`,
+//! and — new in the transitive pass — bodies of functions whose every
+//! non-test call site is in actor context. `// lint: non-actor` opts a
+//! function out of inheritance; `// lint: blocking` / `// lint:
+//! non-blocking` override the blocking classification; `// lint: wire(T)` /
+//! `// lint: wire(tag-only)` / `// lint: local-only` declare a protocol
+//! variant's wire form.
 //!
 //! # Exemptions
 //!
 //! * Test code — `#[cfg(test)]` items and `#[test]` functions — is exempt
 //!   from every rule, as are `tests/`, `benches/`, `examples/` and `src/bin/`
 //!   targets (only library sources are swept).
-//! * An inline annotation `// lint: allow(rule-a, rule-b) — reason` on the
-//!   offending line, or on the line directly above it, suppresses those
-//!   rules for that line. Always state the reason.
+//! * An inline annotation `// lint: allow(rule-a, rule-b) — reason` covers
+//!   its own line (trailing) or the next code line (standalone — attribute
+//!   lines are skipped, so an allow above `#[inline]` reaches the item).
 //! * The allowlist file (`parmac-lint.allow` at the workspace root) holds
-//!   path-prefix suppressions: one `rule path-prefix` pair per line, `#`
-//!   comments allowed. Use it for whole files that are out of a rule's
-//!   jurisdiction; prefer inline annotations for single sites.
+//!   path-prefix suppressions: one `rule path-prefix` pair per line. An
+//!   entry or inline allow that suppresses nothing is reported stale.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+mod graph;
+mod lexer;
+mod parse;
+mod rules;
+mod wiresym;
+
+pub(crate) const RULE_ACTOR_PANIC: &str = "actor-panic";
+pub(crate) const RULE_UNBOUNDED_RECV: &str = "unbounded-recv";
+pub(crate) const RULE_RAW_SPAWN: &str = "raw-spawn";
+pub(crate) const RULE_WALLCLOCK: &str = "wallclock-determinism";
+pub(crate) const RULE_BLOCKING_WHILE_LOCKED: &str = "blocking-while-locked";
+pub(crate) const RULE_WIRE_SYMMETRY: &str = "wire-symmetry";
+pub(crate) const RULE_STALE: &str = "stale-suppression";
+
 /// Every rule the analyzer knows, by stable kebab-case id.
-pub const RULES: [&str; 5] = [
-    "actor-panic",
-    "unbounded-recv",
-    "raw-spawn",
-    "wallclock-determinism",
-    "lock-across-send",
+pub const RULES: [&str; 7] = [
+    RULE_ACTOR_PANIC,
+    RULE_UNBOUNDED_RECV,
+    RULE_RAW_SPAWN,
+    RULE_WALLCLOCK,
+    RULE_BLOCKING_WHILE_LOCKED,
+    RULE_WIRE_SYMMETRY,
+    RULE_STALE,
 ];
 
 /// One diagnostic: a rule violation at a file:line.
@@ -80,10 +117,18 @@ impl fmt::Display for Finding {
 // Allowlist
 // ---------------------------------------------------------------------------
 
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    rule: String,
+    prefix: String,
+    /// 1-based line in `parmac-lint.allow`, for stale-entry diagnostics.
+    line: u32,
+}
+
 /// Path-prefix suppressions loaded from the workspace allowlist file.
 #[derive(Debug, Default, Clone)]
 pub struct Allowlist {
-    entries: Vec<(String, String)>, // (rule or "*", path prefix)
+    entries: Vec<AllowEntry>,
 }
 
 impl Allowlist {
@@ -92,14 +137,18 @@ impl Allowlist {
     /// visible in review rather than silently dead.
     pub fn parse(text: &str) -> Allowlist {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (i, line) in text.lines().enumerate() {
             let line = line.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             let mut parts = line.split_whitespace();
             if let (Some(rule), Some(prefix)) = (parts.next(), parts.next()) {
-                entries.push((rule.to_string(), prefix.to_string()));
+                entries.push(AllowEntry {
+                    rule: rule.to_string(),
+                    prefix: prefix.to_string(),
+                    line: i as u32 + 1,
+                });
             }
         }
         Allowlist { entries }
@@ -113,499 +162,90 @@ impl Allowlist {
         }
     }
 
-    fn suppresses(&self, rule: &str, rel_path: &str) -> bool {
-        self.entries
-            .iter()
-            .any(|(r, prefix)| (r == "*" || r == rule) && rel_path.starts_with(prefix.as_str()))
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Punct(char),
-}
-
-#[derive(Debug, Clone)]
-struct Token {
-    tok: Tok,
-    line: u32,
-}
-
-#[derive(Debug, Clone)]
-enum Directive {
-    RegionStart(u32),
-    RegionEnd(u32),
-    Allow {
-        line: u32,
-        rules: Vec<String>,
-        /// A standalone `// lint: allow(...)` line covers the *next* line; a
-        /// trailing comment after code covers only its own line.
-        standalone: bool,
-    },
-}
-
-/// Tokenises Rust source: identifiers and punctuation survive; string/char/
-/// numeric literals, comments and lifetimes are consumed (so a `.recv()`
-/// inside a string or doc comment never fires), and `// lint:` directives are
-/// collected on the side.
-fn lex(source: &str) -> (Vec<Token>, Vec<Directive>) {
-    let bytes = source.as_bytes();
-    let mut tokens = Vec::new();
-    let mut directives = Vec::new();
-    let mut i = 0usize;
-    let mut line = 1u32;
-
-    fn is_ident_start(b: u8) -> bool {
-        b.is_ascii_alphabetic() || b == b'_'
-    }
-    fn is_ident_cont(b: u8) -> bool {
-        b.is_ascii_alphanumeric() || b == b'_'
-    }
-
-    while i < bytes.len() {
-        let b = bytes[i];
-        if b == b'\n' {
-            line += 1;
-            i += 1;
-        } else if b.is_ascii_whitespace() {
-            i += 1;
-        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-            // Line comment. Plain `//` comments may carry lint directives;
-            // doc comments (`///`, `//!`) never do, so examples in docs
-            // cannot open phantom regions.
-            let start = i + 2;
-            let mut j = start;
-            while j < bytes.len() && bytes[j] != b'\n' {
-                j += 1;
-            }
-            let is_doc = start < bytes.len() && (bytes[start] == b'/' || bytes[start] == b'!');
-            if !is_doc {
-                let text = source[start..j].trim();
-                if let Some(rest) = text.strip_prefix("lint:") {
-                    let standalone = tokens.last().is_none_or(|t: &Token| t.line != line);
-                    parse_directive(rest.trim(), line, standalone, &mut directives);
-                }
-            }
-            i = j;
-        } else if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-            // Block comment, nesting handled.
-            let mut depth = 1usize;
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == b'\n' {
-                    line += 1;
-                    i += 1;
-                } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-        } else if is_ident_start(b) {
-            let start = i;
-            while i < bytes.len() && is_ident_cont(bytes[i]) {
-                i += 1;
-            }
-            let ident = &source[start..i];
-            // String-literal prefixes: r"", r#""#, b"", br"", b'c'.
-            let next = bytes.get(i).copied();
-            match (ident, next) {
-                ("r" | "br" | "b" | "rb", Some(b'"')) | ("r" | "br" | "rb", Some(b'#')) => {
-                    skip_string_literal(bytes, &mut i, &mut line, ident.contains('r'));
-                }
-                ("b", Some(b'\'')) => {
-                    i += 1; // consume the quote; skip_char expects to be past it
-                    skip_char_literal(bytes, &mut i, &mut line);
-                }
-                _ => tokens.push(Token {
-                    tok: Tok::Ident(ident.to_string()),
-                    line,
-                }),
-            }
-        } else if b.is_ascii_digit() {
-            // Numeric literal (coarse: digits, underscores, type suffixes,
-            // hex/oct/bin digits, an optional fraction).
-            i += 1;
-            while i < bytes.len() && (is_ident_cont(bytes[i])) {
-                i += 1;
-            }
-            if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
-                i += 1;
-                while i < bytes.len() && is_ident_cont(bytes[i]) {
-                    i += 1;
-                }
-            }
-        } else if b == b'"' {
-            skip_string_literal(bytes, &mut i, &mut line, false);
-        } else if b == b'\'' {
-            // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
-            if i + 1 < bytes.len()
-                && bytes[i + 1] != b'\\'
-                && is_ident_start(bytes[i + 1])
-                && bytes.get(i + 2).copied() != Some(b'\'')
-            {
-                // Lifetime: consume the quote and the identifier.
-                i += 1;
-                while i < bytes.len() && is_ident_cont(bytes[i]) {
-                    i += 1;
-                }
-            } else {
-                i += 1;
-                skip_char_literal(bytes, &mut i, &mut line);
-            }
-        } else {
-            tokens.push(Token {
-                tok: Tok::Punct(b as char),
-                line,
-            });
-            i += 1;
-        }
-    }
-    (tokens, directives)
-}
-
-fn parse_directive(text: &str, line: u32, standalone: bool, directives: &mut Vec<Directive>) {
-    if text.starts_with("actor-region") {
-        directives.push(Directive::RegionStart(line));
-    } else if text.starts_with("end-actor-region") {
-        directives.push(Directive::RegionEnd(line));
-    } else if let Some(rest) = text.strip_prefix("allow(") {
-        if let Some(close) = rest.find(')') {
-            let rules = rest[..close]
-                .split(',')
-                .map(|r| r.trim().to_string())
-                .filter(|r| !r.is_empty())
-                .collect();
-            directives.push(Directive::Allow {
-                line,
-                rules,
-                standalone,
-            });
-        }
-    }
-}
-
-/// Consumes a (possibly raw) string literal starting at `*i` (which points at
-/// the opening `"` or the first `#` of a raw string).
-fn skip_string_literal(bytes: &[u8], i: &mut usize, line: &mut u32, raw: bool) {
-    let mut hashes = 0usize;
-    while raw && *i < bytes.len() && bytes[*i] == b'#' {
-        hashes += 1;
-        *i += 1;
-    }
-    if *i < bytes.len() && bytes[*i] == b'"' {
-        *i += 1;
-    }
-    while *i < bytes.len() {
-        let b = bytes[*i];
-        if b == b'\n' {
-            *line += 1;
-            *i += 1;
-        } else if !raw && b == b'\\' {
-            *i = (*i + 2).min(bytes.len());
-        } else if b == b'"' {
-            *i += 1;
-            if !raw || hashes == 0 {
-                return;
-            }
-            let mut seen = 0usize;
-            while seen < hashes && *i < bytes.len() && bytes[*i] == b'#' {
-                seen += 1;
-                *i += 1;
-            }
-            if seen == hashes {
-                return;
-            }
-        } else {
-            *i += 1;
-        }
-    }
-}
-
-/// Consumes a char literal body; `*i` points at the first byte after the
-/// opening `'`.
-fn skip_char_literal(bytes: &[u8], i: &mut usize, line: &mut u32) {
-    while *i < bytes.len() {
-        let b = bytes[*i];
-        if b == b'\\' {
-            *i = (*i + 2).min(bytes.len());
-        } else if b == b'\'' {
-            *i += 1;
-            return;
-        } else {
-            if b == b'\n' {
-                *line += 1;
-            }
-            *i += 1;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Regions (actor fences, named-fn bodies, test items)
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Default)]
-struct LineSet {
-    ranges: Vec<(u32, u32)>,
-}
-
-impl LineSet {
-    fn add(&mut self, start: u32, end: u32) {
-        self.ranges.push((start, end));
-    }
-    fn contains(&self, line: u32) -> bool {
-        self.ranges.iter().any(|&(s, e)| s <= line && line <= e)
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum RegionKind {
-    ActorFn,
-    TestItem,
-}
-
-/// Walks the token stream matching braces to turn "the body of this item"
-/// into line ranges: functions named `*_actor` / `*_loop` become actor
-/// regions, items behind `#[cfg(test)]` / `#[test]` become test regions.
-fn item_regions(tokens: &[Token]) -> (LineSet, LineSet) {
-    let mut actor = LineSet::default();
-    let mut test = LineSet::default();
-    let mut depth = 0usize;
-    let mut paren = 0usize;
-    let mut bracket = 0usize;
-    // Regions armed by a preceding attribute / fn name, latched onto the next
-    // `{` at the current nesting (a `;` first means a body-less item).
-    let mut pending: Vec<RegionKind> = Vec::new();
-    let mut open: Vec<(RegionKind, usize, u32)> = Vec::new(); // (kind, body depth, start line)
-
-    let mut idx = 0usize;
-    while idx < tokens.len() {
-        match &tokens[idx].tok {
-            Tok::Ident(name) if name == "fn" => {
-                if let Some(Token {
-                    tok: Tok::Ident(fn_name),
-                    ..
-                }) = tokens.get(idx + 1)
-                {
-                    if fn_name.ends_with("_actor") || fn_name.ends_with("_loop") {
-                        pending.push(RegionKind::ActorFn);
-                    }
-                }
-            }
-            Tok::Punct('#') => {
-                // Attribute: `#[...]` — scan the bracket group for `test`.
-                if let Some(Token {
-                    tok: Tok::Punct('['),
-                    ..
-                }) = tokens.get(idx + 1)
-                {
-                    let mut j = idx + 2;
-                    let mut attr_depth = 1usize;
-                    let mut saw_test = false;
-                    while j < tokens.len() && attr_depth > 0 {
-                        match &tokens[j].tok {
-                            Tok::Punct('[') => attr_depth += 1,
-                            Tok::Punct(']') => attr_depth -= 1,
-                            Tok::Ident(w) if w == "test" => saw_test = true,
-                            _ => {}
-                        }
-                        j += 1;
-                    }
-                    if saw_test {
-                        pending.push(RegionKind::TestItem);
-                    }
-                    idx = j;
-                    continue;
-                }
-            }
-            Tok::Punct('(') => paren += 1,
-            Tok::Punct(')') => paren = paren.saturating_sub(1),
-            Tok::Punct('[') => bracket += 1,
-            Tok::Punct(']') => bracket = bracket.saturating_sub(1),
-            Tok::Punct(';') if paren == 0 && bracket == 0 && depth == open_floor(&open) => {
-                // A body-less item (trait method, `#[cfg(test)] use ...;`)
-                // consumes the armed regions.
-                pending.clear();
-            }
-            Tok::Punct('{') => {
-                depth += 1;
-                for kind in pending.drain(..) {
-                    open.push((kind, depth, tokens[idx].line));
-                }
-            }
-            Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                while let Some(&(kind, body_depth, start)) = open.last() {
-                    if body_depth > depth {
-                        open.pop();
-                        let set = match kind {
-                            RegionKind::ActorFn => &mut actor,
-                            RegionKind::TestItem => &mut test,
-                        };
-                        set.add(start, tokens[idx].line);
-                    } else {
-                        break;
-                    }
-                }
-            }
-            _ => {}
-        }
-        idx += 1;
-    }
-    // Unclosed regions (truncated file): extend to the end.
-    for (kind, _, start) in open {
-        let set = match kind {
-            RegionKind::ActorFn => &mut actor,
-            RegionKind::TestItem => &mut test,
-        };
-        set.add(start, u32::MAX);
-    }
-    (actor, test)
-}
-
-/// The brace depth at which the innermost open region's body sits — armed
-/// regions are only disarmed by a `;` at their own item level, not by
-/// semicolons inside a deeper body.
-fn open_floor(open: &[(RegionKind, usize, u32)]) -> usize {
-    open.last().map_or(0, |&(_, d, _)| d)
-}
-
-fn fence_regions(directives: &[Directive]) -> LineSet {
-    let mut set = LineSet::default();
-    let mut start: Option<u32> = None;
-    for d in directives {
-        match d {
-            Directive::RegionStart(line) => {
-                if start.is_none() {
-                    start = Some(*line);
-                }
-            }
-            Directive::RegionEnd(line) => {
-                if let Some(s) = start.take() {
-                    set.add(s, *line);
-                }
-            }
-            Directive::Allow { .. } => {}
-        }
-    }
-    if let Some(s) = start {
-        set.add(s, u32::MAX);
-    }
-    set
-}
-
-// ---------------------------------------------------------------------------
-// Per-file analysis
-// ---------------------------------------------------------------------------
-
-struct FileCtx<'a> {
-    rel: &'a str,
-    krate: Option<&'a str>,
-    tokens: Vec<Token>,
-    actor: LineSet,
-    fence: LineSet,
-    test: LineSet,
-    allows: Vec<(u32, bool, Vec<String>)>,
-}
-
-impl FileCtx<'_> {
-    fn in_actor_region(&self, line: u32) -> bool {
-        self.actor.contains(line) || self.fence.contains(line)
-    }
-    fn in_test(&self, line: u32) -> bool {
-        self.test.contains(line)
-    }
-    /// Inline allow: a trailing `// lint: allow(...)` covers its own line, a
-    /// standalone one covers the line directly below it.
-    fn allowed_inline(&self, rule: &str, line: u32) -> bool {
-        self.allows.iter().any(|(l, standalone, rules)| {
-            let covers = if *standalone {
-                *l + 1 == line
-            } else {
-                *l == line
-            };
-            covers && rules.iter().any(|r| r == rule || r == "*")
+    /// Index of the first entry suppressing `(rule, rel_path)`, if any.
+    fn match_entry(&self, rule: &str, rel_path: &str) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            (e.rule == "*" || e.rule == rule) && rel_path.starts_with(e.prefix.as_str())
         })
     }
-
-    fn ident_at(&self, idx: usize) -> Option<&str> {
-        match self.tokens.get(idx).map(|t| &t.tok) {
-            Some(Tok::Ident(name)) => Some(name.as_str()),
-            _ => None,
-        }
-    }
-    fn punct_at(&self, idx: usize) -> Option<char> {
-        match self.tokens.get(idx).map(|t| &t.tok) {
-            Some(Tok::Punct(c)) => Some(*c),
-            _ => None,
-        }
-    }
-    /// `.name(` — a method call on something.
-    fn is_method_call(&self, idx: usize, name: &str) -> bool {
-        self.ident_at(idx) == Some(name)
-            && idx > 0
-            && self.punct_at(idx - 1) == Some('.')
-            && self.punct_at(idx + 1) == Some('(')
-    }
-    /// `name!` — a macro invocation.
-    fn is_macro(&self, idx: usize, name: &str) -> bool {
-        self.ident_at(idx) == Some(name) && self.punct_at(idx + 1) == Some('!')
-    }
-    /// `a :: b` at `idx` (idx is `a`).
-    fn is_path_pair(&self, idx: usize, a: &str, b: &str) -> bool {
-        self.ident_at(idx) == Some(a)
-            && self.punct_at(idx + 1) == Some(':')
-            && self.punct_at(idx + 2) == Some(':')
-            && self.ident_at(idx + 3) == Some(b)
-    }
 }
+
+// ---------------------------------------------------------------------------
+// Analysis driver
+// ---------------------------------------------------------------------------
 
 /// Lints one file's source. `rel_path` must be workspace-relative with
-/// forward slashes — it decides which crate-scoped rules apply.
+/// forward slashes — it decides which crate-scoped rules apply. The file is
+/// treated as a one-file workspace, so the transitive passes see only its
+/// own call graph (exactly what the fixture tests want).
 pub fn lint_source(rel_path: &str, source: &str, allowlist: &Allowlist) -> Vec<Finding> {
-    let (tokens, directives) = lex(source);
-    let (actor, test) = item_regions(&tokens);
-    let fence = fence_regions(&directives);
-    let allows = directives
-        .iter()
-        .filter_map(|d| match d {
-            Directive::Allow {
-                line,
-                rules,
-                standalone,
-            } => Some((*line, *standalone, rules.clone())),
-            _ => None,
-        })
-        .collect();
-    let ctx = FileCtx {
-        rel: rel_path,
-        krate: crate_of(rel_path),
-        tokens,
-        actor,
-        fence,
-        test,
-        allows,
-    };
+    let files = vec![(rel_path.to_string(), source.to_string())];
+    lint_files(&files, allowlist)
+}
 
+/// Lints a set of in-memory files as one workspace: all passes, allowlist
+/// applied, inline stale-suppression reported. Findings sorted by path then
+/// line.
+pub fn lint_files(files: &[(String, String)], allowlist: &Allowlist) -> Vec<Finding> {
+    lint_files_inner(files, allowlist).0
+}
+
+fn lint_files_inner(
+    files: &[(String, String)],
+    allowlist: &Allowlist,
+) -> (Vec<Finding>, HashSet<usize>) {
+    let models: Vec<parse::FileModel> = files
+        .iter()
+        .map(|(_, src)| parse::parse_file(src).0)
+        .collect();
+    let ws = graph::analyze(&models);
+    let rels: Vec<String> = files.iter().map(|(r, _)| r.clone()).collect();
+
+    let mut reporters: Vec<rules::Reporter> =
+        models.iter().map(|_| rules::Reporter::default()).collect();
+    for (fi, m) in models.iter().enumerate() {
+        let ctx = rules::FileCtx {
+            rel: &rels[fi],
+            krate: crate_of(&rels[fi]),
+            fi,
+            m,
+            ws: &ws,
+        };
+        rules::run_token_rules(&ctx, &models, &mut reporters[fi]);
+    }
+    wiresym::run(&models, &rels, &mut reporters);
+
+    // Inline allows that suppressed nothing are themselves findings.
     let mut findings = Vec::new();
-    rule_actor_panic(&ctx, &mut findings);
-    rule_unbounded_recv(&ctx, &mut findings);
-    rule_raw_spawn(&ctx, &mut findings);
-    rule_wallclock(&ctx, &mut findings);
-    rule_lock_across_send(&ctx, &mut findings);
-    findings.retain(|f| !allowlist.suppresses(f.rule, rel_path));
-    findings.sort_by_key(|f| f.line);
-    findings
+    for (fi, m) in models.iter().enumerate() {
+        let r = &mut reporters[fi];
+        for (i, (line, _, rule_names)) in m.allows.iter().enumerate() {
+            if !r.used_allows.contains(&i) {
+                r.findings.push(Finding {
+                    rule: RULE_STALE,
+                    path: rels[fi].clone(),
+                    line: *line,
+                    message: format!(
+                        "inline `lint: allow({})` suppresses nothing — the code it covered \
+                         moved or was fixed; remove the annotation",
+                        rule_names.join(", ")
+                    ),
+                });
+            }
+        }
+        findings.append(&mut r.findings);
+    }
+
+    let mut used_entries = HashSet::new();
+    findings.retain(|f| match allowlist.match_entry(f.rule, &f.path) {
+        Some(i) => {
+            used_entries.insert(i);
+            false
+        }
+        None => true,
+    });
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    (findings, used_entries)
 }
 
 /// `crates/<name>/...` → `<name>`; the facade's own `src/` → `parmac`.
@@ -619,236 +259,69 @@ fn crate_of(rel_path: &str) -> Option<&str> {
     }
 }
 
-fn push(
-    ctx: &FileCtx<'_>,
-    findings: &mut Vec<Finding>,
-    rule: &'static str,
-    line: u32,
-    msg: String,
-) {
-    if ctx.in_test(line) || ctx.allowed_inline(rule, line) {
-        return;
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    findings.push(Finding {
-        rule,
-        path: ctx.rel.to_string(),
-        line,
-        message: msg,
-    });
+    out
 }
 
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
-
-fn rule_actor_panic(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    for idx in 0..ctx.tokens.len() {
-        let line = ctx.tokens[idx].line;
-        if !ctx.in_actor_region(line) {
-            continue;
+/// Machine-readable output: a JSON array of
+/// `{"rule": …, "path": …, "line": …, "message": …}` objects.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
-        if ctx.is_method_call(idx, "unwrap") || ctx.is_method_call(idx, "expect") {
-            let name = ctx.ident_at(idx).unwrap_or_default();
-            push(
-                ctx,
-                findings,
-                "actor-panic",
-                line,
-                format!(
-                    "`.{name}()` inside an actor region: a panic here kills a detached \
-                     serving thread silently — return a degraded result or bail instead"
-                ),
-            );
-        } else if PANIC_MACROS.iter().any(|m| ctx.is_macro(idx, m)) {
-            let name = ctx.ident_at(idx).unwrap_or_default();
-            push(
-                ctx,
-                findings,
-                "actor-panic",
-                line,
-                format!("`{name}!` inside an actor region: actor threads must not panic"),
-            );
-        }
+        out.push_str(&format!(
+            "\n  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message)
+        ));
     }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
-fn rule_unbounded_recv(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    if ctx.krate != Some("parmac-cluster") {
-        return;
-    }
-    for idx in 0..ctx.tokens.len() {
-        if ctx.is_method_call(idx, "recv") && ctx.punct_at(idx + 2) == Some(')') {
-            push(
-                ctx,
-                findings,
-                "unbounded-recv",
-                ctx.tokens[idx].line,
-                "bare `.recv()` in parmac-cluster: every blocking wait must be bounded \
-                 (`recv_timeout` with a deadline, or the `waits::recv_bounded` heartbeat)"
-                    .to_string(),
-            );
-        }
-    }
-}
-
-fn rule_raw_spawn(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    for idx in 0..ctx.tokens.len() {
-        if ctx.is_path_pair(idx, "thread", "spawn") {
-            push(
-                ctx,
-                findings,
-                "raw-spawn",
-                ctx.tokens[idx].line,
-                "raw `thread::spawn`: long-lived threads must use a sanctioned spawn site \
-                 (`thread::Builder` with a name, or scoped `thread::scope`)"
-                    .to_string(),
-            );
-        }
-    }
-}
-
-fn rule_wallclock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    if !matches!(ctx.krate, Some("parmac-core") | Some("parmac-retrieval")) {
-        return;
-    }
-    for idx in 0..ctx.tokens.len() {
-        let line = ctx.tokens[idx].line;
-        if ctx.is_path_pair(idx, "Instant", "now") {
-            push(
-                ctx,
-                findings,
-                "wallclock-determinism",
-                line,
-                "`Instant::now` in a bitwise-deterministic training path: wall-clock reads \
-                 must not influence training (annotate report-only timing explicitly)"
-                    .to_string(),
-            );
-        } else if ctx.ident_at(idx) == Some("SystemTime") {
-            push(
-                ctx,
-                findings,
-                "wallclock-determinism",
-                line,
-                "`SystemTime` in a bitwise-deterministic training path".to_string(),
-            );
-        }
-    }
-}
-
-#[derive(Debug)]
-struct GuardBinding {
-    name: String,
-    depth: usize,
-    line: u32,
-}
-
-/// Coarse lexical check: a `let <name> = …​.lock();` binding is treated as a
-/// live mutex guard until its block closes or an explicit `drop(<name>)`;
-/// any `.send(` / `.try_send(` while one is live is flagged. Chained
-/// temporaries (`m.lock().len()`) and deref copies (`let x = *m.lock();`)
-/// are not guards and are ignored.
-fn rule_lock_across_send(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    let mut depth = 0usize;
-    let mut guards: Vec<GuardBinding> = Vec::new();
-    let mut idx = 0usize;
-    while idx < ctx.tokens.len() {
-        let line = ctx.tokens[idx].line;
-        match &ctx.tokens[idx].tok {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| g.depth <= depth);
-            }
-            Tok::Ident(name) if name == "drop" && ctx.punct_at(idx + 1) == Some('(') => {
-                if let (Some(dropped), Some(')')) = (ctx.ident_at(idx + 2), ctx.punct_at(idx + 3)) {
-                    guards.retain(|g| g.name != dropped);
-                }
-            }
-            Tok::Ident(name) if name == "let" => {
-                if let Some(binding) = guard_binding(ctx, idx, depth) {
-                    guards.push(binding);
-                }
-            }
-            Tok::Ident(name)
-                if (name == "send" || name == "try_send") && ctx.is_method_call(idx, name) =>
-            {
-                if let Some(guard) = guards.last() {
-                    push(
-                        ctx,
-                        findings,
-                        "lock-across-send",
-                        line,
-                        format!(
-                            "channel `{name}` while the mutex guard `{}` (taken at line {}) \
-                             is still held — release or `drop()` the guard before sending",
-                            guard.name, guard.line
-                        ),
-                    );
-                }
-            }
-            _ => {}
-        }
-        idx += 1;
-    }
-}
-
-/// Recognises `let [mut] <name> [: T] = <expr ending in .lock()>;` starting
-/// at the `let` token. Returns the binding if the statement binds a guard.
-fn guard_binding(ctx: &FileCtx<'_>, let_idx: usize, depth: usize) -> Option<GuardBinding> {
-    let mut j = let_idx + 1;
-    if ctx.ident_at(j) == Some("mut") {
-        j += 1;
-    }
-    let name = ctx.ident_at(j)?.to_string();
-    // Find the `=` of the initialiser (skipping a `: Type` annotation, whose
-    // generics may nest `< … >` but never contain a bare `=`).
-    let mut eq = j + 1;
-    loop {
-        match ctx.punct_at(eq) {
-            Some('=') => break,
-            Some(';') | None => return None,
-            _ => eq += 1,
-        }
-    }
-    // A deref copy (`let x = *m.lock();`) releases the temporary guard at the
-    // end of the statement — not a held guard.
-    if ctx.punct_at(eq + 1) == Some('*') {
-        return None;
-    }
-    // Scan to the terminating `;` at bracket level 0 relative to the
-    // statement; the binding is a guard iff the initialiser *ends* with
-    // `.lock()` (a further method chain consumes the temporary instead).
-    let mut k = eq + 1;
-    let mut nest = 0usize;
-    while k < ctx.tokens.len() {
-        match ctx.punct_at(k) {
-            Some('(') | Some('[') | Some('{') => nest += 1,
-            Some(')') | Some(']') | Some('}') => {
-                // A closing brace below statement level ends the statement
-                // (e.g. a block expression tail without `;`).
-                if nest == 0 {
-                    return None;
-                }
-                nest -= 1;
-            }
-            Some(';') if nest == 0 => {
-                // Initialiser ends at k: check for `… . lock ( ) ;`.
-                if k >= 4
-                    && ctx.is_method_call(k - 3, "lock")
-                    && ctx.punct_at(k - 1) == Some(')')
-                    && ctx.punct_at(k - 2) == Some('(')
-                {
-                    return Some(GuardBinding {
-                        name,
-                        depth,
-                        line: ctx.tokens[let_idx].line,
-                    });
-                }
-                return None;
-            }
-            _ => {}
-        }
-        k += 1;
-    }
-    None
+/// GitHub Actions workflow-command rendering of the same diagnostics: one
+/// `::error file=…,line=…,title=…::message` annotation per finding.
+pub fn render_github(findings: &[Finding]) -> String {
+    let escape = |s: &str| {
+        s.replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A")
+    };
+    findings
+        .iter()
+        .map(|f| {
+            format!(
+                "::error file={},line={},title=parmac-lint/{}::{}\n",
+                f.path,
+                f.line,
+                f.rule,
+                escape(&f.message)
+            )
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -895,10 +368,12 @@ fn collect_rs(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lints the whole workspace rooted at `root`, loading `parmac-lint.allow`
-/// from there. Findings are sorted by path then line.
+/// from there. All passes run over the full file set (the call graph is
+/// workspace-wide), allowlist entries that suppress nothing are reported
+/// stale, and findings are sorted by path then line.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let allowlist = Allowlist::load(root);
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -906,7 +381,22 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(&path)?;
-        findings.extend(lint_source(&rel, &source, &allowlist));
+        files.push((rel, source));
+    }
+    let (mut findings, used_entries) = lint_files_inner(&files, &allowlist);
+    for (i, entry) in allowlist.entries.iter().enumerate() {
+        if !used_entries.contains(&i) {
+            findings.push(Finding {
+                rule: RULE_STALE,
+                path: "parmac-lint.allow".to_string(),
+                line: entry.line,
+                message: format!(
+                    "allowlist entry `{} {}` suppresses nothing — the findings it covered \
+                     were fixed or the path moved; delete the entry",
+                    entry.rule, entry.prefix
+                ),
+            });
+        }
     }
     findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(findings)
@@ -991,6 +481,55 @@ mod tests {
     }
 
     #[test]
+    fn transitive_actor_inheritance_fires_and_mixed_callers_do_not() {
+        let src = r#"
+fn serving_actor(x: Option<u32>) {
+    deep_helper(x);
+    shared(x);
+    opted_out(x);
+}
+fn deep_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn shared(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+// lint: non-actor
+fn opted_out(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn plain_entry(x: Option<u32>) {
+    shared(x);
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 8);
+        assert!(findings[0].message.contains("deep_helper"));
+        assert!(findings[0].message.contains("serving_actor"));
+    }
+
+    #[test]
+    fn transitive_inheritance_survives_recursion() {
+        // A mutually-recursive pair reachable only from the actor loop stays
+        // inherited; one plain call site demotes the whole component.
+        let src = r#"
+fn pump_loop(x: Option<u32>) {
+    ping(x, 0);
+}
+fn ping(x: Option<u32>, n: u32) -> u32 {
+    if n > 0 { pong(x, n - 1) } else { x.unwrap() }
+}
+fn pong(x: Option<u32>, n: u32) -> u32 {
+    ping(x, n)
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
     fn inline_allow_suppresses_on_same_or_previous_line() {
         let src = r#"
 fn serving_actor(x: Option<u32>) {
@@ -1001,8 +540,38 @@ fn serving_actor(x: Option<u32>) {
 }
 "#;
         let findings = lint_cluster(src);
-        assert_eq!(findings.len(), 1);
+        assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn standalone_allow_skips_attribute_lines() {
+        // The PR-8 bug: a standalone allow above `#[inline]` must reach the
+        // item it annotates, not the attribute line.
+        let src = r#"
+fn serving_actor(x: Option<u32>) {
+    go(x);
+}
+// lint: allow(actor-panic) — measured: the caller guarantees Some
+#[inline]
+fn go(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+        let findings = lint_cluster(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn stale_inline_allow_is_reported() {
+        let src = r#"
+fn quiet(x: u32) -> u32 {
+    // lint: allow(actor-panic) — nothing here fires any more
+    x + 1
+}
+"#;
+        let findings = lint_cluster(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "stale-suppression");
+        assert_eq!(findings[0].line, 3);
     }
 
     #[test]
@@ -1048,8 +617,53 @@ fn deref_copy(m: &Mutex<u32>, tx: &Sender<u32>) {
 "#;
         let findings = lint_cluster(src);
         assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].rule, "lock-across-send");
+        assert_eq!(findings[0].rule, "blocking-while-locked");
         assert_eq!(findings[0].line, 4);
+    }
+
+    #[test]
+    fn scrutinee_guard_and_transitive_blocking_fire() {
+        let src = r#"
+fn waits(rx: &Receiver<u32>) -> u32 {
+    rx.recv_timeout(TICK).unwrap_or(0)
+}
+fn if_let_scrutinee(m: &Mutex<Option<u32>>, rx: &Receiver<u32>) {
+    if let Some(v) = m.lock().take() {
+        let _ = waits(rx) + v;
+    }
+}
+fn through_helper(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = m.lock();
+    let _ = waits(rx) + *g;
+}
+fn spawn_is_another_thread(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = m.lock();
+    scope.spawn(move || {
+        let _ = waits(rx);
+    });
+    let _ = *g;
+}
+"#;
+        let findings = lint_cluster(src);
+        let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![7, 12], "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == "blocking-while-locked"));
+    }
+
+    #[test]
+    fn non_blocking_override_silences_transitive_call() {
+        let src = r#"
+// lint: non-blocking
+fn logs_only(rx: &Receiver<u32>) -> u32 {
+    rx.recv_timeout(TICK).unwrap_or(0)
+}
+fn fine(m: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = m.lock();
+    let _ = logs_only(rx) + *g;
+}
+"#;
+        let findings = lint_cluster(src);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]
@@ -1075,5 +689,27 @@ fn f() {
         assert!(
             lint_source("crates/parmac-cluster/src/x.rs", src, &Allowlist::default()).is_empty()
         );
+    }
+
+    #[test]
+    fn render_json_escapes_and_shapes() {
+        let findings = vec![Finding {
+            rule: "actor-panic",
+            path: "crates/x/src/a.rs".to_string(),
+            line: 7,
+            message: "say \"no\" to\npanics\\".to_string(),
+        }];
+        let json = render_json(&findings);
+        assert_eq!(
+            json,
+            "[\n  {\"rule\":\"actor-panic\",\"path\":\"crates/x/src/a.rs\",\"line\":7,\
+             \"message\":\"say \\\"no\\\" to\\npanics\\\\\"}\n]"
+        );
+        assert_eq!(render_json(&[]), "[]");
+        let gh = render_github(&findings);
+        assert!(
+            gh.starts_with("::error file=crates/x/src/a.rs,line=7,title=parmac-lint/actor-panic::")
+        );
+        assert!(gh.contains("%0A"), "{gh}");
     }
 }

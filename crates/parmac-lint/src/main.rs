@@ -1,21 +1,77 @@
-//! CLI entry point: `cargo run -p parmac-lint [workspace-root]`.
+//! CLI for the workspace analyzer.
 //!
-//! Prints one `path:line: [rule] message` diagnostic per finding and exits
-//! non-zero if any survive the allowlist — suitable as a named CI step.
+//! ```text
+//! parmac-lint [--format text|json|github] [--diff <git-ref>] [root]
+//! ```
+//!
+//! * `--format text` (default) — `path:line: [rule] message` per finding.
+//! * `--format json` — a JSON array of finding objects, for tooling.
+//! * `--format github` — GitHub Actions `::error` annotations, so CI
+//!   failures land on the offending lines in the PR diff.
+//! * `--diff <ref>` — report only findings in files changed since `<ref>`
+//!   (per `git diff --name-only`); workspace-level findings against the
+//!   allowlist itself are kept, since any change can make an entry stale.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
+use std::env;
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
+
+use parmac_lint::{find_workspace_root, lint_workspace, render_github, render_json, Finding};
+
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: parmac-lint [--format text|json|github] [--diff <git-ref>] [workspace-root]");
+    ExitCode::from(2)
+}
 
 fn main() -> ExitCode {
-    let root = match std::env::args_os().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let mut format = Format::Text;
+    let mut diff_ref: Option<String> = None;
+    let mut root_arg: Option<PathBuf> = None;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                _ => return usage(),
+            },
+            "--diff" => match args.next() {
+                Some(r) => diff_ref = Some(r),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "parmac-lint: workspace concurrency-invariant analyzer\n\n\
+                     usage: parmac-lint [--format text|json|github] [--diff <git-ref>] [root]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if root_arg.is_none() && !arg.starts_with('-') => {
+                root_arg = Some(PathBuf::from(arg));
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
         None => {
-            let cwd = std::env::current_dir().expect("cwd");
-            match parmac_lint::find_workspace_root(&cwd) {
-                Some(root) => root,
+            let cwd = env::current_dir().expect("cwd");
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
                 None => {
                     eprintln!(
-                        "parmac-lint: no workspace root found above {}",
+                        "parmac-lint: no [workspace] Cargo.toml above {}",
                         cwd.display()
                     );
                     return ExitCode::from(2);
@@ -24,21 +80,69 @@ fn main() -> ExitCode {
         }
     };
 
-    match parmac_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("parmac-lint: workspace clean ({})", root.display());
-            ExitCode::SUCCESS
+    let mut findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("parmac-lint: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
         }
-        Ok(findings) => {
+    };
+
+    if let Some(base) = &diff_ref {
+        match changed_paths(&root, base) {
+            Ok(changed) => {
+                findings.retain(|f: &Finding| {
+                    f.path == "parmac-lint.allow" || changed.iter().any(|c| c == &f.path)
+                });
+            }
+            Err(e) => {
+                eprintln!("parmac-lint: --diff {base}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match format {
+        Format::Text => {
             for f in &findings {
                 println!("{f}");
             }
-            eprintln!("parmac-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                println!("parmac-lint: workspace clean ({})", root.display());
+            } else {
+                eprintln!("parmac-lint: {} finding(s)", findings.len());
+            }
         }
-        Err(err) => {
-            eprintln!("parmac-lint: error walking {}: {err}", root.display());
-            ExitCode::from(2)
+        Format::Json => println!("{}", render_json(&findings)),
+        Format::Github => {
+            print!("{}", render_github(&findings));
+            if !findings.is_empty() {
+                eprintln!("parmac-lint: {} finding(s)", findings.len());
+            }
         }
     }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace-relative paths changed since `base`, per `git diff`.
+fn changed_paths(root: &std::path::Path, base: &str) -> Result<Vec<String>, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", base])
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(String::from_utf8_lossy(&out.stderr).trim().to_string());
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
 }

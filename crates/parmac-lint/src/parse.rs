@@ -1,0 +1,691 @@
+//! Pass 1: a lightweight item parser over the token stream.
+//!
+//! One brace-matching walk turns a file into a [`FileModel`]: `fn` items with
+//! body spans, `impl` blocks with their trait/self-type names, `enum`
+//! declarations with per-variant payload identifiers, every call site
+//! attributed to its enclosing function, `spawn(..)` argument ranges (code
+//! that runs on *another* thread), attribute-line bookkeeping, and the
+//! classic line-range regions (named actor fns, `#[cfg(test)]` items,
+//! `// lint:` fences). Pass 2 ([`crate::graph`]) stitches the per-file call
+//! sites into a workspace call graph.
+
+use crate::lexer::{lex, Directive, ItemFlag, Tok, Token, WireAnn};
+
+/// A set of closed line ranges (1-based, inclusive).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LineSet {
+    pub ranges: Vec<(u32, u32)>,
+}
+
+impl LineSet {
+    pub fn add(&mut self, start: u32, end: u32) {
+        self.ranges.push((start, end));
+    }
+    pub fn contains(&self, line: u32) -> bool {
+        self.ranges.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+/// A `fn` item (free, impl method, trait default method, or nested).
+#[derive(Debug)]
+pub(crate) struct FnItem {
+    pub name: String,
+    /// Token-index range of the body braces, inclusive; `None` for body-less
+    /// trait signatures.
+    pub body: Option<(usize, usize)>,
+    /// Line span of the body (brace line .. closing-brace line).
+    pub span: Option<(u32, u32)>,
+    /// `*_actor` / `*_loop` naming convention: an actor region root.
+    pub actor_name: bool,
+    /// Whole item sits in test code (`#[test]` / `#[cfg(test)]`).
+    pub in_test: bool,
+    /// `// lint: non-actor`: opted out of transitive actor inheritance.
+    pub non_actor: bool,
+    /// `// lint: blocking` / `// lint: non-blocking` override.
+    pub blocking_override: Option<bool>,
+    /// Type name of the enclosing `impl` block, if the fn is a method or
+    /// associated fn.
+    pub owner: Option<String>,
+}
+
+/// One `callee(` / `.callee(` site inside (or outside) a function.
+#[derive(Debug)]
+pub(crate) struct CallSite {
+    pub callee: String,
+    pub line: u32,
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    /// `Q` of a `Q::callee(` path call. A CamelCase qualifier names a type,
+    /// which lets blocking resolution match only that type's impls instead
+    /// of every same-named fn in the workspace.
+    pub qualifier: Option<String>,
+    /// Index into [`FileModel::fns`] of the innermost enclosing fn.
+    pub caller: Option<usize>,
+    /// The call sits inside a `spawn(...)` argument — it runs on another
+    /// thread, so it neither blocks the spawner nor holds its guards.
+    pub in_spawn: bool,
+}
+
+/// An `impl [Trait for] Type` block.
+#[derive(Debug)]
+pub(crate) struct ImplBlock {
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type; `None` for tuples/references the
+    /// parser does not name.
+    pub type_name: Option<String>,
+    pub line: u32,
+    /// Names of the `fn` items directly inside this block.
+    pub fn_names: Vec<String>,
+    pub in_test: bool,
+}
+
+/// An `enum` declaration with per-variant payload identifiers.
+#[derive(Debug)]
+pub(crate) struct EnumItem {
+    pub name: String,
+    /// Identifiers inside the declaration's `<...>` (generic params and bound
+    /// names — over-approximate, used only to skip payload idents).
+    pub generics: Vec<String>,
+    /// `// lint: wire-protocol` on the declaration.
+    pub wire_protocol: bool,
+    pub in_test: bool,
+    pub variants: Vec<Variant>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Variant {
+    pub name: String,
+    pub line: u32,
+    /// Every identifier in the payload (field names and types alike; the
+    /// wire-symmetry pass only looks at capitalised ones).
+    pub idents: Vec<String>,
+    pub ann: Option<WireAnn>,
+}
+
+/// Everything pass 1 extracts from one file.
+pub(crate) struct FileModel {
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub calls: Vec<CallSite>,
+    pub impls: Vec<ImplBlock>,
+    pub enums: Vec<EnumItem>,
+    /// `struct` / `enum` / `union` names declared outside test code.
+    pub type_defs: Vec<String>,
+    /// Token-index ranges (inclusive parens) of `spawn(...)` arguments.
+    pub spawn_ranges: Vec<(usize, usize)>,
+    /// Bodies of `*_actor` / `*_loop` functions.
+    pub actor: LineSet,
+    /// `// lint: actor-region` fences.
+    pub fence: LineSet,
+    /// `#[cfg(test)]` / `#[test]` items.
+    pub test: LineSet,
+    /// `(line, standalone, rules)` inline allows, in directive order.
+    pub allows: Vec<(u32, bool, Vec<String>)>,
+    /// For each allow in `allows`: the line it covers (standalone allows skip
+    /// attribute and blank lines to reach the first code line — the PR-8
+    /// `#[inline]` bug).
+    pub allow_targets: Vec<u32>,
+}
+
+impl FileModel {
+    pub fn ident_at(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(name)) => Some(name.as_str()),
+            _ => None,
+        }
+    }
+    pub fn punct_at(&self, idx: usize) -> Option<char> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+    /// `.name(` — a method call on something.
+    pub fn is_method_call(&self, idx: usize, name: &str) -> bool {
+        self.ident_at(idx) == Some(name)
+            && idx > 0
+            && self.punct_at(idx - 1) == Some('.')
+            && self.punct_at(idx + 1) == Some('(')
+    }
+    /// `name!` — a macro invocation.
+    pub fn is_macro(&self, idx: usize, name: &str) -> bool {
+        self.ident_at(idx) == Some(name) && self.punct_at(idx + 1) == Some('!')
+    }
+    /// `a :: b` at `idx` (idx is `a`).
+    pub fn is_path_pair(&self, idx: usize, a: &str, b: &str) -> bool {
+        self.ident_at(idx) == Some(a)
+            && self.punct_at(idx + 1) == Some(':')
+            && self.punct_at(idx + 2) == Some(':')
+            && self.ident_at(idx + 3) == Some(b)
+    }
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test.contains(line)
+    }
+    pub fn in_spawn(&self, idx: usize) -> bool {
+        self.spawn_ranges.iter().any(|&(s, e)| s <= idx && idx <= e)
+    }
+}
+
+/// Keywords that look like `ident(` but are never calls.
+const NON_CALL_KEYWORDS: [&str; 16] = [
+    "fn", "if", "while", "for", "match", "loop", "return", "let", "mut", "in", "as", "move", "ref",
+    "box", "where", "dyn",
+];
+
+/// Items armed by their header tokens, latched onto the next `{` at the
+/// current nesting (a `;` first means a body-less item).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    Fn(usize),
+    Impl(usize),
+    Enum(usize),
+    Trait,
+    Test,
+}
+
+pub(crate) fn parse_file(source: &str) -> (FileModel, Vec<Directive>) {
+    let (tokens, directives) = lex(source);
+
+    // --- attribute mask + code-line map -----------------------------------
+    // attr[i] == true for tokens inside `#[...]` groups (including `#`).
+    let mut attr = vec![false; tokens.len()];
+    {
+        let mut i = 0usize;
+        while i < tokens.len() {
+            if matches!(tokens[i].tok, Tok::Punct('#'))
+                && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+            {
+                attr[i] = true;
+                attr[i + 1] = true;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < tokens.len() && depth > 0 {
+                    match tokens[j].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        _ => {}
+                    }
+                    attr[j] = true;
+                    j += 1;
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Lines holding at least one non-attribute token.
+    let code_lines: std::collections::BTreeSet<u32> = tokens
+        .iter()
+        .zip(&attr)
+        .filter(|(_, &a)| !a)
+        .map(|(t, _)| t.line)
+        .collect();
+    let next_code_line = |line: u32| -> u32 {
+        code_lines
+            .range((line + 1)..)
+            .next()
+            .copied()
+            .unwrap_or(u32::MAX)
+    };
+
+    // --- directive → target-line maps -------------------------------------
+    let mut fence = LineSet::default();
+    let mut fence_start: Option<u32> = None;
+    let mut allows = Vec::new();
+    let mut allow_targets = Vec::new();
+    // Item flags keyed by the line they annotate.
+    let mut item_flags: std::collections::HashMap<u32, Vec<ItemFlag>> =
+        std::collections::HashMap::new();
+    for d in &directives {
+        match d {
+            Directive::RegionStart(line) => {
+                if fence_start.is_none() {
+                    fence_start = Some(*line);
+                }
+            }
+            Directive::RegionEnd(line) => {
+                if let Some(s) = fence_start.take() {
+                    fence.add(s, *line);
+                }
+            }
+            Directive::Allow {
+                line,
+                rules,
+                standalone,
+            } => {
+                let target = if *standalone {
+                    next_code_line(*line)
+                } else {
+                    *line
+                };
+                allows.push((*line, *standalone, rules.clone()));
+                allow_targets.push(target);
+            }
+            Directive::Item {
+                line,
+                standalone,
+                flag,
+            } => {
+                let target = if *standalone {
+                    next_code_line(*line)
+                } else {
+                    *line
+                };
+                item_flags.entry(target).or_default().push(flag.clone());
+            }
+        }
+    }
+    if let Some(s) = fence_start {
+        fence.add(s, u32::MAX);
+    }
+    let flags_at = |line: u32| item_flags.get(&line).map(Vec::as_slice).unwrap_or(&[]);
+
+    // --- spawn ranges (lookahead paren matching) --------------------------
+    let mut spawn_ranges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..tokens.len() {
+        if matches!(&tokens[i].tok, Tok::Ident(n) if n == "spawn")
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+        {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spawn_ranges.push((i + 1, j.min(tokens.len().saturating_sub(1))));
+        }
+    }
+
+    // --- the main item walk ------------------------------------------------
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut impls: Vec<ImplBlock> = Vec::new();
+    let mut enums: Vec<EnumItem> = Vec::new();
+    let mut type_defs_raw: Vec<(String, u32)> = Vec::new();
+    let mut calls: Vec<CallSite> = Vec::new();
+    let mut actor = LineSet::default();
+    let mut test = LineSet::default();
+
+    let mut depth = 0usize;
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    let mut pending: Vec<Pending> = Vec::new();
+    // (what, body depth, start line, open-brace token idx)
+    let mut open: Vec<(Pending, usize, u32, usize)> = Vec::new();
+    let open_floor =
+        |open: &[(Pending, usize, u32, usize)]| open.last().map_or(0, |&(_, d, _, _)| d);
+
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        let line = tokens[idx].line;
+        match &tokens[idx].tok {
+            Tok::Punct('#')
+                if matches!(tokens.get(idx + 1).map(|t| &t.tok), Some(Tok::Punct('['))) =>
+            {
+                // Attribute: scan the bracket group for `test`.
+                let mut j = idx + 2;
+                let mut attr_depth = 1usize;
+                let mut saw_test = false;
+                while j < tokens.len() && attr_depth > 0 {
+                    match &tokens[j].tok {
+                        Tok::Punct('[') => attr_depth += 1,
+                        Tok::Punct(']') => attr_depth -= 1,
+                        Tok::Ident(w) if w == "test" => saw_test = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if saw_test {
+                    pending.push(Pending::Test);
+                }
+                idx = j;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some(name) = ident_of(&tokens, idx + 1) {
+                    let flags = flags_at(line);
+                    let blocking_override = if flags.contains(&ItemFlag::NonBlocking) {
+                        Some(false)
+                    } else if flags.contains(&ItemFlag::Blocking) {
+                        Some(true)
+                    } else {
+                        None
+                    };
+                    fns.push(FnItem {
+                        actor_name: name.ends_with("_actor") || name.ends_with("_loop"),
+                        name: name.to_string(),
+                        body: None,
+                        span: None,
+                        in_test: false, // fixed up when the body closes
+                        non_actor: flags.contains(&ItemFlag::NonActor),
+                        blocking_override,
+                        owner: None, // fixed up when the body closes
+                    });
+                    pending.push(Pending::Fn(fns.len() - 1));
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                // Only item-position `impl` opens a block; `-> impl Trait` /
+                // `&impl Trait` in type position is preceded by operator
+                // punctuation, item `impl` by a statement boundary (or
+                // `unsafe`).
+                let item_position = match idx.checked_sub(1).map(|p| &tokens[p].tok) {
+                    None | Some(Tok::Punct('}' | ';' | ']' | '{')) => true,
+                    Some(Tok::Ident(prev)) => prev == "unsafe",
+                    _ => false,
+                };
+                if item_position {
+                    let (trait_name, type_name) = parse_impl_header(&tokens, idx + 1);
+                    impls.push(ImplBlock {
+                        trait_name,
+                        type_name,
+                        line,
+                        fn_names: Vec::new(),
+                        in_test: false,
+                    });
+                    pending.push(Pending::Impl(impls.len() - 1));
+                }
+            }
+            Tok::Ident(kw) if kw == "trait" => {
+                pending.push(Pending::Trait);
+            }
+            Tok::Ident(kw) if kw == "enum" => {
+                if let Some(name) = ident_of(&tokens, idx + 1) {
+                    type_defs_raw.push((name.to_string(), line));
+                    let mut generics = Vec::new();
+                    if let Some('<') = punct_of(&tokens, idx + 2) {
+                        let mut j = idx + 3;
+                        let mut angle = 1usize;
+                        while j < tokens.len() && angle > 0 {
+                            match &tokens[j].tok {
+                                Tok::Punct('<') => angle += 1,
+                                Tok::Punct('>') => angle -= 1,
+                                Tok::Ident(g) => generics.push(g.clone()),
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                    enums.push(EnumItem {
+                        name: name.to_string(),
+                        generics,
+                        wire_protocol: flags_at(line).contains(&ItemFlag::WireProtocol),
+                        in_test: false,
+                        variants: Vec::new(),
+                    });
+                    pending.push(Pending::Enum(enums.len() - 1));
+                }
+            }
+            Tok::Ident(kw) if kw == "struct" || kw == "union" => {
+                if let Some(name) = ident_of(&tokens, idx + 1) {
+                    type_defs_raw.push((name.to_string(), line));
+                }
+            }
+            Tok::Ident(name) if punct_of(&tokens, idx + 1) == Some('(') => {
+                // A call site — unless it is a keyword or the name in an item
+                // header (`fn name(`).
+                let prev_is_fn =
+                    idx > 0 && matches!(&tokens[idx - 1].tok, Tok::Ident(k) if k == "fn");
+                if !prev_is_fn && !NON_CALL_KEYWORDS.contains(&name.as_str()) {
+                    let caller = open
+                        .iter()
+                        .rev()
+                        .find_map(|(p, _, _, _)| match p {
+                            Pending::Fn(f) => Some(*f),
+                            _ => None,
+                        })
+                        .or_else(|| {
+                            pending.iter().rev().find_map(|p| match p {
+                                Pending::Fn(f) => Some(*f),
+                                _ => None,
+                            })
+                        });
+                    let qualifier = (idx >= 3
+                        && matches!(&tokens[idx - 1].tok, Tok::Punct(':'))
+                        && matches!(&tokens[idx - 2].tok, Tok::Punct(':')))
+                    .then(|| match &tokens[idx - 3].tok {
+                        Tok::Ident(q) => Some(q.clone()),
+                        _ => None,
+                    })
+                    .flatten();
+                    calls.push(CallSite {
+                        callee: name.clone(),
+                        line,
+                        tok: idx,
+                        qualifier,
+                        caller,
+                        in_spawn: spawn_ranges.iter().any(|&(s, e)| s <= idx && idx <= e),
+                    });
+                }
+                // The '(' itself is handled by the ordinary punct arms on the
+                // next iteration.
+            }
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren = paren.saturating_sub(1),
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket = bracket.saturating_sub(1),
+            Tok::Punct(';') if paren == 0 && bracket == 0 && depth == open_floor(&open) => {
+                // A body-less item (trait method, `#[cfg(test)] use ...;`)
+                // consumes the armed items.
+                pending.clear();
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                for p in pending.drain(..) {
+                    open.push((p, depth, line, idx));
+                }
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while let Some(&(p, body_depth, start, open_idx)) = open.last() {
+                    if body_depth <= depth {
+                        break;
+                    }
+                    open.pop();
+                    let in_test_now = test.contains(start)
+                        || open.iter().any(|(q, ..)| matches!(q, Pending::Test));
+                    match p {
+                        Pending::Fn(f) => {
+                            fns[f].body = Some((open_idx, idx));
+                            fns[f].span = Some((start, line));
+                            fns[f].in_test = in_test_now;
+                            if fns[f].actor_name {
+                                actor.add(start, line);
+                            }
+                            // Attribute the fn to the innermost still-open
+                            // impl block, if it is the direct parent.
+                            if let Some((Pending::Impl(ib), d, ..)) = open.last() {
+                                if *d == depth {
+                                    let name = fns[f].name.clone();
+                                    fns[f].owner = impls[*ib].type_name.clone();
+                                    impls[*ib].fn_names.push(name);
+                                }
+                            }
+                        }
+                        Pending::Impl(ib) => impls[ib].in_test = in_test_now,
+                        Pending::Enum(e) => {
+                            enums[e].in_test = in_test_now;
+                            parse_variants(&tokens, open_idx, idx, &mut enums[e], &item_flags);
+                        }
+                        Pending::Trait => {}
+                        Pending::Test => test.add(start, line),
+                    }
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    // Unclosed regions (truncated file): extend to the end.
+    for (p, _, start, open_idx) in open {
+        match p {
+            Pending::Test => test.add(start, u32::MAX),
+            Pending::Fn(f) => {
+                fns[f].body = Some((open_idx, tokens.len().saturating_sub(1)));
+                fns[f].span = Some((start, u32::MAX));
+                if fns[f].actor_name {
+                    actor.add(start, u32::MAX);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let type_defs = type_defs_raw
+        .into_iter()
+        .filter(|(_, line)| !test.contains(*line))
+        .map(|(name, _)| name)
+        .collect();
+
+    (
+        FileModel {
+            tokens,
+            fns,
+            calls,
+            impls,
+            enums,
+            type_defs,
+            spawn_ranges,
+            actor,
+            fence,
+            test,
+            allows,
+            allow_targets,
+        },
+        directives,
+    )
+}
+
+fn ident_of(tokens: &[Token], idx: usize) -> Option<&str> {
+    match tokens.get(idx).map(|t| &t.tok) {
+        Some(Tok::Ident(name)) => Some(name.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_of(tokens: &[Token], idx: usize) -> Option<char> {
+    match tokens.get(idx).map(|t| &t.tok) {
+        Some(Tok::Punct(c)) => Some(*c),
+        _ => None,
+    }
+}
+
+/// Parses an `impl` header starting just after the `impl` keyword: skips the
+/// generic parameter list, then reads path segments up to `for` (trait) and
+/// up to the body `{` (self type). Returns `(trait, type)` last segments.
+fn parse_impl_header(tokens: &[Token], mut j: usize) -> (Option<String>, Option<String>) {
+    if punct_of(tokens, j) == Some('<') {
+        let mut angle = 1usize;
+        j += 1;
+        while j < tokens.len() && angle > 0 {
+            match tokens[j].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut first_path_last: Option<String> = None;
+    let mut second_path_last: Option<String> = None;
+    let mut saw_for = false;
+    let mut angle = 0usize;
+    while j < tokens.len() {
+        match &tokens[j].tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = angle.saturating_sub(1),
+            Tok::Punct('{') | Tok::Punct(';') if angle == 0 => break,
+            Tok::Ident(w) if w == "for" && angle == 0 => saw_for = true,
+            Tok::Ident(w) if w == "where" && angle == 0 => break,
+            Tok::Ident(w) if angle == 0 => {
+                let slot = if saw_for {
+                    &mut second_path_last
+                } else {
+                    &mut first_path_last
+                };
+                *slot = Some(w.clone());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if saw_for {
+        (first_path_last, second_path_last)
+    } else {
+        (None, first_path_last)
+    }
+}
+
+/// Splits an enum body (tokens between the braces, exclusive) into variants
+/// at top-level commas; collects each variant's identifiers and any
+/// `// lint: wire(...)` / `local-only` annotation on its first line.
+fn parse_variants(
+    tokens: &[Token],
+    open_idx: usize,
+    close_idx: usize,
+    item: &mut EnumItem,
+    item_flags: &std::collections::HashMap<u32, Vec<ItemFlag>>,
+) {
+    let mut j = open_idx + 1;
+    while j < close_idx {
+        // Skip attributes (`#[...]`) before the variant name.
+        if matches!(tokens[j].tok, Tok::Punct('#'))
+            && matches!(tokens.get(j + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            let mut d = 1usize;
+            j += 2;
+            while j < close_idx && d > 0 {
+                match tokens[j].tok {
+                    Tok::Punct('[') => d += 1,
+                    Tok::Punct(']') => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            continue;
+        }
+        let Tok::Ident(name) = &tokens[j].tok else {
+            j += 1;
+            continue;
+        };
+        let line = tokens[j].line;
+        // Scan the payload to the next top-level comma (or the body end).
+        let mut nest = 0usize;
+        let mut idents = Vec::new();
+        let mut k = j + 1;
+        while k < close_idx {
+            match &tokens[k].tok {
+                Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => nest += 1,
+                Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                    nest = nest.saturating_sub(1)
+                }
+                Tok::Punct(',') if nest == 0 => break,
+                Tok::Ident(w) => idents.push(w.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+        let ann = item_flags.get(&line).and_then(|flags| {
+            flags.iter().find_map(|f| match f {
+                ItemFlag::Wire(ann) => Some(ann.clone()),
+                _ => None,
+            })
+        });
+        item.variants.push(Variant {
+            name: name.clone(),
+            line,
+            idents,
+            ann,
+        });
+        j = k + 1;
+    }
+}

@@ -1,0 +1,413 @@
+//! Token-level rules, driven by the pass-2 workspace analysis.
+//!
+//! Every rule reports through [`Reporter::report`], which applies the test
+//! exemption and inline `// lint: allow(...)` suppression — and records
+//! which allows actually suppressed something, so the stale-suppression
+//! check can flag the ones that no longer do.
+
+use std::collections::HashSet;
+
+use crate::graph::{blocking_op_at, WsAnalysis};
+use crate::parse::FileModel;
+use crate::{
+    Finding, RULE_ACTOR_PANIC, RULE_BLOCKING_WHILE_LOCKED, RULE_RAW_SPAWN, RULE_UNBOUNDED_RECV,
+    RULE_WALLCLOCK,
+};
+
+/// Per-file finding sink.
+#[derive(Default)]
+pub(crate) struct Reporter {
+    pub findings: Vec<Finding>,
+    /// Indices into `FileModel::allows` that suppressed at least one finding.
+    pub used_allows: HashSet<usize>,
+}
+
+impl Reporter {
+    /// Pushes a finding unless the line is test code or inline-allowed.
+    pub fn report(
+        &mut self,
+        m: &FileModel,
+        rel: &str,
+        rule: &'static str,
+        line: u32,
+        message: String,
+    ) {
+        if m.in_test(line) {
+            return;
+        }
+        if let Some(i) = allowed_inline(m, rule, line) {
+            self.used_allows.insert(i);
+            return;
+        }
+        self.findings.push(Finding {
+            rule,
+            path: rel.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Returns the index of an inline allow covering `(rule, line)`: a trailing
+/// `// lint: allow(...)` covers its own line, a standalone one the next code
+/// line (attribute and blank lines skipped — so an allow above `#[inline]`
+/// reaches the item it annotates).
+fn allowed_inline(m: &FileModel, rule: &str, line: u32) -> Option<usize> {
+    m.allows.iter().enumerate().find_map(|(i, (_, _, rules))| {
+        (m.allow_targets[i] == line && rules.iter().any(|r| r == rule || r == "*")).then_some(i)
+    })
+}
+
+pub(crate) struct FileCtx<'a> {
+    pub rel: &'a str,
+    pub krate: Option<&'a str>,
+    pub fi: usize,
+    pub m: &'a FileModel,
+    pub ws: &'a WsAnalysis,
+}
+
+pub(crate) fn run_token_rules(ctx: &FileCtx<'_>, files: &[FileModel], r: &mut Reporter) {
+    rule_actor_panic(ctx, files, r);
+    rule_unbounded_recv(ctx, r);
+    rule_raw_spawn(ctx, r);
+    rule_wallclock(ctx, r);
+    rule_blocking_while_locked(ctx, r);
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Why a line is in actor context: textual region, or inherited via the call
+/// graph — the latter gets the provenance spelled out in the message.
+fn inheritance_note(ctx: &FileCtx<'_>, files: &[FileModel], line: u32) -> String {
+    let m = ctx.m;
+    if m.actor.contains(line) || m.fence.contains(line) {
+        return String::new();
+    }
+    let Some(f) = ctx.ws.inherited_fn_at(files, ctx.fi, line) else {
+        return String::new();
+    };
+    let name = &m.fns[f].name;
+    let via = ctx.ws.witness[ctx.fi]
+        .get(&f)
+        .map(|w| format!(" via `{w}`"))
+        .unwrap_or_default();
+    format!(
+        " (`{name}` is reachable only from actor regions{via}; \
+         `// lint: non-actor` opts it out if that is wrong)"
+    )
+}
+
+fn rule_actor_panic(ctx: &FileCtx<'_>, files: &[FileModel], r: &mut Reporter) {
+    let m = ctx.m;
+    let region = &ctx.ws.effective_actor[ctx.fi];
+    for idx in 0..m.tokens.len() {
+        let line = m.tokens[idx].line;
+        if !region.contains(line) {
+            continue;
+        }
+        if m.is_method_call(idx, "unwrap") || m.is_method_call(idx, "expect") {
+            let name = m.ident_at(idx).unwrap_or_default();
+            let note = inheritance_note(ctx, files, line);
+            r.report(
+                m,
+                ctx.rel,
+                RULE_ACTOR_PANIC,
+                line,
+                format!(
+                    "`.{name}()` inside an actor region: a panic here kills a detached \
+                     serving thread silently — return a degraded result or bail instead{note}"
+                ),
+            );
+        } else if PANIC_MACROS.iter().any(|mac| m.is_macro(idx, mac)) {
+            let name = m.ident_at(idx).unwrap_or_default();
+            let note = inheritance_note(ctx, files, line);
+            r.report(
+                m,
+                ctx.rel,
+                RULE_ACTOR_PANIC,
+                line,
+                format!("`{name}!` inside an actor region: actor threads must not panic{note}"),
+            );
+        }
+    }
+}
+
+fn rule_unbounded_recv(ctx: &FileCtx<'_>, r: &mut Reporter) {
+    let m = ctx.m;
+    let crate_scoped = ctx.krate == Some("parmac-cluster");
+    for idx in 0..m.tokens.len() {
+        let line = m.tokens[idx].line;
+        if !(crate_scoped || ctx.ws.effective_actor[ctx.fi].contains(line)) {
+            continue;
+        }
+        if m.is_method_call(idx, "recv") && m.punct_at(idx + 2) == Some(')') {
+            let where_ = if crate_scoped {
+                "in parmac-cluster"
+            } else {
+                "in an actor region"
+            };
+            r.report(
+                m,
+                ctx.rel,
+                RULE_UNBOUNDED_RECV,
+                line,
+                format!(
+                    "bare `.recv()` {where_}: every blocking wait must be bounded \
+                     (`recv_timeout` with a deadline, or the `waits::recv_bounded` heartbeat)"
+                ),
+            );
+        }
+    }
+}
+
+fn rule_raw_spawn(ctx: &FileCtx<'_>, r: &mut Reporter) {
+    let m = ctx.m;
+    for idx in 0..m.tokens.len() {
+        if m.is_path_pair(idx, "thread", "spawn") {
+            r.report(
+                m,
+                ctx.rel,
+                RULE_RAW_SPAWN,
+                m.tokens[idx].line,
+                "raw `thread::spawn`: long-lived threads must use a sanctioned spawn site \
+                 (`thread::Builder` with a name, or scoped `thread::scope`)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn rule_wallclock(ctx: &FileCtx<'_>, r: &mut Reporter) {
+    if !matches!(ctx.krate, Some("parmac-core") | Some("parmac-retrieval")) {
+        return;
+    }
+    let m = ctx.m;
+    for idx in 0..m.tokens.len() {
+        let line = m.tokens[idx].line;
+        if m.is_path_pair(idx, "Instant", "now") {
+            r.report(
+                m,
+                ctx.rel,
+                RULE_WALLCLOCK,
+                line,
+                "`Instant::now` in a bitwise-deterministic training path: wall-clock reads \
+                 must not influence training (annotate report-only timing explicitly)"
+                    .to_string(),
+            );
+        } else if m.ident_at(idx) == Some("SystemTime") {
+            r.report(
+                m,
+                ctx.rel,
+                RULE_WALLCLOCK,
+                line,
+                "`SystemTime` in a bitwise-deterministic training path".to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// blocking-while-locked
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct GuardBinding {
+    name: String,
+    depth: usize,
+    line: u32,
+}
+
+/// Dataflow-ish lexical check: a mutex guard is live from a
+/// `let g = ….lock();` binding until its block closes or `drop(g)`, and —
+/// edition-2021 temporary extension — from a `.lock()` inside a `match` /
+/// `if let` / `while let` / `for` scrutinee until that block closes. While
+/// any guard is live, a direct blocking operation or a call to a
+/// blocking-classified function fires. Code inside `spawn(...)` arguments
+/// runs on another thread: outer guards are suspended there (and guards
+/// taken inside the closure are tracked against its own body only).
+fn rule_blocking_while_locked(ctx: &FileCtx<'_>, r: &mut Reporter) {
+    let m = ctx.m;
+    let mut depth = 0usize;
+    let mut guards: Vec<GuardBinding> = Vec::new();
+    // Saved guard stacks for enclosing code while inside `spawn(...)`.
+    let mut suspended: Vec<(usize, Vec<GuardBinding>)> = Vec::new();
+    let mut next_range = 0usize;
+    // `m.calls` is in token order; `next_call` tracks the cursor.
+    let mut next_call = 0usize;
+
+    let mut idx = 0usize;
+    while idx < m.tokens.len() {
+        while suspended.last().is_some_and(|&(end, _)| idx > end) {
+            guards = suspended.pop().expect("checked non-empty").1;
+        }
+        while next_range < m.spawn_ranges.len() && m.spawn_ranges[next_range].0 == idx {
+            suspended.push((m.spawn_ranges[next_range].1, std::mem::take(&mut guards)));
+            next_range += 1;
+        }
+        let line = m.tokens[idx].line;
+        match m.ident_at(idx) {
+            Some("drop") if m.punct_at(idx + 1) == Some('(') => {
+                if let (Some(dropped), Some(')')) = (m.ident_at(idx + 2), m.punct_at(idx + 3)) {
+                    let dropped = dropped.to_string();
+                    guards.retain(|g| g.name != dropped);
+                }
+            }
+            Some("let")
+                if idx == 0 || !matches!(m.ident_at(idx - 1), Some("if") | Some("while")) =>
+            {
+                if let Some(g) = guard_binding(m, idx, depth) {
+                    guards.push(g);
+                }
+            }
+            Some("match") | Some("for") => {
+                if let Some(g) = scrutinee_guard(m, idx, depth) {
+                    guards.push(g);
+                }
+            }
+            Some("if") | Some("while") if m.ident_at(idx + 1) == Some("let") => {
+                if let Some(g) = scrutinee_guard(m, idx, depth) {
+                    guards.push(g);
+                }
+            }
+            _ => {}
+        }
+        match m.punct_at(idx) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            _ => {}
+        }
+        while next_call < m.calls.len() && m.calls[next_call].tok < idx {
+            next_call += 1;
+        }
+        if !guards.is_empty() && !m.in_test(line) {
+            if let Some(op) = blocking_op_at(m, idx) {
+                let g = guards.last().expect("checked non-empty");
+                r.report(
+                    m,
+                    ctx.rel,
+                    RULE_BLOCKING_WHILE_LOCKED,
+                    line,
+                    format!(
+                        "blocking `{op}` while the mutex guard `{}` (taken at line {}) is \
+                         still held — release or `drop()` the guard first",
+                        g.name, g.line
+                    ),
+                );
+            } else if next_call < m.calls.len() && m.calls[next_call].tok == idx {
+                let c = &m.calls[next_call];
+                if ctx.ws.call_blocks(c) {
+                    let g = guards.last().expect("checked non-empty");
+                    r.report(
+                        m,
+                        ctx.rel,
+                        RULE_BLOCKING_WHILE_LOCKED,
+                        line,
+                        format!(
+                            "call to `{}`, which blocks (transitively), while the mutex \
+                             guard `{}` (taken at line {}) is still held — move the blocking \
+                             work outside the critical section",
+                            c.callee, g.name, g.line
+                        ),
+                    );
+                }
+            }
+        }
+        idx += 1;
+    }
+}
+
+/// Recognises `let [mut] <name> [: T] = <expr ending in .lock()>;` starting
+/// at the `let` token. Returns the binding if the statement binds a guard.
+fn guard_binding(m: &FileModel, let_idx: usize, depth: usize) -> Option<GuardBinding> {
+    let mut j = let_idx + 1;
+    if m.ident_at(j) == Some("mut") {
+        j += 1;
+    }
+    let name = m.ident_at(j)?.to_string();
+    // Find the `=` of the initialiser (skipping a `: Type` annotation, whose
+    // generics may nest `< … >` but never contain a bare `=`).
+    let mut eq = j + 1;
+    loop {
+        match m.punct_at(eq) {
+            Some('=') => break,
+            Some(';') | None => return None,
+            _ => eq += 1,
+        }
+    }
+    // A deref copy (`let x = *m.lock();`) releases the temporary guard at the
+    // end of the statement — not a held guard.
+    if m.punct_at(eq + 1) == Some('*') {
+        return None;
+    }
+    // Scan to the terminating `;` at bracket level 0 relative to the
+    // statement; the binding is a guard iff the initialiser *ends* with
+    // `.lock()` (a further method chain consumes the temporary instead).
+    let mut k = eq + 1;
+    let mut nest = 0usize;
+    while k < m.tokens.len() {
+        match m.punct_at(k) {
+            Some('(') | Some('[') | Some('{') => nest += 1,
+            Some(')') | Some(']') | Some('}') => {
+                // A closing brace below statement level ends the statement
+                // (e.g. a block expression tail without `;`).
+                if nest == 0 {
+                    return None;
+                }
+                nest -= 1;
+            }
+            Some(';') if nest == 0 => {
+                // Initialiser ends at k: check for `… . lock ( ) ;`.
+                if k >= 4
+                    && m.is_method_call(k - 3, "lock")
+                    && m.punct_at(k - 1) == Some(')')
+                    && m.punct_at(k - 2) == Some('(')
+                {
+                    return Some(GuardBinding {
+                        name,
+                        depth,
+                        line: m.tokens[let_idx].line,
+                    });
+                }
+                return None;
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// A `.lock()` anywhere in the scrutinee of `match` / `if let` / `while let`
+/// / `for` keeps its guard alive for the whole block (edition-2021 temporary
+/// lifetime extension). Scans from the keyword to the block-opening `{` at
+/// nesting level 0; bails at `;` (not a block construct after all).
+fn scrutinee_guard(m: &FileModel, kw_idx: usize, depth: usize) -> Option<GuardBinding> {
+    let mut j = kw_idx + 1;
+    let mut nest = 0usize;
+    let mut locked = false;
+    while j < m.tokens.len() {
+        match m.punct_at(j) {
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest = nest.saturating_sub(1),
+            Some('{') if nest == 0 => {
+                return locked.then(|| GuardBinding {
+                    name: format!("<{} scrutinee>", m.ident_at(kw_idx).unwrap_or("?")),
+                    // The body `{` is about to raise depth to depth+1; the
+                    // guard dies when that block closes.
+                    depth: depth + 1,
+                    line: m.tokens[kw_idx].line,
+                });
+            }
+            Some(';') => return None,
+            _ => {}
+        }
+        if m.is_method_call(j, "lock") {
+            locked = true;
+        }
+        j += 1;
+    }
+    None
+}

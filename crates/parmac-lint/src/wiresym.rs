@@ -1,0 +1,208 @@
+//! Pass 3: wire-codec symmetry.
+//!
+//! The ProcessBackend will live on `wire.rs`: every message that crosses a
+//! process boundary must encode, decode, and be proven to round-trip. Three
+//! checks, all workspace-level:
+//!
+//! 1. **Pairing** — an impl block defining `encode_wire` must define
+//!    `decode_wire` (and vice versa); a one-sided codec cannot round-trip.
+//! 2. **Protocol coverage** — every variant of an enum marked
+//!    `// lint: wire-protocol` must be accounted for: its capitalised
+//!    payload types are either generically codec'd primitives, workspace
+//!    types with a `WireCode` impl, or the variant carries an explicit
+//!    mapping — `// lint: wire(T)` (crosses as codec'd type `T`),
+//!    `// lint: wire(tag-only)` (discriminant + primitive fields only;
+//!    reply channels are transport-level routing), or
+//!    `// lint: local-only — reason` (never crosses the wire). A variant
+//!    smuggling a `Sender` / `JoinHandle` / `Duration` with no mapping is
+//!    exactly the thing that hangs a fleet once the boundary is real.
+//! 3. **Round-trip coverage** — every workspace-defined type with a
+//!    `WireCode` impl must be named in at least one round-trip test (a test
+//!    region that mentions `round_trip` / `to_wire` / `from_wire` /
+//!    `encode_wire` / `decode_wire`).
+
+use std::collections::HashSet;
+
+use crate::lexer::WireAnn;
+use crate::parse::FileModel;
+use crate::rules::Reporter;
+use crate::RULE_WIRE_SYMMETRY;
+
+/// Process-local handle types that can never cross a process boundary.
+const HANDLE_TYPES: [&str; 12] = [
+    "Sender",
+    "Receiver",
+    "SyncSender",
+    "JoinHandle",
+    "Thread",
+    "Arc",
+    "Rc",
+    "Weak",
+    "Mutex",
+    "RwLock",
+    "Duration",
+    "Instant",
+];
+
+const ROUND_TRIP_MARKERS: [&str; 5] = [
+    "round_trip",
+    "to_wire",
+    "from_wire",
+    "encode_wire",
+    "decode_wire",
+];
+
+pub(crate) fn run(files: &[FileModel], rels: &[String], reporters: &mut [Reporter]) {
+    // Workspace-defined (non-test) type names and codec'd type names.
+    let mut defined: HashSet<&str> = HashSet::new();
+    for m in files {
+        defined.extend(m.type_defs.iter().map(String::as_str));
+    }
+    let mut codec: HashSet<&str> = HashSet::new();
+    for m in files {
+        for imp in &m.impls {
+            if imp.in_test {
+                continue;
+            }
+            let has_enc = imp.fn_names.iter().any(|f| f == "encode_wire");
+            let has_dec = imp.fn_names.iter().any(|f| f == "decode_wire");
+            let is_codec = imp.trait_name.as_deref() == Some("WireCode") || (has_enc && has_dec);
+            if is_codec {
+                if let Some(t) = imp.type_name.as_deref() {
+                    codec.insert(t);
+                }
+            }
+        }
+    }
+    // Names mentioned inside test regions that exercise the wire format.
+    let mut round_tripped: HashSet<&str> = HashSet::new();
+    for m in files {
+        for &(s, e) in &m.test.ranges {
+            let idents: Vec<&str> = m
+                .tokens
+                .iter()
+                .filter(|t| s <= t.line && t.line <= e)
+                .filter_map(|t| match &t.tok {
+                    crate::lexer::Tok::Ident(w) => Some(w.as_str()),
+                    _ => None,
+                })
+                .collect();
+            if idents.iter().any(|w| ROUND_TRIP_MARKERS.contains(w)) {
+                round_tripped.extend(idents);
+            }
+        }
+    }
+
+    for (fi, m) in files.iter().enumerate() {
+        let rel = rels[fi].as_str();
+        let r = &mut reporters[fi];
+
+        // 1. encode/decode pairing, and 3. round-trip coverage, per impl.
+        for imp in &m.impls {
+            if imp.in_test {
+                continue;
+            }
+            let has_enc = imp.fn_names.iter().any(|f| f == "encode_wire");
+            let has_dec = imp.fn_names.iter().any(|f| f == "decode_wire");
+            let ty = imp.type_name.as_deref().unwrap_or("<type>");
+            if has_enc != has_dec {
+                let (got, missing) = if has_enc {
+                    ("encode_wire", "decode_wire")
+                } else {
+                    ("decode_wire", "encode_wire")
+                };
+                r.report(
+                    m,
+                    rel,
+                    RULE_WIRE_SYMMETRY,
+                    imp.line,
+                    format!(
+                        "`{ty}` defines `{got}` without `{missing}`: a one-sided codec \
+                         cannot round-trip across the process boundary"
+                    ),
+                );
+            }
+            let is_codec = imp.trait_name.as_deref() == Some("WireCode") || (has_enc && has_dec);
+            if is_codec {
+                if let Some(t) = imp.type_name.as_deref() {
+                    if defined.contains(t) && !round_tripped.contains(t) {
+                        r.report(
+                            m,
+                            rel,
+                            RULE_WIRE_SYMMETRY,
+                            imp.line,
+                            format!(
+                                "codec'd type `{t}` is never named in a round-trip test: \
+                                 add it to the `round_trip` coverage in wire tests"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // 2. protocol-enum variant coverage.
+        for en in &m.enums {
+            if !en.wire_protocol || en.in_test {
+                continue;
+            }
+            for v in &en.variants {
+                match &v.ann {
+                    Some(WireAnn::LocalOnly) | Some(WireAnn::TagOnly) => continue,
+                    Some(WireAnn::Form(t)) => {
+                        if !codec.contains(t.as_str()) {
+                            r.report(
+                                m,
+                                rel,
+                                RULE_WIRE_SYMMETRY,
+                                v.line,
+                                format!(
+                                    "variant `{}::{}` declares wire form `{t}` but no \
+                                     `WireCode` impl for `{t}` exists",
+                                    en.name, v.name
+                                ),
+                            );
+                        }
+                        continue;
+                    }
+                    None => {}
+                }
+                for w in &v.idents {
+                    if !w.chars().next().is_some_and(char::is_uppercase) || en.generics.contains(w)
+                    {
+                        continue;
+                    }
+                    if HANDLE_TYPES.contains(&w.as_str()) {
+                        r.report(
+                            m,
+                            rel,
+                            RULE_WIRE_SYMMETRY,
+                            v.line,
+                            format!(
+                                "variant `{}::{}` carries process-local `{w}` with no wire \
+                                 mapping — annotate `// lint: wire(T)`, `// lint: \
+                                 wire(tag-only)`, or `// lint: local-only — reason`",
+                                en.name, v.name
+                            ),
+                        );
+                        break;
+                    }
+                    if defined.contains(w.as_str()) && !codec.contains(w.as_str()) {
+                        r.report(
+                            m,
+                            rel,
+                            RULE_WIRE_SYMMETRY,
+                            v.line,
+                            format!(
+                                "variant `{}::{}` payload `{w}` has no `WireCode` impl — \
+                                 codec it or declare the variant's wire form",
+                                en.name, v.name
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -79,9 +79,27 @@ fn wallclock_fixture() {
 }
 
 #[test]
-fn lock_across_send_fixture() {
+fn blocking_while_locked_fixture() {
     check_fixture(
-        "lock_across_send.rs",
+        "blocking_while_locked.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn transitive_actor_fixture() {
+    check_fixture(
+        "transitive_actor.rs",
+        "crates/parmac-cluster/src/fixture.rs",
+        &Allowlist::default(),
+    );
+}
+
+#[test]
+fn wire_symmetry_fixture() {
+    check_fixture(
+        "wire_symmetry.rs",
         "crates/parmac-cluster/src/fixture.rs",
         &Allowlist::default(),
     );
@@ -113,6 +131,57 @@ fn allowlisted_fixture_fires_without_the_file_entry() {
     );
     assert_eq!(findings.len(), 1, "{findings:?}");
     assert_eq!(findings[0].rule, "unbounded-recv");
+}
+
+/// End-to-end through the binary: a throwaway mini-workspace with one
+/// violation must produce well-formed `--format json` output and exit 1;
+/// `--format github` must produce an `::error` annotation on the same line.
+#[test]
+fn cli_json_and_github_formats() {
+    let dir = std::env::temp_dir().join(format!("parmac-lint-e2e-{}", std::process::id()));
+    let src_dir = dir.join("crates/parmac-cluster/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").expect("manifest");
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "fn f(rx: &Receiver<u32>) {\n    let _ = rx.recv();\n}\n",
+    )
+    .expect("source");
+
+    let run = |fmt: &str| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_parmac-lint"))
+            .args(["--format", fmt])
+            .arg(&dir)
+            .output()
+            .expect("run parmac-lint")
+    };
+
+    let json = run("json");
+    assert_eq!(json.status.code(), Some(1), "{json:?}");
+    let stdout = String::from_utf8(json.stdout).expect("utf8");
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "{stdout}"
+    );
+    assert!(
+        trimmed.contains(
+            "\"rule\":\"unbounded-recv\",\"path\":\"crates/parmac-cluster/src/bad.rs\",\"line\":2"
+        ),
+        "{stdout}"
+    );
+
+    let gh = run("github");
+    assert_eq!(gh.status.code(), Some(1), "{gh:?}");
+    let stdout = String::from_utf8(gh.stdout).expect("utf8");
+    assert!(
+        stdout.starts_with(
+            "::error file=crates/parmac-cluster/src/bad.rs,line=2,title=parmac-lint/unbounded-recv::"
+        ),
+        "{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The live workspace must be lint-clean: this is the same sweep the CI step
