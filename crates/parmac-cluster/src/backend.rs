@@ -10,7 +10,7 @@
 //! topology, machine speeds, cost model) and the algorithmic closures supplied
 //! by `parmac-core` stay backend-agnostic.
 //!
-//! Four backends ship today:
+//! Five backends ship today:
 //!
 //! * [`SimBackend`] — the deterministic synchronous-tick simulator, charging
 //!   simulated time to a [`CostModel`] (fig. 10's speedup experiments);
@@ -27,7 +27,12 @@
 //!   routes [`SubmodelEnvelope`] hops by the envelope's own visit list, the Z
 //!   step is a `ZStepRequest`/reply exchange, and the resident serving fleet
 //!   answers Hamming k-NN queries (via
-//!   [`QueryRouter`](crate::server::QueryRouter)) *while* training runs.
+//!   [`QueryRouter`](crate::server::QueryRouter)) *while* training runs;
+//! * [`ProcessBackend`](crate::process::ProcessBackend) — machines as real OS
+//!   processes (`parmac-machined` workers) connected by Unix-domain sockets:
+//!   the coordinator sequences submodel updates exactly once while the worker
+//!   ring routes envelope frames, and a SIGKILLed worker becomes a §4.3 fault
+//!   the step routes around.
 //!
 //! [`MachineMsg`]: crate::server::MachineMsg
 //! [`SubmodelEnvelope`]: crate::envelope::SubmodelEnvelope

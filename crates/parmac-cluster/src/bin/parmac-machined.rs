@@ -1,0 +1,35 @@
+//! The ParMAC cross-process worker daemon.
+//!
+//! Spawned by `parmac_cluster::process::FleetLauncher`, one process per ring
+//! machine:
+//!
+//! ```text
+//! parmac-machined --machine <id> --dir <fleet socket directory>
+//! ```
+//!
+//! The worker binds `<dir>/m<id>.sock` for ring traffic, connects to
+//! `<dir>/coord.sock`, and serves the §4.3 ring protocol until the
+//! coordinator sends `Shutdown` (or disappears — an orphaned worker exits
+//! rather than lingering). See [`parmac_cluster::process::run_machined`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut machine: Option<usize> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => machine = args.next().and_then(|v| v.parse().ok()),
+            "--dir" => dir = args.next().map(PathBuf::from),
+            _ => {}
+        }
+    }
+    let (Some(machine), Some(dir)) = (machine, dir) else {
+        eprintln!("usage: parmac-machined --machine <id> --dir <fleet socket directory>");
+        return ExitCode::from(2);
+    };
+    let code = parmac_cluster::process::run_machined(machine, &dir);
+    ExitCode::from(u8::try_from(code).unwrap_or(1))
+}

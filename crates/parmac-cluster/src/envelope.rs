@@ -110,10 +110,28 @@ impl<S> SubmodelEnvelope<S> {
     /// pending list does not contain it relays the envelope onward instead of
     /// processing it (see the server backend's W step), so faulted machines
     /// are routed around without any successor-walk special cases.
-    pub fn handle_fault(&mut self, machine: usize) {
+    ///
+    /// Removing the faulted machine may *empty* the pending list — when the
+    /// fault strikes the last unvisited machine of the epoch. That completes
+    /// the epoch exactly as a visit would, so the same epoch-advance logic
+    /// runs here: `epochs_completed` is bumped and the list refilled from the
+    /// non-faulted members of `all_machines` while updates remain. Without
+    /// this the envelope would wedge — relayed forever by machines that see
+    /// an empty-but-unfinished visit list.
+    pub fn handle_fault(&mut self, machine: usize, all_machines: &[usize], epochs: usize) {
         self.pending_machines.retain(|&m| m != machine);
         if !self.faulted_machines.contains(&machine) {
             self.faulted_machines.push(machine);
+        }
+        while self.pending_machines.is_empty() && self.needs_update(epochs) {
+            self.epochs_completed += 1;
+            if self.needs_update(epochs) {
+                self.pending_machines = all_machines
+                    .iter()
+                    .copied()
+                    .filter(|m| !self.faulted_machines.contains(m))
+                    .collect();
+            }
         }
     }
 
@@ -170,7 +188,7 @@ mod tests {
     fn fault_removes_machine_from_pending() {
         let machines = [0usize, 1, 2];
         let mut env = SubmodelEnvelope::new(0, (), &machines);
-        env.handle_fault(1);
+        env.handle_fault(1, &machines, 1);
         assert_eq!(env.pending_machines, vec![0, 2]);
         assert_eq!(env.faulted_machines, vec![1]);
     }
@@ -185,7 +203,7 @@ mod tests {
         let epochs = 2;
         let mut env = SubmodelEnvelope::new(0, (), &machines);
         assert!(env.record_visit(0, &machines, epochs));
-        env.handle_fault(1); // machine 1 dies mid-epoch-1
+        env.handle_fault(1, &machines, epochs); // machine 1 dies mid-epoch-1
         assert!(!env.pending_machines.contains(&1));
         let mut visited = Vec::new();
         let mut machine = 2; // continue around the (reconnected) ring 0 → 2
@@ -221,7 +239,7 @@ mod tests {
         let ring = [0usize, 1, 2, 3];
         let mut env = SubmodelEnvelope::new(0, (), &ring);
         // Machine 1 faulted: it must relay, the pending machines process.
-        env.handle_fault(1);
+        env.handle_fault(1, &ring, 1);
         assert!(env.should_process_at(0, 1));
         assert!(!env.should_process_at(1, 1));
         assert!(env.should_process_at(2, 1));
@@ -233,5 +251,61 @@ mod tests {
         env.record_visit(3, &ring, 1);
         assert!(!env.needs_update(1));
         assert!(env.should_process_at(0, 1) && env.should_process_at(1, 1));
+    }
+
+    #[test]
+    fn two_sequential_faults_in_one_epoch_route_to_completion() {
+        // Two machines die within the same epoch of a 4-machine / 2-epoch
+        // run. Neither may ever reappear on the pending list, and the
+        // envelope must still run to completion over the two survivors with
+        // a correctly shortened forwarding lap.
+        let machines = [0usize, 1, 2, 3];
+        let epochs = 2;
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        assert!(env.record_visit(0, &machines, epochs));
+        env.handle_fault(1, &machines, epochs);
+        env.handle_fault(3, &machines, epochs);
+        assert_eq!(env.pending_machines, vec![2]);
+        assert_eq!(env.faulted_machines, vec![1, 3]);
+        let mut visited = Vec::new();
+        let mut machine = 2; // surviving ring is 0 → 2
+        while !env.is_finished(machines.len(), epochs) {
+            assert!(
+                !env.pending_machines.contains(&1) && !env.pending_machines.contains(&3),
+                "faulted machine reinstated: pending {:?} after visits {:?}",
+                env.pending_machines,
+                visited
+            );
+            env.record_visit(machine, &machines, epochs);
+            visited.push(machine);
+            machine = if machine == 0 { 2 } else { 0 };
+        }
+        // Epoch 1 finishes at 2; epoch 2 refills with {0, 2}; the final lap
+        // over the 2 live machines is a single hop.
+        assert_eq!(env.epochs_completed, 2);
+        assert_eq!(env.forward_visits, 1);
+        assert_eq!(visited.len(), 4); // finish epoch 1 (1) + epoch 2 (2) + lap (1)
+    }
+
+    #[test]
+    fn fault_emptying_the_pending_list_completes_the_epoch() {
+        // The second fault of the epoch strikes the *last* unvisited machine:
+        // the epoch must complete (and the next one start without the dead
+        // machines) exactly as a visit would have done — otherwise the
+        // envelope is relayed forever with an empty-but-unfinished list.
+        let machines = [0usize, 1, 2];
+        let epochs = 2;
+        let mut env = SubmodelEnvelope::new(0, (), &machines);
+        assert!(env.record_visit(0, &machines, epochs));
+        env.handle_fault(1, &machines, epochs);
+        assert_eq!(env.pending_machines, vec![2]);
+        env.handle_fault(2, &machines, epochs); // empties epoch 1's list
+        assert_eq!(env.epochs_completed, 1);
+        assert_eq!(env.pending_machines, vec![0]); // epoch 2, survivors only
+        assert!(env.should_process_at(0, epochs));
+        assert!(env.record_visit(0, &machines, epochs));
+        assert!(!env.needs_update(epochs));
+        // One live machine → zero-hop forwarding lap: already finished.
+        assert!(env.is_finished(machines.len(), epochs));
     }
 }

@@ -31,6 +31,13 @@
 //!   across live replicas under a bounded deadline, answers carry explicit
 //!   coverage, and a health-tracker-driven rebalancer re-replicates shards
 //!   when machines die or join.
+//! * [`process`] — a **multi-process backend**: each ring machine is an OS
+//!   process (`parmac-machined`) connected over Unix-domain sockets speaking
+//!   length-prefixed [`wire`] frames. A [`process::FleetLauncher`] spawns and
+//!   supervises the workers (heartbeats, exit reaping, socket EOF) and turns
+//!   a dead process into the same §4.3 fault event the in-process backends
+//!   use, so training completes bitwise identical to the simulator even when
+//!   a worker is SIGKILLed mid-step.
 //!
 //! Supporting modules: [`topology`] (the circular topology, including the
 //!   random re-wiring used for cross-machine shuffling), [`envelope`] (the
@@ -50,6 +57,7 @@ pub mod backend;
 pub mod cost;
 pub mod envelope;
 pub mod pool;
+pub mod process;
 pub mod server;
 pub mod sim;
 pub mod streaming;
@@ -62,6 +70,7 @@ pub use backend::{ClusterBackend, SimBackend, ThreadedBackend, ZUpdate};
 pub use cost::{ring_hops, CostModel, StepTimings, WStepStats, ZStepStats};
 pub use envelope::SubmodelEnvelope;
 pub use pool::PoolBackend;
+pub use process::{FleetLauncher, MachineDown, MachineDownReason, ProcessBackend, ProcessConfig};
 pub use server::{
     AdmissionConfig, AdmissionError, Coverage, FleetStatus, KnnResponse, MachineMsg, Query,
     QueryReply, QueryRouter, ReplicationConfig, ServerBackend, ServingStats, ShardHits,

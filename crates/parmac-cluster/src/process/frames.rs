@@ -1,0 +1,451 @@
+//! The cross-process ring protocol: every message that crosses a process
+//! boundary, as one length-prefixed [`WireCode`] enum.
+//!
+//! Unlike the in-process backends' channel messages (which smuggle reply
+//! channels and closures), every variant here is pure data — the PR-4 wire
+//! codecs finally carry bytes across a real boundary. The coordinator is the
+//! authoritative sequencer: workers route envelopes around the ring and ask
+//! the coordinator (`UpdateRequest`) to apply each visit, so the generic
+//! submodel payloads and update closures never have to cross the wire.
+
+use parmac_hash::BinaryCodes;
+
+use crate::backend::ZUpdate;
+use crate::envelope::SubmodelEnvelope;
+use crate::wire::{WireCode, WireError};
+
+/// A protocol frame: the unit of exchange on every fleet socket.
+///
+/// Frames travel over three kinds of connections — worker→coordinator
+/// control sockets (`Hello`, `Pong`, `UpdateRequest`, acks), coordinator→
+/// worker control sockets (`Ping`, step control, seeds, replies), and
+/// worker→worker ring sockets (`Envelope` forwards). The `round` fields
+/// fence protocol epochs: a frame from a previous step is dropped, a frame
+/// from a future step is stashed until its `WStepBegin` arrives.
+#[derive(Debug, Clone, PartialEq)]
+// lint: wire-protocol
+pub enum Frame {
+    /// Worker `machine` introduces itself on a fresh control connection.
+    Hello {
+        /// The worker's machine id.
+        machine: usize,
+    },
+    /// Coordinator heartbeat probe.
+    Ping {
+        /// Echoed back in the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Worker heartbeat reply: proof of liveness, not just of an open socket
+    /// — a wedged worker stops answering even while its socket stays open.
+    Pong {
+        /// The nonce of the [`Frame::Ping`] being answered.
+        nonce: u64,
+    },
+    /// A W step starts: the ring for this round, in visit order.
+    WStepBegin {
+        /// Monotone step identifier; fences frames across steps.
+        round: u64,
+        /// Passes over the distributed dataset this step performs.
+        epochs: usize,
+        /// Live machines in ring order for this round.
+        ring: Vec<usize>,
+    },
+    /// A submodel envelope in transit (coordinator seed or peer forward).
+    Envelope {
+        /// The step this envelope belongs to.
+        round: u64,
+        /// Reroute generation: bumped by the coordinator on every fault
+        /// reroute, so in-flight copies predating the fault die as stale.
+        generation: u64,
+        /// The protocol state; the parameter payload stays coordinator-side.
+        envelope: SubmodelEnvelope<()>,
+    },
+    /// Worker `machine` holds the envelope and asks the coordinator to apply
+    /// the visit (run the update closure, advance the visit list).
+    UpdateRequest {
+        /// The machine the envelope stopped at.
+        machine: usize,
+        /// The step the request belongs to.
+        round: u64,
+        /// The envelope's reroute generation as seen by the worker.
+        generation: u64,
+        /// The envelope as received (the coordinator's copy is authoritative;
+        /// this one identifies the submodel and aids diagnostics).
+        envelope: SubmodelEnvelope<()>,
+    },
+    /// Coordinator reply to [`Frame::UpdateRequest`]: the advanced envelope.
+    Processed {
+        /// The step the reply belongs to.
+        round: u64,
+        /// The envelope's current reroute generation.
+        generation: u64,
+        /// The envelope after the visit was recorded.
+        envelope: SubmodelEnvelope<()>,
+        /// Whether the envelope has completed its W step (drop, don't
+        /// forward).
+        finished: bool,
+    },
+    /// Coordinator reply to a stale [`Frame::UpdateRequest`]: a reroute
+    /// already superseded this copy — the worker drops it.
+    Stale {
+        /// The step the dropped request belonged to.
+        round: u64,
+        /// The submodel whose stale copy was dropped.
+        submodel: usize,
+    },
+    /// Worker could not reach the ring successor: the envelope is handed back
+    /// to the coordinator for re-injection instead of being silently dropped.
+    ForwardFailed {
+        /// The step the envelope belongs to.
+        round: u64,
+        /// The envelope's reroute generation as seen by the worker.
+        generation: u64,
+        /// The envelope that failed to move.
+        envelope: SubmodelEnvelope<()>,
+    },
+    /// Coordinator broadcast: `machine` is down — route around it.
+    PeerDown {
+        /// The dead machine.
+        machine: usize,
+    },
+    /// Coordinator installs a worker's resident shard (points + codes).
+    LoadShard {
+        /// Global point ids of the shard, in shard order.
+        points: Vec<usize>,
+        /// The codes, row `i` belonging to `points[i]`.
+        codes: BinaryCodes,
+        /// Publish sequence number: a worker ignores snapshots older than the
+        /// one it holds.
+        seq: u64,
+    },
+    /// Coordinator streams Z-step code updates into a worker's shard.
+    ApplyZ {
+        /// The step the updates belong to (acked by [`Frame::ZApplied`]).
+        round: u64,
+        /// The per-point new codes.
+        updates: Vec<ZUpdate>,
+    },
+    /// Worker acknowledges [`Frame::ApplyZ`] for `round`.
+    ZApplied {
+        /// The acknowledging machine.
+        machine: usize,
+        /// The round being acknowledged.
+        round: u64,
+    },
+    /// Coordinator asks for the worker's resident shard (tests, diagnostics).
+    FetchShard,
+    /// Worker reply to [`Frame::FetchShard`]: its resident shard, or an empty
+    /// point list if nothing was ever loaded.
+    ShardSnapshot {
+        /// The replying machine.
+        machine: usize,
+        /// Global point ids of the resident shard.
+        points: Vec<usize>,
+        /// The resident codes (one dummy bit column when `points` is empty).
+        codes: BinaryCodes,
+        /// The publish sequence the snapshot reflects.
+        seq: u64,
+    },
+    /// Coordinator asks the worker to exit cleanly.
+    Shutdown,
+}
+
+impl WireCode for Frame {
+    const MIN_ENCODED_LEN: usize = 8; // the discriminant
+
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { machine } => {
+                0u64.encode_wire(buf);
+                machine.encode_wire(buf);
+            }
+            Frame::Ping { nonce } => {
+                1u64.encode_wire(buf);
+                nonce.encode_wire(buf);
+            }
+            Frame::Pong { nonce } => {
+                2u64.encode_wire(buf);
+                nonce.encode_wire(buf);
+            }
+            Frame::WStepBegin {
+                round,
+                epochs,
+                ring,
+            } => {
+                3u64.encode_wire(buf);
+                round.encode_wire(buf);
+                epochs.encode_wire(buf);
+                ring.encode_wire(buf);
+            }
+            Frame::Envelope {
+                round,
+                generation,
+                envelope,
+            } => {
+                4u64.encode_wire(buf);
+                round.encode_wire(buf);
+                generation.encode_wire(buf);
+                envelope.encode_wire(buf);
+            }
+            Frame::UpdateRequest {
+                machine,
+                round,
+                generation,
+                envelope,
+            } => {
+                5u64.encode_wire(buf);
+                machine.encode_wire(buf);
+                round.encode_wire(buf);
+                generation.encode_wire(buf);
+                envelope.encode_wire(buf);
+            }
+            Frame::Processed {
+                round,
+                generation,
+                envelope,
+                finished,
+            } => {
+                6u64.encode_wire(buf);
+                round.encode_wire(buf);
+                generation.encode_wire(buf);
+                envelope.encode_wire(buf);
+                finished.encode_wire(buf);
+            }
+            Frame::Stale { round, submodel } => {
+                7u64.encode_wire(buf);
+                round.encode_wire(buf);
+                submodel.encode_wire(buf);
+            }
+            Frame::ForwardFailed {
+                round,
+                generation,
+                envelope,
+            } => {
+                8u64.encode_wire(buf);
+                round.encode_wire(buf);
+                generation.encode_wire(buf);
+                envelope.encode_wire(buf);
+            }
+            Frame::PeerDown { machine } => {
+                9u64.encode_wire(buf);
+                machine.encode_wire(buf);
+            }
+            Frame::LoadShard { points, codes, seq } => {
+                10u64.encode_wire(buf);
+                points.encode_wire(buf);
+                codes.encode_wire(buf);
+                seq.encode_wire(buf);
+            }
+            Frame::ApplyZ { round, updates } => {
+                11u64.encode_wire(buf);
+                round.encode_wire(buf);
+                updates.encode_wire(buf);
+            }
+            Frame::ZApplied { machine, round } => {
+                12u64.encode_wire(buf);
+                machine.encode_wire(buf);
+                round.encode_wire(buf);
+            }
+            Frame::FetchShard => 13u64.encode_wire(buf),
+            Frame::ShardSnapshot {
+                machine,
+                points,
+                codes,
+                seq,
+            } => {
+                14u64.encode_wire(buf);
+                machine.encode_wire(buf);
+                points.encode_wire(buf);
+                codes.encode_wire(buf);
+                seq.encode_wire(buf);
+            }
+            Frame::Shutdown => 15u64.encode_wire(buf),
+        }
+    }
+
+    fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
+        match u64::decode_wire(bytes)? {
+            0 => Ok(Frame::Hello {
+                machine: usize::decode_wire(bytes)?,
+            }),
+            1 => Ok(Frame::Ping {
+                nonce: u64::decode_wire(bytes)?,
+            }),
+            2 => Ok(Frame::Pong {
+                nonce: u64::decode_wire(bytes)?,
+            }),
+            3 => Ok(Frame::WStepBegin {
+                round: u64::decode_wire(bytes)?,
+                epochs: usize::decode_wire(bytes)?,
+                ring: Vec::decode_wire(bytes)?,
+            }),
+            4 => Ok(Frame::Envelope {
+                round: u64::decode_wire(bytes)?,
+                generation: u64::decode_wire(bytes)?,
+                envelope: SubmodelEnvelope::decode_wire(bytes)?,
+            }),
+            5 => Ok(Frame::UpdateRequest {
+                machine: usize::decode_wire(bytes)?,
+                round: u64::decode_wire(bytes)?,
+                generation: u64::decode_wire(bytes)?,
+                envelope: SubmodelEnvelope::decode_wire(bytes)?,
+            }),
+            6 => Ok(Frame::Processed {
+                round: u64::decode_wire(bytes)?,
+                generation: u64::decode_wire(bytes)?,
+                envelope: SubmodelEnvelope::decode_wire(bytes)?,
+                finished: bool::decode_wire(bytes)?,
+            }),
+            7 => Ok(Frame::Stale {
+                round: u64::decode_wire(bytes)?,
+                submodel: usize::decode_wire(bytes)?,
+            }),
+            8 => Ok(Frame::ForwardFailed {
+                round: u64::decode_wire(bytes)?,
+                generation: u64::decode_wire(bytes)?,
+                envelope: SubmodelEnvelope::decode_wire(bytes)?,
+            }),
+            9 => Ok(Frame::PeerDown {
+                machine: usize::decode_wire(bytes)?,
+            }),
+            10 => Ok(Frame::LoadShard {
+                points: Vec::decode_wire(bytes)?,
+                codes: BinaryCodes::decode_wire(bytes)?,
+                seq: u64::decode_wire(bytes)?,
+            }),
+            11 => Ok(Frame::ApplyZ {
+                round: u64::decode_wire(bytes)?,
+                updates: Vec::decode_wire(bytes)?,
+            }),
+            12 => Ok(Frame::ZApplied {
+                machine: usize::decode_wire(bytes)?,
+                round: u64::decode_wire(bytes)?,
+            }),
+            13 => Ok(Frame::FetchShard),
+            14 => Ok(Frame::ShardSnapshot {
+                machine: usize::decode_wire(bytes)?,
+                points: Vec::decode_wire(bytes)?,
+                codes: BinaryCodes::decode_wire(bytes)?,
+                seq: u64::decode_wire(bytes)?,
+            }),
+            15 => Ok(Frame::Shutdown),
+            tag => Err(WireError::BadTag {
+                context: "Frame",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: &Frame) {
+        let bytes = frame.to_wire();
+        let back = Frame::from_wire(&bytes).expect("frame round trip decodes");
+        assert_eq!(&back, frame);
+    }
+
+    fn envelope() -> SubmodelEnvelope<()> {
+        let mut env = SubmodelEnvelope::new(3, (), &[0, 1, 2, 4]);
+        env.record_visit(1, &[0, 1, 2, 4], 2);
+        env.handle_fault(4, &[0, 1, 2, 4], 2);
+        env
+    }
+
+    #[test]
+    fn every_frame_variant_round_trips() {
+        let codes = BinaryCodes::from_bools(&[vec![true, false, true], vec![false, true, true]]);
+        let frames = [
+            Frame::Hello { machine: 2 },
+            Frame::Ping { nonce: 77 },
+            Frame::Pong { nonce: 77 },
+            Frame::WStepBegin {
+                round: 9,
+                epochs: 2,
+                ring: vec![0, 1, 2, 4],
+            },
+            Frame::Envelope {
+                round: 9,
+                generation: 1,
+                envelope: envelope(),
+            },
+            Frame::UpdateRequest {
+                machine: 1,
+                round: 9,
+                generation: 1,
+                envelope: envelope(),
+            },
+            Frame::Processed {
+                round: 9,
+                generation: 1,
+                envelope: envelope(),
+                finished: true,
+            },
+            Frame::Stale {
+                round: 9,
+                submodel: 3,
+            },
+            Frame::ForwardFailed {
+                round: 9,
+                generation: 1,
+                envelope: envelope(),
+            },
+            Frame::PeerDown { machine: 4 },
+            Frame::LoadShard {
+                points: vec![10, 11, 17],
+                codes: codes.clone(),
+                seq: 5,
+            },
+            Frame::ApplyZ {
+                round: 10,
+                updates: vec![ZUpdate {
+                    point: 11,
+                    code: vec![1.0, -1.0, 1.0],
+                }],
+            },
+            Frame::ZApplied {
+                machine: 1,
+                round: 10,
+            },
+            Frame::FetchShard,
+            Frame::ShardSnapshot {
+                machine: 1,
+                points: vec![10, 11],
+                codes,
+                seq: 5,
+            },
+            Frame::Shutdown,
+        ];
+        for frame in &frames {
+            round_trip(frame);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_fail_cleanly() {
+        // Unknown discriminant → BadTag carrying the tag value.
+        let mut bad = Vec::new();
+        42u64.encode_wire(&mut bad);
+        assert_eq!(
+            Frame::from_wire(&bad),
+            Err(WireError::BadTag {
+                context: "Frame",
+                tag: 42
+            })
+        );
+        // Truncation sweep over a payload-heavy variant: every cut fails
+        // with a diagnosable error, never a panic or giant allocation.
+        let fat = Frame::UpdateRequest {
+            machine: 1,
+            round: 9,
+            generation: 1,
+            envelope: envelope(),
+        };
+        let bytes = fat.to_wire();
+        for cut in 0..bytes.len() {
+            assert!(Frame::from_wire(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

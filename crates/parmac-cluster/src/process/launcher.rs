@@ -1,0 +1,605 @@
+//! Fleet launcher: spawns `parmac-machined` worker processes, wires the
+//! ring, and supervises the children.
+//!
+//! Supervision detects death three ways, each mapped to a structured
+//! [`MachineDown`] event: process exit (a `try_wait` poll — the portable
+//! waitpid), socket EOF (the control-connection reader sees the kernel close
+//! the stream), and heartbeat timeout (a worker whose socket is open but
+//! which stops answering pings — wedged counts as dead). The launcher never
+//! blocks unboundedly: every loop here is an actor region under the
+//! workspace lint, waiting in ticks and checking the stop flag.
+
+use std::collections::{BTreeSet, HashMap};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use super::frames::Frame;
+use super::transport::{self, FrameReader};
+use super::ProcessConfig;
+
+/// Environment variable overriding the worker binary path. Without it the
+/// launcher looks for `parmac-machined` next to the current executable (and
+/// one directory up, for test binaries living in `target/<profile>/deps/`).
+pub const MACHINED_ENV: &str = "PARMAC_MACHINED";
+
+/// Granularity of the coordinator's event-mailbox polls: short enough that
+/// per-event latency is negligible against socket round-trips, long enough
+/// not to spin.
+const EVENT_POLL_TICK: Duration = Duration::from_micros(200);
+
+/// How a worker process was observed to die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineDownReason {
+    /// The child exited; carries the exit code when the OS reported one.
+    ProcessExit(Option<i32>),
+    /// The worker's control socket hit end-of-file or reset.
+    SocketEof,
+    /// The worker stopped answering heartbeats within the configured
+    /// timeout: slow forever is indistinguishable from dead, so it is dead.
+    HeartbeatTimeout,
+    /// The chaos control [`kill_worker`](FleetLauncher::kill_worker)
+    /// delivered SIGKILL.
+    Killed,
+}
+
+impl std::fmt::Display for MachineDownReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineDownReason::ProcessExit(Some(code)) => write!(f, "process exit (code {code})"),
+            MachineDownReason::ProcessExit(None) => write!(f, "process exit (by signal)"),
+            MachineDownReason::SocketEof => write!(f, "control socket EOF"),
+            MachineDownReason::HeartbeatTimeout => write!(f, "heartbeat timeout"),
+            MachineDownReason::Killed => write!(f, "killed (chaos injection)"),
+        }
+    }
+}
+
+/// A structured machine-failure event, as surfaced to the trainer and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineDown {
+    /// The machine that died.
+    pub machine: usize,
+    /// How its death was detected.
+    pub reason: MachineDownReason,
+}
+
+impl std::fmt::Display for MachineDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "machine {} down: {}", self.machine, self.reason)
+    }
+}
+
+/// An event delivered to the coordinator's single mailbox.
+#[derive(Debug)]
+pub(crate) enum CoordEvent {
+    /// A frame arrived from `machine`'s control connection.
+    Frame {
+        /// The sending worker.
+        machine: usize,
+        /// The frame it sent.
+        frame: Frame,
+    },
+    /// `machine` was declared down (the authoritative record is the dead
+    /// set; this event is the wakeup that lets a step react mid-wait).
+    Down(usize),
+}
+
+/// Mutable fleet state, guarded by one mutex. Helpers that take the lock do
+/// no blocking work while holding it (the workspace lint's
+/// blocking-while-locked rule); socket writes are permitted and serialise
+/// whole frames.
+struct FleetState {
+    children: HashMap<usize, Child>,
+    writers: HashMap<usize, UnixStream>,
+    last_pong: HashMap<usize, Instant>,
+    dead: BTreeSet<usize>,
+    spawned: BTreeSet<usize>,
+    reader_handles: Vec<thread::JoinHandle<()>>,
+}
+
+struct FleetShared {
+    cfg: ProcessConfig,
+    stop: AtomicBool,
+    state: Mutex<FleetState>,
+    events_tx: Sender<CoordEvent>,
+    down_log: Mutex<Vec<MachineDown>>,
+}
+
+/// Spawns, wires, and supervises a fleet of `parmac-machined` workers.
+///
+/// Dropping the launcher shuts the fleet down: workers get a `Shutdown`
+/// frame and a bounded grace period, stragglers are killed, and every
+/// supervision thread is joined.
+pub struct FleetLauncher {
+    dir: PathBuf,
+    shared: Arc<FleetShared>,
+    // The event receiver is drained via transient-guard `try_recv` polls
+    // (the mutex makes the launcher `Sync`; the guard never outlives one
+    // statement, so no blocking happens while it is held).
+    events_rx: Mutex<Receiver<CoordEvent>>,
+    supervisor: Option<thread::JoinHandle<()>>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    round: AtomicU64,
+    seq: AtomicU64,
+}
+
+static FLEET_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Locates the worker binary (see [`MACHINED_ENV`]).
+fn machined_binary() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var(MACHINED_ENV) {
+        let path = PathBuf::from(path);
+        if path.exists() {
+            return Ok(path);
+        }
+        return Err(format!("{MACHINED_ENV}={} does not exist", path.display()));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut dirs: Vec<&Path> = Vec::new();
+    if let Some(parent) = exe.parent() {
+        dirs.push(parent);
+        if let Some(grand) = parent.parent() {
+            dirs.push(grand);
+        }
+    }
+    for dir in &dirs {
+        let candidate = dir.join("parmac-machined");
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+    }
+    Err(format!(
+        "parmac-machined binary not found next to {} (build it with \
+         `cargo build -p parmac-cluster --bins` or set {MACHINED_ENV})",
+        exe.display()
+    ))
+}
+
+impl FleetLauncher {
+    /// Creates the fleet scaffolding: socket directory, coordinator
+    /// listener, and the accept/supervisor threads. Workers are spawned
+    /// lazily by [`ensure_machines`](Self::ensure_machines).
+    pub fn new(cfg: ProcessConfig) -> Result<Self, String> {
+        let dir = std::env::temp_dir().join(format!(
+            "parmac-fleet-{}-{}",
+            std::process::id(),
+            FLEET_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        // A stale directory from a crashed previous run (pid reuse) would
+        // make the bind fail with AddrInUse; clear it first.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let listener = UnixListener::bind(dir.join("coord.sock"))
+            .map_err(|e| format!("bind coordinator socket: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+
+        let (events_tx, events_rx) = unbounded();
+        let shared = Arc::new(FleetShared {
+            cfg,
+            stop: AtomicBool::new(false),
+            state: Mutex::new(FleetState {
+                children: HashMap::new(),
+                writers: HashMap::new(),
+                last_pong: HashMap::new(),
+                dead: BTreeSet::new(),
+                spawned: BTreeSet::new(),
+                reader_handles: Vec::new(),
+            }),
+            events_tx,
+            down_log: Mutex::new(Vec::new()),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("parmac-fleet-accept".into())
+            .spawn(move || coord_accept_loop(&accept_shared, &listener))
+            .map_err(|e| format!("spawn accept thread: {e}"))?;
+        let sup_shared = Arc::clone(&shared);
+        let supervisor = thread::Builder::new()
+            .name("parmac-fleet-supervisor".into())
+            .spawn(move || fleet_supervisor_loop(&sup_shared))
+            .map_err(|e| format!("spawn supervisor thread: {e}"))?;
+
+        Ok(FleetLauncher {
+            dir,
+            shared,
+            events_rx: Mutex::new(events_rx),
+            supervisor: Some(supervisor),
+            acceptor: Some(acceptor),
+            round: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Spawns any of `machines` not yet running (dead machines stay dead —
+    /// the fleet never resurrects a killed id) and waits, bounded, until
+    /// every live one has registered its control connection.
+    pub fn ensure_machines(&self, machines: &[usize]) -> Result<(), String> {
+        let binary = machined_binary()?;
+        let to_spawn: Vec<usize> = {
+            let mut st = self.shared.state.lock();
+            let fresh: Vec<usize> = machines
+                .iter()
+                .copied()
+                .filter(|m| !st.spawned.contains(m) && !st.dead.contains(m))
+                .collect();
+            st.spawned.extend(fresh.iter().copied());
+            fresh
+        };
+        for &machine in &to_spawn {
+            let child = Command::new(&binary)
+                .arg("--machine")
+                .arg(machine.to_string())
+                .arg("--dir")
+                .arg(&self.dir)
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn worker {machine}: {e}"))?;
+            self.shared.state.lock().children.insert(machine, child);
+        }
+        // Bounded wait for registration: a worker is ready once its Hello
+        // arrived (writer present) or it already died (reported as down).
+        let deadline = Instant::now() + self.shared.cfg.connect_timeout;
+        loop {
+            let missing: Vec<usize> = {
+                let st = self.shared.state.lock();
+                machines
+                    .iter()
+                    .copied()
+                    .filter(|m| !st.writers.contains_key(m) && !st.dead.contains(m))
+                    .collect()
+            };
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "workers {missing:?} did not register within {:?}",
+                    self.shared.cfg.connect_timeout
+                ));
+            }
+            thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// The machines currently known dead.
+    pub fn dead_machines(&self) -> BTreeSet<usize> {
+        self.shared.state.lock().dead.clone()
+    }
+
+    /// Every [`MachineDown`] event observed so far, in detection order.
+    pub fn down_events(&self) -> Vec<MachineDown> {
+        self.shared.down_log.lock().clone()
+    }
+
+    /// Chaos control: SIGKILLs worker `machine` (no shutdown handshake, no
+    /// grace — the §4.3 fault model). Returns whether a live worker was
+    /// killed.
+    pub fn kill_worker(&self, machine: usize) -> bool {
+        let live = {
+            let st = self.shared.state.lock();
+            !st.dead.contains(&machine) && st.children.contains_key(&machine)
+        };
+        if !live {
+            return false;
+        }
+        // Declare the death *before* delivering the signal: the control
+        // reader would otherwise observe the EOF first and report a generic
+        // `SocketEof` instead of the chaos injection.
+        report_down(&self.shared, machine, MachineDownReason::Killed);
+        let mut st = self.shared.state.lock();
+        if let Some(child) = st.children.get_mut(&machine) {
+            let _ = child.kill();
+        }
+        true
+    }
+
+    /// Next protocol round id (monotone across W and Z steps).
+    pub(crate) fn next_round(&self) -> u64 {
+        self.round.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Next shard-publish sequence number.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Writes `frame` to `machine`'s control socket. Returns false if the
+    /// machine has no live connection or the write failed (its death will be
+    /// detected and reported by supervision; callers don't need to react).
+    pub(crate) fn send_frame(&self, machine: usize, frame: &Frame) -> bool {
+        let st = self.shared.state.lock();
+        match st.writers.get(&machine) {
+            Some(stream) => transport::write_frame(stream, frame).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Drops every queued coordinator event: called at the start of a step
+    /// so stragglers from previous rounds (late acks, stale requests) cannot
+    /// be confused with this round's traffic. Down *events* are droppable —
+    /// the dead set, read after the drain, is the authoritative record.
+    pub(crate) fn drain_events(&self) {
+        while self.events_rx.lock().try_recv().is_ok() {}
+    }
+
+    /// Waits for the next coordinator event until `deadline`, polling with
+    /// transient-guard `try_recv` and sleeping between ticks outside the
+    /// lock.
+    pub(crate) fn recv_event_deadline(
+        &self,
+        deadline: Instant,
+    ) -> Result<CoordEvent, RecvTimeoutError> {
+        loop {
+            match self.events_rx.lock().try_recv() {
+                Ok(event) => return Ok(event),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            thread::sleep(EVENT_POLL_TICK);
+        }
+    }
+
+    /// The fleet configuration.
+    pub(crate) fn config(&self) -> &ProcessConfig {
+        &self.shared.cfg
+    }
+
+    /// Bounded shutdown: `Shutdown` frames, a grace period, SIGKILL for
+    /// stragglers, then join every supervision thread.
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        broadcast_shutdown(&self.shared);
+        let grace = Instant::now() + Duration::from_millis(500);
+        loop {
+            if reap_exited(&self.shared).is_empty() && all_children_gone(&self.shared) {
+                break;
+            }
+            if Instant::now() >= grace {
+                kill_remaining(&self.shared);
+                let hard = Instant::now() + Duration::from_millis(500);
+                while !all_children_gone(&self.shared) && Instant::now() < hard {
+                    reap_exited(&self.shared);
+                    thread::sleep(Duration::from_millis(5));
+                }
+                break;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Threads observe the stop flag within one tick; joins are bounded
+        // in practice.
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut self.shared.state.lock().reader_handles);
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+impl Drop for FleetLauncher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Declares `machine` dead exactly once: records it, broadcasts `PeerDown`
+/// to the survivors, appends to the down log, and wakes the coordinator.
+fn report_down(shared: &Arc<FleetShared>, machine: usize, reason: MachineDownReason) {
+    let newly_dead = {
+        let mut st = shared.state.lock();
+        if st.dead.contains(&machine) {
+            false
+        } else {
+            st.dead.insert(machine);
+            st.writers.remove(&machine);
+            st.last_pong.remove(&machine);
+            true
+        }
+    };
+    if !newly_dead {
+        return;
+    }
+    {
+        let st = shared.state.lock();
+        for (&peer, stream) in &st.writers {
+            if peer != machine {
+                let _ = transport::write_frame(stream, &Frame::PeerDown { machine });
+            }
+        }
+    }
+    shared.down_log.lock().push(MachineDown { machine, reason });
+    let _ = shared.events_tx.send(CoordEvent::Down(machine));
+}
+
+/// Accepts worker control connections and registers them. The listener is
+/// non-blocking; the loop polls in ticks so the stop flag is honoured.
+fn coord_accept_loop(shared: &Arc<FleetShared>, listener: &UnixListener) {
+    let tick = Duration::from_millis(5);
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => register_worker(shared, stream),
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(tick),
+            Err(_) => thread::sleep(tick),
+        }
+    }
+}
+
+/// Performs the Hello handshake on a fresh connection and wires the reader.
+fn register_worker(shared: &Arc<FleetShared>, stream: UnixStream) {
+    // The kernel hands us a blocking clone of a non-blocking listener's
+    // socket on some platforms; force blocking-with-timeout semantics.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = match FrameReader::new(stream, Duration::from_millis(5)) {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    // Bounded wait for the Hello frame.
+    let deadline = Instant::now() + shared.cfg.connect_timeout;
+    let machine = loop {
+        match reader.poll_frame() {
+            Ok(Some(Frame::Hello { machine })) => break machine,
+            Ok(Some(_)) | Ok(None) => {
+                if Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    {
+        let mut st = shared.state.lock();
+        st.writers.insert(machine, writer);
+        st.last_pong.insert(machine, Instant::now());
+    }
+    let reader_shared = Arc::clone(shared);
+    let spawned = thread::Builder::new()
+        .name(format!("parmac-fleet-reader-{machine}"))
+        .spawn(move || control_reader_loop(&reader_shared, machine, reader));
+    if let Ok(handle) = spawned {
+        shared.state.lock().reader_handles.push(handle);
+    }
+}
+
+/// Pumps one worker's control connection into the coordinator mailbox.
+/// Socket EOF here is a death report: the kernel closes the stream the
+/// moment the process dies, usually well before the next waitpid poll.
+fn control_reader_loop(shared: &Arc<FleetShared>, machine: usize, mut reader: FrameReader) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match reader.poll_frame() {
+            Ok(Some(Frame::Pong { nonce: _ })) => {
+                stamp_pong(shared, machine);
+            }
+            Ok(Some(frame)) => {
+                if shared
+                    .events_tx
+                    .send(CoordEvent::Frame { machine, frame })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Ok(None) => {}
+            Err(_) => {
+                report_down(shared, machine, MachineDownReason::SocketEof);
+                return;
+            }
+        }
+    }
+}
+
+fn stamp_pong(shared: &Arc<FleetShared>, machine: usize) {
+    shared
+        .state
+        .lock()
+        .last_pong
+        .insert(machine, Instant::now());
+}
+
+/// Reaps exited children (the portable waitpid), returning `(machine, exit
+/// code)` pairs. Also used by shutdown to poll the grace period.
+fn reap_exited(shared: &Arc<FleetShared>) -> Vec<(usize, Option<i32>)> {
+    let mut exited = Vec::new();
+    {
+        let mut st = shared.state.lock();
+        let machines: Vec<usize> = st.children.keys().copied().collect();
+        for machine in machines {
+            let gone = match st.children.get_mut(&machine) {
+                Some(child) => match child.try_wait() {
+                    Ok(Some(status)) => Some(status.code()),
+                    Ok(None) => None,
+                    Err(_) => Some(None),
+                },
+                None => None,
+            };
+            if let Some(code) = gone {
+                st.children.remove(&machine);
+                exited.push((machine, code));
+            }
+        }
+    }
+    exited
+}
+
+fn all_children_gone(shared: &Arc<FleetShared>) -> bool {
+    shared.state.lock().children.is_empty()
+}
+
+fn kill_remaining(shared: &Arc<FleetShared>) {
+    let mut st = shared.state.lock();
+    for child in st.children.values_mut() {
+        let _ = child.kill();
+    }
+}
+
+fn broadcast_shutdown(shared: &Arc<FleetShared>) {
+    let st = shared.state.lock();
+    for stream in st.writers.values() {
+        let _ = transport::write_frame(stream, &Frame::Shutdown);
+    }
+}
+
+/// Machines whose last pong is older than the heartbeat timeout.
+fn stale_machines(shared: &Arc<FleetShared>) -> Vec<usize> {
+    let st = shared.state.lock();
+    st.last_pong
+        .iter()
+        .filter(|&(_m, &at)| at.elapsed() > shared.cfg.heartbeat_timeout)
+        .map(|(&m, _at)| m)
+        .collect()
+}
+
+fn kill_stale(shared: &Arc<FleetShared>, machine: usize) {
+    let mut st = shared.state.lock();
+    if let Some(child) = st.children.get_mut(&machine) {
+        let _ = child.kill();
+    }
+}
+
+fn ping_workers(shared: &Arc<FleetShared>, nonce: u64) {
+    let st = shared.state.lock();
+    for stream in st.writers.values() {
+        let _ = transport::write_frame(stream, &Frame::Ping { nonce });
+    }
+}
+
+/// Child supervision: waitpid polls, heartbeat probes, staleness kills.
+fn fleet_supervisor_loop(shared: &Arc<FleetShared>) {
+    let mut nonce = 0u64;
+    while !shared.stop.load(Ordering::SeqCst) {
+        for (machine, code) in reap_exited(shared) {
+            report_down(shared, machine, MachineDownReason::ProcessExit(code));
+        }
+        for machine in stale_machines(shared) {
+            kill_stale(shared, machine);
+            report_down(shared, machine, MachineDownReason::HeartbeatTimeout);
+        }
+        nonce += 1;
+        ping_workers(shared, nonce);
+        thread::sleep(shared.cfg.heartbeat_interval);
+    }
+}

@@ -1,0 +1,288 @@
+//! Framed socket transport: length-prefixed [`Frame`]s over Unix-domain
+//! stream sockets, with bounded timeouts everywhere.
+//!
+//! The framing is a `u32` little-endian payload length followed by the
+//! frame's [`WireCode`] bytes. Reads are *resumable*: a [`FrameReader`] owns
+//! a buffer that survives read timeouts, so a slow peer (bytes trickling in
+//! across several poll ticks) is cleanly distinguished from a dead one
+//! (EOF / connection reset). Connection establishment retries with bounded
+//! exponential backoff against an overall deadline — a worker that is still
+//! binding its listener looks slow, a worker that never binds looks dead.
+
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::wire::{WireCode, WireError};
+
+use super::frames::Frame;
+
+/// Hard cap on a single frame's payload. Anything larger is a protocol
+/// violation (a corrupt length prefix), not a legitimate message — the cap
+/// turns it into an error before any allocation happens.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// A transport-layer failure on a fleet socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer closed the connection (EOF or reset): the peer is *dead*,
+    /// not slow.
+    Closed,
+    /// A connect or read did not complete within its deadline: the peer is
+    /// *slow or unreachable*, which the caller may treat differently from
+    /// [`TransportError::Closed`].
+    Timeout,
+    /// The length prefix claimed a payload beyond [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload arrived whole but did not decode.
+    Wire(WireError),
+    /// Any other socket error, by kind.
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "peer closed the connection"),
+            TransportError::Timeout => write!(f, "transport deadline exceeded"),
+            TransportError::TooLarge(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_LEN}")
+            }
+            TransportError::Wire(err) => write!(f, "frame decode failed: {err}"),
+            TransportError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(err: WireError) -> Self {
+        TransportError::Wire(err)
+    }
+}
+
+fn io_error(err: &std::io::Error) -> TransportError {
+    match err.kind() {
+        ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+            TransportError::Closed
+        }
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout,
+        kind => TransportError::Io(kind),
+    }
+}
+
+/// Writes one frame: `u32` LE payload length, then the payload, as a single
+/// `write_all` so concurrent writers (guarded by a mutex at the call site)
+/// never interleave partial frames.
+pub(crate) fn write_frame(stream: &UnixStream, frame: &Frame) -> Result<(), TransportError> {
+    let payload = frame.to_wire();
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(TransportError::TooLarge(payload.len()));
+    }
+    let mut message = Vec::with_capacity(4 + payload.len());
+    message.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    message.extend_from_slice(&payload);
+    match (&*stream).write_all(&message) {
+        Ok(()) => Ok(()),
+        Err(err) => Err(io_error(&err)),
+    }
+}
+
+/// A buffering frame reader over one socket.
+///
+/// `poll_frame` reads in bounded ticks (the socket's read timeout) and keeps
+/// partial bytes across calls, so a frame split across ticks is reassembled
+/// rather than lost — the property that makes a slow peer survivable.
+pub(crate) struct FrameReader {
+    stream: UnixStream,
+    buf: Vec<u8>,
+    chunk: [u8; 16 * 1024],
+}
+
+impl FrameReader {
+    /// Wraps `stream`, polling reads at `tick` granularity.
+    pub(crate) fn new(stream: UnixStream, tick: Duration) -> Result<Self, TransportError> {
+        match stream.set_read_timeout(Some(tick)) {
+            Ok(()) => Ok(FrameReader {
+                stream,
+                buf: Vec::new(),
+                chunk: [0u8; 16 * 1024],
+            }),
+            Err(err) => Err(io_error(&err)),
+        }
+    }
+
+    /// Attempts to complete one frame. `Ok(None)` means the read tick ended
+    /// without a whole frame (slow peer, or simply no traffic) — call again.
+    /// [`TransportError::Closed`] means the peer is gone for good.
+    pub(crate) fn poll_frame(&mut self) -> Result<Option<Frame>, TransportError> {
+        if let Some(frame) = self.try_decode()? {
+            return Ok(Some(frame));
+        }
+        match self.stream.read(&mut self.chunk) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => {
+                self.buf.extend_from_slice(&self.chunk[..n]);
+                self.try_decode()
+            }
+            Err(err) => match io_error(&err) {
+                // Interrupted/timeout ticks keep the partial buffer intact.
+                TransportError::Timeout => Ok(None),
+                TransportError::Io(ErrorKind::Interrupted) => Ok(None),
+                other => Err(other),
+            },
+        }
+    }
+
+    /// Decodes one frame from the buffer if it is complete.
+    fn try_decode(&mut self) -> Result<Option<Frame>, TransportError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(TransportError::TooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = Frame::from_wire(&self.buf[4..4 + len])?;
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+/// Connects to `path`, retrying with bounded exponential backoff until
+/// `timeout` elapses. Distinguishes "not there yet" (retried) from a final
+/// [`TransportError::Timeout`] once the deadline passes.
+pub(crate) fn connect_with_backoff(
+    path: &Path,
+    timeout: Duration,
+    backoff_initial: Duration,
+    backoff_cap: Duration,
+) -> Result<UnixStream, TransportError> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = backoff_initial;
+    loop {
+        match UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(err) => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(match io_error(&err) {
+                        TransportError::Io(_) | TransportError::Closed => TransportError::Timeout,
+                        other => other,
+                    });
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(backoff_cap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixListener;
+
+    fn socket_pair() -> (UnixStream, UnixStream) {
+        UnixStream::pair().expect("socketpair")
+    }
+
+    #[test]
+    fn frames_cross_a_socket_and_split_writes_reassemble() {
+        let (a, b) = socket_pair();
+        let mut reader = FrameReader::new(b, Duration::from_millis(10)).unwrap();
+        write_frame(&a, &Frame::Ping { nonce: 4 }).unwrap();
+        write_frame(&a, &Frame::Pong { nonce: 4 }).unwrap();
+        // Two frames written back-to-back arrive as two frames.
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            if let Some(frame) = reader.poll_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![Frame::Ping { nonce: 4 }, Frame::Pong { nonce: 4 }]
+        );
+
+        // A frame dribbled in one byte per tick still reassembles: the
+        // reader's buffer survives intermediate timeout ticks.
+        let frame = Frame::WStepBegin {
+            round: 3,
+            epochs: 2,
+            ring: vec![0, 1, 2],
+        };
+        let payload = frame.to_wire();
+        let mut message = (payload.len() as u32).to_le_bytes().to_vec();
+        message.extend_from_slice(&payload);
+        for &byte in &message[..message.len() - 1] {
+            (&a).write_all(&[byte]).unwrap();
+            // Not complete yet: poll may see a partial buffer only.
+            assert_eq!(reader.poll_frame().unwrap(), None);
+        }
+        (&a).write_all(&message[message.len() - 1..]).unwrap();
+        let mut last = None;
+        for _ in 0..100 {
+            if let Some(f) = reader.poll_frame().unwrap() {
+                last = Some(f);
+                break;
+            }
+        }
+        assert_eq!(last, Some(frame));
+    }
+
+    #[test]
+    fn eof_is_closed_and_oversized_prefixes_are_rejected() {
+        let (a, b) = socket_pair();
+        let mut reader = FrameReader::new(b, Duration::from_millis(10)).unwrap();
+        drop(a);
+        assert_eq!(reader.poll_frame(), Err(TransportError::Closed));
+
+        let (a, b) = socket_pair();
+        let mut reader = FrameReader::new(b, Duration::from_millis(10)).unwrap();
+        let bogus = u32::MAX.to_le_bytes();
+        (&a).write_all(&bogus).unwrap();
+        let mut result = Ok(None);
+        for _ in 0..100 {
+            result = reader.poll_frame();
+            if result != Ok(None) {
+                break;
+            }
+        }
+        assert_eq!(result, Err(TransportError::TooLarge(u32::MAX as usize)));
+    }
+
+    #[test]
+    fn connect_backoff_waits_for_a_late_listener_and_times_out_on_none() {
+        let dir = std::env::temp_dir().join(format!("parmac-transport-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("late.sock");
+        let path2 = path.clone();
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            UnixListener::bind(&path2).expect("bind late listener")
+        });
+        let stream = connect_with_backoff(
+            &path,
+            Duration::from_secs(5),
+            Duration::from_millis(2),
+            Duration::from_millis(20),
+        );
+        assert!(stream.is_ok(), "late listener should be reachable");
+        let _listener = binder.join().unwrap();
+
+        let missing = dir.join("never.sock");
+        let start = Instant::now();
+        let err = connect_with_backoff(
+            &missing,
+            Duration::from_millis(60),
+            Duration::from_millis(2),
+            Duration::from_millis(20),
+        );
+        assert_eq!(err.err(), Some(TransportError::Timeout));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1475,7 +1475,9 @@ fn fan_out_topk(
         }
 
         // Wait phase: collect replies until the wave times out. Late replies
-        // from earlier waves still count (first answer wins per shard).
+        // from earlier waves still count (first answer wins per shard). The
+        // multi-recv loop waits against the *absolute* wave deadline, so a
+        // burst of replies never stretches the wave by per-recv drift.
         let wave_deadline = (Instant::now() + config.replica_timeout).min(overall_deadline);
         loop {
             let now = Instant::now();
@@ -1500,7 +1502,7 @@ fn fan_out_topk(
                 }
                 continue 'outer;
             }
-            match reply_rx.recv_timeout(wave_deadline - now) {
+            match waits::recv_deadline(&reply_rx, wave_deadline) {
                 Ok(reply) => {
                     fleet.record_success(reply.machine);
                     let mut freed = false;

@@ -9,9 +9,9 @@
 //! how stale a loop's view of "my senders are gone" can get; it costs one
 //! wakeup per tick on an idle mailbox.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{Receiver, RecvTimeoutError};
+use crossbeam_channel::{Receiver, RecvTimeoutError, TryRecvError};
 
 /// Heartbeat granularity for idle actor mailboxes: long enough to keep idle
 /// wakeups negligible, short enough that shutdown (sender drop) is observed
@@ -30,6 +30,27 @@ pub(crate) fn recv_bounded<T>(rx: &Receiver<T>, tick: Duration) -> Result<T, ()>
             Err(RecvTimeoutError::Disconnected) => return Err(()),
         }
     }
+}
+
+/// Waits for one message until an *absolute* deadline. The relative-timeout
+/// sibling of [`recv_bounded`]: multi-wait loops (collect `n` replies, drain a
+/// wave of acknowledgements) recompute `deadline − now` on every iteration,
+/// so per-wait scheduling jitter never accumulates into drift past the
+/// deadline the caller promised.
+///
+/// A deadline already in the past still performs one non-blocking poll, so a
+/// message that was queued before the deadline expired is delivered rather
+/// than dropped; the caller decides what a `Timeout` means.
+pub(crate) fn recv_deadline<T>(rx: &Receiver<T>, deadline: Instant) -> Result<T, RecvTimeoutError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return match rx.try_recv() {
+            Ok(msg) => Ok(msg),
+            Err(TryRecvError::Empty) => Err(RecvTimeoutError::Timeout),
+            Err(TryRecvError::Disconnected) => Err(RecvTimeoutError::Disconnected),
+        };
+    }
+    rx.recv_timeout(deadline - now)
 }
 
 #[cfg(test)]
@@ -54,5 +75,49 @@ mod tests {
         let (tx, rx) = unbounded::<usize>();
         drop(tx);
         assert_eq!(recv_bounded(&rx, Duration::from_millis(5)), Err(()));
+    }
+
+    #[test]
+    fn recv_deadline_delivers_before_and_times_out_after_the_deadline() {
+        let (tx, rx) = unbounded();
+        tx.send(1usize).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(200);
+        assert_eq!(recv_deadline(&rx, deadline), Ok(1));
+        // Empty channel: the wait ends at the deadline, not a tick later.
+        let start = Instant::now();
+        let result = recv_deadline(&rx, Instant::now() + Duration::from_millis(20));
+        assert_eq!(result, Err(RecvTimeoutError::Timeout));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn recv_deadline_does_not_drift_across_a_multi_wait_loop() {
+        // Ten sequential waits against ONE absolute deadline must end within
+        // that deadline's horizon, not ten ticks later.
+        let (_tx, rx) = unbounded::<usize>();
+        let deadline = Instant::now() + Duration::from_millis(50);
+        let mut timeouts = 0;
+        for _ in 0..10 {
+            if recv_deadline(&rx, deadline) == Err(RecvTimeoutError::Timeout) {
+                timeouts += 1;
+            }
+        }
+        assert_eq!(timeouts, 10);
+        // Generous bound: 10 × 50 ms of drift would blow far past this.
+        assert!(deadline.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn recv_deadline_past_deadline_still_drains_queued_messages() {
+        let (tx, rx) = unbounded();
+        tx.send(9usize).unwrap();
+        let past = Instant::now() - Duration::from_millis(5);
+        assert_eq!(recv_deadline(&rx, past), Ok(9));
+        assert_eq!(recv_deadline(&rx, past), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(
+            recv_deadline(&rx, past),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

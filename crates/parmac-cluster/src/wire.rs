@@ -27,10 +27,29 @@ use parmac_hash::BinaryCodes;
 use std::fmt;
 
 /// A wire decoding failure.
+///
+/// A corrupt frame arriving over a real socket must be *diagnosable*:
+/// truncations carry how many bytes the decoder needed against how many were
+/// left (the offending offset into the frame is `frame_len - remaining`), and
+/// bad discriminants carry the tag value together with the enum that rejected
+/// it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
-    /// The buffer ended before the value was complete.
-    UnexpectedEof,
+    /// The buffer ended before the value was complete: the decoder needed
+    /// `needed` more bytes but only `remaining` remained.
+    Truncated {
+        /// Bytes the decoder needed for the value (or payload) at hand.
+        needed: usize,
+        /// Bytes actually left in the buffer at the point of failure.
+        remaining: usize,
+    },
+    /// A discriminant decoded to a value no variant of `context` maps to.
+    BadTag {
+        /// The type whose decoder rejected the discriminant.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
     /// The bytes decoded to an impossible value.
     Malformed(&'static str),
 }
@@ -38,7 +57,13 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::UnexpectedEof => write!(f, "unexpected end of wire buffer"),
+            WireError::Truncated { needed, remaining } => write!(
+                f,
+                "truncated wire buffer: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::BadTag { context, tag } => {
+                write!(f, "bad wire tag for {context}: {tag}")
+            }
             WireError::Malformed(what) => write!(f, "malformed wire value: {what}"),
         }
     }
@@ -50,6 +75,12 @@ impl std::error::Error for WireError {}
 /// buffer; `decode_wire` consumes from the front of the slice, so values
 /// compose by concatenation.
 pub trait WireCode: Sized {
+    /// A lower bound (in bytes) on the encoding of *any* value of this type.
+    /// Length-prefixed containers multiply it by the claimed element count to
+    /// reject impossible lengths **before** allocating — a malformed 8-byte
+    /// length prefix must be a decode error, not a giant allocation.
+    const MIN_ENCODED_LEN: usize;
+
     /// Appends this value's encoding to `buf`.
     fn encode_wire(&self, buf: &mut Vec<u8>);
 
@@ -76,7 +107,10 @@ pub trait WireCode: Sized {
 
 fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
     if bytes.len() < n {
-        return Err(WireError::UnexpectedEof);
+        return Err(WireError::Truncated {
+            needed: n,
+            remaining: bytes.len(),
+        });
     }
     let (head, tail) = bytes.split_at(n);
     *bytes = tail;
@@ -84,28 +118,38 @@ fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
 }
 
 impl WireCode for u64 {
+    const MIN_ENCODED_LEN: usize = 8;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
 
     fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
         let raw = take(bytes, 8)?;
-        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes taken")))
+        let mut le = [0u8; 8];
+        le.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(le))
     }
 }
 
 impl WireCode for u32 {
+    const MIN_ENCODED_LEN: usize = 4;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         buf.extend_from_slice(&self.to_le_bytes());
     }
 
     fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
         let raw = take(bytes, 4)?;
-        Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes taken")))
+        let mut le = [0u8; 4];
+        le.copy_from_slice(raw);
+        Ok(u32::from_le_bytes(le))
     }
 }
 
 impl WireCode for usize {
+    const MIN_ENCODED_LEN: usize = 8;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         (*self as u64).encode_wire(buf);
     }
@@ -117,6 +161,8 @@ impl WireCode for usize {
 }
 
 impl WireCode for f64 {
+    const MIN_ENCODED_LEN: usize = 8;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.to_bits().encode_wire(buf);
     }
@@ -126,9 +172,32 @@ impl WireCode for f64 {
     }
 }
 
+/// One word, 0 or 1 — booleans cross the wire as an explicit tag so a flipped
+/// byte is a [`WireError::BadTag`], never a silently-truthy value.
+impl WireCode for bool {
+    const MIN_ENCODED_LEN: usize = 8;
+
+    fn encode_wire(&self, buf: &mut Vec<u8>) {
+        u64::from(*self).encode_wire(buf);
+    }
+
+    fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
+        match u64::decode_wire(bytes)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
 /// The unit payload: a submodel envelope with no parameters (protocol probes,
 /// tests) costs zero bytes.
 impl WireCode for () {
+    const MIN_ENCODED_LEN: usize = 0;
+
     fn encode_wire(&self, _buf: &mut Vec<u8>) {}
 
     fn decode_wire(_bytes: &mut &[u8]) -> Result<Self, WireError> {
@@ -137,6 +206,8 @@ impl WireCode for () {
 }
 
 impl<T: WireCode> WireCode for Vec<T> {
+    const MIN_ENCODED_LEN: usize = 8; // the length prefix
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.len().encode_wire(buf);
         for item in self {
@@ -146,9 +217,19 @@ impl<T: WireCode> WireCode for Vec<T> {
 
     fn decode_wire(bytes: &mut &[u8]) -> Result<Self, WireError> {
         let len = usize::decode_wire(bytes)?;
-        // Conservative sanity bound: even one-byte items need `len` bytes.
-        if len > bytes.len() && std::mem::size_of::<T>() > 0 {
-            return Err(WireError::UnexpectedEof);
+        // Reject impossible lengths *before* `Vec::with_capacity`: `len`
+        // elements need at least `len × MIN_ENCODED_LEN` bytes. Zero-sized
+        // encodings (e.g. `()`) are exempt — any count fits in zero bytes.
+        if T::MIN_ENCODED_LEN > 0 {
+            let needed = len
+                .checked_mul(T::MIN_ENCODED_LEN)
+                .ok_or(WireError::Malformed("vector length overflows"))?;
+            if needed > bytes.len() {
+                return Err(WireError::Truncated {
+                    needed,
+                    remaining: bytes.len(),
+                });
+            }
         }
         let mut items = Vec::with_capacity(len);
         for _ in 0..len {
@@ -161,6 +242,8 @@ impl<T: WireCode> WireCode for Vec<T> {
 /// `None`/`Some` as a one-byte-word tag (0/1) followed by the value — the
 /// encoding of an optional probe budget.
 impl<T: WireCode> WireCode for Option<T> {
+    const MIN_ENCODED_LEN: usize = 8; // the tag
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         match self {
             None => 0u64.encode_wire(buf),
@@ -175,12 +258,17 @@ impl<T: WireCode> WireCode for Option<T> {
         match u64::decode_wire(bytes)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode_wire(bytes)?)),
-            _ => Err(WireError::Malformed("option tag must be 0 or 1")),
+            tag => Err(WireError::BadTag {
+                context: "Option",
+                tag,
+            }),
         }
     }
 }
 
 impl<A: WireCode, B: WireCode> WireCode for (A, B) {
+    const MIN_ENCODED_LEN: usize = A::MIN_ENCODED_LEN + B::MIN_ENCODED_LEN;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.0.encode_wire(buf);
         self.1.encode_wire(buf);
@@ -192,6 +280,8 @@ impl<A: WireCode, B: WireCode> WireCode for (A, B) {
 }
 
 impl WireCode for ZUpdate {
+    const MIN_ENCODED_LEN: usize = 16; // point + code-length prefix
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.point.encode_wire(buf);
         self.code.encode_wire(buf);
@@ -206,6 +296,9 @@ impl WireCode for ZUpdate {
 }
 
 impl<S: WireCode> WireCode for SubmodelEnvelope<S> {
+    // Four counters + two vector prefixes + the payload's own floor.
+    const MIN_ENCODED_LEN: usize = 4 * 8 + 2 * 8 + S::MIN_ENCODED_LEN;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.submodel_id.encode_wire(buf);
         self.visits.encode_wire(buf);
@@ -230,6 +323,8 @@ impl<S: WireCode> WireCode for SubmodelEnvelope<S> {
 }
 
 impl WireCode for BinaryCodes {
+    const MIN_ENCODED_LEN: usize = 16; // (n_codes, n_bits) header
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.len().encode_wire(buf);
         self.n_bits().encode_wire(buf);
@@ -252,11 +347,15 @@ impl WireCode for BinaryCodes {
         let total_words = n_codes
             .checked_mul(words_per_code)
             .ok_or(WireError::Malformed("code count overflows"))?;
-        if total_words
-            .checked_mul(8)
-            .is_none_or(|payload| payload > bytes.len())
-        {
-            return Err(WireError::UnexpectedEof);
+        match total_words.checked_mul(8) {
+            None => return Err(WireError::Malformed("code payload overflows")),
+            Some(payload) if payload > bytes.len() => {
+                return Err(WireError::Truncated {
+                    needed: payload,
+                    remaining: bytes.len(),
+                });
+            }
+            Some(_) => {}
         }
         let mut codes = BinaryCodes::zeros(n_codes, n_bits);
         for i in 0..n_codes {
@@ -288,6 +387,9 @@ pub struct WireQuery {
 }
 
 impl WireCode for WireQuery {
+    const MIN_ENCODED_LEN: usize =
+        BinaryCodes::MIN_ENCODED_LEN + <Vec<usize>>::MIN_ENCODED_LEN + 8 + 8;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.queries.encode_wire(buf);
         self.shards.encode_wire(buf);
@@ -306,6 +408,8 @@ impl WireCode for WireQuery {
 }
 
 impl WireCode for QueryReply {
+    const MIN_ENCODED_LEN: usize = 8 + 2 * <Vec<usize>>::MIN_ENCODED_LEN;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.machine.encode_wire(buf);
         self.answered.encode_wire(buf);
@@ -322,6 +426,8 @@ impl WireCode for QueryReply {
 }
 
 impl WireCode for ZShardUpdates {
+    const MIN_ENCODED_LEN: usize = 8 + <Vec<ZUpdate>>::MIN_ENCODED_LEN;
+
     fn encode_wire(&self, buf: &mut Vec<u8>) {
         self.machine.encode_wire(buf);
         self.updates.encode_wire(buf);
@@ -365,7 +471,7 @@ mod tests {
         let mut env =
             SubmodelEnvelope::new(7, vec![1.5f64, -2.25, 0.0, f64::MIN], &[0, 1, 2, 3, 4]);
         env.record_visit(0, &[0, 1, 2, 3, 4], 2);
-        env.handle_fault(3);
+        env.handle_fault(3, &[0, 1, 2, 3, 4], 2);
         round_trip(&env);
         let bytes = env.to_wire();
         let back: SubmodelEnvelope<Vec<f64>> = SubmodelEnvelope::from_wire(&bytes).unwrap();
@@ -424,12 +530,31 @@ mod tests {
             ],
             missing: vec![5],
         });
-        // A corrupt option tag is malformed, not a bogus budget.
+        // A corrupt option tag is a bad tag carrying the value, not a bogus
+        // budget.
         let mut bad = Vec::new();
         7u64.encode_wire(&mut bad);
         assert_eq!(
             Option::<usize>::from_wire(&bad),
-            Err(WireError::Malformed("option tag must be 0 or 1"))
+            Err(WireError::BadTag {
+                context: "Option",
+                tag: 7
+            })
+        );
+    }
+
+    #[test]
+    fn bool_round_trips_and_rejects_non_binary_tags() {
+        round_trip(&true);
+        round_trip(&false);
+        let mut bad = Vec::new();
+        2u64.encode_wire(&mut bad);
+        assert_eq!(
+            bool::from_wire(&bad),
+            Err(WireError::BadTag {
+                context: "bool",
+                tag: 2
+            })
         );
     }
 
@@ -447,10 +572,14 @@ mod tests {
     fn truncated_and_oversized_buffers_are_rejected() {
         let env = SubmodelEnvelope::new(1, vec![3.0f64], &[0, 1, 2]);
         let bytes = env.to_wire();
-        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        // Fuzz-ish sweep: decoding must fail cleanly (no panic, no giant
+        // allocation) at *every* possible truncation point.
+        for cut in 0..bytes.len() {
+            let err = SubmodelEnvelope::<Vec<f64>>::from_wire(&bytes[..cut])
+                .expect_err("truncated buffer must not decode");
             assert!(
-                SubmodelEnvelope::<Vec<f64>>::from_wire(&bytes[..cut]).is_err(),
-                "cut={cut}"
+                matches!(err, WireError::Truncated { .. }),
+                "cut={cut}: {err:?}"
             );
         }
         let mut padded = bytes.clone();
@@ -459,10 +588,35 @@ mod tests {
             SubmodelEnvelope::<Vec<f64>>::from_wire(&padded),
             Err(WireError::Malformed("trailing bytes after value"))
         );
-        // A length prefix far beyond the buffer is an EOF, not an OOM.
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocating() {
+        // A vector length far beyond the buffer is a truncation error that
+        // names the impossible byte count, not an OOM.
+        let mut header = Vec::new();
+        1000u64.encode_wire(&mut header);
+        assert_eq!(
+            Vec::<u64>::from_wire(&header),
+            Err(WireError::Truncated {
+                needed: 8000,
+                remaining: 0
+            })
+        );
+        // A length whose byte requirement overflows usize is malformed.
         let mut huge = Vec::new();
         u64::MAX.encode_wire(&mut huge);
-        assert_eq!(Vec::<f64>::from_wire(&huge), Err(WireError::UnexpectedEof));
+        assert_eq!(
+            Vec::<f64>::from_wire(&huge),
+            Err(WireError::Malformed("vector length overflows"))
+        );
+        // Nested containers hit the same guard through the element floor.
+        let mut nested = Vec::new();
+        (1u64 << 40).encode_wire(&mut nested);
+        assert!(matches!(
+            Vec::<Vec<f64>>::from_wire(&nested),
+            Err(WireError::Truncated { .. })
+        ));
         // Same for a malformed BinaryCodes header: the (n_codes, n_bits)
         // pair is validated against the remaining payload length *before*
         // any allocation, including the overflowing combinations.
@@ -479,10 +633,19 @@ mod tests {
 
     #[test]
     fn wire_error_displays() {
+        let eof = WireError::Truncated {
+            needed: 24,
+            remaining: 3,
+        };
         assert_eq!(
-            WireError::UnexpectedEof.to_string(),
-            "unexpected end of wire buffer"
+            eof.to_string(),
+            "truncated wire buffer: needed 24 bytes, 3 remaining"
         );
+        let tag = WireError::BadTag {
+            context: "Frame",
+            tag: 99,
+        };
+        assert_eq!(tag.to_string(), "bad wire tag for Frame: 99");
         assert!(WireError::Malformed("x").to_string().contains('x'));
     }
 }

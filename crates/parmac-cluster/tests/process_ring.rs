@@ -1,0 +1,246 @@
+//! Integration tests for the cross-process backend (ISSUE 10 tentpole).
+//!
+//! These spawn real `parmac-machined` worker processes (built as a bin
+//! target of this crate; `cargo test` builds it before running this file)
+//! and drive the §4.3 ring protocol over Unix-domain sockets:
+//!
+//! * a clean W step is **bitwise identical** to the deterministic simulator
+//!   — the coordinator-sequencer applies every visit in per-submodel ring
+//!   order, so an order-sensitive float payload must match exactly;
+//! * a worker SIGKILLed **mid-step** becomes a structured [`MachineDown`]
+//!   and the step routes around the corpse and still terminates, with the
+//!   dead machine's remaining visits skipped (§4.3);
+//! * `publish_codes` + the Z step keep each worker's **resident shard
+//!   replica** consistent with the coordinator's authoritative codes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use parmac_cluster::process::{MachineDownReason, ProcessConfig};
+use parmac_cluster::{ClusterBackend, CostModel, ProcessBackend, SimBackend, SimCluster, ZUpdate};
+use parmac_hash::BinaryCodes;
+
+fn shards(p: usize, n: usize) -> Vec<Vec<usize>> {
+    let base = n / p;
+    (0..p)
+        .map(|i| (i * base..(i + 1) * base).collect())
+        .collect()
+}
+
+/// An order-sensitive submodel payload: float accumulation does not commute,
+/// so two runs agree bitwise only if they apply the same visits in the same
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+struct Trace {
+    acc: f64,
+    visits: Vec<(usize, usize)>,
+}
+
+fn visit(trace: &mut Trace, machine: usize, shard: &[usize]) {
+    let shard_sum: usize = shard.iter().sum();
+    trace.acc = trace.acc * 1.0001 + machine as f64 + shard_sum as f64 * 0.001;
+    trace.visits.push((machine, shard.len()));
+}
+
+fn fresh_traces(m: usize) -> Vec<Trace> {
+    (0..m)
+        .map(|id| Trace {
+            acc: id as f64 * 0.123,
+            visits: Vec::new(),
+        })
+        .collect()
+}
+
+#[test]
+fn clean_process_w_step_is_bitwise_identical_to_the_simulator() {
+    let cost = CostModel::distributed();
+    let cluster = SimCluster::new(shards(3, 24), cost);
+    let (m, epochs) = (5usize, 2usize);
+
+    let (reference, ref_stats) =
+        SimBackend::new(cost).run_w_step(&cluster, fresh_traces(m), epochs, 7, visit, None);
+    let backend = ProcessBackend::new();
+    let (trained, stats) = backend.run_w_step(&cluster, fresh_traces(m), epochs, 7, visit, None);
+
+    for (id, (got, want)) in trained.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.acc.to_bits(),
+            want.acc.to_bits(),
+            "submodel {id} diverged from the simulator: {got:?} vs {want:?}"
+        );
+        assert_eq!(got.visits, want.visits, "submodel {id} visit order");
+    }
+    assert_eq!(stats.update_visits, ref_stats.update_visits);
+    assert_eq!(stats.messages_sent, ref_stats.messages_sent);
+    assert_eq!(stats.bytes_sent, ref_stats.bytes_sent);
+    assert!(backend.down_events().is_empty(), "clean run saw a fault");
+
+    // A second step on the same fleet (new round) stays exact too: round
+    // fencing keeps leftover frames from the first round inert.
+    let (again, _) = backend.run_w_step(&cluster, fresh_traces(m), epochs, 7, visit, None);
+    for (got, want) in again.iter().zip(&reference) {
+        assert_eq!(got.acc.to_bits(), want.acc.to_bits());
+    }
+}
+
+#[test]
+fn sigkill_mid_w_step_surfaces_a_structured_fault_and_the_step_completes() {
+    let cost = CostModel::distributed();
+    let (p, m, epochs) = (3usize, 4usize, 3usize);
+    let cluster = SimCluster::new(shards(p, 18), cost);
+    let backend = ProcessBackend::new().with_config(ProcessConfig {
+        step_timeout: Duration::from_secs(30),
+        io_timeout: Duration::from_millis(500),
+        ..ProcessConfig::default()
+    });
+    let chaos = backend.clone();
+    let victim = 2usize;
+    let applied = AtomicUsize::new(0);
+    let killed_at = AtomicUsize::new(usize::MAX);
+
+    let (trained, stats) = backend.run_w_step(
+        &cluster,
+        fresh_traces(m),
+        epochs,
+        7,
+        |trace: &mut Trace, machine, shard| {
+            // SIGKILL the victim from inside the update path, mid-epoch:
+            // from the coordinator's point of view the fleet loses a member
+            // while envelopes are in flight.
+            let n = applied.fetch_add(1, Ordering::SeqCst);
+            if n == 4 {
+                assert!(chaos.kill_process(victim), "victim was already dead");
+                killed_at.store(n, Ordering::SeqCst);
+            }
+            visit(trace, machine, shard);
+        },
+        None,
+    );
+
+    assert_eq!(killed_at.load(Ordering::SeqCst), 4, "chaos never fired");
+    assert_eq!(backend.dead_machines(), vec![victim]);
+    let downs = backend.down_events();
+    assert_eq!(downs.len(), 1, "exactly one fault: {downs:?}");
+    assert_eq!(downs[0].machine, victim);
+    assert_eq!(downs[0].reason, MachineDownReason::Killed);
+
+    // §4.3: the dead machine's remaining visits are skipped, everything
+    // else still happens — total applied visits land strictly between the
+    // (p-1)-machine and p-machine counts, and no visit to the victim is
+    // recorded after the kill took effect.
+    assert!(
+        stats.update_visits >= m * (p - 1) * epochs && stats.update_visits < m * p * epochs,
+        "visits {} outside the fault envelope [{}, {})",
+        stats.update_visits,
+        m * (p - 1) * epochs,
+        m * p * epochs
+    );
+    for (id, trace) in trained.iter().enumerate() {
+        let victim_visits = trace.visits.iter().filter(|(mm, _)| *mm == victim).count();
+        assert!(
+            victim_visits < epochs,
+            "submodel {id} visited the corpse every epoch"
+        );
+    }
+
+    // The fleet stays usable after the fault: the next step runs on the
+    // surviving ring and matches a simulator whose cluster dropped the
+    // victim's machine (same live ring, same shards).
+    let mut survivor_cluster = SimCluster::new(shards(p, 18), cost);
+    survivor_cluster.remove_machine(victim);
+    let (reference, _) = SimBackend::new(cost).run_w_step(
+        &survivor_cluster,
+        fresh_traces(m),
+        epochs,
+        7,
+        visit,
+        None,
+    );
+    let (after, _) = backend.run_w_step(&cluster, fresh_traces(m), epochs, 7, visit, None);
+    for (id, (got, want)) in after.iter().zip(&reference).enumerate() {
+        assert_eq!(
+            got.acc.to_bits(),
+            want.acc.to_bits(),
+            "post-fault submodel {id} diverged from the survivor simulator"
+        );
+    }
+}
+
+#[test]
+fn publish_and_z_step_keep_worker_shard_replicas_consistent() {
+    let cost = CostModel::distributed();
+    let (p, n, bits) = (3usize, 12usize, 4usize);
+    let cluster = SimCluster::new(shards(p, n), cost);
+    let backend = ProcessBackend::new();
+
+    // Publish an initial database: point i's code is the binary expansion
+    // of i.
+    let code_of = |i: usize, flip: bool| -> Vec<f64> {
+        (0..bits)
+            .map(|b| {
+                let bit = (i >> b) & 1 != 0;
+                if bit != flip {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    };
+    let mut db = BinaryCodes::zeros(n, bits);
+    for i in 0..n {
+        db.set_code(i, &code_of(i, false));
+    }
+    backend.publish_codes(&cluster, &db);
+
+    // The Z step flips every even point's code; the solve also proves the
+    // backend visits shards in topology order.
+    let solved = Mutex::new(Vec::new());
+    let (updates, z) = backend.run_z_step(&cluster, 2, |machine, shard| {
+        solved.lock().unwrap().push(machine);
+        shard
+            .iter()
+            .filter(|&&i| i % 2 == 0)
+            .map(|&i| ZUpdate {
+                point: i,
+                code: code_of(i, true),
+            })
+            .collect()
+    });
+    assert_eq!(solved.into_inner().unwrap(), vec![0, 1, 2]);
+    assert_eq!(updates.len(), n / 2);
+    assert_eq!(z.points_updated, n);
+
+    // Every worker's resident replica now reflects publish + Z updates.
+    for machine in 0..p {
+        let (points, codes, _seq) = backend
+            .fetch_shard(machine)
+            .unwrap_or_else(|| panic!("machine {machine} has no resident shard"));
+        assert_eq!(points, cluster.shard(machine), "machine {machine} points");
+        for (row, &point) in points.iter().enumerate() {
+            let want = code_of(point, point % 2 == 0);
+            assert_eq!(
+                codes.to_f64_row(row),
+                want,
+                "machine {machine} point {point} replica code"
+            );
+        }
+    }
+
+    // Incremental publish patches a single worker's replica in place.
+    let mut patched = BinaryCodes::zeros(n, bits);
+    for i in 0..n {
+        patched.set_code(i, &code_of(i, i % 3 == 0));
+    }
+    let first_shard: Vec<usize> = cluster.shard(0).to_vec();
+    backend.publish_point_codes(0, &first_shard, &patched);
+    let (points, codes, _) = backend.fetch_shard(0).expect("machine 0 resident shard");
+    for (row, &point) in points.iter().enumerate() {
+        assert_eq!(
+            codes.to_f64_row(row),
+            code_of(point, point % 3 == 0),
+            "point {point} after incremental publish"
+        );
+    }
+}

@@ -1,6 +1,7 @@
-//! Four-way backend equivalence matrix: the same training run on
-//! [`SimBackend`], [`ThreadedBackend`], [`PoolBackend`] and [`ServerBackend`]
-//! must produce **bitwise identical** trained weights and codes — not merely
+//! Five-way backend equivalence matrix: the same training run on
+//! [`SimBackend`], [`ThreadedBackend`], [`PoolBackend`], [`ServerBackend`]
+//! and [`ProcessBackend`] (real OS processes over Unix-domain sockets) must
+//! produce **bitwise identical** trained weights and codes — not merely
 //! statistically close models. This holds because each submodel's
 //! machine-visit sequence is the same on every backend (seeded round-robin,
 //! then ring order), submodels are mutually independent during a W step, and
@@ -15,10 +16,16 @@
 //! during training, equal to a single-process `hamming_knn` over the
 //! concatenated shards — including at replication factor 2 with a machine
 //! actor killed between MAC iterations (training stays bitwise identical,
-//! serving keeps full coverage through the surviving replicas).
+//! serving keeps full coverage through the surviving replicas). The process
+//! backend additionally survives a worker **SIGKILL** between iterations
+//! bitwise-equal to a simulator whose machine was disconnected at the same
+//! point, and a kill *racing* a W step still completes within bounded
+//! deadlines with the fault reported.
 
+use parmac_cluster::process::{MachineDownReason, ProcessConfig};
 use parmac_cluster::{
-    ClusterBackend, CostModel, PoolBackend, ServerBackend, SimBackend, ThreadedBackend,
+    ClusterBackend, CostModel, PoolBackend, ProcessBackend, ServerBackend, SimBackend,
+    ThreadedBackend,
 };
 use parmac_core::zstep::{self, ZStepProblem};
 use parmac_core::{BaConfig, ParMacConfig, ParMacTrainer};
@@ -115,12 +122,22 @@ fn assert_matrix_identical(cfg: ParMacConfig, x: &Mat, speeds: Option<Vec<f64>>,
         cfg,
         x,
         ServerBackend::new().with_cost_model(CostModel::distributed()),
-        speeds,
+        speeds.clone(),
     );
     assert_eq!(sim.0, server.0, "{label}: encoder weights sim vs server");
     assert_eq!(sim.1, server.1, "{label}: decoder weights sim vs server");
     assert_eq!(sim.2, server.2, "{label}: codes sim vs server");
     assert_eq!(sim.3, server.3, "{label}: E_BA sim vs server");
+    let process = run(
+        cfg,
+        x,
+        ProcessBackend::new().with_cost_model(CostModel::distributed()),
+        speeds,
+    );
+    assert_eq!(sim.0, process.0, "{label}: encoder weights sim vs process");
+    assert_eq!(sim.1, process.1, "{label}: decoder weights sim vs process");
+    assert_eq!(sim.2, process.2, "{label}: codes sim vs process");
+    assert_eq!(sim.3, process.3, "{label}: E_BA sim vs process");
 }
 
 #[test]
@@ -288,6 +305,10 @@ fn matrix_holds_across_a_mid_training_machine_add_and_remove() {
         (
             "server".into(),
             streaming_schedule(cfg, &x_initial, &x_extended, ServerBackend::new()),
+        ),
+        (
+            "process".into(),
+            streaming_schedule(cfg, &x_initial, &x_extended, ProcessBackend::new()),
         ),
     ];
     for (name, result) in &others {
@@ -590,4 +611,108 @@ fn server_backend_answers_queries_while_training_runs() {
         expected,
         "post-training admitted path must match the trainer's codes"
     );
+}
+
+#[test]
+fn process_training_survives_a_mid_run_worker_sigkill_bitwise() {
+    // The cross-process robustness acceptance: train on ProcessBackend, kill
+    // one worker process (SIGKILL, no shutdown handshake) between the two MAC
+    // iterations, and finish the run. The end state must be bitwise identical
+    // to a SimBackend trainer whose machine was disconnected (§4.3
+    // `remove_machine`) at the same point: a dead worker's shard is simply no
+    // longer visited, everything else trains on.
+    let x = dataset(34, 160);
+    let cfg = quick_cfg(5, 4);
+    let victim = 2usize;
+
+    fn two_iterations<B: ClusterBackend>(
+        cfg: ParMacConfig,
+        x: &Mat,
+        backend: B,
+        mid: impl FnOnce(&mut ParMacTrainer<B>),
+    ) -> (Mat, Mat, BinaryCodes) {
+        let mut t = ParMacTrainer::new(cfg, x, backend);
+        t.w_step(x, 0);
+        t.z_step(x, 0.05);
+        mid(&mut t);
+        t.w_step(x, 1);
+        t.z_step(x, 0.1);
+        (
+            t.model().encoder().weights().clone(),
+            t.model().decoder().weights().clone(),
+            t.codes().clone(),
+        )
+    }
+
+    let sim = two_iterations(cfg, &x, SimBackend::new(CostModel::distributed()), |t| {
+        t.remove_machine(victim)
+    });
+
+    let backend = ProcessBackend::new();
+    let chaos = backend.clone();
+    let process = two_iterations(cfg, &x, backend, |_| {
+        assert!(chaos.kill_process(victim), "victim worker was not live");
+    });
+    assert_eq!(process.0, sim.0, "encoder weights diverged after SIGKILL");
+    assert_eq!(process.1, sim.1, "decoder weights diverged after SIGKILL");
+    assert_eq!(process.2, sim.2, "codes diverged after SIGKILL");
+
+    let downs = chaos.down_events();
+    assert_eq!(downs.len(), 1, "exactly one fault expected: {downs:?}");
+    assert_eq!(downs[0].machine, victim);
+    assert_eq!(downs[0].reason, MachineDownReason::Killed);
+    assert_eq!(chaos.dead_machines(), vec![victim]);
+}
+
+#[test]
+fn process_kill_racing_a_w_step_completes_within_bounded_deadlines() {
+    // Chaos liveness: a SIGKILL fired from another thread *races* the second
+    // W step — it may land before the round opens, mid-epoch with envelopes
+    // in flight, or after the step drained. In every interleaving the run
+    // must terminate well inside the step deadline with the fault reported;
+    // the no-hang guarantee is the assertion, not a particular final state.
+    use std::time::{Duration, Instant};
+    let x = dataset(35, 160);
+    let cfg = quick_cfg(5, 4);
+    let backend = ProcessBackend::new().with_config(ProcessConfig {
+        step_timeout: Duration::from_secs(30),
+        io_timeout: Duration::from_millis(500),
+        ..ProcessConfig::default()
+    });
+    let chaos = backend.clone();
+    let start = Instant::now();
+    let mut t = ParMacTrainer::new(cfg, &x, backend);
+    t.w_step(&x, 0);
+    t.z_step(&x, 0.05);
+    let killer = std::thread::spawn(move || chaos.kill_process(1));
+    t.w_step(&x, 1);
+    t.z_step(&x, 0.1);
+    let killed = killer.join().expect("chaos thread panicked");
+    assert!(killed, "machine 1 was already dead before the chaos kill");
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "chaos run exceeded the liveness bound"
+    );
+
+    let t_backend_downs = t.backend().down_events();
+    assert_eq!(
+        t_backend_downs,
+        vec![parmac_cluster::MachineDown {
+            machine: 1,
+            reason: MachineDownReason::Killed
+        }],
+        "the racing SIGKILL must surface as exactly one structured fault"
+    );
+    assert_eq!(t.backend().dead_machines(), vec![1]);
+    // The trainer end state is well-formed: codes for every point, finite
+    // weights (the exact bits depend on where the kill landed).
+    assert_eq!(t.codes().len(), x.rows());
+    assert!(t
+        .model()
+        .encoder()
+        .weights()
+        .as_slice()
+        .iter()
+        .chain(t.model().decoder().weights().as_slice())
+        .all(|w| w.is_finite()));
 }
